@@ -1,0 +1,158 @@
+// Benchmarks regenerating the paper's evaluation artifacts — one bench per
+// table and figure (see DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results). Benches report the paper's
+// metrics (generation time, interface cost, quality) via ReportMetric.
+package pi2
+
+import (
+	"io"
+	"testing"
+
+	"pi2/internal/experiment"
+	"pi2/internal/vis"
+	"pi2/internal/widget"
+	"pi2/internal/workload"
+)
+
+var benchEnv = experiment.NewEnv()
+
+// benchLog generates the given log once per iteration and reports cost and
+// interaction counts.
+func benchLog(b *testing.B, log workload.Log) {
+	b.ReportAllocs()
+	var lastCost float64
+	var ints int
+	for i := 0; i < b.N; i++ {
+		r, res, err := benchEnv.RunOnce(log, 30, 3, 10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastCost = r.Cost
+		ints = res.Interface.InteractionCount()
+	}
+	b.ReportMetric(lastCost, "cost")
+	b.ReportMetric(float64(ints), "interactions")
+}
+
+// Figure 14: interaction-taxonomy expressiveness (one bench per panel).
+func BenchmarkFigure14Explore(b *testing.B)  { benchLog(b, workload.Explore()) }
+func BenchmarkFigure14Abstract(b *testing.B) { benchLog(b, workload.Abstract()) }
+func BenchmarkFigure14Connect(b *testing.B)  { benchLog(b, workload.Connect()) }
+func BenchmarkFigure14Filter(b *testing.B)   { benchLog(b, workload.Filter()) }
+
+// Figure 15: case studies.
+func BenchmarkFigure15SDSS(b *testing.B)  { benchLog(b, workload.SDSS()) }
+func BenchmarkFigure15Covid(b *testing.B) { benchLog(b, workload.Covid()) }
+func BenchmarkFigure15Sales(b *testing.B) { benchLog(b, workload.Sales()) }
+
+// Figure 16: runtime-quality trade-off (reduced grid; pi2bench -fig 16
+// prints the full series).
+func BenchmarkFigure16Tradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := experiment.Figure16(io.Discard, benchEnv,
+			[]workload.Log{workload.Explore()}, false)
+		if len(runs) == 0 {
+			b.Fatal("no runs")
+		}
+		q := experiment.Quality(runs)
+		best := 0.0
+		for _, v := range q {
+			if v > best {
+				best = v
+			}
+		}
+		b.ReportMetric(best, "best_quality")
+	}
+}
+
+// Figure 17: parameter sensitivity on Explore/Filter/Covid.
+func BenchmarkFigure17Sensitivity(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode")
+	}
+	for i := 0; i < b.N; i++ {
+		runs := experiment.Figure17(io.Discard, benchEnv)
+		if len(runs) == 0 {
+			b.Fatal("no runs")
+		}
+	}
+}
+
+// §7.3 scalability: runtime versus duplicated-query count.
+func BenchmarkScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := experiment.Scalability(io.Discard, benchEnv, []int{1, 2, 4})
+		if len(runs) != 3 {
+			b.Fatal("scalability runs missing")
+		}
+		// report ms per query at the largest factor for trend tracking
+		last := runs[len(runs)-1]
+		b.ReportMetric(float64(last.Total().Milliseconds())/36, "ms_per_query")
+	}
+}
+
+// Headline latency distribution (paper: 2–19 s, median 6 s on 4×2.2 GHz).
+func BenchmarkEndToEndLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := experiment.Latency(io.Discard, benchEnv)
+		if len(runs) != 7 {
+			b.Fatalf("logs = %d", len(runs))
+		}
+	}
+}
+
+// Table 1: visualization schema catalog + candidate mapping generation.
+func BenchmarkTable1VisCatalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, s := range vis.Catalog() {
+			total += len(vis.InteractionsFor(s.Type))
+		}
+		if total == 0 {
+			b.Fatal("empty catalog")
+		}
+	}
+}
+
+// Table 2: widget schema catalog + cost polynomial evaluation.
+func BenchmarkTable2WidgetCatalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		total := 0.0
+		for _, k := range widget.Kinds() {
+			for d := 0; d < 10; d++ {
+				a0, a1, a2 := widget.CostCoeffs(k)
+				total += a0 + a1*float64(d) + a2*float64(d*d)
+			}
+		}
+		if total <= 0 {
+			b.Fatal("bad coefficients")
+		}
+	}
+}
+
+// Figures 18/19: quality spread of non-optimal interfaces under tight
+// search budgets.
+func BenchmarkFigure18Quality(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode")
+	}
+	for i := 0; i < b.N; i++ {
+		runs := experiment.QualitySpread(io.Discard, benchEnv, workload.Explore())
+		if len(runs) == 0 {
+			b.Fatal("no runs")
+		}
+	}
+}
+
+// Ablations for the design choices DESIGN.md calls out.
+func BenchmarkAblations(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode")
+	}
+	for i := 0; i < b.N; i++ {
+		runs := experiment.Ablations(io.Discard, benchEnv, workload.Explore())
+		if len(runs) == 0 {
+			b.Fatal("no ablation runs")
+		}
+	}
+}

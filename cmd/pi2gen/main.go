@@ -1,0 +1,131 @@
+// Command pi2gen generates an interactive visualization interface from a
+// SQL query log.
+//
+// Usage:
+//
+//	pi2gen -log Explore                 # one of the paper's seven logs
+//	pi2gen -file queries.sql            # semicolon-separated custom queries
+//	pi2gen -log Covid -html out.html    # write an HTML snapshot
+//	pi2gen -log Filter -trees           # also dump the Difftrees
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pi2/internal/catalog"
+	"pi2/internal/core"
+	"pi2/internal/dataset"
+	"pi2/internal/iface"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+	"pi2/internal/workload"
+)
+
+func main() {
+	logName := flag.String("log", "", "built-in workload name (Explore, Abstract, Connect, Filter, SDSS, Covid, Sales)")
+	file := flag.String("file", "", "file with semicolon-separated SQL queries")
+	htmlOut := flag.String("html", "", "write an HTML snapshot to this path")
+	jsonOut := flag.String("json", "", "write the interface spec as JSON to this path")
+	seed := flag.Int64("seed", 1, "search seed")
+	workers := flag.Int("p", 3, "parallel MCTS workers")
+	earlyStop := flag.Int("es", 30, "early-stop iterations")
+	sync := flag.Int("s", 10, "synchronization interval")
+	showTrees := flag.Bool("trees", false, "print the final Difftrees")
+	flag.Parse()
+
+	queries, err := loadQueries(*logName, *file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pi2gen:", err)
+		os.Exit(1)
+	}
+
+	db := dataset.NewDB()
+	cat := catalog.Build(db, dataset.Keys())
+	cfg := core.DefaultConfig()
+	cfg.Search.Seed = *seed
+	cfg.Search.Workers = *workers
+	cfg.Search.EarlyStop = *earlyStop
+	cfg.Search.SyncInterval = *sync
+
+	res, err := core.Generate(queries, db, cat, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pi2gen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("generated in %v (search %v + mapping %v, %d MCTS iterations)\n",
+		res.SearchTime+res.MapTime, res.SearchTime, res.MapTime, res.Iterations)
+	fmt.Print(iface.RenderText(res.Interface))
+	if *showTrees {
+		fmt.Print(iface.RenderTrees(res.State))
+	}
+
+	if *jsonOut != "" {
+		data, err := iface.MarshalJSON(res.Interface)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pi2gen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pi2gen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+
+	if *htmlOut != "" {
+		asts, err := sqlparser.ParseAll(queries)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pi2gen:", err)
+			os.Exit(1)
+		}
+		ctx := &transform.Context{Queries: asts, Cat: cat}
+		sess, err := iface.NewSession(res.Interface, ctx, db)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pi2gen:", err)
+			os.Exit(1)
+		}
+		html, err := iface.RenderHTML(sess)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pi2gen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*htmlOut, []byte(html), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pi2gen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *htmlOut)
+	}
+}
+
+func loadQueries(logName, file string) ([]string, error) {
+	switch {
+	case logName != "":
+		l, ok := workload.ByName(logName)
+		if !ok {
+			return nil, fmt.Errorf("unknown log %q", logName)
+		}
+		return l.Queries, nil
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, q := range strings.Split(string(data), ";") {
+			q = strings.TrimSpace(q)
+			if q != "" {
+				out = append(out, q)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("no queries in %s", file)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("pass -log <name> or -file <path>")
+	}
+}

@@ -1,0 +1,58 @@
+// Command pi2serve generates an interface for a query log and serves it as
+// a live web application: charts render as SVG from the current query
+// results, widget manipulations post back and rewrite the bound queries —
+// the browser/server/database stack the paper's interfaces deploy to.
+//
+//	pi2serve -log Covid -addr :8080
+//	open http://localhost:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"pi2/internal/catalog"
+	"pi2/internal/core"
+	"pi2/internal/dataset"
+	"pi2/internal/iface"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+	"pi2/internal/workload"
+)
+
+func main() {
+	logName := flag.String("log", "Explore", "workload name")
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "search seed")
+	flag.Parse()
+
+	wl, ok := workload.ByName(*logName)
+	if !ok {
+		log.Fatalf("unknown log %q", *logName)
+	}
+	db := dataset.NewDB()
+	cat := catalog.Build(db, dataset.Keys())
+	cfg := core.DefaultConfig()
+	cfg.Search.Seed = *seed
+
+	fmt.Printf("generating interface for %s ...\n", wl.Name)
+	res, err := core.Generate(wl.Queries, db, cat, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(iface.RenderText(res.Interface))
+
+	asts, err := sqlparser.ParseAll(wl.Queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := &transform.Context{Queries: asts, Cat: cat}
+	sess, err := iface.NewSession(res.Interface, ctx, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, iface.NewServer(sess).Handler()))
+}

@@ -1,0 +1,49 @@
+// Command pi2sql is a small SQL REPL over the embedded execution engine and
+// the bundled paper datasets — a direct way to poke at the substrate PI2
+// generates interfaces against.
+//
+//	$ pi2sql
+//	pi2> SELECT hour, count(*) FROM flights GROUP BY hour LIMIT 5
+//	pi2> \d            -- list tables
+//	pi2> \q            -- quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"pi2/internal/dataset"
+	"pi2/internal/engine"
+	"pi2/internal/sqlparser"
+)
+
+func main() {
+	db := dataset.NewDB()
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("pi2sql — embedded engine over the paper's datasets (\\d tables, \\q quit)")
+	fmt.Print("pi2> ")
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case line == `\d`:
+			for _, s := range dataset.Summary(db) {
+				fmt.Println(" ", s)
+			}
+		default:
+			res, err := engine.ExecSQL(db, strings.TrimSuffix(line, ";"), sqlparser.Parse)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(res.String())
+				fmt.Printf("(%d rows)\n", len(res.Rows))
+			}
+		}
+		fmt.Print("pi2> ")
+	}
+}

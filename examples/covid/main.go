@@ -1,0 +1,75 @@
+// Covid: reproduces Google's Covid-19 dashboard from example queries
+// (Listing 6, Figure 15b): widgets choose the reported metric, state filter,
+// and date interval — with the interval control nested under a toggle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pi2"
+	"pi2/internal/dataset"
+	"pi2/internal/iface"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+	"pi2/internal/widget"
+	"pi2/internal/workload"
+)
+
+func main() {
+	db := dataset.NewDB()
+	gen := pi2.NewGenerator(db, dataset.Keys())
+	wl := workload.Covid()
+
+	res, err := gen.Generate(wl.Queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(iface.RenderText(res.Interface))
+
+	asts, err := sqlparser.ParseAll(wl.Queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := &transform.Context{Queries: asts, Cat: gen.Cat}
+	sess, err := iface.NewSession(res.Interface, ctx, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Walk the widgets: flip every enumerating widget to its next option
+	// and watch the bound query change.
+	for _, w := range res.Interface.Widgets {
+		before, _ := sess.CurrentSQL(w.Tree)
+		switch w.Kind {
+		case widget.Radio, widget.Dropdown, widget.Button:
+			if len(w.Options) < 2 {
+				continue
+			}
+			if err := sess.SetOption(w.ElemID, 1); err != nil {
+				log.Printf("%s: %v", w.ElemID, err)
+				continue
+			}
+		case widget.Toggle:
+			if err := sess.SetToggle(w.ElemID, true); err != nil {
+				log.Printf("%s: %v", w.ElemID, err)
+				continue
+			}
+		default:
+			continue
+		}
+		after, _ := sess.CurrentSQL(w.Tree)
+		if before != after {
+			fmt.Printf("\n%s %s (%q):\n  %s\n→ %s\n", w.Kind, w.ElemID, w.Label, before, after)
+		}
+	}
+
+	rows, err := sess.Results()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for i, r := range rows {
+		fmt.Printf("chart %d renders %d rows\n", i, len(r.Rows))
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: generate an interactive interface from two example queries
+// (the paper's Figure 1 scenario: two range-filtered scatterplot queries),
+// then drive it programmatically through the interaction runtime.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pi2"
+	"pi2/internal/dataset"
+	"pi2/internal/iface"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+)
+
+func main() {
+	// 1. A database and its catalogue (any engine.DB works; the bundled
+	// datasets mirror the paper's).
+	db := dataset.NewDB()
+	gen := pi2.NewGenerator(db, dataset.Keys())
+
+	// 2. Example analysis queries: the same scatterplot with two different
+	// range predicates.
+	queries := []string{
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38",
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90 AND mpg BETWEEN 16 AND 30",
+	}
+
+	// 3. Generate the interface.
+	res, err := gen.Generate(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("generated interface:")
+	fmt.Print(iface.RenderText(res.Interface))
+
+	// 4. Drive it: a session binds each chart to its first query; panning
+	// the scatterplot rewrites the range predicates and re-executes.
+	asts, err := sqlparser.ParseAll(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := &transform.Context{Queries: asts, Cat: gen.Cat}
+	sess, err := iface.NewSession(res.Interface, ctx, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sql, _ := sess.CurrentSQL(0)
+	fmt.Println("\ninitial query:", sql)
+	r0, _ := sess.Result(0)
+	fmt.Printf("initial rows: %d\n", len(r0.Rows))
+
+	// pan the viewport to hp ∈ [100, 150], mpg ∈ [10, 25]
+	chart := res.Interface.Vis[0].ElemID
+	if err := sess.Brush(chart, "pan", "100", "150", "10", "25"); err != nil {
+		log.Fatal(err)
+	}
+	sql, _ = sess.CurrentSQL(0)
+	fmt.Println("\nafter panning:", sql)
+	r1, _ := sess.Result(0)
+	fmt.Printf("rows now: %d\n", len(r1.Rows))
+}

@@ -1,0 +1,77 @@
+// SDSS: the Sloan Digital Sky Survey case study (Listing 5, Figure 15a).
+// PI2 turns the SkyServer's text-form search into a visual interface: a sky
+// scatterplot of (ra, dec) whose panning updates the joined star table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pi2"
+	"pi2/internal/dataset"
+	"pi2/internal/iface"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+	"pi2/internal/vis"
+	"pi2/internal/workload"
+)
+
+func main() {
+	db := dataset.NewDB()
+	gen := pi2.NewGenerator(db, dataset.Keys())
+	wl := workload.SDSS()
+
+	res, err := gen.Generate(wl.Queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(iface.RenderText(res.Interface))
+
+	asts, err := sqlparser.ParseAll(wl.Queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := &transform.Context{Queries: asts, Cat: gen.Cat}
+	sess, err := iface.NewSession(res.Interface, ctx, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// find the sky scatterplot and the table tree
+	var scatter string
+	tableTree := -1
+	for _, v := range res.Interface.Vis {
+		if v.Mapping.Vis.Type == vis.Point {
+			scatter = v.ElemID
+		}
+		if v.Mapping.Vis.Type == vis.Table {
+			tableTree = v.Tree
+		}
+	}
+	if scatter == "" || tableTree < 0 {
+		log.Fatal("expected a scatterplot and a table")
+	}
+
+	before, err := sess.Result(tableTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntable initially lists %d stars\n", len(before.Rows))
+
+	// pan the sky view to a different celestial window
+	for _, v := range res.Interface.VisInts {
+		if v.Kind == "pan" && v.Tree == tableTree {
+			if err := sess.Brush(scatter, "pan", "213.1", "213.5", "-0.6", "-0.25"); err != nil {
+				log.Fatal(err)
+			}
+			break
+		}
+	}
+	after, err := sess.Result(tableTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sql, _ := sess.CurrentSQL(tableTree)
+	fmt.Printf("after panning to ra∈[213.1,213.5], dec∈[-0.6,-0.25]: %d stars\n", len(after.Rows))
+	fmt.Println("table query:", sql)
+}

@@ -1,0 +1,224 @@
+// Package catalog implements the database catalogue PI2 requires (paper §1:
+// "only needs access to the query grammar, a database connection ... and the
+// database catalogue"). It records per-column type, domain, cardinality and
+// key information, which drive attribute-type inference (§3.2.1),
+// visualization type compatibility (§4.1: cardinality < 20 ⇒ categorical)
+// and widget initialization.
+package catalog
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+
+	"pi2/internal/engine"
+)
+
+// CategoricalThreshold is the paper's compatibility rule: attributes with
+// fewer than this many distinct values may map to categorical visual
+// variables.
+const CategoricalThreshold = 20
+
+// Column describes one attribute.
+type Column struct {
+	Table    string
+	Name     string
+	IsNum    bool
+	IsDate   bool // ISO-date string column: orderable, quantitative-compatible
+	Distinct int
+	Min, Max float64 // numeric domain
+	MinStr   string  // string/date domain
+	MaxStr   string
+	Values   []string // distinct values (canonical text), capped
+	IsKey    bool
+}
+
+// Qualified returns "table.name".
+func (c *Column) Qualified() string { return c.Table + "." + c.Name }
+
+// Categorical reports whether the column may map to a categorical visual
+// variable.
+func (c *Column) Categorical() bool { return c.Distinct < CategoricalThreshold }
+
+// Quantitative reports whether the column may map to a quantitative visual
+// variable: numeric columns always; date columns are orderable/continuous
+// and treated as quantitative (the paper's sp500 and covid line charts rely
+// on dates on the x axis).
+func (c *Column) Quantitative() bool { return c.IsNum || c.IsDate }
+
+// TableMeta describes one table.
+type TableMeta struct {
+	Name    string
+	Columns []*Column
+	Keys    [][]string
+}
+
+// Catalog is the database catalogue.
+type Catalog struct {
+	Tables map[string]*TableMeta // lowercased name
+}
+
+var isoDate = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`)
+
+// maxTrackedValues caps the per-column distinct-value list.
+const maxTrackedValues = 64
+
+// Build scans the database and computes the catalogue. keys maps table name
+// to its primary-key columns (single-column keys get IsKey on the column).
+func Build(db *engine.DB, keys map[string][]string) *Catalog {
+	cat := &Catalog{Tables: map[string]*TableMeta{}}
+	normKeys := map[string][]string{}
+	for t, ks := range keys {
+		normKeys[strings.ToLower(t)] = ks
+	}
+	for lname, t := range db.Tables {
+		tm := &TableMeta{Name: t.Name}
+		if ks := normKeys[lname]; len(ks) > 0 {
+			tm.Keys = [][]string{ks}
+		}
+		for ci, cname := range t.Cols {
+			col := &Column{
+				Table: t.Name,
+				Name:  cname,
+				IsNum: t.Types[ci] == engine.TNum,
+			}
+			distinct := map[string]bool{}
+			first := true
+			allDates := !col.IsNum
+			for _, row := range t.Rows {
+				v := row[ci]
+				if v.Null {
+					continue
+				}
+				text := v.Text()
+				distinct[text] = true
+				if col.IsNum {
+					if first || v.Num < col.Min {
+						col.Min = v.Num
+					}
+					if first || v.Num > col.Max {
+						col.Max = v.Num
+					}
+				} else {
+					if allDates && !isoDate.MatchString(text) {
+						allDates = false
+					}
+					if first || text < col.MinStr {
+						col.MinStr = text
+					}
+					if first || text > col.MaxStr {
+						col.MaxStr = text
+					}
+				}
+				first = false
+			}
+			col.IsDate = !col.IsNum && allDates && len(distinct) > 0
+			col.Distinct = len(distinct)
+			if len(distinct) <= maxTrackedValues {
+				for v := range distinct {
+					col.Values = append(col.Values, v)
+				}
+				sort.Strings(col.Values)
+			}
+			for _, ks := range normKeys[lname] {
+				if len(normKeys[lname]) == 1 && strings.EqualFold(ks, cname) {
+					col.IsKey = true
+				}
+			}
+			tm.Columns = append(tm.Columns, col)
+		}
+		cat.Tables[lname] = tm
+	}
+	return cat
+}
+
+// Lookup resolves an attribute reference (possibly qualified as
+// "alias.name" or "table.name") to candidate columns. scope maps
+// lowercased aliases to lowercased table names for the query being
+// analyzed; unqualified names are searched across scope tables first, then
+// the whole catalogue.
+func (c *Catalog) Lookup(name string, scope map[string]string) []*Column {
+	lower := strings.ToLower(name)
+	if i := strings.IndexByte(lower, '.'); i >= 0 {
+		qual, col := lower[:i], lower[i+1:]
+		table := qual
+		if scope != nil {
+			if t, ok := scope[qual]; ok {
+				table = t
+			}
+		}
+		if tm, ok := c.Tables[table]; ok {
+			if cm := tm.column(col); cm != nil {
+				return []*Column{cm}
+			}
+		}
+		return nil
+	}
+	var out []*Column
+	seen := map[string]bool{}
+	if scope != nil {
+		for _, table := range sortedValues(scope) {
+			if seen[table] {
+				continue
+			}
+			seen[table] = true
+			if tm, ok := c.Tables[table]; ok {
+				if cm := tm.column(lower); cm != nil {
+					out = append(out, cm)
+				}
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	for _, tname := range c.sortedTables() {
+		tm := c.Tables[tname]
+		if cm := tm.column(lower); cm != nil {
+			out = append(out, cm)
+		}
+	}
+	return out
+}
+
+func (tm *TableMeta) column(lower string) *Column {
+	for _, c := range tm.Columns {
+		if strings.ToLower(c.Name) == lower {
+			return c
+		}
+	}
+	return nil
+}
+
+func (c *Catalog) sortedTables() []string {
+	names := make([]string, 0, len(c.Tables))
+	for n := range c.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedValues(m map[string]string) []string {
+	vals := make([]string, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// FuncReturn reports a function's return class: "num", "str", or "" when
+// unknown. Mirrors the paper's "infer the type of a function call based on
+// its return type in the catalogue".
+func FuncReturn(name string) string {
+	switch strings.ToLower(name) {
+	case "count", "sum", "avg", "abs", "round":
+		return "num"
+	case "min", "max":
+		return "num" // numeric in all of the paper's workloads
+	case "today", "date", "lower", "upper":
+		return "str"
+	}
+	return ""
+}

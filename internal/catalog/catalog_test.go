@@ -1,0 +1,124 @@
+package catalog
+
+import (
+	"testing"
+
+	"pi2/internal/dataset"
+)
+
+func build(t *testing.T) *Catalog {
+	t.Helper()
+	return Build(dataset.NewDB(), dataset.Keys())
+}
+
+func TestBuildDomains(t *testing.T) {
+	cat := build(t)
+	tm := cat.Tables["cars"]
+	if tm == nil {
+		t.Fatal("cars missing")
+	}
+	var hp *Column
+	for _, c := range tm.Columns {
+		if c.Name == "hp" {
+			hp = c
+		}
+	}
+	if hp == nil {
+		t.Fatal("hp missing")
+	}
+	if !hp.IsNum || hp.Min < 40 || hp.Max > 235 || hp.Min >= hp.Max {
+		t.Fatalf("hp domain = [%v, %v] num=%v", hp.Min, hp.Max, hp.IsNum)
+	}
+	if hp.Categorical() {
+		t.Error("hp should not be categorical (high cardinality)")
+	}
+	if !hp.Quantitative() {
+		t.Error("hp should be quantitative")
+	}
+}
+
+func TestCategoricalDetection(t *testing.T) {
+	cat := build(t)
+	origin := cat.Lookup("origin", nil)
+	if len(origin) != 1 {
+		t.Fatalf("origin candidates = %v", origin)
+	}
+	if !origin[0].Categorical() || origin[0].Distinct != 3 {
+		t.Fatalf("origin: distinct=%d categorical=%v", origin[0].Distinct, origin[0].Categorical())
+	}
+	if origin[0].Quantitative() {
+		t.Error("origin should not be quantitative")
+	}
+	if len(origin[0].Values) != 3 {
+		t.Fatalf("origin values = %v", origin[0].Values)
+	}
+}
+
+func TestDateDetection(t *testing.T) {
+	cat := build(t)
+	cols := cat.Lookup("sp500.date", nil)
+	if len(cols) != 1 {
+		t.Fatalf("date candidates = %v", cols)
+	}
+	d := cols[0]
+	if !d.IsDate || !d.Quantitative() || d.IsNum {
+		t.Fatalf("date flags: isdate=%v quant=%v num=%v", d.IsDate, d.Quantitative(), d.IsNum)
+	}
+	if d.MinStr >= d.MaxStr {
+		t.Fatalf("date domain [%s, %s]", d.MinStr, d.MaxStr)
+	}
+}
+
+func TestKeyFlag(t *testing.T) {
+	cat := build(t)
+	id := cat.Lookup("cars.id", nil)
+	if len(id) != 1 || !id[0].IsKey {
+		t.Fatalf("cars.id should be a key: %v", id)
+	}
+	hp := cat.Lookup("cars.hp", nil)
+	if hp[0].IsKey {
+		t.Error("cars.hp should not be a key")
+	}
+}
+
+func TestLookupWithScope(t *testing.T) {
+	cat := build(t)
+	// alias resolution: "s.ra" with scope {s: specobj}
+	scope := map[string]string{"s": "specobj", "gal": "galaxy"}
+	cols := cat.Lookup("s.ra", scope)
+	if len(cols) != 1 || cols[0].Table != "specObj" {
+		t.Fatalf("s.ra = %v", cols)
+	}
+	// unqualified lookup prefers scope tables
+	cols = cat.Lookup("z", scope)
+	if len(cols) == 0 {
+		t.Fatal("z not found in scope")
+	}
+	for _, c := range cols {
+		if c.Table != "specObj" && c.Table != "galaxy" {
+			t.Fatalf("z resolved outside scope: %v", c.Table)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	cat := build(t)
+	if cols := cat.Lookup("nosuchcolumn", nil); len(cols) != 0 {
+		t.Fatalf("unexpected candidates %v", cols)
+	}
+	if cols := cat.Lookup("nosuch.col", nil); len(cols) != 0 {
+		t.Fatalf("unexpected candidates %v", cols)
+	}
+}
+
+func TestFuncReturn(t *testing.T) {
+	if FuncReturn("count") != "num" || FuncReturn("SUM") != "num" {
+		t.Error("aggregates should return num")
+	}
+	if FuncReturn("today") != "str" || FuncReturn("date") != "str" {
+		t.Error("date funcs should return str")
+	}
+	if FuncReturn("nosuch") != "" {
+		t.Error("unknown funcs should return empty")
+	}
+}

@@ -1,0 +1,81 @@
+// Package core wires the PI2 pipeline end to end (paper Figure 6): parse
+// the query sequence into Difftrees, search Difftree structures with MCTS,
+// run the full interface-mapping search on the best state, and return the
+// generated interface.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pi2/internal/catalog"
+	"pi2/internal/engine"
+	"pi2/internal/iface"
+	"pi2/internal/mapping"
+	"pi2/internal/search"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+)
+
+// Config bundles search and mapping parameters.
+type Config struct {
+	Search  search.Params
+	Mapping mapping.Options
+}
+
+// DefaultConfig mirrors the paper's defaults (es=30, p=3, s=10, K=5, k=10).
+func DefaultConfig() Config {
+	return Config{Search: search.DefaultParams(), Mapping: mapping.DefaultOptions()}
+}
+
+// Result is the outcome of a generation run, with the timing breakdown the
+// paper reports (MCTS search time vs. final mapping time).
+type Result struct {
+	Interface  *iface.Interface
+	State      *transform.State
+	Queries    []string
+	SearchTime time.Duration
+	MapTime    time.Duration
+	Iterations int
+	BestReward float64
+}
+
+// Generate runs PI2 on a SQL query log against the given database.
+func Generate(sqls []string, db *engine.DB, cat *catalog.Catalog, cfg Config) (*Result, error) {
+	if len(sqls) == 0 {
+		return nil, fmt.Errorf("core: empty query log")
+	}
+	queries, err := sqlparser.ParseAll(sqls)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &transform.Context{Queries: queries, Cat: cat}
+
+	t0 := time.Now()
+	sr := search.Run(ctx, db, cfg.Search)
+	searchTime := time.Since(t0)
+
+	t1 := time.Now()
+	ifc, err := mapping.Best(sr.State, ctx, db, cfg.Mapping)
+	if err != nil {
+		// the searched state may be unmappable in degenerate configs; fall
+		// back to the initial state, which always admits a table mapping.
+		fallback := transform.InitState(ctx, cfg.Search.ClusterInit)
+		ifc, err = mapping.Best(fallback, ctx, db, cfg.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		sr.State = fallback
+	}
+	mapTime := time.Since(t1)
+
+	return &Result{
+		Interface:  ifc,
+		State:      sr.State,
+		Queries:    sqls,
+		SearchTime: searchTime,
+		MapTime:    mapTime,
+		Iterations: sr.Iterations,
+		BestReward: sr.BestReward,
+	}, nil
+}

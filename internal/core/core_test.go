@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"pi2/internal/catalog"
+	"pi2/internal/dataset"
+	"pi2/internal/workload"
+)
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Search.MaxIterations = 40
+	cfg.Search.EarlyStop = 10
+	cfg.Search.Workers = 1
+	return cfg
+}
+
+func TestGenerateExploreEndToEnd(t *testing.T) {
+	db := dataset.NewDB()
+	cat := catalog.Build(db, dataset.Keys())
+	log := workload.Explore()
+	res, err := Generate(log.Queries, db, cat, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifc := res.Interface
+	if ifc == nil || len(ifc.Vis) == 0 {
+		t.Fatal("no interface generated")
+	}
+	t.Logf("explore: %s (search %v, map %v, %d iters)", ifc.Summary(), res.SearchTime, res.MapTime, res.Iterations)
+	if ifc.InteractionCount() == 0 {
+		t.Error("explore interface should have interactions")
+	}
+}
+
+func TestGenerateEmptyLog(t *testing.T) {
+	db := dataset.NewDB()
+	cat := catalog.Build(db, dataset.Keys())
+	if _, err := Generate(nil, db, cat, fastConfig()); err == nil {
+		t.Fatal("expected error for empty log")
+	}
+}

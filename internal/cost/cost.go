@@ -1,0 +1,146 @@
+// Package cost implements PI2's interface cost model (paper §5):
+// C(I,Q) = CU(I,Q) + CL(I), where usability cost CU = Cm + Cnav combines
+// SUPPLE-style widget manipulation cost with Fitts'-law navigation cost, and
+// CL penalizes interfaces exceeding a desired screen size.
+package cost
+
+import (
+	"math"
+
+	"pi2/internal/layout"
+	"pi2/internal/widget"
+)
+
+// VisInteractionManip is the low constant manipulation cost assigned to
+// visualization interactions "to encourage choosing them" (paper §5), on
+// the same estimated-milliseconds scale as the widget coefficients.
+const VisInteractionManip = 50
+
+// Model holds the cost-model parameters. The paper sets Fitts' law a = 1
+// and b = 25 by manual experimentation; Alpha scales the size penalty when
+// a maximum width/height is configured (0 disables it, the paper default).
+type Model struct {
+	FittsA, FittsB float64
+	Alpha          float64
+	MaxW, MaxH     float64
+}
+
+// Default returns the paper's parameters.
+func Default() Model {
+	return Model{FittsA: 1, FittsB: 25, Alpha: 0, MaxW: 0, MaxH: 0}
+}
+
+// WithScreen returns a model that penalizes interfaces larger than w×h.
+func (m Model) WithScreen(w, h, alpha float64) Model {
+	m.MaxW, m.MaxH, m.Alpha = w, h, alpha
+	return m
+}
+
+// Interaction describes one mapped interaction for costing purposes.
+type Interaction struct {
+	ElemID string  // layout element carrying the interaction (widget or chart)
+	Manip  float64 // per-use manipulation cost
+	Cover  uint64  // global choice-node bits the interaction binds
+}
+
+// WidgetManip evaluates the SUPPLE polynomial for a widget kind and domain
+// size: Cm(w) = a0 + a1·|w.d| + a2·|w.d|².
+func WidgetManip(k widget.Kind, domain int) float64 {
+	a0, a1, a2 := widget.CostCoeffs(k)
+	d := float64(domain)
+	return a0 + a1*d + a2*d*d
+}
+
+// ManipulatedPerQuery computes, for each query, which interactions the user
+// must manipulate: those covering a choice node whose binding changed from
+// the previous query (every bound node counts for the first query). The
+// returned indexes preserve the interactions' order, which callers arrange
+// as the Difftrees' DFS order (paper §5: "navigate the widgets in order of
+// their depth first traversal").
+func ManipulatedPerQuery(ints []Interaction, changed []uint64) [][]int {
+	out := make([][]int, len(changed))
+	for qi, bits := range changed {
+		for ii, it := range ints {
+			if it.Cover&bits != 0 {
+				out[qi] = append(out[qi], ii)
+			}
+		}
+	}
+	return out
+}
+
+// Manipulation sums the manipulation cost of expressing the query sequence.
+func (m Model) Manipulation(ints []Interaction, changed []uint64) float64 {
+	total := 0.0
+	for _, idxs := range ManipulatedPerQuery(ints, changed) {
+		for _, ii := range idxs {
+			total += ints[ii].Manip
+		}
+	}
+	return total
+}
+
+// Fitts evaluates the movement time a + b·log2(2D/W) between two boxes,
+// where D is the centroid distance and W the minimum of the target's width
+// and height (MacKenzie & Buxton's 2-D extension, paper §5).
+func (m Model) Fitts(from, to layout.Box) float64 {
+	fx, fy := from.Center()
+	tx, ty := to.Center()
+	d := math.Hypot(tx-fx, ty-fy)
+	if d == 0 {
+		return 0
+	}
+	w := math.Min(to.W, to.H)
+	if w < 1 {
+		w = 1
+	}
+	v := m.FittsA + m.FittsB*math.Log2(2*d/w)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Navigation sums Fitts'-law movement costs along the manipulation
+// sequence: within each query the user visits the needed interactions in
+// order, and carries over from the last interaction of the previous query
+// (the paper's w1→w2→w1→w2 example).
+func (m Model) Navigation(ints []Interaction, changed []uint64, boxes map[string]layout.Box) float64 {
+	total := 0.0
+	var prev string
+	for _, idxs := range ManipulatedPerQuery(ints, changed) {
+		for _, ii := range idxs {
+			id := ints[ii].ElemID
+			if prev != "" && prev != id {
+				pb, okP := boxes[prev]
+				tb, okT := boxes[id]
+				if okP && okT {
+					total += m.Fitts(pb, tb)
+				}
+			}
+			prev = id
+		}
+	}
+	return total
+}
+
+// LayoutPenalty is CL(I) = α·(max(0, w−W) + max(0, h−H)) when a maximum
+// screen size is configured (paper §5 Layout).
+func (m Model) LayoutPenalty(total layout.Box) float64 {
+	if m.Alpha == 0 || (m.MaxW == 0 && m.MaxH == 0) {
+		return 0
+	}
+	p := 0.0
+	if m.MaxW > 0 {
+		p += math.Max(0, total.W-m.MaxW)
+	}
+	if m.MaxH > 0 {
+		p += math.Max(0, total.H-m.MaxH)
+	}
+	return m.Alpha * p
+}
+
+// Total evaluates the full cost C(I,Q) for a laid-out interface.
+func (m Model) Total(ints []Interaction, changed []uint64, boxes map[string]layout.Box, total layout.Box) float64 {
+	return m.Manipulation(ints, changed) + m.Navigation(ints, changed, boxes) + m.LayoutPenalty(total)
+}

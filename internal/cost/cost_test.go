@@ -1,0 +1,140 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pi2/internal/layout"
+	"pi2/internal/widget"
+)
+
+func TestWidgetManipPolynomial(t *testing.T) {
+	a0, a1, a2 := widget.CostCoeffs(widget.Radio)
+	got := WidgetManip(widget.Radio, 4)
+	want := a0 + a1*4 + a2*16
+	if got != want {
+		t.Fatalf("Cm = %g, want %g", got, want)
+	}
+	if WidgetManip(widget.Toggle, 0) != a0Toggle(t) {
+		t.Fatal("toggle cost should ignore domain")
+	}
+}
+
+func a0Toggle(t *testing.T) float64 {
+	t.Helper()
+	a0, _, _ := widget.CostCoeffs(widget.Toggle)
+	return a0
+}
+
+func TestManipulatedPerQuery(t *testing.T) {
+	ints := []Interaction{
+		{ElemID: "w0", Manip: 10, Cover: 0b001},
+		{ElemID: "w1", Manip: 20, Cover: 0b110},
+	}
+	changed := []uint64{0b111, 0b001, 0b000}
+	per := ManipulatedPerQuery(ints, changed)
+	if len(per[0]) != 2 || len(per[1]) != 1 || len(per[2]) != 0 {
+		t.Fatalf("per-query = %v", per)
+	}
+	m := Default()
+	if got := m.Manipulation(ints, changed); got != 10+20+10 {
+		t.Fatalf("Cm = %g", got)
+	}
+}
+
+func TestFittsLaw(t *testing.T) {
+	m := Default()
+	from := layout.Box{X: 0, Y: 0, W: 50, H: 30}
+	to := layout.Box{X: 200, Y: 0, W: 50, H: 30}
+	got := m.Fitts(from, to)
+	// D = 200, W = 30 → 1 + 25·log2(400/30)
+	want := 1 + 25*math.Log2(400.0/30)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("fitts = %g, want %g", got, want)
+	}
+	if m.Fitts(from, from) != 0 {
+		t.Fatal("no movement should cost nothing")
+	}
+}
+
+// Property: Fitts' cost increases with distance (fixed target size).
+func TestQuickFittsMonotoneInDistance(t *testing.T) {
+	m := Default()
+	f := func(d1, d2 uint16) bool {
+		a, b := float64(d1%2000)+10, float64(d2%2000)+10
+		if a == b {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		from := layout.Box{X: 0, Y: 0, W: 40, H: 40}
+		toA := layout.Box{X: a, Y: 0, W: 40, H: 40}
+		toB := layout.Box{X: b, Y: 0, W: 40, H: 40}
+		return m.Fitts(from, toA) <= m.Fitts(from, toB)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNavigationSequence(t *testing.T) {
+	// two widgets alternately manipulated: w0→w1 transitions cost Fitts
+	m := Default()
+	ints := []Interaction{
+		{ElemID: "w0", Manip: 1, Cover: 0b01},
+		{ElemID: "w1", Manip: 1, Cover: 0b10},
+	}
+	boxes := map[string]layout.Box{
+		"w0": {X: 0, Y: 0, W: 50, H: 30},
+		"w1": {X: 300, Y: 0, W: 50, H: 30},
+	}
+	// both change in both queries → w0 w1 w0 w1 → 3 transitions
+	changed := []uint64{0b11, 0b11}
+	nav := m.Navigation(ints, changed, boxes)
+	single := m.Fitts(boxes["w0"], boxes["w1"])
+	if math.Abs(nav-3*single) > 1e-9 {
+		t.Fatalf("nav = %g, want %g", nav, 3*single)
+	}
+	// same widget repeatedly → no movement
+	if m.Navigation(ints[:1], []uint64{0b01, 0b01}, boxes) != 0 {
+		t.Fatal("repeat manipulation should not navigate")
+	}
+}
+
+func TestLayoutPenalty(t *testing.T) {
+	m := Default()
+	if m.LayoutPenalty(layout.Box{W: 5000, H: 5000}) != 0 {
+		t.Fatal("penalty must be off by default (paper: CL = 0)")
+	}
+	m = m.WithScreen(800, 600, 2)
+	if got := m.LayoutPenalty(layout.Box{W: 900, H: 650}); got != 2*(100+50) {
+		t.Fatalf("penalty = %g", got)
+	}
+	if m.LayoutPenalty(layout.Box{W: 700, H: 500}) != 0 {
+		t.Fatal("within-screen interface penalized")
+	}
+}
+
+func TestTotalComposition(t *testing.T) {
+	m := Default()
+	ints := []Interaction{{ElemID: "w0", Manip: 7, Cover: 1}}
+	boxes := map[string]layout.Box{"w0": {W: 10, H: 10}}
+	changed := []uint64{1}
+	total := m.Total(ints, changed, boxes, layout.Box{W: 100, H: 100})
+	if total != 7 {
+		t.Fatalf("total = %g (manip only expected)", total)
+	}
+}
+
+func TestVisInteractionCheap(t *testing.T) {
+	// the paper sets visualization interaction costs to low constants "to
+	// encourage choosing them": cheaper than any widget.
+	for _, k := range widget.Kinds() {
+		if WidgetManip(k, 0) <= VisInteractionManip {
+			t.Errorf("%s (%g) should cost more than a vis interaction (%g)",
+				k, WidgetManip(k, 0), float64(VisInteractionManip))
+		}
+	}
+}

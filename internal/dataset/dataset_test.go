@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"testing"
+
+	"pi2/internal/engine"
+	"pi2/internal/sqlparser"
+)
+
+func TestNewDBDeterministic(t *testing.T) {
+	a, b := NewDB(), NewDB()
+	for name := range a.Tables {
+		ta := a.Tables[name]
+		tb := b.Tables[name]
+		if tb == nil {
+			t.Fatalf("table %s missing on second build", name)
+		}
+		if len(ta.Rows) != len(tb.Rows) {
+			t.Fatalf("%s: %d vs %d rows", name, len(ta.Rows), len(tb.Rows))
+		}
+		for i := range ta.Rows {
+			for j := range ta.Rows[i] {
+				if ta.Rows[i][j].Text() != tb.Rows[i][j].Text() {
+					t.Fatalf("%s row %d col %d differs", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFlightsDomainsStayCategorical(t *testing.T) {
+	// The Filter workload needs each grouping attribute to stay below the
+	// paper's categorical threshold of 20 distinct values.
+	f := Flights()
+	for ci, col := range f.Cols {
+		distinct := map[float64]bool{}
+		for _, row := range f.Rows {
+			distinct[row[ci].Num] = true
+		}
+		if len(distinct) >= 20 {
+			t.Errorf("flights.%s has %d distinct values, want < 20", col, len(distinct))
+		}
+	}
+}
+
+func TestAllWorkloadTablesPresent(t *testing.T) {
+	db := NewDB()
+	for _, name := range []string{"T", "cars", "sp500", "flights", "covid", "sales", "galaxy", "specobj"} {
+		if _, ok := db.Table(name); !ok {
+			t.Errorf("missing table %s", name)
+		}
+	}
+	if got := len(Summary(db)); got != 8 {
+		t.Errorf("Summary lines = %d, want 8", got)
+	}
+}
+
+func TestCovidEndsAtNow(t *testing.T) {
+	db := NewDB()
+	res, err := engine.ExecSQL(db, "SELECT max(date) FROM covid", sqlparser.Parse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Str != Now {
+		t.Fatalf("max covid date = %s, want %s", res.Rows[0][0].Str, Now)
+	}
+}
+
+func TestSalesBranchDeterminedByCity(t *testing.T) {
+	s := Sales()
+	cityBranch := map[string]string{}
+	for _, row := range s.Rows {
+		city, branch := row[0].Str, row[1].Str
+		if prev, ok := cityBranch[city]; ok && prev != branch {
+			t.Fatalf("city %s maps to branches %s and %s", city, prev, branch)
+		}
+		cityBranch[city] = branch
+	}
+	if len(cityBranch) != 3 {
+		t.Fatalf("cities = %v", cityBranch)
+	}
+}
+
+func TestSDSSJoinProducesRows(t *testing.T) {
+	db := NewDB()
+	sql := `SELECT DISTINCT gal.objID, s.ra, s.dec FROM galaxy as gal, specObj as s
+	        WHERE s.bestObjID = gal.objID AND s.ra BETWEEN 213.3 AND 214.1 AND s.dec BETWEEN -0.9 AND -0.2`
+	res, err := engine.ExecSQL(db, sql, sqlparser.Parse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("SDSS join returned no rows; domains do not overlap the workload predicates")
+	}
+}
+
+func TestWorkloadPredicatesSelectData(t *testing.T) {
+	db := NewDB()
+	cases := []string{
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38",
+		"SELECT date, price FROM sp500 WHERE date > '2001-01-01' AND date < '2003-01-01'",
+		"SELECT hour, count(*) FROM flights WHERE delay BETWEEN 0 AND 50 AND dist BETWEEN 400 AND 800 GROUP BY hour",
+		"SELECT date, cases FROM covid WHERE state='CA' AND date > date(today(), '-30 days')",
+		"SELECT date, sum(total) FROM sales WHERE branch = 'A' AND product = 'Health and beauty' GROUP BY date",
+	}
+	for _, sql := range cases {
+		res, err := engine.ExecSQL(db, sql, sqlparser.Parse)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("%s: no rows; dataset domains don't cover the workload", sql)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package difftree
+
+import "hash/fnv"
+
+// Hash returns a structural 64-bit hash of the subtree (kind, label,
+// children), ignoring IDs. Equal trees hash equally; collisions are possible
+// but callers (Partition, sequence alignment) re-verify with Equal.
+func Hash(n *Node) uint64 {
+	h := fnv.New64a()
+	hashInto(n, h)
+	return h.Sum64()
+}
+
+type hasher interface{ Write(p []byte) (int, error) }
+
+func hashInto(n *Node, h hasher) {
+	if n == nil {
+		h.Write([]byte{0xff})
+		return
+	}
+	h.Write([]byte{byte(n.Kind)})
+	h.Write([]byte(n.Label))
+	h.Write([]byte{0x1f})
+	for _, c := range n.Children {
+		hashInto(c, h)
+	}
+	h.Write([]byte{0x1e})
+}
+
+// RootKey returns a shallow key identifying the root production of a node:
+// the kind plus, for kinds where the label is structural (operators, function
+// names), the label. It is used by Partition and PushANY to decide whether
+// two subtrees share the same root.
+func RootKey(n *Node) string {
+	switch n.Kind {
+	case KindBinary, KindFunc, KindIn, KindOrderItem:
+		return n.Kind.String() + ":" + n.Label
+	default:
+		return n.Kind.String()
+	}
+}

@@ -1,0 +1,206 @@
+package difftree
+
+// Match attempts to derive the Binding under which the Difftree rooted at
+// pattern expresses the concrete AST query (paper §3.2.4). It returns the
+// binding and true on success. Match backtracks over ANY alternatives, OPT
+// presence, MULTI repetition counts and SUBSET selections, so it is a
+// decision procedure for "does this Difftree express this query?".
+//
+// pattern must have been Renumber()ed so choice-node IDs are unique.
+func Match(pattern, query *Node) (Binding, bool) {
+	return matchNode(pattern, query)
+}
+
+func merge(dst, src Binding) Binding {
+	out := make(Binding, len(dst)+len(src))
+	for k, v := range dst {
+		out[k] = v
+	}
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+func matchNode(p, q *Node) (Binding, bool) {
+	if p == nil || q == nil {
+		return nil, false
+	}
+	switch p.Kind {
+	case KindAny:
+		for i, c := range p.Children {
+			if b, ok := matchNode(c, q); ok {
+				b = merge(b, Binding{p.ID: BindValue{Index: i}})
+				return b, true
+			}
+		}
+		return nil, false
+	case KindOpt:
+		if q.Kind == KindNone {
+			return Binding{p.ID: BindValue{Present: false}}, true
+		}
+		if b, ok := matchNode(p.Children[0], q); ok {
+			return merge(b, Binding{p.ID: BindValue{Present: true}}), true
+		}
+		return nil, false
+	case KindVal:
+		if !q.Kind.IsLiteral() {
+			return nil, false
+		}
+		if p.Label == "num" && q.Kind != KindNumber {
+			return nil, false
+		}
+		return Binding{p.ID: BindValue{Lit: q.Label, LitKind: q.Kind}}, true
+	case KindMulti, KindSubset:
+		// Only meaningful inside list nodes; a bare occurrence cannot match
+		// a single fixed-arity slot.
+		return nil, false
+	}
+	// Canonicalization bridge: a WHERE/HAVING pattern whose AND list can
+	// resolve empty expresses the query with the clause missing entirely
+	// (None), and a GROUP BY pattern expresses None via an empty list.
+	if q.Kind == KindNone && q.Kind != p.Kind {
+		switch p.Kind {
+		case KindWhere, KindHaving:
+			return matchNode(p.Children[0], &Node{Kind: KindAnd})
+		case KindGroupBy, KindOrderBy:
+			return matchSeq(p.Children, nil)
+		}
+		return nil, false
+	}
+	// Static node.
+	if p.Kind != q.Kind || p.Label != q.Label {
+		return nil, false
+	}
+	if p.Kind.IsList() {
+		return matchSeq(p.Children, q.Children)
+	}
+	if len(p.Children) != len(q.Children) {
+		return nil, false
+	}
+	b := Binding{}
+	for i := range p.Children {
+		cb, ok := matchNode(p.Children[i], q.Children[i])
+		if !ok {
+			return nil, false
+		}
+		b = merge(b, cb)
+	}
+	return b, true
+}
+
+// matchSeq matches a pattern child sequence (which may contain MULTI,
+// SUBSET, OPT and ANY nodes) against a concrete child sequence.
+func matchSeq(pats, qs []*Node) (Binding, bool) {
+	if len(pats) == 0 {
+		if len(qs) == 0 {
+			return Binding{}, true
+		}
+		return nil, false
+	}
+	p := pats[0]
+	switch p.Kind {
+	case KindMulti:
+		pattern := p.Children[0]
+		// Greedy: prefer consuming more repetitions, backtrack downwards.
+		max := len(qs)
+		for k := max; k >= 0; k-- {
+			reps := make([]Binding, 0, k)
+			ok := true
+			for i := 0; i < k; i++ {
+				sub, match := matchNode(pattern, qs[i])
+				if !match {
+					ok = false
+					break
+				}
+				reps = append(reps, sub)
+			}
+			if !ok {
+				continue
+			}
+			rest, match := matchSeq(pats[1:], qs[k:])
+			if !match {
+				continue
+			}
+			return merge(rest, Binding{p.ID: BindValue{Reps: reps}}), true
+		}
+		return nil, false
+	case KindSubset:
+		return matchSubset(p, pats[1:], qs)
+	case KindOpt:
+		// Present: consume one item.
+		if len(qs) > 0 {
+			if cb, ok := matchNode(p.Children[0], qs[0]); ok {
+				if rest, ok2 := matchSeq(pats[1:], qs[1:]); ok2 {
+					b := merge(cb, rest)
+					return merge(b, Binding{p.ID: BindValue{Present: true}}), true
+				}
+			}
+		}
+		// Absent: consume nothing.
+		if rest, ok := matchSeq(pats[1:], qs); ok {
+			return merge(rest, Binding{p.ID: BindValue{Present: false}}), true
+		}
+		return nil, false
+	default:
+		// ANY, VAL and static patterns consume exactly one item.
+		if len(qs) == 0 {
+			return nil, false
+		}
+		cb, ok := matchNode(p, qs[0])
+		if !ok {
+			return nil, false
+		}
+		rest, ok := matchSeq(pats[1:], qs[1:])
+		if !ok {
+			return nil, false
+		}
+		return merge(cb, rest), true
+	}
+}
+
+// matchSubset matches SUBSET(c1..ck) followed by the remaining patterns.
+// It chooses an ascending subset of children matching a prefix of qs.
+func matchSubset(sub *Node, restPats, qs []*Node) (Binding, bool) {
+	var rec func(ci, qi int, chosen []int, acc Binding) (Binding, bool)
+	rec = func(ci, qi int, chosen []int, acc Binding) (Binding, bool) {
+		// Extend: match a further child against the next query item.
+		if qi < len(qs) {
+			for c := ci; c < len(sub.Children); c++ {
+				cb, ok := matchNode(sub.Children[c], qs[qi])
+				if !ok {
+					continue
+				}
+				if r, ok := rec(c+1, qi+1, append(chosen[:len(chosen):len(chosen)], c), merge(acc, cb)); ok {
+					return r, true
+				}
+			}
+		}
+		// Stop: the rest of the sequence must be matched by the remaining
+		// patterns.
+		rest, ok := matchSeq(restPats, qs[qi:])
+		if !ok {
+			return nil, false
+		}
+		b := merge(acc, rest)
+		idx := append([]int(nil), chosen...)
+		return merge(b, Binding{sub.ID: BindValue{Indices: idx}}), true
+	}
+	return rec(0, 0, nil, Binding{})
+}
+
+// BindAll matches every query against the Difftree and returns the collected
+// query bindings. ok is false if any query is not expressible, which callers
+// treat as a broken transformation (the paper's rules guarantee
+// expressiveness is preserved; this re-verification enforces it).
+func BindAll(tree *Node, queries []*Node) (*QueryBindings, bool) {
+	per := make([]Binding, len(queries))
+	for i, q := range queries {
+		b, ok := Match(tree, q)
+		if !ok {
+			return nil, false
+		}
+		per[i] = b
+	}
+	return CollectQueryBindings(per), true
+}

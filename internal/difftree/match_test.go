@@ -1,0 +1,303 @@
+package difftree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildAnyPredTree builds ANY(a=1, b=2) as in paper Figure 3(a).
+func buildAnyPredTree() *Node {
+	tree := New(KindAny, "", predEq("a", "1"), predEq("b", "2"))
+	tree.Renumber()
+	return tree
+}
+
+func TestMatchANYChoosesChild(t *testing.T) {
+	tree := buildAnyPredTree()
+	b, ok := Match(tree, predEq("b", "2"))
+	if !ok {
+		t.Fatal("expected match")
+	}
+	if b[tree.ID].Index != 1 {
+		t.Fatalf("bound index = %d, want 1", b[tree.ID].Index)
+	}
+	if _, ok := Match(tree, predEq("c", "3")); ok {
+		t.Fatal("matched a predicate outside the ANY children")
+	}
+}
+
+func TestMatchResolveRoundTripANY(t *testing.T) {
+	tree := buildAnyPredTree()
+	for _, q := range []*Node{predEq("a", "1"), predEq("b", "2")} {
+		b, ok := Match(tree, q)
+		if !ok {
+			t.Fatalf("no match for %v", q)
+		}
+		got, err := Resolve(tree, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(got, q) {
+			t.Fatalf("resolve(match(q)) = %v, want %v", got, q)
+		}
+	}
+}
+
+func TestMatchVAL(t *testing.T) {
+	// VAL<num> generalizing ANY(1,2) as in Figure 3(c).
+	val := New(KindVal, "num", Number("1"), Number("2"))
+	tree := New(KindBinary, "=", Ident("a"), val)
+	tree.Renumber()
+
+	b, ok := Match(tree, predEq("a", "5"))
+	if !ok {
+		t.Fatal("VAL should match any numeric literal")
+	}
+	if b[val.ID].Lit != "5" {
+		t.Fatalf("VAL bound to %q, want 5", b[val.ID].Lit)
+	}
+	// VAL<num> must not match a string literal.
+	qs := New(KindBinary, "=", Ident("a"), Str("x"))
+	if _, ok := Match(tree, qs); ok {
+		t.Fatal("VAL<num> matched a string literal")
+	}
+	got, err := Resolve(tree, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, predEq("a", "5")) {
+		t.Fatalf("resolved %v", got)
+	}
+}
+
+func TestMatchOPTFixedSlot(t *testing.T) {
+	// query node with OPT(where) at the where slot
+	mkQuery := func(where *Node) *Node {
+		return New(KindQuery, "",
+			New(KindSelectList, "", New(KindSelectItem, "", Ident("a"), NewNone())),
+			New(KindFrom, "", New(KindTableRef, "", Ident("T"), NewNone())),
+			where, NewNone(), NewNone(), NewNone(), NewNone())
+	}
+	opt := New(KindOpt, "", New(KindWhere, "", predEq("a", "1")))
+	tree := mkQuery(opt)
+	tree.Renumber()
+
+	withWhere := mkQuery(New(KindWhere, "", predEq("a", "1")))
+	b, ok := Match(tree, withWhere)
+	if !ok || !b[opt.ID].Present {
+		t.Fatalf("expected present OPT, binding=%v ok=%v", b, ok)
+	}
+	noWhere := mkQuery(NewNone())
+	b, ok = Match(tree, noWhere)
+	if !ok || b[opt.ID].Present {
+		t.Fatalf("expected absent OPT, binding=%v ok=%v", b, ok)
+	}
+	for _, q := range []*Node{withWhere, noWhere} {
+		b, _ := Match(tree, q)
+		got, err := Resolve(tree, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(got, q) {
+			t.Fatalf("round trip failed: %v vs %v", got, q)
+		}
+	}
+}
+
+func TestMatchMULTIRepetitions(t *testing.T) {
+	// MULTI(ANY(a,b)) inside a select list matches "a,a" and "b" (paper Ex. 4).
+	anyN := New(KindAny, "", Ident("a"), Ident("b"))
+	multi := New(KindMulti, "", anyN)
+	tree := New(KindExprList, "", multi)
+	tree.Renumber()
+
+	q1 := New(KindExprList, "", Ident("a"), Ident("a"))
+	b, ok := Match(tree, q1)
+	if !ok {
+		t.Fatal("MULTI failed to match [a,a]")
+	}
+	if len(b[multi.ID].Reps) != 2 {
+		t.Fatalf("reps = %d, want 2", len(b[multi.ID].Reps))
+	}
+	for _, rep := range b[multi.ID].Reps {
+		if rep[anyN.ID].Index != 0 {
+			t.Fatalf("inner ANY index = %d, want 0", rep[anyN.ID].Index)
+		}
+	}
+	q2 := New(KindExprList, "", Ident("b"))
+	if _, ok := Match(tree, q2); !ok {
+		t.Fatal("MULTI failed to match [b]")
+	}
+	// mixed
+	q3 := New(KindExprList, "", Ident("b"), Ident("a"))
+	b, ok = Match(tree, q3)
+	if !ok {
+		t.Fatal("MULTI failed to match [b,a]")
+	}
+	got, err := Resolve(tree, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, q3) {
+		t.Fatalf("round trip = %v, want %v", got, q3)
+	}
+	// an item outside the pattern must fail
+	q4 := New(KindExprList, "", Ident("c"))
+	if _, ok := Match(tree, q4); ok {
+		t.Fatal("MULTI matched an item outside its pattern")
+	}
+}
+
+func TestMatchSUBSET(t *testing.T) {
+	sub := New(KindSubset, "", predEq("a", "1"), predEq("b", "2"), predEq("c", "3"))
+	tree := New(KindAnd, "", sub)
+	tree.Renumber()
+
+	q := New(KindAnd, "", predEq("a", "1"), predEq("c", "3"))
+	b, ok := Match(tree, q)
+	if !ok {
+		t.Fatal("SUBSET failed to match ordered subset")
+	}
+	got := b[sub.ID].Indices
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("indices = %v, want [0 2]", got)
+	}
+	r, err := Resolve(tree, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(r, q) {
+		t.Fatalf("round trip = %v, want %v", r, q)
+	}
+	// out-of-order subsets are not expressible (SUBSET keeps child order)
+	qr := New(KindAnd, "", predEq("c", "3"), predEq("a", "1"))
+	if _, ok := Match(tree, qr); ok {
+		t.Fatal("SUBSET matched out-of-order children")
+	}
+	// empty subset
+	q0 := New(KindAnd, "")
+	if b, ok := Match(tree, q0); !ok || len(b[sub.ID].Indices) != 0 {
+		t.Fatalf("empty subset: ok=%v b=%v", ok, b)
+	}
+}
+
+func TestMatchOPTInList(t *testing.T) {
+	opt := New(KindOpt, "", predEq("b", "2"))
+	tree := New(KindAnd, "", predEq("a", "1"), opt)
+	tree.Renumber()
+
+	full := New(KindAnd, "", predEq("a", "1"), predEq("b", "2"))
+	b, ok := Match(tree, full)
+	if !ok || !b[opt.ID].Present {
+		t.Fatalf("want present, got ok=%v b=%v", ok, b)
+	}
+	short := New(KindAnd, "", predEq("a", "1"))
+	b, ok = Match(tree, short)
+	if !ok || b[opt.ID].Present {
+		t.Fatalf("want absent, got ok=%v b=%v", ok, b)
+	}
+}
+
+func TestBindAllRejectsUnexpressible(t *testing.T) {
+	tree := buildAnyPredTree()
+	qs := []*Node{predEq("a", "1"), predEq("z", "9")}
+	if _, ok := BindAll(tree, qs); ok {
+		t.Fatal("BindAll accepted an unexpressible query")
+	}
+	qb, ok := BindAll(tree, []*Node{predEq("a", "1"), predEq("b", "2")})
+	if !ok {
+		t.Fatal("BindAll rejected expressible queries")
+	}
+	vals := qb.ValuesFor(tree.ID)
+	if len(vals) != 2 {
+		t.Fatalf("distinct ANY bindings = %d, want 2", len(vals))
+	}
+}
+
+// Property: for a random ANY-of-predicates tree, every child is expressible
+// and resolves back to itself (paper's expressiveness guarantee at the
+// smallest scale).
+func TestQuickMatchResolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(4)
+		var kids []*Node
+		for i := 0; i < k; i++ {
+			kids = append(kids, predEq(
+				string(rune('a'+r.Intn(5))),
+				string(rune('0'+r.Intn(10)))))
+		}
+		tree := New(KindAny, "", kids...)
+		tree.Renumber()
+		for _, q := range kids {
+			b, ok := Match(tree, q)
+			if !ok {
+				return false
+			}
+			got, err := Resolve(tree, b)
+			if err != nil || !Equal(got, q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MULTI over a VAL pattern expresses arbitrary literal lists.
+func TestQuickMultiValRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		val := New(KindVal, "num", Number("1"))
+		multi := New(KindMulti, "", val)
+		tree := New(KindExprList, "", multi)
+		tree.Renumber()
+		n := r.Intn(5)
+		q := New(KindExprList, "")
+		for i := 0; i < n; i++ {
+			q.Children = append(q.Children, Number(string(rune('0'+r.Intn(10)))))
+		}
+		b, ok := Match(tree, q)
+		if !ok {
+			return false
+		}
+		got, err := Resolve(tree, b)
+		return err == nil && Equal(got, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindingCloneIndependence(t *testing.T) {
+	b := Binding{
+		1: {Index: 2},
+		2: {Reps: []Binding{{3: {Lit: "7", LitKind: KindNumber}}}},
+		4: {Indices: []int{0, 1}},
+	}
+	c := b.Clone()
+	c[2].Reps[0][3] = BindValue{Lit: "9", LitKind: KindNumber}
+	c[4].Indices[0] = 5
+	if b[2].Reps[0][3].Lit != "7" {
+		t.Error("clone shares nested rep bindings")
+	}
+	if b[4].Indices[0] != 0 {
+		t.Error("clone shares index slices")
+	}
+}
+
+func TestBindValueKeyDistinguishes(t *testing.T) {
+	a := BindValue{Index: 1}
+	b := BindValue{Index: 2}
+	if a.Key() == b.Key() {
+		t.Error("different ANY indices share a key")
+	}
+	v1 := BindValue{Lit: "1", LitKind: KindNumber}
+	v2 := BindValue{Lit: "1", LitKind: KindString}
+	if v1.Key() == v2.Key() {
+		t.Error("num and str literals share a key")
+	}
+}

@@ -1,0 +1,190 @@
+package difftree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func predEq(col, lit string) *Node {
+	return New(KindBinary, "=", Ident(col), Number(lit))
+}
+
+func TestCloneIsDeepAndEqual(t *testing.T) {
+	n := New(KindAnd, "", predEq("a", "1"), predEq("b", "2"))
+	c := n.Clone()
+	if !Equal(n, c) {
+		t.Fatalf("clone not equal: %v vs %v", n, c)
+	}
+	c.Children[0].Children[1].Label = "99"
+	if Equal(n, c) {
+		t.Fatal("mutating clone affected original (shallow copy?)")
+	}
+}
+
+func TestEqualDistinguishesKindLabelShape(t *testing.T) {
+	a := predEq("a", "1")
+	cases := []*Node{
+		predEq("a", "2"),
+		predEq("b", "1"),
+		New(KindBinary, "<", Ident("a"), Number("1")),
+		New(KindBinary, "=", Ident("a")),
+	}
+	for i, b := range cases {
+		if Equal(a, b) {
+			t.Errorf("case %d: expected inequality between %v and %v", i, a, b)
+		}
+	}
+	if !Equal(a, predEq("a", "1")) {
+		t.Error("identical trees compare unequal")
+	}
+}
+
+func TestRenumberAssignsPreorderIDs(t *testing.T) {
+	n := New(KindAnd, "", predEq("a", "1"), predEq("b", "2"))
+	total := n.Renumber()
+	if total != 7 {
+		t.Fatalf("expected 7 nodes, got %d", total)
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6}
+	var got []int
+	n.Walk(func(m *Node) bool { got = append(got, m.ID); return true })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ids = %v, want %v", got, want)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	n := New(KindAnd, "", predEq("a", "1"), predEq("b", "2"))
+	count := 0
+	n.Walk(func(m *Node) bool {
+		count++
+		return m.Kind != KindBinary // prune below comparisons
+	})
+	if count != 3 { // and + 2 binaries
+		t.Fatalf("visited %d nodes, want 3", count)
+	}
+}
+
+func TestChoiceNodesAndHasChoice(t *testing.T) {
+	static := predEq("a", "1")
+	if static.HasChoice() {
+		t.Error("static tree reports choice nodes")
+	}
+	choice := New(KindAny, "", predEq("a", "1"), predEq("b", "2"))
+	tree := New(KindWhere, "", choice)
+	tree.Renumber()
+	if !tree.HasChoice() {
+		t.Error("tree with ANY reports no choice")
+	}
+	cs := tree.ChoiceNodes()
+	if len(cs) != 1 || cs[0].Kind != KindAny {
+		t.Fatalf("ChoiceNodes = %v", cs)
+	}
+}
+
+func TestParentOfAndFind(t *testing.T) {
+	left := predEq("a", "1")
+	n := New(KindAnd, "", left, predEq("b", "2"))
+	n.Renumber()
+	if p := n.ParentOf(left); p != n {
+		t.Fatalf("ParentOf(left) = %v, want root", p)
+	}
+	if p := n.ParentOf(n); p != nil {
+		t.Fatalf("ParentOf(root) = %v, want nil", p)
+	}
+	if f := n.Find(left.ID); f != left {
+		t.Fatalf("Find(%d) = %v, want left child", left.ID, f)
+	}
+	if f := n.Find(9999); f != nil {
+		t.Fatalf("Find(9999) = %v, want nil", f)
+	}
+}
+
+// genTree builds a random tree for property tests.
+func genTree(r *rand.Rand, depth int) *Node {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Ident(string(rune('a' + r.Intn(26))))
+		case 1:
+			return Number(string(rune('0' + r.Intn(10))))
+		default:
+			return Str("s" + string(rune('a'+r.Intn(26))))
+		}
+	}
+	kinds := []Kind{KindAnd, KindBinary, KindFunc, KindExprList}
+	k := kinds[r.Intn(len(kinds))]
+	n := New(k, "")
+	if k == KindBinary {
+		n.Label = "="
+		n.Children = []*Node{genTree(r, depth-1), genTree(r, depth-1)}
+		return n
+	}
+	if k == KindFunc {
+		n.Label = "f"
+	}
+	for i := 0; i < 1+r.Intn(3); i++ {
+		n.Children = append(n.Children, genTree(r, depth-1))
+	}
+	return n
+}
+
+// Property: Clone always produces an Equal tree with an equal Hash.
+func TestQuickCloneEqualHash(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := genTree(r, 4)
+		c := n.Clone()
+		return Equal(n, c) && Hash(n) == Hash(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: structurally different trees produced by a label mutation hash
+// differently (FNV collisions at this scale would indicate a hashing bug).
+func TestQuickHashSensitivity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := genTree(r, 4)
+		c := n.Clone()
+		// mutate a random leaf label
+		var leaves []*Node
+		c.Walk(func(m *Node) bool {
+			if len(m.Children) == 0 {
+				leaves = append(leaves, m)
+			}
+			return true
+		})
+		leaf := leaves[r.Intn(len(leaves))]
+		leaf.Label += "_x"
+		return !Equal(n, c) && Hash(n) != Hash(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootKey(t *testing.T) {
+	if RootKey(predEq("a", "1")) != "binary:=" {
+		t.Errorf("RootKey binary = %q", RootKey(predEq("a", "1")))
+	}
+	lt := New(KindBinary, "<", Ident("a"), Number("1"))
+	if RootKey(predEq("a", "1")) == RootKey(lt) {
+		t.Error("different operators share a root key")
+	}
+	if RootKey(Ident("a")) != RootKey(Ident("b")) {
+		t.Error("identifiers should share a root key regardless of label")
+	}
+}
+
+func TestStringSExpr(t *testing.T) {
+	got := predEq("a", "1").String()
+	want := "(binary = (ident a) (number 1))"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,147 @@
+package difftree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genDifftree builds a random Difftree over equality predicates together
+// with a generator of concrete ASTs it expresses.
+type dtCase struct {
+	tree *Node
+	gen  func(r *rand.Rand) *Node
+}
+
+func genPredicate(r *rand.Rand) *Node {
+	return predEq(string(rune('a'+r.Intn(4))), string(rune('0'+r.Intn(10))))
+}
+
+// genChoiceTree builds one of several Difftree shapes with a paired
+// expressible-AST sampler.
+func genChoiceTree(r *rand.Rand) dtCase {
+	switch r.Intn(4) {
+	case 0: // AND list with OPT columns
+		p1, p2 := genPredicate(r), genPredicate(r)
+		tree := New(KindAnd, "", p1.Clone(), New(KindOpt, "", p2.Clone()))
+		return dtCase{tree: tree, gen: func(r *rand.Rand) *Node {
+			out := New(KindAnd, "", p1.Clone())
+			if r.Intn(2) == 0 {
+				out.Children = append(out.Children, p2.Clone())
+			}
+			return out
+		}}
+	case 1: // ANY over k predicates
+		k := 2 + r.Intn(3)
+		var kids []*Node
+		for i := 0; i < k; i++ {
+			kids = append(kids, genPredicate(r))
+		}
+		kids = dedupTest(kids)
+		tree := New(KindAny, "", cloneAll(kids)...)
+		return dtCase{tree: tree, gen: func(r *rand.Rand) *Node {
+			return kids[r.Intn(len(kids))].Clone()
+		}}
+	case 2: // SUBSET of predicates inside AND
+		p1, p2, p3 := predEq("a", "1"), predEq("b", "2"), predEq("c", "3")
+		tree := New(KindAnd, "", New(KindSubset, "", p1.Clone(), p2.Clone(), p3.Clone()))
+		all := []*Node{p1, p2, p3}
+		return dtCase{tree: tree, gen: func(r *rand.Rand) *Node {
+			out := New(KindAnd, "")
+			for _, p := range all {
+				if r.Intn(2) == 0 {
+					out.Children = append(out.Children, p.Clone())
+				}
+			}
+			return out
+		}}
+	default: // MULTI over VAL literals in an expr list
+		tree := New(KindExprList, "", New(KindMulti, "", New(KindVal, "num", Number("1"))))
+		return dtCase{tree: tree, gen: func(r *rand.Rand) *Node {
+			out := New(KindExprList, "")
+			for i := 0; i < r.Intn(4); i++ {
+				out.Children = append(out.Children, Number(string(rune('0'+r.Intn(10)))))
+			}
+			return out
+		}}
+	}
+}
+
+func cloneAll(ns []*Node) []*Node {
+	out := make([]*Node, len(ns))
+	for i, n := range ns {
+		out[i] = n.Clone()
+	}
+	return out
+}
+
+func dedupTest(ns []*Node) []*Node {
+	seen := map[uint64]bool{}
+	var out []*Node
+	for _, n := range ns {
+		h := Hash(n)
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Property: for random Difftrees and random expressible ASTs, Match
+// succeeds and Resolve(Match(q)) == q — the paper's §3.1 resolution
+// semantics in both directions.
+func TestQuickDifftreeExpressibility(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := genChoiceTree(r)
+		c.tree.Renumber()
+		for i := 0; i < 5; i++ {
+			q := c.gen(r)
+			b, ok := Match(c.tree, q)
+			if !ok {
+				return false
+			}
+			got, err := Resolve(c.tree, b)
+			if err != nil || !Equal(got, q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bindings collected by BindAll cover exactly the choice nodes
+// each query exercises, and the per-node value sets are consistent with
+// re-matching.
+func TestQuickBindAllConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := genChoiceTree(r)
+		c.tree.Renumber()
+		var queries []*Node
+		for i := 0; i < 4; i++ {
+			queries = append(queries, c.gen(r))
+		}
+		qb, ok := BindAll(c.tree, queries)
+		if !ok {
+			return false
+		}
+		if len(qb.PerQuery) != len(queries) {
+			return false
+		}
+		for qi, b := range qb.PerQuery {
+			got, err := Resolve(c.tree, b)
+			if err != nil || !Equal(got, queries[qi]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package difftree
+
+import "fmt"
+
+// Resolve instantiates the Difftree under the given binding, producing a
+// concrete AST (paper §3.1: each choice node "resolves" to a subtree when
+// bound). The result shares no nodes with the input.
+func Resolve(p *Node, b Binding) (*Node, error) {
+	out, err := resolveOne(p, b)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func resolveOne(p *Node, b Binding) (*Node, error) {
+	switch p.Kind {
+	case KindAny:
+		v, ok := b[p.ID]
+		if !ok {
+			return nil, fmt.Errorf("difftree: unbound ANY node %d", p.ID)
+		}
+		if v.Index < 0 || v.Index >= len(p.Children) {
+			return nil, fmt.Errorf("difftree: ANY node %d index %d out of range", p.ID, v.Index)
+		}
+		return resolveOne(p.Children[v.Index], b)
+	case KindOpt:
+		v, ok := b[p.ID]
+		if !ok {
+			return nil, fmt.Errorf("difftree: unbound OPT node %d", p.ID)
+		}
+		if !v.Present {
+			return NewNone(), nil
+		}
+		return resolveOne(p.Children[0], b)
+	case KindVal:
+		v, ok := b[p.ID]
+		if !ok {
+			return nil, fmt.Errorf("difftree: unbound VAL node %d", p.ID)
+		}
+		kind := v.LitKind
+		if kind == KindInvalid {
+			if p.Label == "num" {
+				kind = KindNumber
+			} else {
+				kind = KindString
+			}
+		}
+		return &Node{Kind: kind, Label: v.Lit}, nil
+	case KindMulti, KindSubset:
+		return nil, fmt.Errorf("difftree: %v node %d outside a list context", p.Kind, p.ID)
+	}
+	out := &Node{Kind: p.Kind, Label: p.Label}
+	if p.Kind.IsList() {
+		cs, err := resolveList(p.Children, b)
+		if err != nil {
+			return nil, err
+		}
+		out.Children = cs
+		return out, nil
+	}
+	for _, c := range p.Children {
+		rc, err := resolveOne(c, b)
+		if err != nil {
+			return nil, err
+		}
+		out.Children = append(out.Children, rc)
+	}
+	normalizeResolved(out)
+	return out, nil
+}
+
+// normalizeResolved keeps resolved ASTs canonical: clauses whose conjunct
+// list resolved empty disappear (WHERE with an empty AND ≡ no WHERE), as do
+// empty GROUP BY / ORDER BY lists.
+func normalizeResolved(n *Node) {
+	for i, c := range n.Children {
+		empty := false
+		switch c.Kind {
+		case KindWhere, KindHaving:
+			inner := c.Children[0]
+			empty = inner.Kind == KindAnd && len(inner.Children) == 0
+		case KindGroupBy, KindOrderBy:
+			empty = len(c.Children) == 0
+		}
+		if empty {
+			n.Children[i] = NewNone()
+		}
+	}
+}
+
+// resolveList expands a list node's children: MULTI nodes expand to one
+// instance per repetition, SUBSET nodes to the selected children, and absent
+// OPT nodes disappear.
+func resolveList(children []*Node, b Binding) ([]*Node, error) {
+	var out []*Node
+	for _, c := range children {
+		switch c.Kind {
+		case KindMulti:
+			v, ok := b[c.ID]
+			if !ok {
+				return nil, fmt.Errorf("difftree: unbound MULTI node %d", c.ID)
+			}
+			for _, rep := range v.Reps {
+				item, err := resolveOne(c.Children[0], rep)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, item)
+			}
+		case KindSubset:
+			v, ok := b[c.ID]
+			if !ok {
+				return nil, fmt.Errorf("difftree: unbound SUBSET node %d", c.ID)
+			}
+			for _, ix := range v.Indices {
+				if ix < 0 || ix >= len(c.Children) {
+					return nil, fmt.Errorf("difftree: SUBSET node %d index %d out of range", c.ID, ix)
+				}
+				item, err := resolveOne(c.Children[ix], b)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, item)
+			}
+		case KindOpt:
+			v, ok := b[c.ID]
+			if !ok {
+				return nil, fmt.Errorf("difftree: unbound OPT node %d", c.ID)
+			}
+			if !v.Present {
+				continue
+			}
+			item, err := resolveOne(c.Children[0], b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+		default:
+			item, err := resolveOne(c, b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+		}
+	}
+	return out, nil
+}

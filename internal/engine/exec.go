@@ -1,0 +1,462 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	dt "pi2/internal/difftree"
+)
+
+// Exec executes a concrete query AST against the database and returns the
+// result table. The AST must contain no choice nodes (resolve Difftrees
+// first).
+func Exec(db *DB, q *dt.Node) (*Table, error) {
+	if q == nil || q.Kind != dt.KindQuery {
+		return nil, fmt.Errorf("engine: expected query node, got %v", q)
+	}
+	return execQuery(db, q, nil)
+}
+
+// ExecSQL parses and executes a SQL string (convenience for tests, the REPL
+// and the interface runtime).
+func ExecSQL(db *DB, sql string, parse func(string) (*dt.Node, error)) (*Table, error) {
+	q, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(db, q)
+}
+
+// frame is one FROM-clause source bound to the current row.
+type frame struct {
+	alias string   // lowercased alias (or table name)
+	cols  []string // lowercased column names
+	row   []Value
+}
+
+// rowEnv resolves column references for the row being evaluated; outer
+// chains to enclosing queries for correlated subqueries. When groupRows is
+// non-nil, the environment is a "group context": aggregate functions iterate
+// over the group's rows and plain references resolve against the group's
+// representative row.
+type rowEnv struct {
+	frames    []frame
+	outer     *rowEnv
+	groupRows []*rowEnv
+}
+
+func (e *rowEnv) lookup(name string) (Value, bool) {
+	lower := strings.ToLower(name)
+	if i := strings.IndexByte(lower, '.'); i >= 0 {
+		alias, col := lower[:i], lower[i+1:]
+		for env := e; env != nil; env = env.outer {
+			for _, f := range env.frames {
+				if f.alias != alias {
+					continue
+				}
+				for ci, c := range f.cols {
+					if c == col {
+						return f.row[ci], true
+					}
+				}
+			}
+		}
+		return Value{}, false
+	}
+	for env := e; env != nil; env = env.outer {
+		for _, f := range env.frames {
+			for ci, c := range f.cols {
+				if c == lower {
+					return f.row[ci], true
+				}
+			}
+		}
+	}
+	return Value{}, false
+}
+
+// source is an evaluated FROM entry.
+type source struct {
+	alias string
+	table *Table
+}
+
+func execQuery(db *DB, q *dt.Node, outer *rowEnv) (*Table, error) {
+	sel, from, where := q.Children[0], q.Children[1], q.Children[2]
+	groupby, having, orderby, limit := q.Children[3], q.Children[4], q.Children[5], q.Children[6]
+
+	// 1. FROM: evaluate sources (tables and derived tables, which may be
+	// correlated with the outer query).
+	var sources []source
+	if from.Kind == dt.KindFrom {
+		for _, ref := range from.Children {
+			src, alias := ref.Children[0], ref.Children[1]
+			var tbl *Table
+			switch src.Kind {
+			case dt.KindIdent:
+				t, ok := db.Table(src.Label)
+				if !ok {
+					return nil, fmt.Errorf("engine: unknown table %q", src.Label)
+				}
+				tbl = t
+			case dt.KindQuery:
+				t, err := execQuery(db, src, outer)
+				if err != nil {
+					return nil, err
+				}
+				tbl = t
+			default:
+				return nil, fmt.Errorf("engine: bad table ref %v", src)
+			}
+			name := tbl.Name
+			if alias.Kind == dt.KindIdent {
+				name = alias.Label
+			}
+			if name == "" {
+				name = fmt.Sprintf("t%d", len(sources))
+			}
+			sources = append(sources, source{alias: strings.ToLower(name), table: tbl})
+		}
+	}
+
+	// 2. Enumerate the (filtered) cross product.
+	rows, err := crossFilter(db, sources, where, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Output column metadata.
+	items := sel.Children
+	outCols, err := outputNames(items, sources)
+	if err != nil {
+		return nil, err
+	}
+
+	grouped := groupby.Kind == dt.KindGroupBy || anyAggregate(items) || (having.Kind == dt.KindHaving && anyAggregate([]*dt.Node{having}))
+
+	var outRows [][]Value
+	var sortKeys [][]Value
+	orderExprs := orderItems(orderby)
+
+	if grouped {
+		groups, order := groupRows(db, rows, groupby)
+		for _, key := range order {
+			g := groups[key]
+			genv := &rowEnv{outer: outer, groupRows: g}
+			if len(g) > 0 {
+				genv.frames = g[0].frames
+			} else {
+				genv.groupRows = []*rowEnv{} // empty group: count(*)=0
+			}
+			if having.Kind == dt.KindHaving {
+				hv, err := evalExpr(db, having.Children[0], genv)
+				if err != nil {
+					return nil, err
+				}
+				if !hv.Truthy() {
+					continue
+				}
+			}
+			row, keys, err := projectRow(db, items, orderExprs, genv)
+			if err != nil {
+				return nil, err
+			}
+			outRows = append(outRows, row)
+			sortKeys = append(sortKeys, keys)
+		}
+	} else {
+		for _, env := range rows {
+			env.outer = outer
+			row, keys, err := projectRow(db, items, orderExprs, env)
+			if err != nil {
+				return nil, err
+			}
+			outRows = append(outRows, row)
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+
+	// 4. DISTINCT.
+	if sel.Label == "distinct" {
+		seen := map[string]bool{}
+		var dr [][]Value
+		var dk [][]Value
+		for i, row := range outRows {
+			k := rowKey(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			dr = append(dr, row)
+			dk = append(dk, sortKeys[i])
+		}
+		outRows, sortKeys = dr, dk
+	}
+
+	// 5. ORDER BY (stable).
+	if len(orderExprs) > 0 {
+		idx := make([]int, len(outRows))
+		for i := range idx {
+			idx[i] = i
+		}
+		dirs := make([]bool, len(orderExprs)) // true = desc
+		for i, oi := range orderExprs {
+			dirs[i] = oi.Label == "desc"
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
+			for i := range ka {
+				c := Compare(ka[i], kb[i])
+				if c == 0 {
+					continue
+				}
+				if dirs[i] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([][]Value, len(outRows))
+		for i, j := range idx {
+			sorted[i] = outRows[j]
+		}
+		outRows = sorted
+	}
+
+	// 6. LIMIT.
+	if limit.Kind == dt.KindLimit {
+		n, err := strconv.Atoi(limit.Label)
+		if err != nil {
+			return nil, fmt.Errorf("engine: bad limit %q", limit.Label)
+		}
+		if n < len(outRows) {
+			outRows = outRows[:n]
+		}
+	}
+
+	// 7. Output types, inferred from expressions (and data as a fallback).
+	types := make([]ColType, len(outCols))
+	for i, item := range expandItems(items, sources) {
+		types[i] = inferColType(db, item, sources, outer)
+	}
+	return &Table{Cols: outCols, Types: types, Rows: outRows}, nil
+}
+
+// crossFilter enumerates the cross product of the sources, applying the
+// WHERE predicate. A simple equi-join fast path kicks in for two-table joins
+// to keep the SDSS workload quick.
+func crossFilter(db *DB, sources []source, where *dt.Node, outer *rowEnv) ([]*rowEnv, error) {
+	var pred *dt.Node
+	if where.Kind == dt.KindWhere {
+		pred = where.Children[0]
+	}
+	var out []*rowEnv
+	frames := make([]frame, len(sources))
+	for i, s := range sources {
+		cols := make([]string, len(s.table.Cols))
+		for j, c := range s.table.Cols {
+			cols[j] = strings.ToLower(c)
+		}
+		frames[i] = frame{alias: s.alias, cols: cols}
+	}
+	var rec func(i int, cur []frame) error
+	rec = func(i int, cur []frame) error {
+		if i == len(sources) {
+			env := &rowEnv{frames: append([]frame(nil), cur...), outer: outer}
+			if pred != nil {
+				v, err := evalExpr(db, pred, env)
+				if err != nil {
+					return err
+				}
+				if !v.Truthy() {
+					return nil
+				}
+			}
+			out = append(out, env)
+			return nil
+		}
+		for _, row := range sources[i].table.Rows {
+			f := frames[i]
+			f.row = row
+			if err := rec(i+1, append(cur, f)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if len(sources) == 0 {
+		// SELECT without FROM: a single empty row.
+		env := &rowEnv{outer: outer}
+		if pred != nil {
+			v, err := evalExpr(db, pred, env)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				return nil, nil
+			}
+		}
+		return []*rowEnv{env}, nil
+	}
+	if err := rec(0, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// groupRows partitions rows by the GROUP BY key (or a single group when the
+// clause is absent but aggregates are used), preserving first-seen order.
+func groupRows(db *DB, rows []*rowEnv, groupby *dt.Node) (map[string][]*rowEnv, []string) {
+	groups := map[string][]*rowEnv{}
+	var order []string
+	for _, env := range rows {
+		key := ""
+		if groupby.Kind == dt.KindGroupBy {
+			var parts []string
+			for _, g := range groupby.Children {
+				v, err := evalExpr(db, g, env)
+				if err != nil {
+					v = NullVal()
+				}
+				parts = append(parts, v.Text())
+			}
+			key = strings.Join(parts, "\x1f")
+		}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], env)
+	}
+	if groupby.Kind != dt.KindGroupBy && len(rows) == 0 {
+		// aggregate over empty input still yields one (empty) group
+		groups[""] = nil
+		order = append(order, "")
+	}
+	return groups, order
+}
+
+// projectRow evaluates the select items (expanding *) and order-by
+// expressions for a row or group environment.
+func projectRow(db *DB, items []*dt.Node, orderExprs []*dt.Node, env *rowEnv) ([]Value, []Value, error) {
+	var row []Value
+	for _, item := range items {
+		if item.Children[0].Kind == dt.KindStar {
+			for _, f := range env.frames {
+				row = append(row, f.row...)
+			}
+			continue
+		}
+		v, err := evalExpr(db, item.Children[0], env)
+		if err != nil {
+			return nil, nil, err
+		}
+		row = append(row, v)
+	}
+	var keys []Value
+	for _, oi := range orderExprs {
+		v, err := evalExpr(db, oi.Children[0], env)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys = append(keys, v)
+	}
+	return row, keys, nil
+}
+
+func orderItems(orderby *dt.Node) []*dt.Node {
+	if orderby.Kind != dt.KindOrderBy {
+		return nil
+	}
+	return orderby.Children
+}
+
+// expandItems flattens * into per-column pseudo-items for naming and typing.
+func expandItems(items []*dt.Node, sources []source) []*dt.Node {
+	var out []*dt.Node
+	for _, item := range items {
+		if item.Children[0].Kind == dt.KindStar {
+			for _, s := range sources {
+				for _, c := range s.table.Cols {
+					out = append(out, dt.New(dt.KindSelectItem, "",
+						dt.Ident(s.alias+"."+c), dt.NewNone()))
+				}
+			}
+			continue
+		}
+		out = append(out, item)
+	}
+	return out
+}
+
+// outputNames derives result column names: explicit alias, identifier leaf
+// name, "fn" or "fn_arg" for function calls, or exprN.
+func outputNames(items []*dt.Node, sources []source) ([]string, error) {
+	var names []string
+	for _, item := range expandItems(items, sources) {
+		alias := item.Children[1]
+		if alias.Kind == dt.KindIdent {
+			names = append(names, alias.Label)
+			continue
+		}
+		names = append(names, exprName(item.Children[0], len(names)))
+	}
+	return names, nil
+}
+
+func exprName(e *dt.Node, i int) string {
+	switch e.Kind {
+	case dt.KindIdent:
+		name := e.Label
+		if j := strings.LastIndexByte(name, '.'); j >= 0 {
+			name = name[j+1:]
+		}
+		return name
+	case dt.KindFunc:
+		if len(e.Children) == 1 && e.Children[0].Kind == dt.KindIdent {
+			return e.Label + "_" + exprName(e.Children[0], i)
+		}
+		return e.Label
+	default:
+		return fmt.Sprintf("expr%d", i+1)
+	}
+}
+
+func rowKey(row []Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.Text()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// anyAggregate reports whether any expression in the nodes contains an
+// aggregate function call, without descending into subqueries.
+func anyAggregate(nodes []*dt.Node) bool {
+	for _, n := range nodes {
+		found := false
+		n.Walk(func(m *dt.Node) bool {
+			if m != n && m.Kind == dt.KindQuery {
+				return false
+			}
+			if m.Kind == dt.KindFunc && isAggregate(m.Label) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isAggregate(name string) bool {
+	switch name {
+	case "count", "sum", "avg", "min", "max":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pi2/internal/sqlparser"
+)
+
+// testDB builds a small database used across the engine tests.
+func testDB() *DB {
+	db := NewDB("2020-12-31")
+	db.Add(&Table{
+		Name:  "T",
+		Cols:  []string{"p", "a", "b"},
+		Types: []ColType{TNum, TNum, TNum},
+		Rows: [][]Value{
+			{NumVal(1), NumVal(1), NumVal(2)},
+			{NumVal(1), NumVal(2), NumVal(2)},
+			{NumVal(2), NumVal(1), NumVal(3)},
+			{NumVal(3), NumVal(2), NumVal(2)},
+			{NumVal(3), NumVal(1), NumVal(1)},
+		},
+	})
+	db.Add(&Table{
+		Name:  "emp",
+		Cols:  []string{"id", "dept", "salary"},
+		Types: []ColType{TNum, TStr, TNum},
+		Rows: [][]Value{
+			{NumVal(1), StrVal("eng"), NumVal(100)},
+			{NumVal(2), StrVal("eng"), NumVal(120)},
+			{NumVal(3), StrVal("ops"), NumVal(90)},
+			{NumVal(4), StrVal("ops"), NumVal(80)},
+		},
+	})
+	db.Add(&Table{
+		Name:  "dept",
+		Cols:  []string{"name", "city"},
+		Types: []ColType{TStr, TStr},
+		Rows: [][]Value{
+			{StrVal("eng"), StrVal("NYC")},
+			{StrVal("ops"), StrVal("SF")},
+		},
+	})
+	db.Add(&Table{
+		Name:  "events",
+		Cols:  []string{"day", "n"},
+		Types: []ColType{TStr, TNum},
+		Rows: [][]Value{
+			{StrVal("2020-12-01"), NumVal(5)},
+			{StrVal("2020-12-15"), NumVal(7)},
+			{StrVal("2020-12-30"), NumVal(9)},
+		},
+	})
+	return db
+}
+
+func run(t *testing.T, db *DB, sql string) *Table {
+	t.Helper()
+	res, err := ExecSQL(db, sql, sqlparser.Parse)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+func TestSelectWhere(t *testing.T) {
+	res := run(t, testDB(), "SELECT p, a FROM T WHERE a = 1")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	if res.Cols[0] != "p" || res.Cols[1] != "a" {
+		t.Fatalf("cols = %v", res.Cols)
+	}
+	for _, row := range res.Rows {
+		if row[1].Num != 1 {
+			t.Fatalf("filter failed: %v", row)
+		}
+	}
+}
+
+func TestGroupByCount(t *testing.T) {
+	res := run(t, testDB(), "SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p")
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d, want 3 (p=1,2,3)", len(res.Rows))
+	}
+	if res.Cols[1] != "count" {
+		t.Fatalf("cols = %v", res.Cols)
+	}
+	byP := map[float64]float64{}
+	for _, r := range res.Rows {
+		byP[r[0].Num] = r[1].Num
+	}
+	if byP[1] != 1 || byP[2] != 1 || byP[3] != 1 {
+		t.Fatalf("counts = %v", byP)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	res := run(t, testDB(), "SELECT dept, sum(salary), avg(salary), min(salary), max(salary) FROM emp GROUP BY dept")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r[0].Str == "eng" {
+			if r[1].Num != 220 || r[2].Num != 110 || r[3].Num != 100 || r[4].Num != 120 {
+				t.Fatalf("eng aggregates = %v", r)
+			}
+		}
+	}
+	if res.Cols[1] != "sum_salary" {
+		t.Fatalf("cols = %v", res.Cols)
+	}
+}
+
+func TestAggregateNoGroupBy(t *testing.T) {
+	res := run(t, testDB(), "SELECT count(*) FROM emp")
+	if len(res.Rows) != 1 || res.Rows[0][0].Num != 4 {
+		t.Fatalf("count = %v", res.Rows)
+	}
+	// empty input still yields one row with count 0
+	res = run(t, testDB(), "SELECT count(*) FROM emp WHERE salary > 1000")
+	if len(res.Rows) != 1 || res.Rows[0][0].Num != 0 {
+		t.Fatalf("count over empty = %v", res.Rows)
+	}
+}
+
+func TestJoinTwoTables(t *testing.T) {
+	res := run(t, testDB(), "SELECT e.id, d.city FROM emp AS e, dept AS d WHERE e.dept = d.name AND e.salary >= 100")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r[1].Str != "NYC" {
+			t.Fatalf("join row = %v", r)
+		}
+	}
+}
+
+func TestBetweenAndIn(t *testing.T) {
+	res := run(t, testDB(), "SELECT id FROM emp WHERE salary BETWEEN 85 AND 110")
+	if len(res.Rows) != 2 {
+		t.Fatalf("between rows = %v", res.Rows)
+	}
+	res = run(t, testDB(), "SELECT id FROM emp WHERE dept IN ('eng')")
+	if len(res.Rows) != 2 {
+		t.Fatalf("in rows = %v", res.Rows)
+	}
+	res = run(t, testDB(), "SELECT id FROM emp WHERE dept NOT IN ('eng')")
+	if len(res.Rows) != 2 {
+		t.Fatalf("not-in rows = %v", res.Rows)
+	}
+}
+
+func TestInExpressionAsColumn(t *testing.T) {
+	res := run(t, testDB(), "SELECT id, id in (1, 2) as color FROM emp")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Cols[1] != "color" {
+		t.Fatalf("cols = %v", res.Cols)
+	}
+	for _, r := range res.Rows {
+		want := 0.0
+		if r[0].Num <= 2 {
+			want = 1.0
+		}
+		if r[1].Num != want {
+			t.Fatalf("bool col: %v", r)
+		}
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	res := run(t, testDB(), "SELECT id FROM emp WHERE salary = (SELECT max(salary) FROM emp)")
+	if len(res.Rows) != 1 || res.Rows[0][0].Num != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestCorrelatedSubqueryInHaving(t *testing.T) {
+	// For each dept, keep groups whose total equals the max group total of
+	// that same dept — the structure of the paper's sales Q1.
+	sql := `SELECT dept, salary, count(*) FROM emp AS e1 GROUP BY dept, salary
+	        HAVING salary >= (SELECT max(salary) FROM emp AS e2 WHERE e2.dept = e1.dept)`
+	res := run(t, testDB(), sql)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	seen := map[string]float64{}
+	for _, r := range res.Rows {
+		seen[r[0].Str] = r[1].Num
+	}
+	if seen["eng"] != 120 || seen["ops"] != 90 {
+		t.Fatalf("per-dept max rows = %v", seen)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	sql := `SELECT d.dept, d.total FROM (SELECT dept, sum(salary) AS total FROM emp GROUP BY dept) AS d WHERE d.total > 200`
+	res := run(t, testDB(), sql)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "eng" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestDistinctOrderLimit(t *testing.T) {
+	res := run(t, testDB(), "SELECT DISTINCT a FROM T ORDER BY a DESC LIMIT 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].Num != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = run(t, testDB(), "SELECT DISTINCT a FROM T ORDER BY a")
+	if len(res.Rows) != 2 || res.Rows[0][0].Num != 1 || res.Rows[1][0].Num != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestDateFunctions(t *testing.T) {
+	res := run(t, testDB(), "SELECT day FROM events WHERE day > date(today(), '-20 days')")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = run(t, testDB(), "SELECT today() FROM events LIMIT 1")
+	if res.Rows[0][0].Str != "2020-12-31" {
+		t.Fatalf("today = %v", res.Rows[0][0])
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	res := run(t, testDB(), "SELECT * FROM dept")
+	if len(res.Cols) != 2 || res.Cols[0] != "name" {
+		t.Fatalf("cols = %v", res.Cols)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestArithmeticAndBooleans(t *testing.T) {
+	res := run(t, testDB(), "SELECT salary * 2 + 1 AS x FROM emp WHERE id = 1")
+	if res.Rows[0][0].Num != 201 {
+		t.Fatalf("x = %v", res.Rows[0][0])
+	}
+	res = run(t, testDB(), "SELECT id FROM emp WHERE dept = 'eng' OR salary < 85")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = run(t, testDB(), "SELECT id FROM emp WHERE NOT (dept = 'eng')")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestLike(t *testing.T) {
+	res := run(t, testDB(), "SELECT name FROM dept WHERE name LIKE 'e%'")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "eng" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = run(t, testDB(), "SELECT name FROM dept WHERE name LIKE '_ps'")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "ops" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := testDB()
+	bad := []string{
+		"SELECT x FROM nosuch",
+		"SELECT nosuchcol FROM T",
+		"SELECT unknownfn(a) FROM T",
+		"SELECT sum(dept) FROM emp",
+	}
+	for _, sql := range bad {
+		if _, err := ExecSQL(db, sql, sqlparser.Parse); err == nil {
+			t.Errorf("%q: expected error", sql)
+		}
+	}
+}
+
+func TestResultTypes(t *testing.T) {
+	res := run(t, testDB(), "SELECT dept, count(*), salary FROM emp GROUP BY dept, salary")
+	if res.Types[0] != TStr || res.Types[1] != TNum || res.Types[2] != TNum {
+		t.Fatalf("types = %v", res.Types)
+	}
+}
+
+func TestValueCompareProperties(t *testing.T) {
+	// Compare is antisymmetric and consistent with EqualVal.
+	f := func(a, b float64) bool {
+		va, vb := NumVal(a), NumVal(b)
+		c1, c2 := Compare(va, vb), Compare(vb, va)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == EqualVal(va, vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLikeMatchProperties(t *testing.T) {
+	// '%' alone matches everything; exact strings match themselves.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		n := r.Intn(8)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte('a' + r.Intn(4))
+		}
+		s := string(b)
+		if !likeMatch(s, "%") {
+			t.Fatalf("%% should match %q", s)
+		}
+		if !likeMatch(s, s) {
+			t.Fatalf("%q should match itself", s)
+		}
+		if n > 0 && !likeMatch(s, "%"+s[n-1:]) {
+			t.Fatalf("suffix pattern failed for %q", s)
+		}
+	}
+	if likeMatch("abc", "a_") {
+		t.Fatal("underscore should match exactly one char")
+	}
+}
+
+func TestDateOffset(t *testing.T) {
+	v, err := dateOffset("2020-12-31", "-30 days")
+	if err != nil || v.Str != "2020-12-01" {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	v, err = dateOffset("2020-01-31", "+1 month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Str == "" {
+		t.Fatal("empty result")
+	}
+	if _, err := dateOffset("junk", "-1 days"); err == nil {
+		t.Fatal("expected error for bad date")
+	}
+	if _, err := dateOffset("2020-01-01", "soon"); err == nil {
+		t.Fatal("expected error for bad offset")
+	}
+}
+
+func TestOrderByExpression(t *testing.T) {
+	res := run(t, testDB(), "SELECT id, salary FROM emp ORDER BY salary DESC, id")
+	if res.Rows[0][0].Num != 2 || res.Rows[3][0].Num != 4 {
+		t.Fatalf("order = %v", res.Rows)
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	res := run(t, testDB(), "SELECT 1 + 2 AS three")
+	if len(res.Rows) != 1 || res.Rows[0][0].Num != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	dt "pi2/internal/difftree"
+)
+
+// evalExpr evaluates an expression AST in a row (or group) environment.
+func evalExpr(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
+	switch e.Kind {
+	case dt.KindNumber:
+		f, err := strconv.ParseFloat(e.Label, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("engine: bad number %q", e.Label)
+		}
+		return NumVal(f), nil
+	case dt.KindString:
+		return StrVal(e.Label), nil
+	case dt.KindIdent:
+		if v, ok := env.lookup(e.Label); ok {
+			return v, nil
+		}
+		return Value{}, fmt.Errorf("engine: unknown column %q", e.Label)
+	case dt.KindAnd:
+		for _, c := range e.Children {
+			v, err := evalExpr(db, c, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if !v.Truthy() {
+				return BoolVal(false), nil
+			}
+		}
+		return BoolVal(true), nil
+	case dt.KindOr:
+		for _, c := range e.Children {
+			v, err := evalExpr(db, c, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.Truthy() {
+				return BoolVal(true), nil
+			}
+		}
+		return BoolVal(false), nil
+	case dt.KindNot:
+		v, err := evalExpr(db, e.Children[0], env)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolVal(!v.Truthy()), nil
+	case dt.KindBinary:
+		return evalBinary(db, e, env)
+	case dt.KindBetween:
+		v, err := evalExpr(db, e.Children[0], env)
+		if err != nil {
+			return Value{}, err
+		}
+		lo, err := evalExpr(db, e.Children[1], env)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := evalExpr(db, e.Children[2], env)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Null || lo.Null || hi.Null {
+			return BoolVal(false), nil
+		}
+		return BoolVal(Compare(v, lo) >= 0 && Compare(v, hi) <= 0), nil
+	case dt.KindIn:
+		return evalIn(db, e, env)
+	case dt.KindFunc:
+		return evalFunc(db, e, env)
+	case dt.KindQuery:
+		// scalar subquery
+		t, err := execQuery(db, e, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(t.Rows) == 0 || len(t.Rows[0]) == 0 {
+			return NullVal(), nil
+		}
+		return t.Rows[0][0], nil
+	case dt.KindStar:
+		return Value{}, fmt.Errorf("engine: '*' outside count()")
+	default:
+		return Value{}, fmt.Errorf("engine: cannot evaluate %v node", e.Kind)
+	}
+}
+
+func evalBinary(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
+	l, err := evalExpr(db, e.Children[0], env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := evalExpr(db, e.Children[1], env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.Label {
+	case "=", "<>", "<", ">", "<=", ">=":
+		if l.Null || r.Null {
+			return BoolVal(false), nil
+		}
+		c := Compare(l, r)
+		switch e.Label {
+		case "=":
+			return BoolVal(c == 0), nil
+		case "<>":
+			return BoolVal(c != 0), nil
+		case "<":
+			return BoolVal(c < 0), nil
+		case ">":
+			return BoolVal(c > 0), nil
+		case "<=":
+			return BoolVal(c <= 0), nil
+		default:
+			return BoolVal(c >= 0), nil
+		}
+	case "+", "-", "*", "/":
+		if l.Null || r.Null {
+			return NullVal(), nil
+		}
+		if l.IsStr || r.IsStr {
+			return Value{}, fmt.Errorf("engine: arithmetic on string values")
+		}
+		switch e.Label {
+		case "+":
+			return NumVal(l.Num + r.Num), nil
+		case "-":
+			return NumVal(l.Num - r.Num), nil
+		case "*":
+			return NumVal(l.Num * r.Num), nil
+		default:
+			if r.Num == 0 {
+				return NullVal(), nil
+			}
+			return NumVal(l.Num / r.Num), nil
+		}
+	case "like":
+		if l.Null || r.Null {
+			return BoolVal(false), nil
+		}
+		return BoolVal(likeMatch(l.Text(), r.Text())), nil
+	default:
+		return Value{}, fmt.Errorf("engine: unknown operator %q", e.Label)
+	}
+}
+
+func evalIn(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
+	v, err := evalExpr(db, e.Children[0], env)
+	if err != nil {
+		return Value{}, err
+	}
+	var found bool
+	target := e.Children[1]
+	if target.Kind == dt.KindQuery {
+		t, err := execQuery(db, target, env)
+		if err != nil {
+			return Value{}, err
+		}
+		for _, row := range t.Rows {
+			if len(row) > 0 && EqualVal(v, row[0]) {
+				found = true
+				break
+			}
+		}
+	} else {
+		for _, c := range target.Children {
+			cv, err := evalExpr(db, c, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if EqualVal(v, cv) {
+				found = true
+				break
+			}
+		}
+	}
+	if e.Label == "not in" {
+		return BoolVal(!found), nil
+	}
+	return BoolVal(found), nil
+}
+
+func evalFunc(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
+	name := e.Label
+	if isAggregate(name) {
+		return evalAggregate(db, e, env)
+	}
+	switch name {
+	case "today":
+		return StrVal(db.Now), nil
+	case "date":
+		if len(e.Children) != 2 {
+			return Value{}, fmt.Errorf("engine: date() takes (base, offset)")
+		}
+		base, err := evalExpr(db, e.Children[0], env)
+		if err != nil {
+			return Value{}, err
+		}
+		off, err := evalExpr(db, e.Children[1], env)
+		if err != nil {
+			return Value{}, err
+		}
+		return dateOffset(base.Text(), off.Text())
+	case "abs":
+		v, err := evalExpr(db, e.Children[0], env)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Null || v.IsStr {
+			return NullVal(), nil
+		}
+		if v.Num < 0 {
+			return NumVal(-v.Num), nil
+		}
+		return v, nil
+	case "round":
+		v, err := evalExpr(db, e.Children[0], env)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Null || v.IsStr {
+			return NullVal(), nil
+		}
+		return NumVal(float64(int64(v.Num + 0.5))), nil
+	case "lower", "upper":
+		v, err := evalExpr(db, e.Children[0], env)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Null {
+			return NullVal(), nil
+		}
+		if name == "lower" {
+			return StrVal(strings.ToLower(v.Text())), nil
+		}
+		return StrVal(strings.ToUpper(v.Text())), nil
+	default:
+		return Value{}, fmt.Errorf("engine: unknown function %q", name)
+	}
+}
+
+func evalAggregate(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
+	rows := env.groupRows
+	if rows == nil {
+		return Value{}, fmt.Errorf("engine: aggregate %s() outside grouping context", e.Label)
+	}
+	star := len(e.Children) == 1 && e.Children[0].Kind == dt.KindStar
+	if e.Label == "count" && (star || len(e.Children) == 0) {
+		return NumVal(float64(len(rows))), nil
+	}
+	if len(e.Children) != 1 {
+		return Value{}, fmt.Errorf("engine: %s() takes one argument", e.Label)
+	}
+	var vals []Value
+	for _, renv := range rows {
+		inner := &rowEnv{frames: renv.frames, outer: env.outer}
+		v, err := evalExpr(db, e.Children[0], inner)
+		if err != nil {
+			return Value{}, err
+		}
+		if !v.Null {
+			vals = append(vals, v)
+		}
+	}
+	switch e.Label {
+	case "count":
+		return NumVal(float64(len(vals))), nil
+	case "sum", "avg":
+		total := 0.0
+		for _, v := range vals {
+			if v.IsStr {
+				return Value{}, fmt.Errorf("engine: %s() over strings", e.Label)
+			}
+			total += v.Num
+		}
+		if e.Label == "avg" {
+			if len(vals) == 0 {
+				return NullVal(), nil
+			}
+			return NumVal(total / float64(len(vals))), nil
+		}
+		return NumVal(total), nil
+	case "min", "max":
+		if len(vals) == 0 {
+			return NullVal(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := Compare(v, best)
+			if (e.Label == "min" && c < 0) || (e.Label == "max" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return Value{}, fmt.Errorf("engine: unknown aggregate %q", e.Label)
+}
+
+// dateOffset applies offsets of the form "-30 days", "+2 days", "-1 months"
+// to an ISO date string.
+func dateOffset(base, offset string) (Value, error) {
+	t, err := time.Parse("2006-01-02", base)
+	if err != nil {
+		return Value{}, fmt.Errorf("engine: bad date %q", base)
+	}
+	fields := strings.Fields(strings.TrimSpace(offset))
+	if len(fields) != 2 {
+		return Value{}, fmt.Errorf("engine: bad date offset %q", offset)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return Value{}, fmt.Errorf("engine: bad date offset %q", offset)
+	}
+	unit := strings.TrimSuffix(strings.ToLower(fields[1]), "s")
+	switch unit {
+	case "day":
+		t = t.AddDate(0, 0, n)
+	case "month":
+		t = t.AddDate(0, n, 0)
+	case "year":
+		t = t.AddDate(n, 0, 0)
+	default:
+		return Value{}, fmt.Errorf("engine: bad date unit %q", fields[1])
+	}
+	return StrVal(t.Format("2006-01-02")), nil
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single char).
+func likeMatch(s, pattern string) bool {
+	// dynamic programming over pattern/string positions
+	m, n := len(pattern), len(s)
+	dp := make([][]bool, m+1)
+	for i := range dp {
+		dp[i] = make([]bool, n+1)
+	}
+	dp[0][0] = true
+	for i := 1; i <= m; i++ {
+		if pattern[i-1] == '%' {
+			dp[i][0] = dp[i-1][0]
+		}
+		for j := 1; j <= n; j++ {
+			switch pattern[i-1] {
+			case '%':
+				dp[i][j] = dp[i-1][j] || dp[i][j-1]
+			case '_':
+				dp[i][j] = dp[i-1][j-1]
+			default:
+				dp[i][j] = dp[i-1][j-1] && pattern[i-1] == s[j-1]
+			}
+		}
+	}
+	return dp[m][n]
+}
+
+// inferColType statically infers a result column's type from its expression.
+func inferColType(db *DB, item *dt.Node, sources []source, outer *rowEnv) ColType {
+	return inferExprType(db, item.Children[0], sources, outer)
+}
+
+func inferExprType(db *DB, e *dt.Node, sources []source, outer *rowEnv) ColType {
+	switch e.Kind {
+	case dt.KindNumber:
+		return TNum
+	case dt.KindString:
+		return TStr
+	case dt.KindIdent:
+		name := strings.ToLower(e.Label)
+		alias := ""
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			alias, name = name[:i], name[i+1:]
+		}
+		for _, s := range sources {
+			if alias != "" && s.alias != alias {
+				continue
+			}
+			if ci := s.table.ColIndex(name); ci >= 0 {
+				return s.table.Types[ci]
+			}
+		}
+		// fall back: correlated reference — unknowable here; assume str
+		return TStr
+	case dt.KindFunc:
+		switch e.Label {
+		case "count", "sum", "avg", "abs", "round":
+			return TNum
+		case "min", "max":
+			if len(e.Children) == 1 {
+				return inferExprType(db, e.Children[0], sources, outer)
+			}
+			return TNum
+		case "today", "date", "lower", "upper":
+			return TStr
+		}
+		return TNum
+	case dt.KindBinary:
+		if e.Label == "like" {
+			return TNum
+		}
+		switch e.Label {
+		case "+", "-", "*", "/":
+			return TNum
+		}
+		return TNum // comparisons are boolean 0/1
+	case dt.KindAnd, dt.KindOr, dt.KindNot, dt.KindBetween, dt.KindIn:
+		return TNum
+	case dt.KindQuery:
+		return TNum
+	default:
+		return TStr
+	}
+}

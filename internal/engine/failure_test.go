@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	dt "pi2/internal/difftree"
+	"pi2/internal/sqlparser"
+)
+
+// Failure injection: the engine must reject malformed or unresolved trees
+// with errors, never panic.
+func TestExecRejectsNonQueryNode(t *testing.T) {
+	db := testDB()
+	if _, err := Exec(db, dt.Ident("x")); err == nil {
+		t.Fatal("non-query node accepted")
+	}
+	if _, err := Exec(db, nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestExecRejectsUnresolvedChoiceNodes(t *testing.T) {
+	// a Difftree containing an ANY must not silently execute
+	db := testDB()
+	q := sqlparser.MustParse("SELECT p FROM T WHERE a = 1")
+	anyN := dt.New(dt.KindAny, "",
+		dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1")),
+		dt.New(dt.KindBinary, "=", dt.Ident("b"), dt.Number("2")))
+	q.Children[2].Children[0].Children[0] = anyN
+	if _, err := Exec(db, q); err == nil {
+		t.Fatal("choice node executed as if concrete")
+	}
+}
+
+func TestExecEmptyTable(t *testing.T) {
+	db := NewDB("2020-01-01")
+	db.Add(&Table{Name: "empty", Cols: []string{"x"}, Types: []ColType{TNum}})
+	res, err := ExecSQL(db, "SELECT x FROM empty WHERE x > 5", sqlparser.Parse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 || len(res.Cols) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	// aggregates over the empty table still produce a row
+	res, err = ExecSQL(db, "SELECT count(*), sum(x) FROM empty", sqlparser.Parse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Num != 0 {
+		t.Fatalf("aggregate over empty = %v", res.Rows)
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := NewDB("2020-01-01")
+	db.Add(&Table{
+		Name: "n", Cols: []string{"x"}, Types: []ColType{TNum},
+		Rows: [][]Value{{NumVal(1)}, {NullVal()}, {NumVal(3)}},
+	})
+	// NULL never satisfies comparisons
+	res, _ := ExecSQL(db, "SELECT x FROM n WHERE x > 0", sqlparser.Parse)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// count(x) skips NULL, count(*) does not
+	res, _ = ExecSQL(db, "SELECT count(x), count(*) FROM n", sqlparser.Parse)
+	if res.Rows[0][0].Num != 2 || res.Rows[0][1].Num != 3 {
+		t.Fatalf("counts = %v", res.Rows[0])
+	}
+	// avg skips NULL
+	res, _ = ExecSQL(db, "SELECT avg(x) FROM n", sqlparser.Parse)
+	if res.Rows[0][0].Num != 2 {
+		t.Fatalf("avg = %v", res.Rows[0][0])
+	}
+}
+
+func TestDivisionByZeroYieldsNull(t *testing.T) {
+	db := testDB()
+	res, err := ExecSQL(db, "SELECT 1 / 0 AS x", sqlparser.Parse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0][0].Null {
+		t.Fatalf("1/0 = %v, want NULL", res.Rows[0][0])
+	}
+}
+
+func TestDeeplyNestedSubqueries(t *testing.T) {
+	db := testDB()
+	sql := `SELECT id FROM emp WHERE salary = (
+	          SELECT max(salary) FROM emp WHERE dept IN (
+	            SELECT name FROM dept WHERE city = 'NYC'))`
+	res, err := ExecSQL(db, sql, sqlparser.Parse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Num != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestScalarSubqueryOverEmptyIsNull(t *testing.T) {
+	db := testDB()
+	res, err := ExecSQL(db, "SELECT id FROM emp WHERE salary > (SELECT max(salary) FROM emp WHERE dept = 'nosuch')", sqlparser.Parse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("comparison against NULL matched rows: %v", res.Rows)
+	}
+}
+
+func TestAmbiguousColumnPrefersFirstFrame(t *testing.T) {
+	// both tables have a column of the same name; unqualified reference
+	// resolves to the first FROM entry (documented engine behavior).
+	db := NewDB("2020-01-01")
+	db.Add(&Table{Name: "l", Cols: []string{"v"}, Types: []ColType{TNum}, Rows: [][]Value{{NumVal(1)}}})
+	db.Add(&Table{Name: "r", Cols: []string{"v"}, Types: []ColType{TNum}, Rows: [][]Value{{NumVal(2)}}})
+	res, err := ExecSQL(db, "SELECT v FROM l, r", sqlparser.Parse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Num != 1 {
+		t.Fatalf("v = %v, want first frame's", res.Rows[0][0])
+	}
+}
+
+func TestLimitZeroAndOversized(t *testing.T) {
+	db := testDB()
+	res, _ := ExecSQL(db, "SELECT id FROM emp LIMIT 0", sqlparser.Parse)
+	if len(res.Rows) != 0 {
+		t.Fatalf("limit 0 = %v", res.Rows)
+	}
+	res, _ = ExecSQL(db, "SELECT id FROM emp LIMIT 999", sqlparser.Parse)
+	if len(res.Rows) != 4 {
+		t.Fatalf("oversized limit = %d rows", len(res.Rows))
+	}
+}
+
+func TestTableStringTruncates(t *testing.T) {
+	big := &Table{Name: "big", Cols: []string{"i"}, Types: []ColType{TNum}}
+	for i := 0; i < 100; i++ {
+		big.Rows = append(big.Rows, []Value{NumVal(float64(i))})
+	}
+	s := big.String()
+	if !strings.Contains(s, "100 rows total") {
+		t.Fatalf("String() did not truncate:\n%s", s[:120])
+	}
+}

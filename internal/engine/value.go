@@ -1,0 +1,177 @@
+// Package engine is an in-memory SQL execution engine: the "database
+// connection" substrate the PI2 paper assumes. It executes the difftree ASTs
+// produced by the parser directly, covering the full query surface of the
+// paper's workloads: cross joins, derived tables, boolean predicates,
+// BETWEEN/IN/LIKE, grouping with aggregates, HAVING with correlated scalar
+// subqueries, DISTINCT, ORDER BY, LIMIT, and date arithmetic.
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ColType is the storage type of a column.
+type ColType uint8
+
+const (
+	// TNum is a numeric column (stored as float64).
+	TNum ColType = iota
+	// TStr is a string column; ISO dates are stored as strings so that
+	// lexicographic comparison matches chronological order.
+	TStr
+)
+
+func (t ColType) String() string {
+	if t == TNum {
+		return "num"
+	}
+	return "str"
+}
+
+// Value is a single cell. The zero Value is SQL NULL.
+type Value struct {
+	Null  bool
+	IsStr bool
+	Num   float64
+	Str   string
+}
+
+// Num returns a numeric value.
+func NumVal(f float64) Value { return Value{Num: f} }
+
+// StrVal returns a string value.
+func StrVal(s string) Value { return Value{IsStr: true, Str: s} }
+
+// NullVal returns SQL NULL.
+func NullVal() Value { return Value{Null: true} }
+
+// BoolVal encodes booleans as numeric 0/1 (SQL-ish truthiness).
+func BoolVal(b bool) Value {
+	if b {
+		return Value{Num: 1}
+	}
+	return Value{Num: 0}
+}
+
+// Truthy reports whether the value counts as true in a predicate position.
+func (v Value) Truthy() bool {
+	if v.Null {
+		return false
+	}
+	if v.IsStr {
+		return v.Str != ""
+	}
+	return v.Num != 0
+}
+
+// Text renders the value canonically (used for keys, output, and mixed-type
+// comparison).
+func (v Value) Text() string {
+	switch {
+	case v.Null:
+		return "NULL"
+	case v.IsStr:
+		return v.Str
+	default:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+}
+
+// Compare orders two values: numerics numerically, anything involving a
+// string lexicographically by canonical text. NULL sorts before everything.
+func Compare(a, b Value) int {
+	switch {
+	case a.Null && b.Null:
+		return 0
+	case a.Null:
+		return -1
+	case b.Null:
+		return 1
+	}
+	if !a.IsStr && !b.IsStr {
+		switch {
+		case a.Num < b.Num:
+			return -1
+		case a.Num > b.Num:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a.Text(), b.Text())
+}
+
+// EqualVal reports value equality with numeric/string coercion matching
+// Compare.
+func EqualVal(a, b Value) bool { return !a.Null && !b.Null && Compare(a, b) == 0 }
+
+// Table is a named relation.
+type Table struct {
+	Name  string
+	Cols  []string
+	Types []ColType
+	Rows  [][]Value
+}
+
+// ColIndex returns the index of the (case-insensitive) column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the values of one column.
+func (t *Table) Column(i int) []Value {
+	out := make([]Value, len(t.Rows))
+	for r, row := range t.Rows {
+		out[r] = row[i]
+	}
+	return out
+}
+
+// String renders the table for debugging and the REPL.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Cols, " | "))
+	b.WriteByte('\n')
+	for i, row := range t.Rows {
+		if i >= 25 {
+			fmt.Fprintf(&b, "... (%d rows total)\n", len(t.Rows))
+			break
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.Text()
+		}
+		b.WriteString(strings.Join(cells, " | "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DB is a collection of tables plus the fixed "current date" used by
+// today(); a fixed clock keeps query results (and therefore interface
+// generation) deterministic.
+type DB struct {
+	Tables map[string]*Table
+	Now    string // ISO date used by today()
+}
+
+// NewDB returns an empty database with a fixed clock.
+func NewDB(now string) *DB {
+	return &DB{Tables: map[string]*Table{}, Now: now}
+}
+
+// Add registers a table under its lowercased name.
+func (db *DB) Add(t *Table) { db.Tables[strings.ToLower(t.Name)] = t }
+
+// Table looks a table up by case-insensitive name.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.Tables[strings.ToLower(name)]
+	return t, ok
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"pi2/internal/core"
+	"pi2/internal/workload"
+)
+
+// Ablations evaluates the design choices DESIGN.md calls out: safety
+// checking on/off (the §7.3 bottleneck), the UCT variance term on/off,
+// Cadiaplayer max-reward vs average-reward return, and result-schema
+// clustering of the initial state on/off. Reports runtime and final cost
+// per variant on the given log.
+func Ablations(w io.Writer, e *Env, log workload.Log) []Run {
+	type variant struct {
+		name string
+		mod  func(*core.Config)
+	}
+	variants := []variant{
+		{"baseline", func(c *core.Config) {}},
+		{"no-safety", func(c *core.Config) {
+			c.Search.MapOpts.CheckSafety = false
+			c.Mapping.CheckSafety = false
+		}},
+		{"no-variance-term", func(c *core.Config) { c.Search.UseVariance = false }},
+		{"avg-return", func(c *core.Config) { c.Search.MaxReturn = false }},
+		{"no-cluster-init", func(c *core.Config) { c.Search.ClusterInit = false }},
+	}
+	var runs []Run
+	fmt.Fprintln(w, "variant\truntime_ms\tcost\tcharts\tinteractions")
+	for _, v := range variants {
+		cfg := core.DefaultConfig()
+		cfg.Search.EarlyStop = 30
+		cfg.Search.Workers = 3
+		cfg.Search.SyncInterval = 10
+		cfg.Search.Seed = 1
+		v.mod(&cfg)
+		res, err := core.Generate(log.Queries, e.DB, e.Cat, cfg)
+		if err != nil {
+			fmt.Fprintf(w, "%s\tERROR: %v\n", v.name, err)
+			continue
+		}
+		r := Run{
+			Log:        log.Name + "/" + v.name,
+			SearchTime: res.SearchTime, MapTime: res.MapTime,
+			Cost:   res.Interface.Cost,
+			Charts: len(res.Interface.Vis),
+		}
+		runs = append(runs, r)
+		fmt.Fprintf(w, "%s\t%.1f\t%.0f\t%d\t%d\n",
+			v.name, float64(r.Total().Microseconds())/1000, r.Cost,
+			len(res.Interface.Vis), res.Interface.InteractionCount())
+	}
+	return runs
+}
+
+// QualitySpread reproduces the appendix's observation (Figures 18–19):
+// non-optimal interfaces produced under tight search budgets score close to
+// the optimum; quality ≥ 0.85 is "nearly the same as the optimal".
+func QualitySpread(w io.Writer, e *Env, log workload.Log) []Run {
+	budgets := []int{2, 5, 10, 30, 60}
+	var runs []Run
+	for _, es := range budgets {
+		for seed := int64(1); seed <= 3; seed++ {
+			r, _, err := e.RunOnce(log, es, 3, 10, seed)
+			if err != nil {
+				continue
+			}
+			runs = append(runs, r)
+		}
+	}
+	q := Quality(runs)
+	fmt.Fprintln(w, "early_stop\tseed\tcost\tquality")
+	for i, r := range runs {
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%.3f\n", r.ES, r.Seed, r.Cost, q[i])
+	}
+	return runs
+}

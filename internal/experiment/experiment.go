@@ -1,0 +1,319 @@
+// Package experiment regenerates the paper's evaluation artifacts
+// (§7, Figures 14–19 and the scalability study). Each experiment prints the
+// same rows/series the paper reports; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"pi2/internal/catalog"
+	"pi2/internal/core"
+	"pi2/internal/dataset"
+	"pi2/internal/engine"
+	"pi2/internal/iface"
+	"pi2/internal/workload"
+)
+
+// Env bundles the shared database and catalogue.
+type Env struct {
+	DB  *engine.DB
+	Cat *catalog.Catalog
+}
+
+// NewEnv builds the standard environment.
+func NewEnv() *Env {
+	db := dataset.NewDB()
+	return &Env{DB: db, Cat: catalog.Build(db, dataset.Keys())}
+}
+
+// Run is one generation run under one parameter condition.
+type Run struct {
+	Log        string
+	ES, P, S   int
+	Seed       int64
+	SearchTime time.Duration
+	MapTime    time.Duration
+	Cost       float64
+	Iterations int
+	Charts     int
+	Widgets    int
+	VisInts    int
+}
+
+// Total returns the end-to-end generation time.
+func (r Run) Total() time.Duration { return r.SearchTime + r.MapTime }
+
+// RunOnce generates an interface for the log under (es, p, s).
+func (e *Env) RunOnce(log workload.Log, es, p, s int, seed int64) (Run, *core.Result, error) {
+	cfg := core.DefaultConfig()
+	cfg.Search.EarlyStop = es
+	cfg.Search.Workers = p
+	cfg.Search.SyncInterval = s
+	cfg.Search.Seed = seed
+	res, err := core.Generate(log.Queries, e.DB, e.Cat, cfg)
+	if err != nil {
+		return Run{}, nil, err
+	}
+	return Run{
+		Log: log.Name, ES: es, P: p, S: s, Seed: seed,
+		SearchTime: res.SearchTime, MapTime: res.MapTime,
+		Cost:       res.Interface.Cost,
+		Iterations: res.Iterations,
+		Charts:     len(res.Interface.Vis),
+		Widgets:    len(res.Interface.Widgets),
+		VisInts:    len(res.Interface.VisInts),
+	}, res, nil
+}
+
+// Quality computes the paper's interface-quality metric c*/c per run,
+// where c* is the minimum cost observed for the run's log across all
+// evaluated conditions (1 = optimal, lower = worse).
+func Quality(runs []Run) map[int]float64 {
+	best := map[string]float64{}
+	for _, r := range runs {
+		if b, ok := best[r.Log]; !ok || r.Cost < b {
+			best[r.Log] = r.Cost
+		}
+	}
+	out := map[int]float64{}
+	for i, r := range runs {
+		if r.Cost > 0 {
+			out[i] = best[r.Log] / r.Cost
+		}
+	}
+	return out
+}
+
+// Figure16 sweeps (es, s, p) over the given logs and reports the
+// runtime-quality trade-off (paper Figure 16). full widens the grid to the
+// paper's resolution.
+func Figure16(w io.Writer, e *Env, logs []workload.Log, full bool) []Run {
+	esGrid := []int{5, 30, 100}
+	sGrid := []int{5, 10, 50}
+	pGrid := []int{1, 3}
+	if full {
+		esGrid, sGrid = nil, nil
+		for v := 5; v <= 100; v += 5 {
+			esGrid = append(esGrid, v)
+			sGrid = append(sGrid, v)
+		}
+		pGrid = []int{1, 2, 3, 4}
+	}
+	var runs []Run
+	for _, log := range logs {
+		for _, es := range esGrid {
+			for _, s := range sGrid {
+				for _, p := range pGrid {
+					r, _, err := e.RunOnce(log, es, p, s, 1)
+					if err != nil {
+						fmt.Fprintf(w, "# %s es=%d s=%d p=%d: %v\n", log.Name, es, s, p, err)
+						continue
+					}
+					runs = append(runs, r)
+				}
+			}
+		}
+	}
+	q := Quality(runs)
+	fmt.Fprintln(w, "log\tes\ts\tp\truntime_ms\tquality")
+	for i, r := range runs {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%.3f\n",
+			r.Log, r.ES, r.S, r.P, float64(r.Total().Microseconds())/1000, q[i])
+	}
+	return runs
+}
+
+// Figure17 varies each parameter independently and reports MCTS time,
+// mapping time, and quality (paper Figure 17; rows = metrics, cols =
+// parameters) for Explore, Filter and Covid.
+func Figure17(w io.Writer, e *Env) []Run {
+	logs := []workload.Log{workload.Explore(), workload.Filter(), workload.Covid()}
+	type cond struct {
+		name     string
+		es, p, s int
+	}
+	var conds []cond
+	for _, es := range []int{5, 15, 30, 60, 100} {
+		conds = append(conds, cond{"early-stop", es, 3, 10})
+	}
+	for _, p := range []int{1, 2, 3, 4} {
+		conds = append(conds, cond{"parallelism", 30, p, 10})
+	}
+	for _, s := range []int{5, 10, 30, 60, 100} {
+		conds = append(conds, cond{"sync-interval", 30, 3, s})
+	}
+	var runs []Run
+	fmt.Fprintln(w, "param\tvalue\tlog\tmcts_ms\tmap_ms\tcost")
+	for _, c := range conds {
+		for _, log := range logs {
+			r, _, err := e.RunOnce(log, c.es, c.p, c.s, 1)
+			if err != nil {
+				continue
+			}
+			runs = append(runs, r)
+			val := c.es
+			if c.name == "parallelism" {
+				val = c.p
+			} else if c.name == "sync-interval" {
+				val = c.s
+			}
+			fmt.Fprintf(w, "%s\t%d\t%s\t%.1f\t%.1f\t%.0f\n",
+				c.name, val, log.Name,
+				float64(r.SearchTime.Microseconds())/1000,
+				float64(r.MapTime.Microseconds())/1000, r.Cost)
+		}
+	}
+	// quality per condition relative to the best seen per log
+	q := Quality(runs)
+	fmt.Fprintln(w, "# quality per run")
+	for i, r := range runs {
+		fmt.Fprintf(w, "# %s es=%d p=%d s=%d quality=%.3f\n", r.Log, r.ES, r.P, r.S, q[i])
+	}
+	return runs
+}
+
+// Scalability duplicates the Filter log and reports runtime versus query
+// count (§7.3: "runtime increases roughly linearly from a few seconds to
+// ≈2000s for 900 queries" on the paper's hardware).
+func Scalability(w io.Writer, e *Env, factors []int) []Run {
+	base := workload.Filter()
+	var runs []Run
+	fmt.Fprintln(w, "queries\truntime_ms\tmcts_ms\tmap_ms")
+	for _, f := range factors {
+		log := workload.Log{Name: fmt.Sprintf("Filter×%d", f)}
+		for i := 0; i < f; i++ {
+			log.Queries = append(log.Queries, base.Queries...)
+		}
+		r, _, err := e.RunOnce(log, 30, 3, 10, 1)
+		if err != nil {
+			fmt.Fprintf(w, "# ×%d: %v\n", f, err)
+			continue
+		}
+		runs = append(runs, r)
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.1f\n",
+			len(log.Queries),
+			float64(r.Total().Microseconds())/1000,
+			float64(r.SearchTime.Microseconds())/1000,
+			float64(r.MapTime.Microseconds())/1000)
+	}
+	return runs
+}
+
+// Latency measures default-parameter end-to-end generation for every log
+// (the paper's headline: 2–19 s, median 6 s on 4×2.2 GHz VMs).
+func Latency(w io.Writer, e *Env) []Run {
+	var runs []Run
+	fmt.Fprintln(w, "log\truntime_ms\tcharts\twidgets\tvis_interactions\tcost")
+	for _, log := range workload.All() {
+		r, _, err := e.RunOnce(log, 30, 3, 10, 1)
+		if err != nil {
+			fmt.Fprintf(w, "# %s: %v\n", log.Name, err)
+			continue
+		}
+		runs = append(runs, r)
+		fmt.Fprintf(w, "%s\t%.1f\t%d\t%d\t%d\t%.0f\n",
+			r.Log, float64(r.Total().Microseconds())/1000, r.Charts, r.Widgets, r.VisInts, r.Cost)
+	}
+	if len(runs) > 0 {
+		times := make([]time.Duration, len(runs))
+		for i, r := range runs {
+			times[i] = r.Total()
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		fmt.Fprintf(w, "# min=%v median=%v max=%v\n", times[0], times[len(times)/2], times[len(times)-1])
+	}
+	return runs
+}
+
+// Taxonomy verifies Figure 14's interaction-taxonomy coverage: each of
+// Yi et al.'s data-oriented interaction types must appear in the interface
+// generated for its workload.
+func Taxonomy(w io.Writer, e *Env) map[string]bool {
+	out := map[string]bool{}
+	check := func(name string, log workload.Log, pred func(*iface.Interface) bool) {
+		_, res, err := e.RunOnce(log, 30, 3, 10, 1)
+		if err != nil {
+			fmt.Fprintf(w, "%s\tERROR: %v\n", name, err)
+			out[name] = false
+			return
+		}
+		ok := pred(res.Interface)
+		out[name] = ok
+		fmt.Fprintf(w, "%s\t%v\t%s\n", name, ok, res.Interface.Summary())
+	}
+	hasRange := func(ifc *iface.Interface) bool {
+		for _, v := range ifc.VisInts {
+			switch v.Kind {
+			case "pan", "zoom", "brush-x", "brush-y", "brush-xy":
+				return true
+			}
+		}
+		return false
+	}
+	check("Explore(pan/zoom)", workload.Explore(), hasRange)
+	check("Abstract(range over dates)", workload.Abstract(), func(ifc *iface.Interface) bool {
+		return hasRange(ifc) || len(ifc.Widgets) > 0
+	})
+	check("Connect(linked selection)", workload.Connect(), func(ifc *iface.Interface) bool {
+		for _, v := range ifc.VisInts {
+			if v.Kind == "click" || v.Kind == "multiclick" {
+				return true
+			}
+		}
+		return false
+	})
+	check("Filter(cross-filtering)", workload.Filter(), func(ifc *iface.Interface) bool {
+		cross := 0
+		for _, v := range ifc.VisInts {
+			if v.Tree != ifc.Vis[v.SourceVis].Tree {
+				cross++
+			}
+		}
+		return cross >= 2 && len(ifc.Vis) >= 3
+	})
+	return out
+}
+
+// CaseStudies verifies Figure 15's three case studies structurally.
+func CaseStudies(w io.Writer, e *Env) map[string]bool {
+	out := map[string]bool{}
+	check := func(name string, log workload.Log, pred func(*iface.Interface) bool) {
+		_, res, err := e.RunOnce(log, 30, 3, 10, 1)
+		if err != nil {
+			fmt.Fprintf(w, "%s\tERROR: %v\n", name, err)
+			out[name] = false
+			return
+		}
+		ok := pred(res.Interface)
+		out[name] = ok
+		fmt.Fprintf(w, "%s\t%v\t%s\n", name, ok, res.Interface.Summary())
+	}
+	check("SDSS(table+sky scatter)", workload.SDSS(), func(ifc *iface.Interface) bool {
+		hasTable, hasScatter := false, false
+		for _, v := range ifc.Vis {
+			switch v.Mapping.Vis.Type.String() {
+			case "table":
+				hasTable = true
+			case "point":
+				hasScatter = true
+			}
+		}
+		return hasTable && hasScatter && len(ifc.VisInts) > 0
+	})
+	check("Covid(metric/state/interval)", workload.Covid(), func(ifc *iface.Interface) bool {
+		return ifc.InteractionCount() >= 3 && len(ifc.Vis) <= 4
+	})
+	check("Sales(brush-linked dashboard)", workload.Sales(), func(ifc *iface.Interface) bool {
+		for _, v := range ifc.VisInts {
+			if v.Kind == "brush-x" && v.Tree != ifc.Vis[v.SourceVis].Tree {
+				return true
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pi2/internal/workload"
+)
+
+func TestRunOnceProducesInterface(t *testing.T) {
+	e := NewEnv()
+	r, res, err := e.RunOnce(workload.Explore(), 10, 1, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Charts == 0 || res.Interface == nil {
+		t.Fatalf("run = %+v", r)
+	}
+	if r.Total() <= 0 {
+		t.Fatal("zero runtime")
+	}
+}
+
+func TestQualityMetric(t *testing.T) {
+	runs := []Run{
+		{Log: "A", Cost: 100},
+		{Log: "A", Cost: 200},
+		{Log: "B", Cost: 50},
+	}
+	q := Quality(runs)
+	if q[0] != 1.0 || q[1] != 0.5 || q[2] != 1.0 {
+		t.Fatalf("quality = %v", q)
+	}
+}
+
+func TestTaxonomyCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := NewEnv()
+	var buf bytes.Buffer
+	out := Taxonomy(&buf, e)
+	for name, ok := range out {
+		if !ok {
+			t.Errorf("taxonomy check failed: %s\n%s", name, buf.String())
+		}
+	}
+	if len(out) != 4 {
+		t.Fatalf("checks = %d, want 4", len(out))
+	}
+}
+
+func TestCaseStudies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := NewEnv()
+	var buf bytes.Buffer
+	out := CaseStudies(&buf, e)
+	for name, ok := range out {
+		if !ok {
+			t.Errorf("case study failed: %s\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestScalabilityRowsAndLinearShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := NewEnv()
+	var buf bytes.Buffer
+	runs := Scalability(&buf, e, []int{1, 2})
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d\n%s", len(runs), buf.String())
+	}
+	if !strings.Contains(buf.String(), "queries") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := NewEnv()
+	var buf bytes.Buffer
+	runs := Ablations(&buf, e, workload.Explore())
+	if len(runs) != 5 {
+		t.Fatalf("variants = %d\n%s", len(runs), buf.String())
+	}
+}

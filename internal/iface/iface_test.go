@@ -1,0 +1,221 @@
+package iface
+
+import (
+	"strings"
+	"testing"
+
+	"pi2/internal/catalog"
+	"pi2/internal/dataset"
+	dt "pi2/internal/difftree"
+	"pi2/internal/layout"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+	"pi2/internal/vis"
+	"pi2/internal/widget"
+)
+
+var (
+	testDB  = dataset.NewDB()
+	testCat = catalog.Build(testDB, dataset.Keys())
+)
+
+// buildSliderInterface hand-builds a one-chart one-slider interface over
+// SELECT p, count(*) FROM T WHERE a = VAL GROUP BY p.
+func buildSliderInterface(t *testing.T) (*Interface, *transform.Context) {
+	t.Helper()
+	q1 := sqlparser.MustParse("SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p")
+	q2 := sqlparser.MustParse("SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p")
+	tree := q1.Clone()
+	val := dt.New(dt.KindVal, "num", dt.Number("1"), dt.Number("2"))
+	tree.Children[2].Children[0].Children[0].Children[1] = val
+	tree.Renumber()
+	ctx := &transform.Context{Queries: []*dt.Node{q1, q2}, Cat: testCat}
+	state := &transform.State{Trees: []*transform.Tree{{Root: tree, Queries: []int{0, 1}}}}
+	if !state.Valid(ctx) {
+		t.Fatal("hand-built state invalid")
+	}
+	valID := tree.ChoiceNodes()[0].ID
+	ifc := &Interface{
+		State: state,
+		Vis: []VisSpec{{
+			ElemID: "vis0", Tree: 0,
+			Mapping: vis.Mapping{Vis: vis.Catalog()[2], Assign: map[string]int{"x": 0, "y": 1}},
+			Cols:    []string{"p", "count"},
+		}},
+		Widgets: []WidgetSpec{{
+			ElemID: "w0", Kind: widget.Slider, Label: "T.a",
+			Min: 1, Max: 4, Tree: 0, NodeID: valID, Cover: []int{valID}, Manip: 150,
+		}},
+	}
+	ifc.Arrange()
+	return ifc, ctx
+}
+
+func TestSessionInitializesFromFirstQuery(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	sess, err := NewSession(ifc, ctx, testDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := sess.CurrentSQL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "a = 1") {
+		t.Fatalf("initial sql = %s", sql)
+	}
+}
+
+func TestSliderManipulationRewritesQuery(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	sess, _ := NewSession(ifc, ctx, testDB)
+	if err := sess.SetSlider("w0", 3); err != nil {
+		t.Fatal(err)
+	}
+	sql, _ := sess.CurrentSQL(0)
+	if !strings.Contains(sql, "a = 3") {
+		t.Fatalf("sql after slider = %s", sql)
+	}
+	res, err := sess.Result(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 2 {
+		t.Fatalf("result cols = %v", res.Cols)
+	}
+}
+
+func TestSetTextValidation(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	ifc.Widgets[0].Kind = widget.Textbox
+	sess, _ := NewSession(ifc, ctx, testDB)
+	if err := sess.SetText("w0", "xyz"); err == nil {
+		t.Fatal("non-numeric text accepted for num VAL")
+	}
+	if err := sess.SetText("w0", "2"); err != nil {
+		t.Fatal(err)
+	}
+	sql, _ := sess.CurrentSQL(0)
+	if !strings.Contains(sql, "a = 2") {
+		t.Fatalf("sql = %s", sql)
+	}
+}
+
+func TestUnknownWidgetErrors(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	sess, _ := NewSession(ifc, ctx, testDB)
+	if err := sess.SetSlider("nope", 1); err == nil {
+		t.Fatal("unknown widget accepted")
+	}
+	if err := sess.SetOption("w0", 0); err == nil {
+		t.Fatal("SetOption on a slider VAL without options should fail gracefully or bind an option")
+	}
+}
+
+func TestLayoutWidgetNesting(t *testing.T) {
+	// a widget on a node with widget-bearing descendants becomes a header
+	q := sqlparser.MustParse("SELECT p FROM T WHERE a = 1")
+	tree := q.Clone()
+	val := dt.New(dt.KindVal, "num", dt.Number("1"))
+	opt := dt.New(dt.KindOpt, "", dt.New(dt.KindBinary, "=", dt.Ident("a"), val))
+	tree.Children[2].Children[0].Children[0] = opt
+	tree.Renumber()
+	state := &transform.State{Trees: []*transform.Tree{{Root: tree, Queries: []int{0}}}}
+	ifc := &Interface{
+		State: state,
+		Vis: []VisSpec{{ElemID: "vis0", Tree: 0,
+			Mapping: vis.Mapping{Vis: vis.Catalog()[0], Assign: map[string]int{}}, Cols: []string{"p"}}},
+		Widgets: []WidgetSpec{
+			{ElemID: "w0", Kind: widget.Toggle, Tree: 0, NodeID: opt.ID, Cover: []int{opt.ID}},
+			{ElemID: "w1", Kind: widget.Slider, Tree: 0, NodeID: val.ID, Cover: []int{val.ID}, Min: 1, Max: 4},
+		},
+	}
+	ifc.Arrange()
+	tb, ok1 := ifc.Boxes["w0"]
+	sb, ok2 := ifc.Boxes["w1"]
+	if !ok1 || !ok2 {
+		t.Fatalf("boxes missing: %v", ifc.Boxes)
+	}
+	// the toggle is a layout widget: its box sits above the nested slider
+	if tb.Y >= sb.Y {
+		t.Fatalf("toggle at %v should be above slider at %v", tb, sb)
+	}
+}
+
+func TestRenderTextContainsEverything(t *testing.T) {
+	ifc, _ := buildSliderInterface(t)
+	out := RenderText(ifc)
+	for _, want := range []string{"chart vis0", "bar", "widget w0", "slider", "layout"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderText missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTreesShowsChoiceNodes(t *testing.T) {
+	ifc, _ := buildSliderInterface(t)
+	out := RenderTrees(ifc.State)
+	if !strings.Contains(out, "VAL") {
+		t.Fatalf("RenderTrees = %s", out)
+	}
+}
+
+func TestRenderHTMLSnapshot(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	sess, _ := NewSession(ifc, ctx, testDB)
+	html, err := RenderHTML(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "<svg", "input type=\"range\""} {
+		if !strings.Contains(html, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	// charts must render marks from the executed result
+	if !strings.Contains(html, "<rect") {
+		t.Error("bar chart has no bars")
+	}
+}
+
+func TestRenderHTMLTable(t *testing.T) {
+	q := sqlparser.MustParse("SELECT p, a, b FROM T")
+	tree := q.Clone()
+	tree.Renumber()
+	ctx := &transform.Context{Queries: []*dt.Node{q}, Cat: testCat}
+	state := &transform.State{Trees: []*transform.Tree{{Root: tree, Queries: []int{0}}}}
+	ifc := &Interface{
+		State: state,
+		Vis: []VisSpec{{ElemID: "vis0", Tree: 0,
+			Mapping: vis.Mapping{Vis: vis.Catalog()[0], Assign: map[string]int{}},
+			Cols:    []string{"p", "a", "b"}}},
+	}
+	ifc.Arrange()
+	sess, err := NewSession(ifc, ctx, testDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, err := RenderHTML(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html, "<table>") || !strings.Contains(html, "<th>p</th>") {
+		t.Fatalf("table rendering missing:\n%s", html[:300])
+	}
+}
+
+func TestArrangeProducesBoxes(t *testing.T) {
+	ifc, _ := buildSliderInterface(t)
+	if ifc.TotalBox.W <= 0 || ifc.TotalBox.H <= 0 {
+		t.Fatalf("total box = %+v", ifc.TotalBox)
+	}
+	if _, ok := ifc.Boxes["vis0"]; !ok {
+		t.Fatal("chart box missing")
+	}
+	// boxes must not overlap
+	a, b := ifc.Boxes["vis0"], ifc.Boxes["w0"]
+	if a.X < b.X+b.W && b.X < a.X+a.W && a.Y < b.Y+b.H && b.Y < a.Y+a.H {
+		t.Fatalf("chart and widget overlap: %+v %+v", a, b)
+	}
+	_ = layout.Box{}
+}

@@ -1,0 +1,123 @@
+package iface
+
+import (
+	"encoding/json"
+
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+)
+
+// Spec is the serializable form of a generated interface — what a separate
+// front end would consume to render and wire the interface.
+type Spec struct {
+	Charts       []ChartSpec       `json:"charts"`
+	Widgets      []WidgetJSON      `json:"widgets"`
+	Interactions []InteractionJSON `json:"interactions"`
+	Trees        []TreeJSON        `json:"trees"`
+	Layout       []BoxJSON         `json:"layout"`
+	Cost         float64           `json:"cost"`
+}
+
+// ChartSpec is one visualization.
+type ChartSpec struct {
+	ID      string            `json:"id"`
+	Tree    int               `json:"tree"`
+	Type    string            `json:"type"`
+	Encode  map[string]string `json:"encode"` // visual variable -> column name
+	Columns []string          `json:"columns"`
+}
+
+// WidgetJSON is one widget.
+type WidgetJSON struct {
+	ID      string   `json:"id"`
+	Kind    string   `json:"kind"`
+	Label   string   `json:"label"`
+	Options []string `json:"options,omitempty"`
+	Min     float64  `json:"min,omitempty"`
+	Max     float64  `json:"max,omitempty"`
+	Tree    int      `json:"tree"`
+	Node    int      `json:"node"`
+	Cover   []int    `json:"cover"`
+}
+
+// InteractionJSON is one visualization interaction.
+type InteractionJSON struct {
+	SourceChart string `json:"sourceChart"`
+	Kind        string `json:"kind"`
+	Stream      string `json:"stream"`
+	Columns     []int  `json:"columns"`
+	TargetTree  int    `json:"targetTree"`
+	TargetNode  int    `json:"targetNode"`
+	Cover       []int  `json:"cover"`
+}
+
+// TreeJSON is one Difftree, rendered as annotated SQL, with the input
+// queries it expresses.
+type TreeJSON struct {
+	SQL     string `json:"sql"`
+	Queries []int  `json:"queries"`
+	Choices int    `json:"choiceNodes"`
+}
+
+// BoxJSON is one laid-out element.
+type BoxJSON struct {
+	ID string  `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+	W  float64 `json:"w"`
+	H  float64 `json:"h"`
+}
+
+// ToSpec converts an Interface to its serializable form.
+func ToSpec(ifc *Interface) Spec {
+	spec := Spec{Cost: ifc.Cost}
+	for _, v := range ifc.Vis {
+		encode := map[string]string{}
+		for vvar, ci := range v.Mapping.Assign {
+			if ci >= 0 && ci < len(v.Cols) {
+				encode[vvar] = v.Cols[ci]
+			}
+		}
+		spec.Charts = append(spec.Charts, ChartSpec{
+			ID: v.ElemID, Tree: v.Tree, Type: v.Mapping.Vis.Type.String(),
+			Encode: encode, Columns: v.Cols,
+		})
+	}
+	for _, w := range ifc.Widgets {
+		spec.Widgets = append(spec.Widgets, WidgetJSON{
+			ID: w.ElemID, Kind: string(w.Kind), Label: w.Label,
+			Options: w.Options, Min: w.Min, Max: w.Max,
+			Tree: w.Tree, Node: w.NodeID, Cover: w.Cover,
+		})
+	}
+	for _, v := range ifc.VisInts {
+		spec.Interactions = append(spec.Interactions, InteractionJSON{
+			SourceChart: ifc.Vis[v.SourceVis].ElemID,
+			Kind:        string(v.Kind), Stream: v.Stream.Name,
+			Columns: v.Cols, TargetTree: v.Tree, TargetNode: v.NodeID,
+			Cover: v.Cover,
+		})
+	}
+	spec.Trees = treesJSON(ifc.State)
+	for id, b := range ifc.Boxes {
+		spec.Layout = append(spec.Layout, BoxJSON{ID: id, X: b.X, Y: b.Y, W: b.W, H: b.H})
+	}
+	return spec
+}
+
+func treesJSON(state *transform.State) []TreeJSON {
+	var out []TreeJSON
+	for _, t := range state.Trees {
+		out = append(out, TreeJSON{
+			SQL:     sqlparser.ToSQL(t.Root),
+			Queries: t.Queries,
+			Choices: len(t.Root.ChoiceNodes()),
+		})
+	}
+	return out
+}
+
+// MarshalJSON serializes the whole interface spec (indented).
+func MarshalJSON(ifc *Interface) ([]byte, error) {
+	return json.MarshalIndent(ToSpec(ifc), "", "  ")
+}

@@ -1,0 +1,37 @@
+package iface
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestMarshalJSONRoundTrips(t *testing.T) {
+	ifc, _ := buildSliderInterface(t)
+	data, err := MarshalJSON(ifc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(spec.Charts) != 1 || spec.Charts[0].Type != "bar" {
+		t.Fatalf("charts = %+v", spec.Charts)
+	}
+	if spec.Charts[0].Encode["x"] != "p" || spec.Charts[0].Encode["y"] != "count" {
+		t.Fatalf("encode = %v", spec.Charts[0].Encode)
+	}
+	if len(spec.Widgets) != 1 || spec.Widgets[0].Kind != "slider" {
+		t.Fatalf("widgets = %+v", spec.Widgets)
+	}
+	if len(spec.Trees) != 1 || spec.Trees[0].Choices != 1 {
+		t.Fatalf("trees = %+v", spec.Trees)
+	}
+	if !strings.Contains(spec.Trees[0].SQL, "VAL<num>") {
+		t.Fatalf("tree sql = %s", spec.Trees[0].SQL)
+	}
+	if len(spec.Layout) == 0 {
+		t.Fatal("layout boxes missing")
+	}
+}

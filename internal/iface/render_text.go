@@ -1,0 +1,81 @@
+package iface
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	dt "pi2/internal/difftree"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+)
+
+// RenderText renders the interface spec as readable text: one block per
+// chart with its visualization mapping and attached interactions, one line
+// per widget, and the layout's bounding boxes.
+func RenderText(ifc *Interface) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Interface: %s\n", ifc.Summary())
+	for vi, v := range ifc.Vis {
+		fmt.Fprintf(&b, "  chart %s: %s", v.ElemID, v.Mapping.Vis.Type)
+		var parts []string
+		for _, vvar := range []string{"x", "y", "color", "shape", "size"} {
+			if ci := v.Mapping.Col(vvar); ci >= 0 && ci < len(v.Cols) {
+				parts = append(parts, fmt.Sprintf("%s=%s", vvar, v.Cols[ci]))
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
+		}
+		b.WriteByte('\n')
+		for _, it := range ifc.VisInts {
+			if it.SourceVis == vi {
+				fmt.Fprintf(&b, "    interaction %s -> tree %d node %d\n", it.Kind, it.Tree, it.NodeID)
+			}
+		}
+	}
+	for _, w := range ifc.Widgets {
+		fmt.Fprintf(&b, "  widget %s: %s %q", w.ElemID, w.Kind, w.Label)
+		if len(w.Options) > 0 {
+			fmt.Fprintf(&b, " options=[%s]", strings.Join(w.Options, " | "))
+		}
+		if w.Min != 0 || w.Max != 0 {
+			fmt.Fprintf(&b, " range=[%g, %g]", w.Min, w.Max)
+		}
+		fmt.Fprintf(&b, " -> tree %d node %d\n", w.Tree, w.NodeID)
+	}
+	if len(ifc.Boxes) > 0 {
+		b.WriteString("  layout:\n")
+		ids := make([]string, 0, len(ifc.Boxes))
+		for id := range ifc.Boxes {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			box := ifc.Boxes[id]
+			fmt.Fprintf(&b, "    %-6s at (%4.0f,%4.0f) %gx%g\n", id, box.X, box.Y, box.W, box.H)
+		}
+		fmt.Fprintf(&b, "    total %gx%g\n", ifc.TotalBox.W, ifc.TotalBox.H)
+	}
+	return b.String()
+}
+
+// RenderTrees renders the state's Difftrees as annotated SQL-ish text, for
+// inspection and the CLI.
+func RenderTrees(state *transform.State) string {
+	var b strings.Builder
+	for ti, t := range state.Trees {
+		fmt.Fprintf(&b, "tree %d (queries %v): %s\n", ti, t.Queries, sqlparser.ToSQL(t.Root))
+		choices := t.Root.ChoiceNodes()
+		if len(choices) > 0 {
+			var names []string
+			for _, c := range choices {
+				names = append(names, fmt.Sprintf("%s#%d", kindName(c), c.ID))
+			}
+			fmt.Fprintf(&b, "  choice nodes: %s\n", strings.Join(names, ", "))
+		}
+	}
+	return b.String()
+}
+
+func kindName(n *dt.Node) string { return n.Kind.String() }

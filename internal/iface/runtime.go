@@ -1,0 +1,427 @@
+package iface
+
+import (
+	"fmt"
+	"strconv"
+
+	dt "pi2/internal/difftree"
+	"pi2/internal/engine"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+)
+
+// Session is the interaction runtime: the in-process stand-in for the
+// browser (DESIGN.md §4). It holds the current binding of every Difftree;
+// manipulating a widget or visualization interaction routes an event tuple
+// to the covered choice nodes (paper §4.2.1), after which the bound queries
+// re-resolve and re-execute.
+type Session struct {
+	Ifc *Interface
+	Ctx *transform.Context
+	DB  *engine.DB
+
+	bindings []dt.Binding // per tree
+}
+
+// NewSession initializes the runtime with each tree bound to its first
+// input query (the interface's initial state).
+func NewSession(ifc *Interface, ctx *transform.Context, db *engine.DB) (*Session, error) {
+	s := &Session{Ifc: ifc, Ctx: ctx, DB: db}
+	for ti, tree := range ifc.State.Trees {
+		qb, ok := tree.Bind(ctx)
+		if !ok || len(qb.PerQuery) == 0 {
+			return nil, fmt.Errorf("iface: tree %d has no query binding", ti)
+		}
+		s.bindings = append(s.bindings, qb.PerQuery[0].Clone())
+	}
+	return s, nil
+}
+
+// Binding exposes the current binding of a tree (for tests).
+func (s *Session) Binding(tree int) dt.Binding { return s.bindings[tree] }
+
+// CurrentSQL resolves a tree under its current binding and renders SQL.
+func (s *Session) CurrentSQL(tree int) (string, error) {
+	ast, err := dt.Resolve(s.Ifc.State.Trees[tree].Root, s.bindings[tree])
+	if err != nil {
+		return "", err
+	}
+	return sqlparser.ToSQL(ast), nil
+}
+
+// Results executes every tree under its current binding.
+func (s *Session) Results() ([]*engine.Table, error) {
+	out := make([]*engine.Table, len(s.bindings))
+	for ti, tree := range s.Ifc.State.Trees {
+		ast, err := dt.Resolve(tree.Root, s.bindings[ti])
+		if err != nil {
+			return nil, err
+		}
+		res, err := engine.Exec(s.DB, ast)
+		if err != nil {
+			return nil, err
+		}
+		out[ti] = res
+	}
+	return out, nil
+}
+
+// Result executes one tree.
+func (s *Session) Result(tree int) (*engine.Table, error) {
+	all, err := s.Results()
+	if err != nil {
+		return nil, err
+	}
+	return all[tree], nil
+}
+
+func (s *Session) widget(elemID string) (*WidgetSpec, error) {
+	for i := range s.Ifc.Widgets {
+		if s.Ifc.Widgets[i].ElemID == elemID {
+			return &s.Ifc.Widgets[i], nil
+		}
+	}
+	return nil, fmt.Errorf("iface: no widget %q", elemID)
+}
+
+func (s *Session) node(tree, id int) (*dt.Node, error) {
+	n := s.Ifc.State.Trees[tree].Root.Find(id)
+	if n == nil {
+		return nil, fmt.Errorf("iface: node %d missing in tree %d", id, tree)
+	}
+	return n, nil
+}
+
+// SetOption binds an enumerating widget (radio, dropdown, button, also
+// checkbox-as-single) to its i-th option.
+func (s *Session) SetOption(elemID string, option int) error {
+	w, err := s.widget(elemID)
+	if err != nil {
+		return err
+	}
+	n, err := s.node(w.Tree, w.NodeID)
+	if err != nil {
+		return err
+	}
+	switch n.Kind {
+	case dt.KindAny:
+		if option < 0 || option >= len(n.Children) {
+			return fmt.Errorf("iface: option %d out of range", option)
+		}
+		s.bindings[w.Tree][n.ID] = dt.BindValue{Index: option}
+		return nil
+	case dt.KindVal:
+		if option < 0 || option >= len(w.Options) {
+			return fmt.Errorf("iface: option %d out of range", option)
+		}
+		kind := dt.KindString
+		if w.Kind == "dropdown" && isNumeric(w.Options[option]) {
+			kind = dt.KindNumber
+		}
+		s.bindings[w.Tree][n.ID] = dt.BindValue{Lit: w.Options[option], LitKind: kind}
+		return nil
+	}
+	return fmt.Errorf("iface: SetOption unsupported for node kind %v", n.Kind)
+}
+
+// SetToggle binds a toggle's OPT node.
+func (s *Session) SetToggle(elemID string, on bool) error {
+	w, err := s.widget(elemID)
+	if err != nil {
+		return err
+	}
+	n, err := s.node(w.Tree, w.NodeID)
+	if err != nil {
+		return err
+	}
+	if n.Kind != dt.KindOpt {
+		return fmt.Errorf("iface: SetToggle on non-OPT node")
+	}
+	s.bindings[w.Tree][n.ID] = dt.BindValue{Present: on}
+	if on {
+		// nested choice nodes need bindings; default them to the first
+		// query that has the OPT present.
+		s.defaultSubtree(w.Tree, n)
+	}
+	return nil
+}
+
+// SetSlider binds a numeric VAL.
+func (s *Session) SetSlider(elemID string, v float64) error {
+	w, err := s.widget(elemID)
+	if err != nil {
+		return err
+	}
+	n, err := s.node(w.Tree, w.NodeID)
+	if err != nil {
+		return err
+	}
+	if n.Kind != dt.KindVal {
+		return fmt.Errorf("iface: SetSlider on non-VAL node")
+	}
+	s.bindings[w.Tree][n.ID] = dt.BindValue{Lit: formatNum(v), LitKind: dt.KindNumber}
+	return nil
+}
+
+// SetText binds a textbox VAL.
+func (s *Session) SetText(elemID, text string) error {
+	w, err := s.widget(elemID)
+	if err != nil {
+		return err
+	}
+	n, err := s.node(w.Tree, w.NodeID)
+	if err != nil {
+		return err
+	}
+	if n.Kind != dt.KindVal {
+		return fmt.Errorf("iface: SetText on non-VAL node")
+	}
+	kind := dt.KindString
+	if n.Label == "num" {
+		if !isNumeric(text) {
+			return fmt.Errorf("iface: %q is not numeric", text)
+		}
+		kind = dt.KindNumber
+	}
+	s.bindings[w.Tree][n.ID] = dt.BindValue{Lit: text, LitKind: kind}
+	return nil
+}
+
+// SetRange binds a range slider (two covered VAL nodes, lo ≤ hi).
+func (s *Session) SetRange(elemID string, lo, hi float64) error {
+	if lo > hi {
+		return fmt.Errorf("iface: range slider requires lo <= hi")
+	}
+	w, err := s.widget(elemID)
+	if err != nil {
+		return err
+	}
+	n, err := s.node(w.Tree, w.NodeID)
+	if err != nil {
+		return err
+	}
+	vals := valNodes(n)
+	if len(vals) != 2 {
+		return fmt.Errorf("iface: range slider covers %d VALs, want 2", len(vals))
+	}
+	s.bindings[w.Tree][vals[0].ID] = dt.BindValue{Lit: formatNum(lo), LitKind: dt.KindNumber}
+	s.bindings[w.Tree][vals[1].ID] = dt.BindValue{Lit: formatNum(hi), LitKind: dt.KindNumber}
+	return nil
+}
+
+// SetChecked binds a checkbox list: a SUBSET selection or MULTI repetitions.
+func (s *Session) SetChecked(elemID string, options []int) error {
+	w, err := s.widget(elemID)
+	if err != nil {
+		return err
+	}
+	n, err := s.node(w.Tree, w.NodeID)
+	if err != nil {
+		return err
+	}
+	switch n.Kind {
+	case dt.KindSubset:
+		idx := append([]int(nil), options...)
+		s.bindings[w.Tree][n.ID] = dt.BindValue{Indices: idx}
+		return nil
+	case dt.KindMulti:
+		pattern := n.Children[0]
+		var reps []dt.Binding
+		for _, o := range options {
+			rep := dt.Binding{}
+			if pattern.Kind == dt.KindAny {
+				if o < 0 || o >= len(pattern.Children) {
+					return fmt.Errorf("iface: option %d out of range", o)
+				}
+				rep[pattern.ID] = dt.BindValue{Index: o}
+			}
+			reps = append(reps, rep)
+		}
+		s.bindings[w.Tree][n.ID] = dt.BindValue{Reps: reps}
+		return nil
+	}
+	return fmt.Errorf("iface: SetChecked unsupported for node kind %v", n.Kind)
+}
+
+// visInt locates a mapped visualization interaction.
+func (s *Session) visInt(sourceElem string, kind string) (*VisIntSpec, error) {
+	for i := range s.Ifc.VisInts {
+		v := &s.Ifc.VisInts[i]
+		if s.Ifc.Vis[v.SourceVis].ElemID == sourceElem && string(v.Kind) == kind {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("iface: no %s interaction on %s", kind, sourceElem)
+}
+
+// Click simulates clicking the i-th rendered mark of a chart; the event
+// value (the mark's value for the stream's column) binds the target VAL.
+func (s *Session) Click(sourceElem string, row int) error {
+	v, err := s.visInt(sourceElem, "click")
+	if err != nil {
+		return err
+	}
+	srcTree := s.Ifc.Vis[v.SourceVis].Tree
+	res, err := s.Result(srcTree)
+	if err != nil {
+		return err
+	}
+	if row < 0 || row >= len(res.Rows) {
+		return fmt.Errorf("iface: row %d out of range (%d rows)", row, len(res.Rows))
+	}
+	val := res.Rows[row][v.Cols[0]]
+	n, err := s.node(v.Tree, v.NodeID)
+	if err != nil {
+		return err
+	}
+	kind := dt.KindString
+	if !val.IsStr {
+		kind = dt.KindNumber
+	}
+	s.bindings[v.Tree][n.ID] = dt.BindValue{Lit: val.Text(), LitKind: kind}
+	return nil
+}
+
+// Brush simulates a 1-D or 2-D brush / pan / zoom: bounds bind the covered
+// VAL nodes in order; an OPT wrapper becomes present.
+func (s *Session) Brush(sourceElem string, kind string, bounds ...string) error {
+	v, err := s.visInt(sourceElem, kind)
+	if err != nil {
+		return err
+	}
+	n, err := s.node(v.Tree, v.NodeID)
+	if err != nil {
+		return err
+	}
+	if n.Kind == dt.KindOpt {
+		s.bindings[v.Tree][n.ID] = dt.BindValue{Present: true}
+	}
+	vals := valNodes(n)
+	if len(vals) != len(bounds) {
+		return fmt.Errorf("iface: %d bounds for %d VAL nodes", len(bounds), len(vals))
+	}
+	for i, b := range bounds {
+		kind := dt.KindString
+		if isNumeric(b) {
+			kind = dt.KindNumber
+		}
+		s.bindings[v.Tree][vals[i].ID] = dt.BindValue{Lit: b, LitKind: kind}
+	}
+	return nil
+}
+
+// ClearBrush simulates clearing a togglable brush: the OPT target resolves
+// absent (paper §7.1: "clearing the brush disables the predicate").
+func (s *Session) ClearBrush(sourceElem string, kind string) error {
+	v, err := s.visInt(sourceElem, kind)
+	if err != nil {
+		return err
+	}
+	n, err := s.node(v.Tree, v.NodeID)
+	if err != nil {
+		return err
+	}
+	if n.Kind != dt.KindOpt {
+		return fmt.Errorf("iface: interaction target is not optional")
+	}
+	s.bindings[v.Tree][n.ID] = dt.BindValue{Present: false}
+	return nil
+}
+
+// ApplyQuery sets every tree that expresses the qi-th input query to that
+// query's binding — the runtime face of the paper's expressiveness
+// guarantee: for every input query there is a set of manipulations that
+// reproduces it exactly.
+func (s *Session) ApplyQuery(qi int) error {
+	if qi < 0 || qi >= len(s.Ctx.Queries) {
+		return fmt.Errorf("iface: query %d out of range", qi)
+	}
+	for ti, tree := range s.Ifc.State.Trees {
+		pos := -1
+		for i, q := range tree.Queries {
+			if q == qi {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		qb, ok := tree.Bind(s.Ctx)
+		if !ok {
+			return fmt.Errorf("iface: tree %d lost its bindings", ti)
+		}
+		s.bindings[ti] = qb.PerQuery[pos].Clone()
+	}
+	return nil
+}
+
+// ExpressesAll verifies the guarantee end to end: applying each input
+// query's bindings must resolve its tree to exactly that query.
+func (s *Session) ExpressesAll() error {
+	for qi, q := range s.Ctx.Queries {
+		if err := s.ApplyQuery(qi); err != nil {
+			return err
+		}
+		for ti, tree := range s.Ifc.State.Trees {
+			expressed := false
+			for _, tq := range tree.Queries {
+				if tq == qi {
+					expressed = true
+					break
+				}
+			}
+			if !expressed {
+				continue
+			}
+			ast, err := dt.Resolve(tree.Root, s.bindings[ti])
+			if err != nil {
+				return fmt.Errorf("iface: tree %d query %d: %w", ti, qi, err)
+			}
+			if !dt.Equal(ast, q) {
+				return fmt.Errorf("iface: tree %d resolves query %d to %q, want %q",
+					ti, qi, sqlparser.ToSQL(ast), sqlparser.ToSQL(q))
+			}
+		}
+	}
+	return nil
+}
+
+// defaultSubtree fills missing bindings under a node from the first input
+// query whose binding covers them.
+func (s *Session) defaultSubtree(tree int, n *dt.Node) {
+	qb, ok := s.Ifc.State.Trees[tree].Bind(s.Ctx)
+	if !ok {
+		return
+	}
+	for _, c := range n.ChoiceNodes() {
+		if _, bound := s.bindings[tree][c.ID]; bound {
+			continue
+		}
+		for _, b := range qb.PerQuery {
+			if v, ok := b[c.ID]; ok {
+				s.bindings[tree][c.ID] = v.Clone()
+				break
+			}
+		}
+	}
+}
+
+func valNodes(n *dt.Node) []*dt.Node {
+	var out []*dt.Node
+	for _, c := range n.ChoiceNodes() {
+		if c.Kind == dt.KindVal {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func isNumeric(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+func formatNum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,228 @@
+package iface
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pi2/internal/widget"
+)
+
+// Server serves a generated interface as a live web application: widgets
+// render as HTML forms, manipulations post back, the Session rebinds and
+// re-executes the underlying queries, and the page re-renders — the
+// browser/server/database stack the paper's generated interfaces deploy to,
+// built on net/http alone.
+type Server struct {
+	mu   sync.Mutex
+	sess *Session
+}
+
+// NewServer wraps a session.
+func NewServer(sess *Session) *Server { return &Server{sess: sess} }
+
+// Handler returns the http.Handler serving the interface.
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", sv.handleIndex)
+	mux.HandleFunc("/widget", sv.handleWidget)
+	mux.HandleFunc("/interact", sv.handleInteract)
+	mux.HandleFunc("/reset", sv.handleReset)
+	mux.HandleFunc("/sql", sv.handleSQL)
+	return mux
+}
+
+func (sv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	page, err := sv.renderPage()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, page)
+}
+
+// handleWidget applies a widget manipulation: ?id=w0&option=1, ?id=w0&value=3,
+// ?id=w0&on=true, ?id=w0&lo=1&hi=5, ?id=w0&checked=0,2.
+func (sv *Server) handleWidget(w http.ResponseWriter, r *http.Request) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	id := r.Form.Get("id")
+	var err error
+	switch {
+	case r.Form.Get("option") != "":
+		var opt int
+		opt, err = strconv.Atoi(r.Form.Get("option"))
+		if err == nil {
+			err = sv.sess.SetOption(id, opt)
+		}
+	case r.Form.Get("value") != "":
+		var v float64
+		v, err = strconv.ParseFloat(r.Form.Get("value"), 64)
+		if err == nil {
+			err = sv.sess.SetSlider(id, v)
+		} else {
+			err = sv.sess.SetText(id, r.Form.Get("value"))
+		}
+	case r.Form.Get("text") != "":
+		err = sv.sess.SetText(id, r.Form.Get("text"))
+	case r.Form.Get("on") != "":
+		err = sv.sess.SetToggle(id, r.Form.Get("on") == "true")
+	case r.Form.Get("lo") != "" && r.Form.Get("hi") != "":
+		var lo, hi float64
+		lo, err = strconv.ParseFloat(r.Form.Get("lo"), 64)
+		if err == nil {
+			hi, err = strconv.ParseFloat(r.Form.Get("hi"), 64)
+		}
+		if err == nil {
+			err = sv.sess.SetRange(id, lo, hi)
+		}
+	case r.Form.Get("checked") != "":
+		var idxs []int
+		for _, p := range strings.Split(r.Form.Get("checked"), ",") {
+			var i int
+			if i, err = strconv.Atoi(strings.TrimSpace(p)); err != nil {
+				break
+			}
+			idxs = append(idxs, i)
+		}
+		if err == nil {
+			err = sv.sess.SetChecked(id, idxs)
+		}
+	default:
+		err = fmt.Errorf("no manipulation parameter")
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+// handleInteract applies a visualization interaction:
+// ?vis=vis0&kind=brush-x&bounds=10,50  or ?vis=vis0&kind=click&row=3 or
+// ?vis=vis0&kind=brush-x&clear=1.
+func (sv *Server) handleInteract(w http.ResponseWriter, r *http.Request) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	visID := r.Form.Get("vis")
+	kind := r.Form.Get("kind")
+	var err error
+	switch {
+	case r.Form.Get("clear") != "":
+		err = sv.sess.ClearBrush(visID, kind)
+	case r.Form.Get("row") != "":
+		var row int
+		row, err = strconv.Atoi(r.Form.Get("row"))
+		if err == nil {
+			err = sv.sess.Click(visID, row)
+		}
+	case r.Form.Get("bounds") != "":
+		bounds := strings.Split(r.Form.Get("bounds"), ",")
+		for i := range bounds {
+			bounds[i] = strings.TrimSpace(bounds[i])
+		}
+		err = sv.sess.Brush(visID, kind, bounds...)
+	default:
+		err = fmt.Errorf("no interaction parameter")
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func (sv *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if err := sv.sess.ApplyQuery(0); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+// handleSQL reports the current bound SQL of every tree (text/plain).
+func (sv *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for ti := range sv.sess.Ifc.State.Trees {
+		sql, err := sv.sess.CurrentSQL(ti)
+		if err != nil {
+			fmt.Fprintf(w, "tree %d: error: %v\n", ti, err)
+			continue
+		}
+		fmt.Fprintf(w, "tree %d: %s\n", ti, sql)
+	}
+}
+
+// renderPage renders the snapshot plus manipulation forms.
+func (sv *Server) renderPage() (string, error) {
+	snapshot, err := RenderHTML(sv.sess)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	// strip the closing tags so we can append the control panel
+	trimmed := strings.Replace(snapshot, "</body></html>", "", 1)
+	b.WriteString(trimmed)
+	b.WriteString(`<div style="margin-top:16px;border-top:1px solid #ccc;padding-top:8px">`)
+	b.WriteString(`<h3>Manipulations</h3>`)
+	for _, ws := range sv.sess.Ifc.Widgets {
+		fmt.Fprintf(&b, `<form method="POST" action="/widget" style="margin:4px 0">`)
+		fmt.Fprintf(&b, `<input type="hidden" name="id" value="%s">`, html.EscapeString(ws.ElemID))
+		fmt.Fprintf(&b, `<b>%s</b> (%s) `, html.EscapeString(ws.ElemID), ws.Kind)
+		switch ws.Kind {
+		case widget.Radio, widget.Dropdown, widget.Button:
+			b.WriteString(`<select name="option">`)
+			for i, o := range ws.Options {
+				fmt.Fprintf(&b, `<option value="%d">%s</option>`, i, html.EscapeString(o))
+			}
+			b.WriteString(`</select>`)
+		case widget.Toggle:
+			b.WriteString(`<select name="on"><option value="true">on</option><option value="false">off</option></select>`)
+		case widget.Slider:
+			fmt.Fprintf(&b, `<input name="value" type="number" step="any" min="%g" max="%g">`, ws.Min, ws.Max)
+		case widget.RangeSlider:
+			fmt.Fprintf(&b, `<input name="lo" type="number" step="any"> – <input name="hi" type="number" step="any">`)
+		case widget.Textbox:
+			b.WriteString(`<input name="text" type="text">`)
+		case widget.Checkbox, widget.Adder:
+			b.WriteString(`<input name="checked" type="text" placeholder="0,2">`)
+		}
+		b.WriteString(`<button type="submit">apply</button></form>`)
+	}
+	for _, v := range sv.sess.Ifc.VisInts {
+		src := sv.sess.Ifc.Vis[v.SourceVis].ElemID
+		fmt.Fprintf(&b, `<form method="POST" action="/interact" style="margin:4px 0">`)
+		fmt.Fprintf(&b, `<input type="hidden" name="vis" value="%s"><input type="hidden" name="kind" value="%s">`,
+			html.EscapeString(src), html.EscapeString(string(v.Kind)))
+		fmt.Fprintf(&b, `<b>%s on %s</b> → tree %d `, v.Kind, html.EscapeString(src), v.Tree)
+		switch v.Kind {
+		case "click", "multiclick":
+			b.WriteString(`row <input name="row" type="number" min="0">`)
+		default:
+			b.WriteString(`bounds <input name="bounds" type="text" placeholder="lo,hi[,lo2,hi2]">`)
+		}
+		b.WriteString(`<button type="submit">apply</button></form>`)
+	}
+	b.WriteString(`<form method="POST" action="/reset"><button type="submit">reset to first query</button></form>`)
+	b.WriteString(`<p><a href="/sql">current SQL</a></p>`)
+	b.WriteString(`</div></body></html>`)
+	return b.String(), nil
+}

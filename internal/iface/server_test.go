@@ -1,0 +1,100 @@
+package iface
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Session) {
+	t.Helper()
+	ifc, ctx := buildSliderInterface(t)
+	sess, err := NewSession(ifc, ctx, testDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(sess).Handler())
+	t.Cleanup(srv.Close)
+	return srv, sess
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func postForm(t *testing.T, u string, form url.Values) int {
+	t.Helper()
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.PostForm(u, form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestServerIndexRendersInterface(t *testing.T) {
+	srv, _ := newTestServer(t)
+	code, body := get(t, srv.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"<svg", "Manipulations", "slider"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestServerWidgetManipulationRewritesSQL(t *testing.T) {
+	srv, sess := newTestServer(t)
+	code := postForm(t, srv.URL+"/widget", url.Values{"id": {"w0"}, "value": {"3"}})
+	if code != http.StatusSeeOther {
+		t.Fatalf("status = %d", code)
+	}
+	sql, _ := sess.CurrentSQL(0)
+	if !strings.Contains(sql, "a = 3") {
+		t.Fatalf("sql = %s", sql)
+	}
+	_, body := get(t, srv.URL+"/sql")
+	if !strings.Contains(body, "a = 3") {
+		t.Fatalf("/sql = %s", body)
+	}
+}
+
+func TestServerRejectsBadManipulation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if code := postForm(t, srv.URL+"/widget", url.Values{"id": {"nope"}, "value": {"3"}}); code != http.StatusBadRequest {
+		t.Fatalf("unknown widget status = %d", code)
+	}
+	if code := postForm(t, srv.URL+"/widget", url.Values{"id": {"w0"}}); code != http.StatusBadRequest {
+		t.Fatalf("missing parameter status = %d", code)
+	}
+	if code := postForm(t, srv.URL+"/interact", url.Values{"vis": {"vis0"}, "kind": {"brush-x"}}); code != http.StatusBadRequest {
+		t.Fatalf("missing interaction parameter status = %d", code)
+	}
+}
+
+func TestServerReset(t *testing.T) {
+	srv, sess := newTestServer(t)
+	postForm(t, srv.URL+"/widget", url.Values{"id": {"w0"}, "value": {"4"}})
+	if code := postForm(t, srv.URL+"/reset", nil); code != http.StatusSeeOther {
+		t.Fatalf("reset status = %d", code)
+	}
+	sql, _ := sess.CurrentSQL(0)
+	if !strings.Contains(sql, "a = 1") {
+		t.Fatalf("after reset sql = %s", sql)
+	}
+}

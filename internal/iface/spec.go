@@ -1,0 +1,220 @@
+// Package iface defines the generated interface artifact I = (V, M, L):
+// visualization specs, interaction specs (widgets and visualization
+// interactions), and the layout tree (paper §2, §4). It also provides the
+// interaction runtime (manipulate → bind → resolve → execute) and text/HTML
+// renderers.
+package iface
+
+import (
+	"fmt"
+
+	dt "pi2/internal/difftree"
+	"pi2/internal/layout"
+	"pi2/internal/transform"
+	"pi2/internal/vis"
+	"pi2/internal/widget"
+)
+
+// VisSpec maps one Difftree's result to a visualization (V).
+type VisSpec struct {
+	ElemID  string
+	Tree    int // index into State.Trees
+	Mapping vis.Mapping
+	Cols    []string // result column display names
+	Title   string
+}
+
+// WidgetSpec maps a dynamic node to a widget (part of M).
+type WidgetSpec struct {
+	ElemID  string
+	Kind    widget.Kind
+	Label   string
+	Options []string // option labels for enumerating widgets
+	Min     float64
+	Max     float64
+	Tree    int
+	NodeID  int   // the bound dynamic node
+	Cover   []int // covered choice-node IDs within Tree
+	Manip   float64
+}
+
+// VisIntSpec maps a dynamic node to a visualization interaction (part of M).
+// The source chart may belong to a different Difftree than the target node —
+// that is what links multi-view interfaces (paper Figure 5).
+type VisIntSpec struct {
+	SourceVis int // index into Interface.Vis
+	Kind      vis.InteractionKind
+	Stream    vis.EventStream
+	Cols      []int // source result columns, one per stream variable
+	Tree      int   // target Difftree
+	NodeID    int
+	Cover     []int
+	Manip     float64
+}
+
+// Interface is a fully mapped interface.
+type Interface struct {
+	State   *transform.State
+	Vis     []VisSpec
+	Widgets []WidgetSpec
+	VisInts []VisIntSpec
+
+	LayoutTree *layout.Node
+	Boxes      map[string]layout.Box
+	TotalBox   layout.Box
+
+	Cm   float64 // manipulation cost (layout independent)
+	Cost float64 // full cost C(I, Q)
+}
+
+// InteractionCount returns the total number of mapped interactions.
+func (ifc *Interface) InteractionCount() int {
+	return len(ifc.Widgets) + len(ifc.VisInts)
+}
+
+// VisForTree returns the VisSpec rendering the given tree, or nil.
+func (ifc *Interface) VisForTree(tree int) *VisSpec {
+	for i := range ifc.Vis {
+		if ifc.Vis[i].Tree == tree {
+			return &ifc.Vis[i]
+		}
+	}
+	return nil
+}
+
+// widgetSize estimates a widget's rendered size from its initialization
+// parameters (paper §4.3: "we also estimate text and widget sizes based on
+// their initialization parameters").
+func widgetSize(w *WidgetSpec) (float64, float64) {
+	maxOpt := len(w.Label)
+	for _, o := range w.Options {
+		if len(o) > maxOpt {
+			maxOpt = len(o)
+		}
+	}
+	textW := float64(maxOpt)*7 + 24
+	switch w.Kind {
+	case widget.Radio, widget.Checkbox:
+		return maxf(90, textW), float64(20*len(w.Options)) + 16
+	case widget.Button:
+		return maxf(90, float64(len(w.Options))*60), 30
+	case widget.Dropdown:
+		return maxf(110, textW), 28
+	case widget.Toggle:
+		return maxf(70, textW), 26
+	case widget.Slider:
+		return 170, 34
+	case widget.RangeSlider:
+		return 170, 38
+	case widget.Textbox:
+		return 130, 28
+	case widget.Adder:
+		return 170, 64
+	}
+	return 120, 30
+}
+
+// visSize estimates a chart's rendered size.
+func visSize(v *VisSpec) (float64, float64) {
+	if v.Mapping.Vis.Type == vis.Table {
+		return 360, 220
+	}
+	return 330, 250
+}
+
+// BuildLayoutTree constructs the layout tree L (paper §4.3): per Difftree, a
+// widget tree mirroring the Difftree's LCA structure, grouped with the
+// tree's visualization; a root layout node groups the per-tree layouts.
+// Widgets on nodes with widget-bearing descendants become layout widgets
+// (headers above their nested sub-interface).
+func (ifc *Interface) BuildLayoutTree() *layout.Node {
+	root := layout.Group()
+	for ti := range ifc.State.Trees {
+		var parts []*layout.Node
+		if wt := ifc.widgetTreeFor(ti); wt != nil {
+			parts = append(parts, wt)
+		}
+		if v := ifc.VisForTree(ti); v != nil {
+			w, h := visSize(v)
+			parts = append(parts, layout.Leaf(v.ElemID, w, h))
+		}
+		switch len(parts) {
+		case 0:
+		case 1:
+			root.Children = append(root.Children, parts[0])
+		default:
+			root.Children = append(root.Children, layout.Group(parts...))
+		}
+	}
+	if len(root.Children) == 1 {
+		return root.Children[0]
+	}
+	return root
+}
+
+// widgetTreeFor builds W_Δ for one tree.
+func (ifc *Interface) widgetTreeFor(ti int) *layout.Node {
+	byNode := map[int]*WidgetSpec{}
+	for i := range ifc.Widgets {
+		w := &ifc.Widgets[i]
+		if w.Tree == ti {
+			byNode[w.NodeID] = w
+		}
+	}
+	if len(byNode) == 0 {
+		return nil
+	}
+	tree := ifc.State.Trees[ti]
+	var build func(n *dt.Node) *layout.Node
+	build = func(n *dt.Node) *layout.Node {
+		var childNodes []*layout.Node
+		for _, c := range n.Children {
+			if cn := build(c); cn != nil {
+				childNodes = append(childNodes, cn)
+			}
+		}
+		w := byNode[n.ID]
+		if w == nil {
+			switch len(childNodes) {
+			case 0:
+				return nil
+			case 1:
+				return childNodes[0]
+			default:
+				return layout.Group(childNodes...)
+			}
+		}
+		ww, wh := widgetSize(w)
+		leaf := layout.Leaf(w.ElemID, ww, wh)
+		if len(childNodes) == 0 {
+			return leaf
+		}
+		// layout widget: header above its nested sub-interface
+		g := layout.Group(childNodes...)
+		g.Header = leaf
+		return g
+	}
+	return build(tree.Root)
+}
+
+// Arrange lays out the interface with the current direction assignment.
+func (ifc *Interface) Arrange() {
+	if ifc.LayoutTree == nil {
+		ifc.LayoutTree = ifc.BuildLayoutTree()
+	}
+	ifc.Boxes = map[string]layout.Box{}
+	ifc.TotalBox = ifc.LayoutTree.Arrange(0, 0, ifc.Boxes)
+}
+
+// Summary renders a one-line description for logs and experiments.
+func (ifc *Interface) Summary() string {
+	return fmt.Sprintf("%d charts, %d widgets, %d vis-interactions, cost %.1f",
+		len(ifc.Vis), len(ifc.Widgets), len(ifc.VisInts), ifc.Cost)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

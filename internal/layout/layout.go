@@ -1,0 +1,220 @@
+// Package layout implements PI2's hierarchical interface layout (paper
+// §4.3): a layout tree whose internal nodes lay children out horizontally or
+// vertically, bounding-box estimation, and a branch-and-bound direction
+// optimizer in the style of SUPPLE [17].
+package layout
+
+import "math"
+
+// Dir is a layout direction.
+type Dir uint8
+
+const (
+	Horiz Dir = iota
+	Vert
+)
+
+// Box is an axis-aligned bounding box.
+type Box struct {
+	X, Y, W, H float64
+}
+
+// Center returns the box centroid.
+func (b Box) Center() (float64, float64) { return b.X + b.W/2, b.Y + b.H/2 }
+
+// Node is a layout-tree node. Leaves carry an element ID and its estimated
+// size; internal nodes lay out their children in Dir. A non-nil Header is a
+// "layout widget" (paper: a toggle or radio that chooses sub-interfaces)
+// rendered above its children at the top-left.
+type Node struct {
+	ID       string // leaf element ID ("" for internal nodes)
+	W, H     float64
+	Children []*Node
+	Dir      Dir
+	Header   *Node
+}
+
+// Leaf constructs a leaf node.
+func Leaf(id string, w, h float64) *Node { return &Node{ID: id, W: w, H: h} }
+
+// Group constructs an internal node.
+func Group(children ...*Node) *Node { return &Node{Children: children} }
+
+const gap = 8 // pixels between siblings
+
+// Arrange computes every element's box for the current direction
+// assignment. It returns the root bounding box and fills boxes (keyed by
+// leaf ID; internal nodes are anonymous).
+func (n *Node) Arrange(x, y float64, boxes map[string]Box) Box {
+	if len(n.Children) == 0 && n.Header == nil {
+		b := Box{X: x, Y: y, W: n.W, H: n.H}
+		if n.ID != "" {
+			boxes[n.ID] = b
+		}
+		return b
+	}
+	cx, cy := x, y
+	total := Box{X: x, Y: y}
+	if n.Header != nil {
+		hb := n.Header.Arrange(x, y, boxes)
+		cy = y + hb.H + gap
+		total.W = hb.W
+		total.H = hb.H + gap
+	}
+	maxW, maxH := 0.0, 0.0
+	for i, c := range n.Children {
+		var b Box
+		if n.Dir == Horiz {
+			b = c.Arrange(cx, cy, boxes)
+			cx += b.W
+			if i < len(n.Children)-1 {
+				cx += gap
+			}
+			if b.H > maxH {
+				maxH = b.H
+			}
+		} else {
+			b = c.Arrange(cx, cy, boxes)
+			cy += b.H
+			if i < len(n.Children)-1 {
+				cy += gap
+			}
+			if b.W > maxW {
+				maxW = b.W
+			}
+		}
+	}
+	if n.Dir == Horiz {
+		total.W = math.Max(total.W, cx-x)
+		total.H = (cy - y) + maxH
+	} else {
+		total.W = math.Max(math.Max(total.W, maxW), 0)
+		total.H = cy - y
+	}
+	// recompute exact extent from descendants for robustness
+	ext := extent(n, boxes)
+	if ext.W > 0 || ext.H > 0 {
+		total = ext
+	}
+	return total
+}
+
+func extent(n *Node, boxes map[string]Box) Box {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if m.ID != "" {
+			if b, ok := boxes[m.ID]; ok {
+				minX = math.Min(minX, b.X)
+				minY = math.Min(minY, b.Y)
+				maxX = math.Max(maxX, b.X+b.W)
+				maxY = math.Max(maxY, b.Y+b.H)
+			}
+		}
+		if m.Header != nil {
+			walk(m.Header)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	if math.IsInf(minX, 1) {
+		return Box{}
+	}
+	return Box{X: minX, Y: minY, W: maxX - minX, H: maxY - minY}
+}
+
+// internalNodes collects the internal nodes (direction slots) in DFS order.
+func internalNodes(n *Node) []*Node {
+	var out []*Node
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if len(m.Children) > 0 {
+			out = append(out, m)
+		}
+		if m.Header != nil {
+			walk(m.Header)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// maxExhaustive bounds the exhaustive direction search; larger trees fall
+// back to a greedy alternating assignment (branch-and-bound in SUPPLE's
+// spirit, bounded for predictable latency).
+const maxExhaustive = 10
+
+// Optimize searches direction assignments for the layout tree, minimizing
+// cost (a callback receiving the element boxes and the root box). It
+// returns the best boxes, root box and cost; the tree is left holding the
+// best assignment.
+func Optimize(root *Node, cost func(boxes map[string]Box, total Box) float64) (map[string]Box, Box, float64) {
+	slots := internalNodes(root)
+	if len(slots) > maxExhaustive {
+		// greedy: alternate directions by depth
+		assignAlternating(root, 0)
+		boxes := map[string]Box{}
+		total := root.Arrange(0, 0, boxes)
+		return boxes, total, cost(boxes, total)
+	}
+	best := math.Inf(1)
+	var bestDirs []Dir
+	dirs := make([]Dir, len(slots))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(slots) {
+			for j, s := range slots {
+				s.Dir = dirs[j]
+			}
+			boxes := map[string]Box{}
+			total := root.Arrange(0, 0, boxes)
+			c := cost(boxes, total)
+			if c < best {
+				best = c
+				bestDirs = append([]Dir(nil), dirs...)
+			}
+			return
+		}
+		for _, d := range []Dir{Horiz, Vert} {
+			dirs[i] = d
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	for j, s := range slots {
+		s.Dir = bestDirs[j]
+	}
+	boxes := map[string]Box{}
+	total := root.Arrange(0, 0, boxes)
+	return boxes, total, best
+}
+
+// AssignDirs sets every internal node's direction from the callback (used
+// for random layouts during MCTS reward estimation).
+func (n *Node) AssignDirs(pick func() Dir) {
+	for _, s := range internalNodes(n) {
+		s.Dir = pick()
+	}
+}
+
+func assignAlternating(n *Node, depth int) {
+	if len(n.Children) > 0 {
+		if depth%2 == 0 {
+			n.Dir = Vert
+		} else {
+			n.Dir = Horiz
+		}
+	}
+	if n.Header != nil {
+		assignAlternating(n.Header, depth+1)
+	}
+	for _, c := range n.Children {
+		assignAlternating(c, depth+1)
+	}
+}

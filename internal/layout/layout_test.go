@@ -1,0 +1,172 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestArrangeHorizontal(t *testing.T) {
+	root := Group(Leaf("a", 100, 50), Leaf("b", 80, 60))
+	root.Dir = Horiz
+	boxes := map[string]Box{}
+	total := root.Arrange(0, 0, boxes)
+	a, b := boxes["a"], boxes["b"]
+	if a.X != 0 || b.X != 100+gap {
+		t.Fatalf("horizontal positions: a=%+v b=%+v", a, b)
+	}
+	if total.W != 100+gap+80 {
+		t.Fatalf("total width = %g", total.W)
+	}
+	if total.H != 60 {
+		t.Fatalf("total height = %g", total.H)
+	}
+}
+
+func TestArrangeVertical(t *testing.T) {
+	root := Group(Leaf("a", 100, 50), Leaf("b", 80, 60))
+	root.Dir = Vert
+	boxes := map[string]Box{}
+	total := root.Arrange(0, 0, boxes)
+	if boxes["b"].Y != 50+gap {
+		t.Fatalf("vertical position b = %+v", boxes["b"])
+	}
+	if total.H != 50+gap+60 || total.W != 100 {
+		t.Fatalf("total = %+v", total)
+	}
+}
+
+func TestHeaderAboveChildren(t *testing.T) {
+	// layout widgets (toggle/tab) render above their sub-interface
+	g := Group(Leaf("child", 100, 100))
+	g.Header = Leaf("toggle", 60, 20)
+	boxes := map[string]Box{}
+	g.Arrange(0, 0, boxes)
+	if boxes["toggle"].Y != 0 {
+		t.Fatalf("header y = %g", boxes["toggle"].Y)
+	}
+	if boxes["child"].Y <= boxes["toggle"].Y+boxes["toggle"].H-1 {
+		t.Fatalf("child not below header: %+v vs %+v", boxes["child"], boxes["toggle"])
+	}
+}
+
+func TestOptimizePicksCheaperDirection(t *testing.T) {
+	// cost = total width → optimizer must stack vertically
+	root := Group(Leaf("a", 100, 50), Leaf("b", 100, 50))
+	boxes, total, c := Optimize(root, func(_ map[string]Box, t Box) float64 { return t.W })
+	if root.Dir != Vert {
+		t.Fatalf("dir = %v, want vertical", root.Dir)
+	}
+	if total.W != 100 || c != 100 {
+		t.Fatalf("total = %+v cost %g", total, c)
+	}
+	if len(boxes) != 2 {
+		t.Fatalf("boxes = %v", boxes)
+	}
+	// cost = total height → horizontal
+	_, total, _ = Optimize(root, func(_ map[string]Box, t Box) float64 { return t.H })
+	if root.Dir != Horiz || total.H != 50 {
+		t.Fatalf("dir = %v total = %+v", root.Dir, total)
+	}
+}
+
+func TestOptimizeLargeTreeFallsBackGreedy(t *testing.T) {
+	// more than maxExhaustive internal nodes: alternating assignment
+	root := Group()
+	cur := root
+	for i := 0; i < maxExhaustive+3; i++ {
+		child := Group(Leaf(string(rune('a'+i)), 50, 20))
+		cur.Children = append(cur.Children, child)
+		cur = child
+	}
+	boxes, total, _ := Optimize(root, func(_ map[string]Box, t Box) float64 { return t.W + t.H })
+	if len(boxes) == 0 || total.W <= 0 {
+		t.Fatalf("greedy layout failed: %v %v", boxes, total)
+	}
+}
+
+func TestAssignDirs(t *testing.T) {
+	root := Group(Group(Leaf("a", 10, 10)), Leaf("b", 10, 10))
+	rng := rand.New(rand.NewSource(1))
+	root.AssignDirs(func() Dir { return Dir(rng.Intn(2)) })
+	boxes := map[string]Box{}
+	root.Arrange(0, 0, boxes)
+	if len(boxes) != 2 {
+		t.Fatalf("boxes = %v", boxes)
+	}
+}
+
+// Property: no two leaf boxes overlap, for random trees and directions.
+func TestQuickNoOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var id int
+		var build func(depth int) *Node
+		build = func(depth int) *Node {
+			if depth == 0 || rng.Intn(3) == 0 {
+				id++
+				return Leaf(string(rune('a'+id)), float64(20+rng.Intn(100)), float64(10+rng.Intn(80)))
+			}
+			n := rng.Intn(3) + 1
+			g := Group()
+			for i := 0; i < n; i++ {
+				g.Children = append(g.Children, build(depth-1))
+			}
+			g.Dir = Dir(rng.Intn(2))
+			return g
+		}
+		id = 0
+		root := build(3)
+		boxes := map[string]Box{}
+		root.Arrange(0, 0, boxes)
+		ids := make([]string, 0, len(boxes))
+		for k := range boxes {
+			ids = append(ids, k)
+		}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if overlap(boxes[ids[i]], boxes[ids[j]]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func overlap(a, b Box) bool {
+	return a.X < b.X+b.W && b.X < a.X+a.W && a.Y < b.Y+b.H && b.Y < a.Y+a.H
+}
+
+// Property: the total box contains every leaf box.
+func TestQuickTotalContainsLeaves(t *testing.T) {
+	f := func(w1, h1, w2, h2 uint8) bool {
+		root := Group(Leaf("a", float64(w1%100)+1, float64(h1%100)+1),
+			Leaf("b", float64(w2%100)+1, float64(h2%100)+1))
+		for _, d := range []Dir{Horiz, Vert} {
+			root.Dir = d
+			boxes := map[string]Box{}
+			total := root.Arrange(0, 0, boxes)
+			for _, b := range boxes {
+				if b.X < total.X-1e-9 || b.Y < total.Y-1e-9 ||
+					b.X+b.W > total.X+total.W+1e-9 || b.Y+b.H > total.Y+total.H+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxCenter(t *testing.T) {
+	cx, cy := (Box{X: 10, Y: 20, W: 30, H: 40}).Center()
+	if cx != 25 || cy != 40 {
+		t.Fatalf("center = (%g, %g)", cx, cy)
+	}
+}

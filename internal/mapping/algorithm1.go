@@ -1,0 +1,362 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"pi2/internal/cost"
+	"pi2/internal/engine"
+	"pi2/internal/iface"
+	"pi2/internal/schema"
+	"pi2/internal/transform"
+	"pi2/internal/vis"
+)
+
+// Options configures the mapping search.
+type Options struct {
+	K             int  // top-k (V, M) mappings carried into layout (paper: 10)
+	CheckSafety   bool // §4.2.2 safety checking (ablatable)
+	MaxVisPerTree int  // cap on per-tree visualization candidates
+	Model         cost.Model
+	// Exec, when non-nil, memoizes safety-check query execution across
+	// calls (one cache per MCTS worker); nil builds a fresh cache per call.
+	Exec *ExecCache
+}
+
+// DefaultOptions mirrors the paper's configuration.
+func DefaultOptions() Options {
+	return Options{K: 10, CheckSafety: true, MaxVisPerTree: 6, Model: cost.Default()}
+}
+
+// entry is one (V, M) mapping found by searchM.
+type entry struct {
+	cm      float64
+	V       []vis.Mapping
+	ints    []ICand
+	widgets []*WCand
+}
+
+// topK keeps the k lowest-cost entries.
+type topK struct {
+	k       int
+	entries []entry
+}
+
+func (t *topK) worst() float64 {
+	if len(t.entries) < t.k {
+		return math.Inf(1)
+	}
+	return t.entries[len(t.entries)-1].cm
+}
+
+func (t *topK) push(e entry) {
+	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].cm > e.cm })
+	t.entries = append(t.entries, entry{})
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+	if len(t.entries) > t.k {
+		t.entries = t.entries[:t.k]
+	}
+}
+
+// Best runs the full mapping search (Algorithm 1 + layout optimization) and
+// returns the lowest-cost interface for the state.
+func Best(state *transform.State, ctx *transform.Context, db *engine.DB, opts Options) (*iface.Interface, error) {
+	sa, err := Analyze(state, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return bestFromAnalysis(sa, db, opts)
+}
+
+func bestFromAnalysis(sa *StateAnalysis, db *engine.DB, opts Options) (*iface.Interface, error) {
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	var exec *ExecCache
+	if opts.CheckSafety {
+		exec = opts.Exec
+		if exec == nil {
+			exec = NewExecCache(db)
+		}
+	}
+	wcands := sa.WidgetCandidates()
+	heap := &topK{k: opts.K}
+
+	// searchV: enumerate all per-tree visualization assignments.
+	assignments := visAssignments(sa, opts.MaxVisPerTree)
+	for _, V := range assignments {
+		icands := sa.interactionCandidates(V, exec)
+		searchM(sa, V, icands, wcands, heap, visBaseCost(sa, V))
+	}
+	if len(heap.entries) == 0 {
+		return nil, fmt.Errorf("mapping: no valid interface mapping (choice nodes uncoverable)")
+	}
+
+	// layout optimization for the top-k, pick the overall best (§6.2.2).
+	var best *iface.Interface
+	for _, e := range heap.entries {
+		ifc := buildInterface(sa, e.V, e.ints, e.widgets)
+		finishLayout(sa, ifc, opts.Model, false, nil)
+		if best == nil || ifc.Cost < best.Cost {
+			best = ifc
+		}
+	}
+	return best, nil
+}
+
+// visAssignments enumerates the cross product of per-tree vis candidates,
+// capped per tree for tractability.
+func visAssignments(sa *StateAnalysis, maxPerTree int) [][]vis.Mapping {
+	if maxPerTree <= 0 {
+		maxPerTree = 6
+	}
+	perTree := make([][]vis.Mapping, len(sa.PerTree))
+	for i, ta := range sa.PerTree {
+		c := ta.VisCands
+		if len(c) > maxPerTree {
+			c = c[:maxPerTree]
+		}
+		perTree[i] = c
+	}
+	var out [][]vis.Mapping
+	cur := make([]vis.Mapping, len(perTree))
+	var rec func(i int)
+	rec = func(i int) {
+		if len(out) >= 512 { // hard cap on assignment explosion
+			return
+		}
+		if i == len(perTree) {
+			out = append(out, append([]vis.Mapping(nil), cur...))
+			return
+		}
+		for _, m := range perTree[i] {
+			cur[i] = m
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// searchM implements Algorithm 1's interaction search: enumerate compatible
+// visualization-interaction selections per choice node, complete each with
+// the optimal widget exact cover via dynamic programming (F/G), and prune
+// with the widget-cost lower bound (line 27).
+func searchM(sa *StateAnalysis, V []vis.Mapping, icands []ICand, wcands []WCand, heap *topK, vBase float64) {
+	n := sa.NBits
+	all := sa.AllMask()
+	// index interaction candidates by the lowest bit of their mask
+	icAt := make([][]*ICand, n)
+	for i := range icands {
+		ic := &icands[i]
+		b := bits.TrailingZeros64(ic.Mask)
+		if b < n {
+			icAt[b] = append(icAt[b], ic)
+		}
+	}
+	dp := newWidgetDP(sa, wcands, heap.k)
+
+	var chosen []ICand
+	var rec func(bit int, uncovered, skipped uint64, intsCost float64)
+	rec = func(bit int, uncovered, skipped uint64, intsCost float64) {
+		// prune: the skipped prefix can only be covered by widgets
+		if intsCost+dp.g(skipped) >= heap.worst() {
+			return
+		}
+		if bit == n {
+			for _, wc := range dp.f(uncovered) {
+				total := intsCost + wc.cost
+				if total >= heap.worst() {
+					break
+				}
+				heap.push(entry{
+					cm: total, V: append([]vis.Mapping(nil), V...),
+					ints:    append([]ICand(nil), chosen...),
+					widgets: append([]*WCand(nil), wc.widgets...),
+				})
+			}
+			return
+		}
+		if uncovered&(1<<uint(bit)) == 0 {
+			rec(bit+1, uncovered, skipped, intsCost)
+			return
+		}
+		for _, ic := range icAt[bit] {
+			if ic.Mask&^uncovered != 0 {
+				continue
+			}
+			if !compatibleWithChosen(chosen, ic) {
+				continue
+			}
+			chosen = append(chosen, *ic)
+			rec(bit+1, uncovered&^ic.Mask, skipped, intsCost+ic.SeqCost)
+			chosen = chosen[:len(chosen)-1]
+		}
+		// leave the bit to widgets
+		rec(bit+1, uncovered, skipped|1<<uint(bit), intsCost)
+	}
+	rec(0, all, 0, vBase)
+}
+
+// visBaseCost expresses PI2's chart preferences as a base cost per V
+// assignment: tables are a last resort, bar charts suit grouped results,
+// line charts suit temporal x axes. The term breaks ties among otherwise
+// equal-cost mappings the way the paper's case studies resolve them.
+func visBaseCost(sa *StateAnalysis, V []vis.Mapping) float64 {
+	total := 0.0
+	for ti, m := range V {
+		total += visRenderCost(m, sa.PerTree[ti].RS)
+	}
+	return total
+}
+
+func visRenderCost(m vis.Mapping, rs *schema.ResultSchema) float64 {
+	base := 0.0
+	// Heterogeneous-encoding penalty: a chart whose axis unions attributes
+	// with different names relabels its encoding on every interaction; the
+	// paper's Partition-then-Split behavior keeps such semantics apart.
+	for _, c := range rs.Cols {
+		if strings.Contains(c.Name, "∪") {
+			base += 400
+		}
+	}
+	switch m.Vis.Type {
+	case vis.Table:
+		return base + 2500
+	case vis.Bar:
+		return base + 950
+	case vis.Point:
+		return base + 1000
+	case vis.Line:
+		if x := m.Col("x"); x >= 0 && x < len(rs.Cols) {
+			t := rs.Cols[x].Type
+			if t.Continuous() && !t.IsNumeric() { // date axis
+				return base + 970
+			}
+		}
+		return base + 1100
+	}
+	return base + 1500
+}
+
+// compatibleWithChosen enforces Algorithm 1's side conditions: the same
+// event stream binds at most one node per target Difftree (①), and
+// conflicting interaction kinds cannot share a source chart (②).
+func compatibleWithChosen(chosen []ICand, ic *ICand) bool {
+	for i := range chosen {
+		c := &chosen[i]
+		if c.SourceVis == ic.SourceVis {
+			if c.Kind != ic.Kind && vis.ConflictsWith(c.Kind, ic.Kind) {
+				return false
+			}
+			if c.Kind == ic.Kind && c.Stream.Name == ic.Stream.Name &&
+				colsKey(c.Cols) == colsKey(ic.Cols) && c.TargetTree == ic.TargetTree {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func colsKey(cols []int) string {
+	out := make([]byte, 0, len(cols)*2)
+	for _, c := range cols {
+		out = append(out, byte('0'+c), ',')
+	}
+	return string(out)
+}
+
+// widgetDP memoizes the exact-cover dynamic programs G (min cost) and F
+// (top-k covers) over uncovered choice-node masks.
+type widgetDP struct {
+	at    [][]*WCand // candidates whose mask contains the bit
+	gMemo map[uint64]float64
+	fMemo map[uint64][]wcover
+	k     int
+	nbits int
+}
+
+type wcover struct {
+	cost    float64
+	widgets []*WCand
+}
+
+func newWidgetDP(sa *StateAnalysis, wcands []WCand, k int) *widgetDP {
+	dp := &widgetDP{
+		at:    make([][]*WCand, sa.NBits),
+		gMemo: map[uint64]float64{},
+		fMemo: map[uint64][]wcover{},
+		k:     k,
+		nbits: sa.NBits,
+	}
+	for i := range wcands {
+		w := &wcands[i]
+		m := w.Mask
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			dp.at[b] = append(dp.at[b], w)
+			m &^= 1 << uint(b)
+		}
+	}
+	return dp
+}
+
+// g is Algorithm 1's G(N): the lowest widget cost covering exactly N.
+func (dp *widgetDP) g(N uint64) float64 {
+	if N == 0 {
+		return 0
+	}
+	if v, ok := dp.gMemo[N]; ok {
+		return v
+	}
+	best := math.Inf(1)
+	b := bits.TrailingZeros64(N)
+	if b < dp.nbits {
+		for _, w := range dp.at[b] {
+			if w.Mask&^N != 0 {
+				continue
+			}
+			c := w.SeqCost + dp.g(N&^w.Mask)
+			if c < best {
+				best = c
+			}
+		}
+	}
+	dp.gMemo[N] = best
+	return best
+}
+
+// f is Algorithm 1's F(N): the top-k exact widget covers of N.
+func (dp *widgetDP) f(N uint64) []wcover {
+	if N == 0 {
+		return []wcover{{cost: 0}}
+	}
+	if v, ok := dp.fMemo[N]; ok {
+		return v
+	}
+	var out []wcover
+	b := bits.TrailingZeros64(N)
+	if b < dp.nbits {
+		for _, w := range dp.at[b] {
+			if w.Mask&^N != 0 {
+				continue
+			}
+			for _, sub := range dp.f(N &^ w.Mask) {
+				ws := make([]*WCand, 0, len(sub.widgets)+1)
+				ws = append(ws, w)
+				ws = append(ws, sub.widgets...)
+				out = append(out, wcover{cost: w.SeqCost + sub.cost, widgets: ws})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].cost < out[j].cost })
+	if len(out) > dp.k {
+		out = out[:dp.k]
+	}
+	dp.fMemo[N] = out
+	return out
+}

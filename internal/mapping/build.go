@@ -1,0 +1,355 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"pi2/internal/cost"
+	dt "pi2/internal/difftree"
+	"pi2/internal/engine"
+	"pi2/internal/iface"
+	"pi2/internal/layout"
+	"pi2/internal/sqlparser"
+	"pi2/internal/vis"
+	"pi2/internal/widget"
+)
+
+// buildInterface materializes an iface.Interface from a (V, M) selection.
+func buildInterface(sa *StateAnalysis, V []vis.Mapping, ints []ICand, widgets []*WCand) *iface.Interface {
+	ifc := &iface.Interface{State: sa.State}
+	for ti, m := range V {
+		ta := sa.PerTree[ti]
+		var cols []string
+		for _, c := range ta.RS.Cols {
+			cols = append(cols, c.Name)
+		}
+		ifc.Vis = append(ifc.Vis, iface.VisSpec{
+			ElemID:  fmt.Sprintf("vis%d", ti),
+			Tree:    ti,
+			Mapping: m,
+			Cols:    cols,
+			Title:   strings.Join(cols, ", "),
+		})
+	}
+	// widgets in global DFS order (lowest covered bit)
+	ws := append([]*WCand(nil), widgets...)
+	sort.Slice(ws, func(i, j int) bool {
+		return bits.TrailingZeros64(ws[i].Mask) < bits.TrailingZeros64(ws[j].Mask)
+	})
+	for wi, w := range ws {
+		spec := widgetSpec(sa, w)
+		spec.ElemID = fmt.Sprintf("w%d", wi)
+		ifc.Widgets = append(ifc.Widgets, spec)
+	}
+	for _, ic := range ints {
+		ifc.VisInts = append(ifc.VisInts, iface.VisIntSpec{
+			SourceVis: ic.SourceVis,
+			Kind:      ic.Kind,
+			Stream:    ic.Stream,
+			Cols:      append([]int(nil), ic.Cols...),
+			Tree:      ic.TargetTree,
+			NodeID:    ic.Node.ID,
+			Cover:     coverIDs(sa, ic),
+			Manip:     ic.Manip,
+		})
+	}
+	return ifc
+}
+
+func coverIDs(sa *StateAnalysis, ic ICand) []int {
+	var out []int
+	for _, c := range ic.Node.ChoiceNodes() {
+		out = append(out, c.ID)
+	}
+	return out
+}
+
+// widgetSpec instantiates a widget: labels and options render the bound
+// subtrees as SQL fragments, sliders take the attribute domain, dropdowns
+// over VAL nodes enumerate the catalogue values (paper §4.2: widgets are
+// initialized from the dynamic node's information, making them safe by
+// construction).
+func widgetSpec(sa *StateAnalysis, w *WCand) iface.WidgetSpec {
+	ta := sa.PerTree[w.Tree]
+	n := w.Node
+	spec := iface.WidgetSpec{
+		Kind:   w.Cand.Kind,
+		Tree:   w.Tree,
+		NodeID: n.ID,
+		Cover:  append([]int(nil), w.Cand.Cover...),
+		Min:    w.Cand.Min,
+		Max:    w.Cand.Max,
+		Manip:  w.Manip,
+	}
+	label := func(m *dt.Node) string { return trim(sqlparser.ToSQL(m), 28) }
+	switch n.Kind {
+	case dt.KindAny:
+		for _, c := range n.Children {
+			spec.Options = append(spec.Options, label(c))
+		}
+		spec.Label = "choose"
+		if t, ok := ta.Info.SchemaOf(n).SingleType(); ok && len(t.Attrs) > 0 {
+			spec.Label = t.String()
+		}
+	case dt.KindOpt:
+		spec.Label = label(n.Children[0])
+		spec.Options = []string{"on", "off"}
+	case dt.KindVal:
+		t, _ := ta.Info.SchemaOf(n).SingleType()
+		spec.Label = t.String()
+		if w.Cand.Kind == widget.Dropdown {
+			_, _, values, _, _ := t.Domain()
+			spec.Options = values
+		}
+	case dt.KindSubset:
+		for _, c := range n.Children {
+			spec.Options = append(spec.Options, label(c))
+		}
+		spec.Label = "include"
+	case dt.KindMulti:
+		spec.Label = "items"
+		if p := n.Children[0]; p.Kind == dt.KindAny {
+			for _, c := range p.Children {
+				spec.Options = append(spec.Options, label(c))
+			}
+		} else {
+			spec.Options = []string{label(n.Children[0])}
+		}
+	default:
+		// ancestor nodes (range sliders)
+		spec.Label = label(n)
+	}
+	return spec
+}
+
+func trim(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// costInteractions assembles the cost-model view of an interface: one entry
+// per interaction in DFS order, with per-use manipulation cost and global
+// cover mask. Widgets navigate to their own box; visualization interactions
+// navigate to their source chart's box.
+func costInteractions(sa *StateAnalysis, ifc *iface.Interface) []cost.Interaction {
+	type ordered struct {
+		order int
+		ci    cost.Interaction
+	}
+	var list []ordered
+	for i := range ifc.Widgets {
+		w := &ifc.Widgets[i]
+		mask := sa.Mask(w.Tree, w.Cover)
+		list = append(list, ordered{bits.TrailingZeros64(mask), cost.Interaction{
+			ElemID: w.ElemID, Manip: w.Manip, Cover: mask,
+		}})
+	}
+	for i := range ifc.VisInts {
+		v := &ifc.VisInts[i]
+		mask := sa.Mask(v.Tree, v.Cover)
+		list = append(list, ordered{bits.TrailingZeros64(mask), cost.Interaction{
+			ElemID: ifc.Vis[v.SourceVis].ElemID, Manip: v.Manip, Cover: mask,
+		}})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].order < list[j].order })
+	out := make([]cost.Interaction, len(list))
+	for i, o := range list {
+		out[i] = o.ci
+	}
+	return out
+}
+
+// finishLayout builds the layout tree and either optimizes directions
+// (branch and bound) or assigns them randomly (MCTS reward sampling), then
+// finalizes the interface cost C = Cm + Cnav + CL.
+func finishLayout(sa *StateAnalysis, ifc *iface.Interface, model cost.Model, random bool, rng *rand.Rand) {
+	ints := costInteractions(sa, ifc)
+	ifc.Cm = model.Manipulation(ints, sa.Changed)
+	vBase := 0.0
+	for _, v := range ifc.Vis {
+		vBase += visRenderCost(v.Mapping, sa.PerTree[v.Tree].RS)
+	}
+	ifc.LayoutTree = ifc.BuildLayoutTree()
+	if random && rng != nil {
+		ifc.LayoutTree.AssignDirs(func() layout.Dir {
+			if rng.Intn(2) == 0 {
+				return layout.Horiz
+			}
+			return layout.Vert
+		})
+		ifc.Boxes = map[string]layout.Box{}
+		ifc.TotalBox = ifc.LayoutTree.Arrange(0, 0, ifc.Boxes)
+		ifc.Cost = ifc.Cm + vBase + model.Navigation(ints, sa.Changed, ifc.Boxes) + model.LayoutPenalty(ifc.TotalBox)
+		return
+	}
+	boxes, total, nav := layout.Optimize(ifc.LayoutTree, func(b map[string]layout.Box, t layout.Box) float64 {
+		return model.Navigation(ints, sa.Changed, b) + model.LayoutPenalty(t)
+	})
+	ifc.Boxes = boxes
+	ifc.TotalBox = total
+	ifc.Cost = ifc.Cm + vBase + nav
+}
+
+// Greedy generates one locally-cheap interface mapping: the lowest-cost
+// visualization per tree and, per choice node, the cheapest compatible
+// candidate. It anchors the MCTS reward estimate (one greedy + K−1 random
+// samples) so good states are not underestimated by sampling noise.
+func Greedy(sa *StateAnalysis, db *engine.DB, opts Options) (*iface.Interface, bool) {
+	var exec *ExecCache
+	if opts.CheckSafety && db != nil {
+		exec = opts.Exec
+		if exec == nil {
+			exec = NewExecCache(db)
+		}
+	}
+	V := make([]vis.Mapping, len(sa.PerTree))
+	for ti, ta := range sa.PerTree {
+		if len(ta.VisCands) == 0 {
+			return nil, false
+		}
+		best := 0
+		bestCost := math.Inf(1)
+		for i, m := range ta.VisCands {
+			if c := visRenderCost(m, ta.RS); c < bestCost {
+				bestCost = c
+				best = i
+			}
+		}
+		V[ti] = ta.VisCands[best]
+	}
+	icands := sa.interactionCandidates(V, exec)
+	wcands := sa.WidgetCandidates()
+
+	uncovered := sa.AllMask()
+	var ints []ICand
+	var ws []*WCand
+	for bit := 0; bit < sa.NBits; bit++ {
+		if uncovered&(1<<uint(bit)) == 0 {
+			continue
+		}
+		bestCost := math.Inf(1)
+		var bestIC *ICand
+		var bestW *WCand
+		for i := range icands {
+			ic := &icands[i]
+			if ic.Mask&(1<<uint(bit)) == 0 || ic.Mask&^uncovered != 0 {
+				continue
+			}
+			if !compatibleWithChosen(ints, ic) {
+				continue
+			}
+			if ic.SeqCost < bestCost {
+				bestCost = ic.SeqCost
+				bestIC, bestW = ic, nil
+			}
+		}
+		for i := range wcands {
+			w := &wcands[i]
+			if w.Mask&(1<<uint(bit)) == 0 || w.Mask&^uncovered != 0 {
+				continue
+			}
+			if w.SeqCost < bestCost {
+				bestCost = w.SeqCost
+				bestIC, bestW = nil, w
+			}
+		}
+		switch {
+		case bestIC != nil:
+			ints = append(ints, *bestIC)
+			uncovered &^= bestIC.Mask
+		case bestW != nil:
+			ws = append(ws, bestW)
+			uncovered &^= bestW.Mask
+		default:
+			return nil, false
+		}
+	}
+	ifc := buildInterface(sa, V, ints, ws)
+	finishLayout(sa, ifc, opts.Model, false, nil)
+	return ifc, true
+}
+
+// Random generates one random valid interface mapping for the state — the
+// paper's reward estimator runs K of these per MCTS rollout (§6.2.1 step 4).
+func Random(sa *StateAnalysis, db *engine.DB, rng *rand.Rand, opts Options) (*iface.Interface, bool) {
+	var exec *ExecCache
+	if opts.CheckSafety && db != nil {
+		exec = opts.Exec
+		if exec == nil {
+			exec = NewExecCache(db)
+		}
+	}
+	// random V
+	V := make([]vis.Mapping, len(sa.PerTree))
+	for ti, ta := range sa.PerTree {
+		if len(ta.VisCands) == 0 {
+			return nil, false
+		}
+		V[ti] = ta.VisCands[rng.Intn(len(ta.VisCands))]
+	}
+	icands := sa.interactionCandidates(V, exec)
+	wcands := sa.WidgetCandidates()
+
+	icAt := make([][]*ICand, sa.NBits)
+	for i := range icands {
+		ic := &icands[i]
+		b := bits.TrailingZeros64(ic.Mask)
+		if b < sa.NBits {
+			icAt[b] = append(icAt[b], ic)
+		}
+	}
+	wAt := make([][]*WCand, sa.NBits)
+	for i := range wcands {
+		w := &wcands[i]
+		m := w.Mask
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			wAt[b] = append(wAt[b], w)
+			m &^= 1 << uint(b)
+		}
+	}
+
+	uncovered := sa.AllMask()
+	var ints []ICand
+	var ws []*WCand
+	for bit := 0; bit < sa.NBits; bit++ {
+		if uncovered&(1<<uint(bit)) == 0 {
+			continue
+		}
+		type pick struct {
+			ic *ICand
+			w  *WCand
+		}
+		var picks []pick
+		for _, ic := range icAt[bit] {
+			if ic.Mask&^uncovered == 0 && compatibleWithChosen(ints, ic) {
+				picks = append(picks, pick{ic: ic})
+			}
+		}
+		for _, w := range wAt[bit] {
+			if w.Mask&^uncovered == 0 {
+				picks = append(picks, pick{w: w})
+			}
+		}
+		if len(picks) == 0 {
+			return nil, false
+		}
+		p := picks[rng.Intn(len(picks))]
+		if p.ic != nil {
+			ints = append(ints, *p.ic)
+			uncovered &^= p.ic.Mask
+		} else {
+			ws = append(ws, p.w)
+			uncovered &^= p.w.Mask
+		}
+	}
+	ifc := buildInterface(sa, V, ints, ws)
+	finishLayout(sa, ifc, opts.Model, true, rng)
+	return ifc, true
+}

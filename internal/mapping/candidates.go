@@ -1,0 +1,583 @@
+// Package mapping generates candidate interface mappings and searches for
+// the lowest-cost one: visualization mapping V, interaction mapping M
+// (Algorithm 1 with the widget-cover dynamic program and branch-and-bound
+// pruning), and layout optimization for the top-k (V, M) mappings
+// (paper §4, §6.2.2).
+package mapping
+
+import (
+	"fmt"
+	"strconv"
+
+	"pi2/internal/cost"
+	dt "pi2/internal/difftree"
+	"pi2/internal/engine"
+	"pi2/internal/schema"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+	"pi2/internal/vis"
+	"pi2/internal/widget"
+)
+
+// TreeAnalysis bundles per-Difftree analysis results.
+type TreeAnalysis struct {
+	Tree     *transform.Tree
+	QB       *dt.QueryBindings
+	Info     *schema.Info
+	RS       *schema.ResultSchema
+	VisCands []vis.Mapping
+	Choice   []*dt.Node // choice nodes in DFS order
+}
+
+// StateAnalysis bundles the full state analysis: per-tree results, the
+// global bit index over choice nodes, and the per-query changed-bit masks
+// the cost model consumes.
+type StateAnalysis struct {
+	State   *transform.State
+	Ctx     *transform.Context
+	PerTree []*TreeAnalysis
+	NBits   int
+	Changed []uint64 // per input query, global bits whose binding changed
+}
+
+// Bit returns the global bit of a choice node, or -1.
+func (sa *StateAnalysis) Bit(tree, nodeID int) int {
+	b := 0
+	for ti, ta := range sa.PerTree {
+		for _, c := range ta.Choice {
+			if ti == tree && c.ID == nodeID {
+				return b
+			}
+			b++
+		}
+	}
+	return -1
+}
+
+// Mask converts a tree's cover ID list to a global bitmask.
+func (sa *StateAnalysis) Mask(tree int, cover []int) uint64 {
+	var m uint64
+	for _, id := range cover {
+		b := sa.Bit(tree, id)
+		if b < 0 || b >= 64 {
+			return 0
+		}
+		m |= 1 << uint(b)
+	}
+	return m
+}
+
+// AllMask returns the mask with every choice bit set.
+func (sa *StateAnalysis) AllMask() uint64 {
+	if sa.NBits >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(sa.NBits)) - 1
+}
+
+// Analyze validates and annotates a search state. It fails when a tree no
+// longer expresses its queries, its result schema is undefined, or the
+// choice-node count exceeds the 64-bit cover budget.
+func Analyze(state *transform.State, ctx *transform.Context) (*StateAnalysis, error) {
+	sa := &StateAnalysis{State: state, Ctx: ctx}
+	total := 0
+	for ti, tree := range state.Trees {
+		qb, ok := tree.Bind(ctx)
+		if !ok {
+			return nil, fmt.Errorf("mapping: tree %d does not express its queries", ti)
+		}
+		qs := tree.QueryASTs(ctx)
+		info := schema.Analyze(tree.Root, qs, ctx.Cat)
+		if info.Result == nil {
+			return nil, fmt.Errorf("mapping: tree %d has undefined result schema", ti)
+		}
+		ta := &TreeAnalysis{
+			Tree:     tree,
+			QB:       qb,
+			Info:     info,
+			RS:       info.Result,
+			VisCands: vis.CandidateMappings(info.Result),
+			Choice:   tree.Root.ChoiceNodes(),
+		}
+		total += len(ta.Choice)
+		sa.PerTree = append(sa.PerTree, ta)
+	}
+	if total > 64 {
+		return nil, fmt.Errorf("mapping: %d choice nodes exceed the 64-bit cover budget", total)
+	}
+	sa.NBits = total
+	sa.computeChanged()
+	return sa, nil
+}
+
+// computeChanged derives, per input query, the set of choice nodes whose
+// binding differs from the previous query that used the node's tree. The
+// first use of a node counts as a change (the user must set it).
+func (sa *StateAnalysis) computeChanged() {
+	nq := len(sa.Ctx.Queries)
+	sa.Changed = make([]uint64, nq)
+	bit := 0
+	for _, ta := range sa.PerTree {
+		// per-query index within the tree's query list
+		qpos := map[int]int{}
+		for i, qi := range ta.Tree.Queries {
+			qpos[qi] = i
+		}
+		for _, c := range ta.Choice {
+			last := ""
+			for qi := 0; qi < nq; qi++ {
+				pos, ok := qpos[qi]
+				if !ok {
+					continue
+				}
+				key := "∅"
+				if v, bound := ta.QB.PerQuery[pos][c.ID]; bound {
+					key = v.Key()
+				}
+				if key != last {
+					if bit < 64 {
+						sa.Changed[qi] |= 1 << uint(bit)
+					}
+					last = key
+				}
+			}
+			bit++
+		}
+	}
+}
+
+// UsageCount returns how many queries manipulate any node in the mask.
+func (sa *StateAnalysis) UsageCount(mask uint64) int {
+	n := 0
+	for _, ch := range sa.Changed {
+		if ch&mask != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// WCand is a widget candidate with its global mask and per-sequence cost.
+type WCand struct {
+	Tree    int
+	Cand    widget.Candidate
+	Node    *dt.Node
+	Mask    uint64
+	Manip   float64 // per-use manipulation cost
+	SeqCost float64 // Manip × number of queries that use it
+}
+
+// WidgetCandidates enumerates widget candidates across all trees.
+func (sa *StateAnalysis) WidgetCandidates() []WCand {
+	var out []WCand
+	for ti, ta := range sa.PerTree {
+		for _, n := range dynamicNodes(ta) {
+			for _, c := range widget.CandidatesFor(n, ta.Info, ta.QB) {
+				mask := sa.Mask(ti, c.Cover)
+				if mask == 0 {
+					continue
+				}
+				manip := cost.WidgetManip(c.Kind, c.DomainSize)
+				out = append(out, WCand{
+					Tree: ti, Cand: c, Node: n, Mask: mask,
+					Manip: manip, SeqCost: manip * float64(sa.UsageCount(mask)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func dynamicNodes(ta *TreeAnalysis) []*dt.Node {
+	var out []*dt.Node
+	ta.Tree.Root.Walk(func(n *dt.Node) bool {
+		if ta.Info.Dynamic[n] {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// ICand is a visualization-interaction candidate: an event stream of a
+// chart (rendering SourceTree under Mapping) bound to a dynamic node of
+// TargetTree — possibly a different tree, which is what links multi-view
+// interfaces.
+type ICand struct {
+	SourceTree int
+	SourceVis  int // index in the current V assignment
+	Kind       vis.InteractionKind
+	Stream     vis.EventStream
+	Cols       []int
+	TargetTree int
+	Node       *dt.Node
+	Mask       uint64
+	Manip      float64
+	SeqCost    float64
+}
+
+// interactionCandidates enumerates the vis-interaction candidates for one V
+// assignment (one vis.Mapping per tree). exec caches query execution for
+// safety checks; nil disables safety (the §7.3 ablation).
+func (sa *StateAnalysis) interactionCandidates(V []vis.Mapping, exec *ExecCache) []ICand {
+	var out []ICand
+	for srcIdx, m := range V {
+		srcTA := sa.PerTree[srcIdx]
+		for _, tpl := range vis.InteractionsFor(m.Vis.Type) {
+			for _, stream := range tpl.Streams {
+				for _, cols := range streamColumns(stream, m, srcTA.RS) {
+					for ti, ta := range sa.PerTree {
+						for _, n := range dynamicNodes(ta) {
+							cand, ok := sa.matchStream(srcIdx, srcTA, tpl.Kind, stream, cols, ti, ta, n)
+							if !ok {
+								continue
+							}
+							if exec != nil && !sa.safe(cand, V, exec) {
+								continue
+							}
+							out = append(out, cand)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// streamColumns resolves a stream's visual variables to result columns of
+// the source chart. The table's "*" stream expands to one variant per
+// column.
+func streamColumns(stream vis.EventStream, m vis.Mapping, rs *schema.ResultSchema) [][]int {
+	if len(stream.Vars) == 1 && stream.Vars[0] == "*" {
+		var out [][]int
+		for ci := range rs.Cols {
+			out = append(out, []int{ci})
+		}
+		return out
+	}
+	cols := make([]int, len(stream.Vars))
+	for i, v := range stream.Vars {
+		ci := m.Col(v)
+		if ci < 0 {
+			return nil
+		}
+		cols[i] = ci
+	}
+	return [][]int{cols}
+}
+
+// matchStream checks the schema match between a dynamic node and an event
+// stream (paper §4.2.1): arity and per-position type compatibility, with
+// the node shapes each stream kind can bind.
+func (sa *StateAnalysis) matchStream(srcIdx int, srcTA *TreeAnalysis, kind vis.InteractionKind, stream vis.EventStream, cols []int, ti int, ta *TreeAnalysis, n *dt.Node) (ICand, bool) {
+	// Bounded interactions (click, multi-click, brush) select within the
+	// rendered data, so they may only drive *other* views: a selection that
+	// rewrote its own chart's query would erase itself. Pan and zoom move
+	// the viewport and may self-target (the paper's Explore interface).
+	if ti == srcIdx && !stream.Unbounded {
+		return ICand{}, false
+	}
+	mk := func(node *dt.Node, cover []int) (ICand, bool) {
+		mask := sa.Mask(ti, cover)
+		if mask == 0 {
+			return ICand{}, false
+		}
+		return ICand{
+			SourceTree: srcIdx, SourceVis: srcIdx,
+			Kind: kind, Stream: stream, Cols: cols,
+			TargetTree: ti, Node: node, Mask: mask,
+			Manip:   cost.VisInteractionManip,
+			SeqCost: cost.VisInteractionManip * float64(sa.UsageCount(mask)),
+		}, true
+	}
+	colType := func(i int) schema.Type { return srcTA.RS.Cols[cols[i]].Type }
+	switch stream.Shape {
+	case vis.ShapeValue:
+		if n.Kind != dt.KindVal {
+			return ICand{}, false
+		}
+		t, ok := ta.Info.SchemaOf(n).SingleType()
+		if !ok || !typesAgree(t, colType(0)) {
+			return ICand{}, false
+		}
+		return mk(n, []int{n.ID})
+	case vis.ShapeSet:
+		if n.Kind != dt.KindMulti || n.Children[0].Kind != dt.KindVal {
+			return ICand{}, false
+		}
+		it, ok := ta.Info.SchemaOf(n.Children[0]).SingleType()
+		if !ok || !typesAgree(it, colType(0)) {
+			return ICand{}, false
+		}
+		cover := []int{n.ID, n.Children[0].ID}
+		return mk(n, cover)
+	case vis.ShapeRange:
+		target := n
+		var cover []int
+		sch := ta.Info.SchemaOf(n)
+		if n.Kind == dt.KindOpt {
+			if !stream.Togglable {
+				return ICand{}, false
+			}
+			sch = ta.Info.SchemaOf(n.Children[0])
+		} else if n.Kind.IsChoice() {
+			return ICand{}, false
+		}
+		types, ok := sch.ContinuousTypes()
+		if !ok || len(types) != len(cols) {
+			return ICand{}, false
+		}
+		for i, t := range types {
+			if !typesAgree(t, colType(i)) {
+				return ICand{}, false
+			}
+		}
+		// the range's event tuple carries arbitrary values between the
+		// bounds, so every bound position must be a VAL pattern (an ANY
+		// can only resolve to its enumerated children).
+		vals := rangeValIDs(target)
+		if len(vals) != len(cols) {
+			return ICand{}, false
+		}
+		if target.Kind == dt.KindOpt {
+			cover = append(cover, target.ID)
+		}
+		cover = append(cover, vals...)
+		if len(target.ChoiceNodes()) != len(cover) {
+			return ICand{}, false // other choice nodes hide in the subtree
+		}
+		return mk(target, cover)
+	}
+	return ICand{}, false
+}
+
+// typesAgree checks base compatibility in either direction plus attribute
+// agreement: an attribute-typed dynamic node only accepts event streams
+// whose column shares one of its attributes — a pan over the mpg (or a
+// count) axis cannot write id values even though all are numeric. Plain
+// primitive nodes accept any base-compatible stream (the paper's §4.2.2
+// VAL<num> example), with the safety check carrying the rest.
+func typesAgree(node, col schema.Type) bool {
+	if !schema.Compatible(node, col) && !schema.Compatible(col, node) {
+		return false
+	}
+	if len(node.Attrs) == 0 {
+		return true
+	}
+	for _, a := range node.Attrs {
+		for _, b := range col.Attrs {
+			if a.Qualified() == b.Qualified() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ExecCache memoizes query execution during safety checking.
+type ExecCache struct {
+	DB    *engine.DB
+	cache map[string]*engine.Table
+	Execs int // cache misses (actual executions), for the §7.3 ablation
+}
+
+// NewExecCache returns a cache over the database.
+func NewExecCache(db *engine.DB) *ExecCache {
+	return &ExecCache{DB: db, cache: map[string]*engine.Table{}}
+}
+
+// Run resolves and executes a Difftree under one binding.
+func (ec *ExecCache) Run(root *dt.Node, b dt.Binding) (*engine.Table, error) {
+	ast, err := dt.Resolve(root, b)
+	if err != nil {
+		return nil, err
+	}
+	sql := sqlparser.ToSQL(ast)
+	if t, ok := ec.cache[sql]; ok {
+		return t, nil
+	}
+	t, err := engine.Exec(ec.DB, ast)
+	if err != nil {
+		return nil, err
+	}
+	ec.Execs++
+	ec.cache[sql] = t
+	return t, nil
+}
+
+// safe implements the §4.2.2 safety heuristic: instantiate the source chart
+// with each input query's result and check whether some single query's
+// result can express every query binding of the target node.
+func (sa *StateAnalysis) safe(c ICand, V []vis.Mapping, exec *ExecCache) bool {
+	if c.Stream.Unbounded {
+		// pan/zoom move the viewport itself; they can express any range
+		// regardless of the rendered extent.
+		return true
+	}
+	srcTA := sa.PerTree[c.SourceVis]
+	required := sa.requiredValues(c)
+	if required == nil {
+		return false
+	}
+	if len(required) == 0 {
+		return true // nothing to express (e.g. all bindings absent)
+	}
+	for qi := range srcTA.Tree.Queries {
+		res, err := exec.Run(srcTA.Tree.Root, srcTA.QB.PerQuery[qi])
+		if err != nil {
+			continue
+		}
+		if sa.resultExpresses(c, res, required) {
+			return true
+		}
+	}
+	return false
+}
+
+// requirement is one tuple of values the interaction must express.
+type requirement []string
+
+// requiredValues collects the target node's query bindings as value tuples
+// aligned with the stream positions. nil signals an unexpressible shape.
+func (sa *StateAnalysis) requiredValues(c ICand) []requirement {
+	ta := sa.PerTree[c.TargetTree]
+	switch c.Stream.Shape {
+	case vis.ShapeValue:
+		var out []requirement
+		for _, v := range ta.QB.ValuesFor(c.Node.ID) {
+			out = append(out, requirement{v.Lit})
+		}
+		return out
+	case vis.ShapeSet:
+		valID := c.Node.Children[0].ID
+		var out []requirement
+		for _, v := range ta.QB.ValuesFor(c.Node.ID) {
+			for _, rep := range v.Reps {
+				if bv, ok := rep[valID]; ok {
+					out = append(out, requirement{bv.Lit})
+				}
+			}
+		}
+		return out
+	case vis.ShapeRange:
+		// per query: the covered VAL literals in DFS order
+		valIDs := rangeValIDs(c.Node)
+		if len(valIDs) != len(c.Cols) {
+			return nil
+		}
+		var out []requirement
+		for _, b := range ta.QB.PerQuery {
+			if c.Node.Kind == dt.KindOpt {
+				if v, ok := b[c.Node.ID]; !ok || !v.Present {
+					continue // absent: expressible by clearing the brush
+				}
+			}
+			tuple := make(requirement, 0, len(valIDs))
+			complete := true
+			for _, id := range valIDs {
+				v, ok := b[id]
+				if !ok {
+					complete = false
+					break
+				}
+				tuple = append(tuple, v.Lit)
+			}
+			if complete {
+				out = append(out, tuple)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// rangeValIDs lists the VAL choice nodes under a range-bound node in DFS
+// order, skipping the optional OPT wrapper itself.
+func rangeValIDs(n *dt.Node) []int {
+	var out []int
+	for _, c := range n.ChoiceNodes() {
+		if c.Kind == dt.KindVal {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// resultExpresses checks one rendered result against the requirements.
+func (sa *StateAnalysis) resultExpresses(c ICand, res *engine.Table, required []requirement) bool {
+	switch c.Stream.Shape {
+	case vis.ShapeValue, vis.ShapeSet:
+		col := c.Cols[0]
+		if col >= len(res.Cols) {
+			return false
+		}
+		have := map[string]bool{}
+		for _, row := range res.Rows {
+			have[row[col].Text()] = true
+		}
+		for _, req := range required {
+			if !valuePresent(have, req[0]) {
+				return false
+			}
+		}
+		return true
+	case vis.ShapeRange:
+		// bounds per stream position: required values must fall within the
+		// rendered column's [min, max]
+		for pos, col := range c.Cols {
+			if col >= len(res.Cols) {
+				return false
+			}
+			lo, hi, ok := columnExtent(res, col)
+			if !ok {
+				return false
+			}
+			for _, req := range required {
+				if !withinExtent(req[pos], lo, hi) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func valuePresent(have map[string]bool, lit string) bool {
+	if have[lit] {
+		return true
+	}
+	// numeric literals may differ textually ("50" vs "50.0")
+	if f, err := strconv.ParseFloat(lit, 64); err == nil {
+		return have[strconv.FormatFloat(f, 'g', -1, 64)]
+	}
+	return false
+}
+
+func columnExtent(res *engine.Table, col int) (engine.Value, engine.Value, bool) {
+	if len(res.Rows) == 0 {
+		return engine.Value{}, engine.Value{}, false
+	}
+	lo, hi := res.Rows[0][col], res.Rows[0][col]
+	for _, row := range res.Rows[1:] {
+		v := row[col]
+		if engine.Compare(v, lo) < 0 {
+			lo = v
+		}
+		if engine.Compare(v, hi) > 0 {
+			hi = v
+		}
+	}
+	return lo, hi, true
+}
+
+func withinExtent(lit string, lo, hi engine.Value) bool {
+	var v engine.Value
+	if f, err := strconv.ParseFloat(lit, 64); err == nil {
+		v = engine.NumVal(f)
+	} else {
+		v = engine.StrVal(lit)
+	}
+	return engine.Compare(v, lo) >= 0 && engine.Compare(v, hi) <= 0
+}

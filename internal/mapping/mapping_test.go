@@ -1,0 +1,327 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"pi2/internal/catalog"
+	"pi2/internal/dataset"
+	dt "pi2/internal/difftree"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+	"pi2/internal/vis"
+	"pi2/internal/widget"
+)
+
+var (
+	testDB  = dataset.NewDB()
+	testCat = catalog.Build(testDB, dataset.Keys())
+)
+
+func ctxFor(t *testing.T, sqls ...string) *transform.Context {
+	t.Helper()
+	qs, err := sqlparser.ParseAll(sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &transform.Context{Queries: qs, Cat: testCat}
+}
+
+// drive applies the named rules greedily until none applies (bounded).
+func drive(t *testing.T, s *transform.State, ctx *transform.Context, rules ...string) *transform.State {
+	t.Helper()
+	allowed := map[string]bool{}
+	for _, r := range rules {
+		allowed[r] = true
+	}
+	for step := 0; step < 40; step++ {
+		applied := false
+		for _, a := range transform.Applicable(s, ctx) {
+			if !allowed[a.Rule] {
+				continue
+			}
+			next, ok := a.Run()
+			if !ok {
+				continue
+			}
+			s = next
+			applied = true
+			break
+		}
+		if !applied {
+			return s
+		}
+	}
+	return s
+}
+
+func TestBestStaticBarChart(t *testing.T) {
+	ctx := ctxFor(t, "SELECT hour, count(*) FROM flights GROUP BY hour")
+	s := transform.InitState(ctx, true)
+	ifc, err := Best(s, ctx, testDB, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ifc.Vis) != 1 {
+		t.Fatalf("vis count = %d", len(ifc.Vis))
+	}
+	if got := ifc.Vis[0].Mapping.Vis.Type; got != vis.Bar && got != vis.Point && got != vis.Line {
+		t.Fatalf("vis type = %v, want a chart (not table)", got)
+	}
+	if ifc.InteractionCount() != 0 {
+		t.Fatalf("static query should have no interactions, got %d", ifc.InteractionCount())
+	}
+	if ifc.TotalBox.W <= 0 || ifc.TotalBox.H <= 0 {
+		t.Fatalf("layout box = %+v", ifc.TotalBox)
+	}
+}
+
+func TestBestSliderForVAL(t *testing.T) {
+	// Figure 3(c): a = VAL<num> should map to a slider (or the chart).
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p")
+	s := transform.InitState(ctx, true)
+	s = drive(t, s, ctx, "PushANY", "Noop", "ANY→VAL")
+	sa, err := Analyze(s, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.NBits != 1 {
+		t.Fatalf("choice bits = %d, want 1 (single VAL)", sa.NBits)
+	}
+	ifc, err := Best(s, ctx, testDB, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifc.InteractionCount() != 1 {
+		t.Fatalf("interactions = %d, want 1", ifc.InteractionCount())
+	}
+}
+
+func TestExplorePanZoomCandidates(t *testing.T) {
+	// The Explore workload (Listing 1): after pushing ANY down and lifting
+	// literals to VALs, the AND node has schema <hp,hp,mpg,mpg> and the
+	// scatterplot's pan/zoom xy-viewport stream must be a candidate.
+	ctx := ctxFor(t,
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38",
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90 AND mpg BETWEEN 16 AND 30")
+	s := transform.InitState(ctx, true)
+	s = drive(t, s, ctx, "PushANY", "Noop", "ANY→VAL")
+	sa, err := Analyze(s, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.NBits != 4 {
+		t.Fatalf("choice bits = %d, want 4 VALs; tree: %v", sa.NBits, s.Trees[0].Root)
+	}
+	// scatter mapping must exist
+	var scatter *vis.Mapping
+	for i, m := range sa.PerTree[0].VisCands {
+		if m.Vis.Type == vis.Point {
+			scatter = &sa.PerTree[0].VisCands[i]
+			break
+		}
+	}
+	if scatter == nil {
+		t.Fatalf("no scatterplot candidate; cands = %v", sa.PerTree[0].VisCands)
+	}
+	exec := NewExecCache(testDB)
+	icands := sa.interactionCandidates([]vis.Mapping{*scatter}, exec)
+	foundRange4 := false
+	for _, ic := range icands {
+		if ic.Stream.Name == "xy-viewport" || ic.Stream.Name == "xy-range" {
+			foundRange4 = true
+		}
+	}
+	if !foundRange4 {
+		t.Fatalf("no 4-var range candidate; icands = %d", len(icands))
+	}
+	// end-to-end Best should prefer the vis interaction over 4 sliders
+	ifc, err := Best(s, ctx, testDB, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ifc.VisInts) == 0 {
+		t.Fatalf("expected a visualization interaction; got widgets %v", ifc.Widgets)
+	}
+}
+
+func TestSafetyRejectsUnexpressibleClick(t *testing.T) {
+	// §4.2.2: a chart filtered to exclude a required binding value must not
+	// be a safe click source.
+	ctx := ctxFor(t,
+		"SELECT a, count(*) FROM T WHERE p = 1 GROUP BY a",
+		"SELECT a, count(*) FROM T WHERE p = 2 GROUP BY a")
+	s := transform.InitState(ctx, true)
+	s = drive(t, s, ctx, "PushANY", "Noop", "ANY→VAL")
+	sa, err := Analyze(s, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// find VAL node and its required values
+	valNode := findVal(s)
+	if valNode == nil {
+		t.Skip("no VAL produced")
+	}
+	// With safety on, click candidates bound to p-VAL must verify the
+	// chart's a-column actually contains the p literals. The a column in
+	// the toy table covers 1..4 and p covers 1..6, so this can pass or fail
+	// depending on data; the point is that safety executes and filters.
+	exec := NewExecCache(testDB)
+	m := sa.PerTree[0].VisCands[0]
+	icands := sa.interactionCandidates([]vis.Mapping{m}, exec)
+	icandsNoSafety := sa.interactionCandidates([]vis.Mapping{m}, nil)
+	if len(icands) > len(icandsNoSafety) {
+		t.Fatal("safety checking added candidates")
+	}
+	if exec.Execs == 0 && len(icandsNoSafety) > 0 {
+		t.Fatal("safety checking never executed a query")
+	}
+}
+
+func findVal(s *transform.State) *dt.Node {
+	for _, tr := range s.Trees {
+		var out *dt.Node
+		tr.Root.Walk(func(n *dt.Node) bool {
+			if n.Kind == dt.KindVal {
+				out = n
+			}
+			return out == nil
+		})
+		if out != nil {
+			return out
+		}
+	}
+	return nil
+}
+
+func TestWidgetCandidatesForOptAndAny(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT date, cases FROM covid WHERE state = 'CA'",
+		"SELECT date, cases FROM covid WHERE state = 'WA'")
+	s := transform.InitState(ctx, true)
+	s = drive(t, s, ctx, "PushANY", "Noop")
+	sa, err := Analyze(s, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := sa.WidgetCandidates()
+	if len(wc) == 0 {
+		t.Fatal("no widget candidates")
+	}
+	kinds := map[widget.Kind]bool{}
+	for _, w := range wc {
+		kinds[w.Cand.Kind] = true
+	}
+	if !kinds[widget.Radio] && !kinds[widget.Dropdown] && !kinds[widget.Textbox] {
+		t.Fatalf("no enumerating widget candidate: %v", kinds)
+	}
+}
+
+func TestRandomInterfaceValid(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p")
+	s := transform.InitState(ctx, true)
+	s = drive(t, s, ctx, "PushANY", "Noop", "ANY→VAL")
+	sa, err := Analyze(s, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	okCount := 0
+	for i := 0; i < 10; i++ {
+		ifc, ok := Random(sa, testDB, rng, DefaultOptions())
+		if !ok {
+			continue
+		}
+		okCount++
+		if ifc.Cost <= 0 {
+			t.Fatalf("random interface cost = %v", ifc.Cost)
+		}
+		// exact cover: every choice bit covered once
+		var covered uint64
+		for _, w := range ifc.Widgets {
+			m := sa.Mask(w.Tree, w.Cover)
+			if covered&m != 0 {
+				t.Fatal("overlapping widget covers")
+			}
+			covered |= m
+		}
+		for _, v := range ifc.VisInts {
+			m := sa.Mask(v.Tree, v.Cover)
+			if covered&m != 0 {
+				t.Fatal("overlapping interaction covers")
+			}
+			covered |= m
+		}
+		if covered != sa.AllMask() {
+			t.Fatalf("cover incomplete: %b vs %b", covered, sa.AllMask())
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("random mapping never succeeded")
+	}
+}
+
+func TestChangedBitsSequence(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p")
+	s := transform.InitState(ctx, true)
+	s = drive(t, s, ctx, "PushANY", "Noop", "ANY→VAL")
+	sa, err := Analyze(s, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.NBits != 1 {
+		t.Fatalf("bits = %d", sa.NBits)
+	}
+	// q0 sets the value, q1 changes it, q2 repeats it (no change)
+	if sa.Changed[0] == 0 || sa.Changed[1] == 0 {
+		t.Fatalf("changed = %b %b", sa.Changed[0], sa.Changed[1])
+	}
+	if sa.Changed[2] != 0 {
+		t.Fatalf("identical query should not change bindings: %b", sa.Changed[2])
+	}
+	if got := sa.UsageCount(1); got != 2 {
+		t.Fatalf("usage = %d, want 2", got)
+	}
+}
+
+func TestAnalyzeRejectsOverBudget(t *testing.T) {
+	// a tree with >64 choice nodes must be rejected
+	var sqls []string
+	for i := 0; i < 2; i++ {
+		sqls = append(sqls, "SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p")
+	}
+	ctx := ctxFor(t, sqls...)
+	s := transform.InitState(ctx, false)
+	// fabricate an over-budget tree
+	anyN := dt.New(dt.KindAny, "")
+	for i := 0; i < 70; i++ {
+		anyN.Children = append(anyN.Children, dt.New(dt.KindVal, "num", dt.Number("1")))
+	}
+	s.Trees[0].Root.Children[2] = dt.New(dt.KindWhere, "", dt.New(dt.KindAnd, "", anyN))
+	s.Trees[0].Root.Renumber()
+	if _, err := Analyze(s, ctx); err == nil {
+		t.Fatal("expected over-budget rejection")
+	}
+}
+
+func TestTableAlwaysAvailable(t *testing.T) {
+	// 9-attribute SDSS projection: chart mappings fail, table must remain.
+	ctx := ctxFor(t,
+		`SELECT DISTINCT gal.objID, gal.u, gal.g, gal.r, gal.i, gal.z, s.z, s.ra, s.dec
+		 FROM galaxy as gal, specObj as s WHERE s.bestObjID = gal.objID`)
+	s := transform.InitState(ctx, true)
+	ifc, err := Best(s, ctx, testDB, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifc.Vis[0].Mapping.Vis.Type != vis.Table {
+		t.Fatalf("vis = %v, want table", ifc.Vis[0].Mapping.Vis.Type)
+	}
+}

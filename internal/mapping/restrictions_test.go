@@ -1,0 +1,199 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	dt "pi2/internal/difftree"
+	"pi2/internal/transform"
+	"pi2/internal/vis"
+)
+
+// exploreState builds the pushed+VAL Explore state (1 tree, 4 VALs).
+func exploreState(t *testing.T) (*transform.State, *transform.Context) {
+	t.Helper()
+	ctx := ctxFor(t,
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38",
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90 AND mpg BETWEEN 16 AND 30")
+	s := transform.InitState(ctx, true)
+	s = drive(t, s, ctx, "PushANY", "Noop", "ANY→VAL")
+	return s, ctx
+}
+
+func TestBoundedInteractionsAreCrossViewOnly(t *testing.T) {
+	// a brush whose target is its own chart's tree would erase itself;
+	// only pan/zoom (unbounded) may self-target.
+	s, ctx := exploreState(t)
+	sa, err := Analyze(s, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scatter vis.Mapping
+	for _, m := range sa.PerTree[0].VisCands {
+		if m.Vis.Type == vis.Point {
+			scatter = m
+			break
+		}
+	}
+	icands := sa.interactionCandidates([]vis.Mapping{scatter}, nil)
+	for _, ic := range icands {
+		if ic.TargetTree == ic.SourceTree && !ic.Stream.Unbounded {
+			t.Errorf("bounded %s self-targets tree %d", ic.Kind, ic.TargetTree)
+		}
+	}
+	// pan must exist and may self-target
+	foundPan := false
+	for _, ic := range icands {
+		if ic.Kind == vis.Pan {
+			foundPan = true
+		}
+	}
+	if !foundPan {
+		t.Fatal("pan candidate missing")
+	}
+}
+
+func TestRangeTargetsMustBeVAL(t *testing.T) {
+	// before ANY→VAL, the ranges are ANY nodes: no range interaction may
+	// bind them (an ANY can only resolve to its enumerated children).
+	ctx := ctxFor(t,
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38",
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90 AND mpg BETWEEN 16 AND 30")
+	s := transform.InitState(ctx, true)
+	s = drive(t, s, ctx, "PushANY", "Noop") // no ANY→VAL
+	sa, err := Analyze(s, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scatter vis.Mapping
+	for _, m := range sa.PerTree[0].VisCands {
+		if m.Vis.Type == vis.Point {
+			scatter = m
+			break
+		}
+	}
+	for _, ic := range sa.interactionCandidates([]vis.Mapping{scatter}, nil) {
+		if ic.Stream.Shape == vis.ShapeRange {
+			for _, c := range ic.Node.ChoiceNodes() {
+				if c.Kind == dt.KindAny {
+					t.Fatalf("range stream bound an ANY node %d", c.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestAttributeAgreementBlocksWrongAxis(t *testing.T) {
+	// a pan over (hp, mpg) axes must not bind a dist-typed range in
+	// another tree.
+	ctx := ctxFor(t,
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38",
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90 AND mpg BETWEEN 16 AND 30",
+		"SELECT dist, count(*) FROM flights WHERE delay BETWEEN 0 AND 50 GROUP BY dist",
+		"SELECT dist, count(*) FROM flights WHERE delay BETWEEN 10 AND 60 GROUP BY dist")
+	s := transform.InitState(ctx, true)
+	s = drive(t, s, ctx, "PushANY", "Noop", "ANY→VAL")
+	sa, err := Analyze(s, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	V := make([]vis.Mapping, len(sa.PerTree))
+	for ti, ta := range sa.PerTree {
+		V[ti] = ta.VisCands[0]
+		for _, m := range ta.VisCands {
+			if m.Vis.Type != vis.Table {
+				V[ti] = m
+				break
+			}
+		}
+	}
+	for _, ic := range sa.interactionCandidates(V, nil) {
+		if ic.SourceTree == ic.TargetTree {
+			continue
+		}
+		// the cars chart must never drive the flights tree and vice versa
+		srcIsCars := sa.PerTree[ic.SourceTree].RS.Cols[0].Qualified == "Cars.hp"
+		dstIsCars := sa.PerTree[ic.TargetTree].RS.Cols[0].Qualified == "Cars.hp"
+		if srcIsCars != dstIsCars {
+			t.Errorf("cross-dataset binding: %s from tree %d to tree %d", ic.Kind, ic.SourceTree, ic.TargetTree)
+		}
+	}
+}
+
+func TestGreedyMatchesBestOrWorse(t *testing.T) {
+	// Greedy is a heuristic: it must produce a valid interface whose cost
+	// is no better than the exhaustive Algorithm 1 result.
+	s, ctx := exploreState(t)
+	sa, err := Analyze(s, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := Greedy(sa, testDB, DefaultOptions())
+	if !ok {
+		t.Fatal("greedy failed")
+	}
+	best, err := Best(s, ctx, testDB, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Cost > g.Cost+1e-9 {
+		t.Fatalf("exhaustive (%g) worse than greedy (%g)", best.Cost, g.Cost)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	s, ctx := exploreState(t)
+	sa, _ := Analyze(s, ctx)
+	a, ok1 := Greedy(sa, testDB, DefaultOptions())
+	b, ok2 := Greedy(sa, testDB, DefaultOptions())
+	if !ok1 || !ok2 || a.Cost != b.Cost {
+		t.Fatalf("greedy nondeterministic: %v %v", a, b)
+	}
+}
+
+func TestUnboundedSafetyExemption(t *testing.T) {
+	// pan/zoom may express ranges beyond the rendered extent: the safety
+	// check must pass even though the bindings exceed the filtered result.
+	s, ctx := exploreState(t)
+	sa, _ := Analyze(s, ctx)
+	exec := NewExecCache(testDB)
+	var scatter vis.Mapping
+	for _, m := range sa.PerTree[0].VisCands {
+		if m.Vis.Type == vis.Point {
+			scatter = m
+			break
+		}
+	}
+	withSafety := sa.interactionCandidates([]vis.Mapping{scatter}, exec)
+	foundPan := false
+	for _, ic := range withSafety {
+		if ic.Kind == vis.Pan {
+			foundPan = true
+		}
+	}
+	if !foundPan {
+		t.Fatal("safety check rejected the unbounded pan")
+	}
+}
+
+func TestRandomRespectsCompatibility(t *testing.T) {
+	s, ctx := exploreState(t)
+	sa, _ := Analyze(s, ctx)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		ifc, ok := Random(sa, testDB, rng, DefaultOptions())
+		if !ok {
+			continue
+		}
+		// no two vis interactions may duplicate (source, kind, stream, target)
+		seen := map[string]bool{}
+		for _, v := range ifc.VisInts {
+			key := string(v.Kind) + v.Stream.Name + colsKey(v.Cols) +
+				string(rune('0'+v.SourceVis)) + string(rune('0'+v.Tree))
+			if seen[key] {
+				t.Fatal("duplicate interaction instance")
+			}
+			seen[key] = true
+		}
+	}
+}

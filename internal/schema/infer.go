@@ -1,0 +1,268 @@
+package schema
+
+import (
+	"strings"
+
+	"pi2/internal/catalog"
+	dt "pi2/internal/difftree"
+)
+
+// Info is the full analysis of one Difftree: node types for static nodes,
+// node schemas for dynamic nodes, and the unified result schema of the
+// queries the tree expresses.
+type Info struct {
+	Cat     *catalog.Catalog
+	Tree    *dt.Node
+	Scope   map[string]string // lowercased alias -> lowercased table
+	Types   map[*dt.Node]Type
+	Dynamic map[*dt.Node]bool
+	Schemas map[*dt.Node]*Schema
+	Result  *ResultSchema // nil when the expressed queries are not union compatible
+}
+
+// Analyze annotates the Difftree (paper §3.2). queries are the concrete
+// input ASTs the tree expresses; they drive result-schema inference.
+func Analyze(tree *dt.Node, queries []*dt.Node, cat *catalog.Catalog) *Info {
+	info := &Info{
+		Cat:     cat,
+		Tree:    tree,
+		Scope:   map[string]string{},
+		Types:   map[*dt.Node]Type{},
+		Dynamic: map[*dt.Node]bool{},
+		Schemas: map[*dt.Node]*Schema{},
+	}
+	collectScope(tree, info.Scope)
+	for _, q := range queries {
+		collectScope(q, info.Scope)
+	}
+	info.initTypes(tree)
+	info.specializeComparisons(tree)
+	info.markDynamic(tree)
+	info.inferSchema(tree)
+	info.Result = InferResultSchema(queries, cat)
+	return info
+}
+
+// SchemaOf returns the node schema of a dynamic node (nil for static nodes).
+func (in *Info) SchemaOf(n *dt.Node) *Schema { return in.Schemas[n] }
+
+// TypeOf returns the inferred type of a node (BaseAST if unknown).
+func (in *Info) TypeOf(n *dt.Node) Type {
+	if t, ok := in.Types[n]; ok {
+		return t
+	}
+	return ASTType()
+}
+
+// collectScope records alias→table bindings from every TableRef.
+func collectScope(n *dt.Node, scope map[string]string) {
+	n.Walk(func(m *dt.Node) bool {
+		if m.Kind == dt.KindTableRef && len(m.Children) == 2 {
+			src, alias := m.Children[0], m.Children[1]
+			if src.Kind == dt.KindIdent {
+				table := strings.ToLower(src.Label)
+				scope[table] = table
+				if alias.Kind == dt.KindIdent {
+					scope[strings.ToLower(alias.Label)] = table
+				}
+			}
+		}
+		return true
+	})
+}
+
+// initTypes assigns initial types (paper §3.2.1 Initialization): literals by
+// grammar rule, identifiers str (they denote names, not attribute values),
+// functions by catalogue return type, internal nodes AST.
+func (in *Info) initTypes(n *dt.Node) {
+	n.Walk(func(m *dt.Node) bool {
+		switch m.Kind {
+		case dt.KindNumber:
+			in.Types[m] = NumType()
+		case dt.KindString:
+			in.Types[m] = StrType()
+		case dt.KindIdent:
+			in.Types[m] = StrType()
+		case dt.KindFunc:
+			switch catalog.FuncReturn(m.Label) {
+			case "num":
+				in.Types[m] = NumType()
+			case "str":
+				in.Types[m] = StrType()
+			default:
+				in.Types[m] = ASTType()
+			}
+		case dt.KindVal:
+			if m.Label == "num" {
+				in.Types[m] = NumType()
+			} else {
+				in.Types[m] = StrType()
+			}
+		default:
+			in.Types[m] = ASTType()
+		}
+		return true
+	})
+}
+
+// specializeComparisons implements §3.2.1 Inference: in comparison contexts
+// (attr = val, attr BETWEEN lo AND hi, attr IN (...)), the literal side's
+// type is specialized to the attribute's type. The heuristic extends the
+// paper's equality rule to the other comparison forms its own workloads use.
+func (in *Info) specializeComparisons(n *dt.Node) {
+	n.Walk(func(m *dt.Node) bool {
+		switch m.Kind {
+		case dt.KindBinary:
+			switch m.Label {
+			case "=", "<>", "<", ">", "<=", ">=":
+				l, r := m.Children[0], m.Children[1]
+				if t, ok := in.attrTypeOf(l); ok {
+					in.applyAttrType(r, t)
+				} else if t, ok := in.attrTypeOf(r); ok {
+					in.applyAttrType(l, t)
+				}
+			}
+		case dt.KindBetween:
+			if t, ok := in.attrTypeOf(m.Children[0]); ok {
+				in.applyAttrType(m.Children[1], t)
+				in.applyAttrType(m.Children[2], t)
+			}
+		case dt.KindIn:
+			if t, ok := in.attrTypeOf(m.Children[0]); ok {
+				if m.Children[1].Kind == dt.KindExprList {
+					for _, c := range m.Children[1].Children {
+						in.applyAttrType(c, t)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// attrTypeOf resolves a subtree that denotes an attribute reference — an
+// identifier, or an ANY over identifiers — to its attribute type.
+func (in *Info) attrTypeOf(n *dt.Node) (Type, bool) {
+	switch n.Kind {
+	case dt.KindIdent:
+		cols := in.Cat.Lookup(n.Label, in.Scope)
+		if len(cols) == 0 {
+			return Type{}, false
+		}
+		t := AttrType(cols[0])
+		for _, c := range cols[1:] {
+			t = Union(t, AttrType(c))
+		}
+		return t, true
+	case dt.KindAny:
+		var t Type
+		ok := false
+		for _, c := range n.Children {
+			ct, cok := in.attrTypeOf(c)
+			if !cok {
+				return Type{}, false
+			}
+			if !ok {
+				t, ok = ct, true
+			} else {
+				t = Union(t, ct)
+			}
+		}
+		return t, ok
+	case dt.KindFunc:
+		// date(x, off) keeps the date attribute's domain
+		if n.Label == "date" && len(n.Children) > 0 {
+			return Type{}, false
+		}
+	}
+	return Type{}, false
+}
+
+// applyAttrType specializes literal and VAL nodes in a value-denoting
+// subtree to the attribute's type; choice nodes recurse.
+func (in *Info) applyAttrType(n *dt.Node, t Type) {
+	switch n.Kind {
+	case dt.KindNumber, dt.KindString, dt.KindVal:
+		in.Types[n] = t
+	case dt.KindAny, dt.KindOpt, dt.KindMulti, dt.KindSubset:
+		for _, c := range n.Children {
+			in.applyAttrType(c, t)
+		}
+	}
+}
+
+// markDynamic computes the Dynamic flag: choice nodes and their ancestors.
+func (in *Info) markDynamic(n *dt.Node) bool {
+	dyn := n.Kind.IsChoice()
+	for _, c := range n.Children {
+		if in.markDynamic(c) {
+			dyn = true
+		}
+	}
+	in.Dynamic[n] = dyn
+	return dyn
+}
+
+// inferSchema assigns node schemas to dynamic nodes, bottom-up (paper
+// §3.2.3). It also refines the types of all-static ANY nodes to the union of
+// their child types.
+func (in *Info) inferSchema(n *dt.Node) {
+	for _, c := range n.Children {
+		in.inferSchema(c)
+	}
+	if !in.Dynamic[n] {
+		return
+	}
+	childSchema := func(c *dt.Node) *Schema {
+		if s, ok := in.Schemas[c]; ok {
+			return s
+		}
+		return TypeSchema(in.TypeOf(c))
+	}
+	switch n.Kind {
+	case dt.KindAny:
+		allStatic := true
+		for _, c := range n.Children {
+			if in.Dynamic[c] {
+				allStatic = false
+				break
+			}
+		}
+		if allStatic {
+			t := in.TypeOf(n.Children[0])
+			for _, c := range n.Children[1:] {
+				t = Union(t, in.TypeOf(c))
+			}
+			in.Types[n] = t
+			in.Schemas[n] = TypeSchema(t)
+			return
+		}
+		e := &Expr{Op: OpOr}
+		for _, c := range n.Children {
+			e.Subs = append(e.Subs, childSchema(c))
+		}
+		in.Schemas[n] = &Schema{Exprs: []*Expr{e}}
+	case dt.KindOpt:
+		in.Schemas[n] = &Schema{Exprs: []*Expr{{Op: OpOpt, Subs: []*Schema{childSchema(n.Children[0])}}}}
+	case dt.KindVal:
+		in.Schemas[n] = TypeSchema(in.TypeOf(n))
+	case dt.KindMulti:
+		in.Schemas[n] = &Schema{Exprs: []*Expr{{Op: OpRep, Subs: []*Schema{childSchema(n.Children[0])}}}}
+	case dt.KindSubset:
+		s := &Schema{}
+		for _, c := range n.Children {
+			s.Exprs = append(s.Exprs, &Expr{Op: OpOpt, Subs: []*Schema{childSchema(c)}})
+		}
+		in.Schemas[n] = s
+	default:
+		// static node with dynamic descendants: cross product of the
+		// dynamic children's schemas
+		s := &Schema{}
+		for _, c := range n.Children {
+			if in.Dynamic[c] {
+				s.Exprs = append(s.Exprs, childSchema(c).Exprs...)
+			}
+		}
+		in.Schemas[n] = s
+	}
+}

@@ -1,0 +1,311 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pi2/internal/catalog"
+	"pi2/internal/dataset"
+	dt "pi2/internal/difftree"
+	"pi2/internal/sqlparser"
+)
+
+var testCat = catalog.Build(dataset.NewDB(), dataset.Keys())
+
+func TestTypeUnionHierarchy(t *testing.T) {
+	if got := Union(NumType(), NumType()); got.Base != BaseNum {
+		t.Errorf("num ∪ num = %v", got)
+	}
+	if got := Union(NumType(), StrType()); got.Base != BaseStr {
+		t.Errorf("num ∪ str = %v", got)
+	}
+	if got := Union(StrType(), ASTType()); got.Base != BaseAST {
+		t.Errorf("str ∪ AST = %v", got)
+	}
+}
+
+func TestTypeUnionAttrs(t *testing.T) {
+	a := testCat.Lookup("T.a", nil)[0]
+	b := testCat.Lookup("T.b", nil)[0]
+	ta, tb := AttrType(a), AttrType(b)
+	u := Union(ta, ta)
+	if len(u.Attrs) != 1 || u.Attrs[0] != a {
+		t.Errorf("T.a ∪ T.a = %v", u)
+	}
+	u = Union(ta, tb)
+	if len(u.Attrs) != 2 || u.Base != BaseNum {
+		t.Errorf("T.a ∪ T.b = %v", u)
+	}
+	min, max, _, card, ok := u.Domain()
+	if !ok || min >= max || card <= 0 {
+		t.Errorf("union domain = %v %v %v %v", min, max, card, ok)
+	}
+}
+
+func TestCompatibleSubsetRule(t *testing.T) {
+	if !Compatible(NumType(), StrType()) {
+		t.Error("num should be compatible with str")
+	}
+	if Compatible(StrType(), NumType()) {
+		t.Error("str should not be compatible with num")
+	}
+	if !Compatible(NumType(), ASTType()) || !Compatible(StrType(), ASTType()) {
+		t.Error("everything should be compatible with AST")
+	}
+}
+
+// Property: Union is commutative and idempotent on bases.
+func TestQuickUnionProperties(t *testing.T) {
+	bases := []Type{NumType(), StrType(), ASTType()}
+	f := func(i, j uint8) bool {
+		a, b := bases[int(i)%3], bases[int(j)%3]
+		ab, ba := Union(a, b), Union(b, a)
+		if ab.Base != ba.Base {
+			return false
+		}
+		aa := Union(a, a)
+		return aa.Base == a.Base && Compatible(a, ab) && Compatible(b, ab)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func analyzeSQL(t *testing.T, sqls ...string) (*Info, []*dt.Node) {
+	t.Helper()
+	queries, err := sqlparser.ParseAll(sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := queries[0].Clone()
+	tree.Renumber()
+	return Analyze(tree, queries[:1], testCat), queries
+}
+
+func TestLiteralSpecialization(t *testing.T) {
+	info, _ := analyzeSQL(t, "SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p")
+	// find the literal "1"
+	var lit *dt.Node
+	info.Tree.Walk(func(m *dt.Node) bool {
+		if m.Kind == dt.KindNumber && m.Label == "1" {
+			lit = m
+		}
+		return true
+	})
+	ty := info.TypeOf(lit)
+	if len(ty.Attrs) != 1 || !strings.EqualFold(ty.Attrs[0].Qualified(), "T.a") {
+		t.Fatalf("literal type = %v, want T.a", ty)
+	}
+}
+
+func TestBetweenSpecialization(t *testing.T) {
+	info, _ := analyzeSQL(t, "SELECT hp FROM Cars WHERE hp BETWEEN 50 AND 60")
+	count := 0
+	info.Tree.Walk(func(m *dt.Node) bool {
+		if m.Kind == dt.KindNumber {
+			ty := info.TypeOf(m)
+			if len(ty.Attrs) == 1 && ty.Attrs[0].Name == "hp" {
+				count++
+			}
+		}
+		return true
+	})
+	if count != 2 {
+		t.Fatalf("specialized literals = %d, want 2 (lo and hi)", count)
+	}
+}
+
+func TestAnySchemaAllStaticChildren(t *testing.T) {
+	// ANY(a=1, b=2): paper Figure 3(a). The ANY node's children are static
+	// comparison subtrees, so its schema is the union of child types (AST).
+	q1 := sqlparser.MustParse("SELECT p FROM T WHERE a = 1")
+	anyN := dt.New(dt.KindAny, "",
+		dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1")),
+		dt.New(dt.KindBinary, "=", dt.Ident("b"), dt.Number("2")))
+	tree := q1.Clone()
+	tree.Children[2].Children[0] = anyN
+	tree.Renumber()
+	info := Analyze(tree, []*dt.Node{q1}, testCat)
+	s := info.SchemaOf(anyN)
+	if s == nil || s.Arity() != 1 {
+		t.Fatalf("ANY schema = %v", s)
+	}
+	if ty, ok := s.SingleType(); !ok || ty.Base != BaseAST {
+		t.Fatalf("ANY type = %v", s)
+	}
+}
+
+func TestAnySchemaOverLiteralsGetsAttrUnion(t *testing.T) {
+	// a = ANY(1, 2): the ANY's children are literals compared to attribute
+	// a, so the ANY's type specializes to T.a (paper §2 Schemas).
+	anyN := dt.New(dt.KindAny, "", dt.Number("1"), dt.Number("2"))
+	pred := dt.New(dt.KindBinary, "=", dt.Ident("a"), anyN)
+	q := sqlparser.MustParse("SELECT p FROM T WHERE a = 1")
+	tree := q.Clone()
+	tree.Children[2].Children[0] = pred
+	tree.Renumber()
+	info := Analyze(tree, []*dt.Node{q}, testCat)
+	s := info.SchemaOf(anyN)
+	ty, ok := s.SingleType()
+	if !ok || len(ty.Attrs) != 1 || ty.Attrs[0].Name != "a" {
+		t.Fatalf("ANY-over-literals schema = %v", s)
+	}
+	if !ty.IsNumeric() {
+		t.Fatalf("type should be numeric: %v", ty)
+	}
+}
+
+func TestNestedSchemas(t *testing.T) {
+	// MULTI(ANY(a, b)) inside a select list: schema <<str>*> (Figure 7b).
+	anyN := dt.New(dt.KindAny, "", dt.Ident("a"), dt.Ident("b"))
+	multi := dt.New(dt.KindMulti, "", anyN)
+	list := dt.New(dt.KindExprList, "", multi)
+	list.Renumber()
+	info := Analyze(list, nil, testCat)
+	s := info.SchemaOf(multi)
+	if s.Arity() != 1 || s.Exprs[0].Op != OpRep {
+		t.Fatalf("MULTI schema = %v", s)
+	}
+	inner := s.Exprs[0].Subs[0]
+	if ty, ok := inner.SingleType(); !ok || ty.Base != BaseStr {
+		t.Fatalf("inner schema = %v", inner)
+	}
+	// the list node is a dynamic ancestor: cross product = the MULTI schema
+	ls := info.SchemaOf(list)
+	if ls.Arity() != 1 || ls.Exprs[0].Op != OpRep {
+		t.Fatalf("list schema = %v", ls)
+	}
+}
+
+func TestSubsetSchemaAllOptional(t *testing.T) {
+	sub := dt.New(dt.KindSubset, "", dt.Ident("a"), dt.Ident("b"))
+	list := dt.New(dt.KindAnd, "", sub)
+	list.Renumber()
+	info := Analyze(list, nil, testCat)
+	s := info.SchemaOf(sub)
+	if !s.AllOptional() || s.Arity() != 2 {
+		t.Fatalf("SUBSET schema = %v", s)
+	}
+}
+
+func TestResultSchemaGroupBy(t *testing.T) {
+	q := sqlparser.MustParse("SELECT hour, count(*) FROM flights GROUP BY hour")
+	rs := InferResultSchema([]*dt.Node{q}, testCat)
+	if rs == nil || len(rs.Cols) != 2 {
+		t.Fatalf("rs = %+v", rs)
+	}
+	if !rs.Grouped {
+		t.Error("grouped flag missing")
+	}
+	if !rs.Cols[0].GroupKey || rs.Cols[1].GroupKey {
+		t.Errorf("group keys = %v %v", rs.Cols[0].GroupKey, rs.Cols[1].GroupKey)
+	}
+	if !rs.Cols[1].IsAgg || !rs.Cols[1].Quant || rs.Cols[1].Cat {
+		t.Errorf("agg col = %+v", rs.Cols[1])
+	}
+	if !rs.Cols[0].Cat {
+		t.Errorf("hour should be categorical: %+v", rs.Cols[0])
+	}
+	if !rs.FDHolds([]int{0}, 1) {
+		t.Error("hour should determine count")
+	}
+	if rs.FDHolds([]int{1}, 0) {
+		t.Error("count should not determine hour")
+	}
+}
+
+func TestResultSchemaPinnedKeyFD(t *testing.T) {
+	// covid: key is conceptually (state, date); with state pinned by an
+	// equality predicate, date determines cases within the result.
+	db := dataset.NewDB()
+	cat := catalog.Build(db, map[string][]string{"covid": {"state", "date"}})
+	q := sqlparser.MustParse("SELECT date, cases FROM covid WHERE state = 'CA'")
+	rs := InferResultSchema([]*dt.Node{q}, cat)
+	if rs == nil {
+		t.Fatal("rs undefined")
+	}
+	if !rs.FDHolds([]int{0}, 1) {
+		t.Error("date should determine cases when state is pinned")
+	}
+}
+
+func TestResultSchemaUnionCompatible(t *testing.T) {
+	q1 := sqlparser.MustParse("SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p")
+	q2 := sqlparser.MustParse("SELECT a, count(*) FROM T GROUP BY a")
+	rs := InferResultSchema([]*dt.Node{q1, q2}, testCat)
+	if rs == nil {
+		t.Fatal("union compatible queries reported incompatible")
+	}
+	if !strings.Contains(rs.Cols[0].Name, "∪") {
+		t.Errorf("union name = %q", rs.Cols[0].Name)
+	}
+	// arity mismatch → undefined
+	q3 := sqlparser.MustParse("SELECT a FROM T")
+	if rs := InferResultSchema([]*dt.Node{q1, q3}, testCat); rs != nil {
+		t.Error("arity mismatch should be undefined")
+	}
+}
+
+func TestResultSchemaBoolColumn(t *testing.T) {
+	q := sqlparser.MustParse("SELECT mpg, disp, id in (1,2) as color FROM Cars")
+	rs := InferResultSchema([]*dt.Node{q}, testCat)
+	if rs == nil {
+		t.Fatal("rs undefined")
+	}
+	c := rs.Cols[2]
+	if c.Name != "color" || c.Distinct != 2 || !c.Cat {
+		t.Fatalf("bool col = %+v", c)
+	}
+}
+
+func TestResultSchemaDistinctMakesKey(t *testing.T) {
+	q := sqlparser.MustParse("SELECT DISTINCT ra, dec FROM specObj WHERE ra BETWEEN 213.2 AND 213.6")
+	rs := InferResultSchema([]*dt.Node{q}, testCat)
+	if rs == nil {
+		t.Fatal("rs undefined")
+	}
+	if !rs.FDHolds([]int{0, 1}, 0) {
+		t.Error("distinct projection should act as a key")
+	}
+}
+
+func TestResultSchemaKeyColumn(t *testing.T) {
+	q := sqlparser.MustParse("SELECT id, hp FROM Cars")
+	rs := InferResultSchema([]*dt.Node{q}, testCat)
+	if rs == nil {
+		t.Fatal("rs undefined")
+	}
+	if !rs.FDHolds([]int{0}, 1) {
+		t.Error("id (key) should determine hp")
+	}
+}
+
+func TestSchemaStringRendering(t *testing.T) {
+	s := &Schema{Exprs: []*Expr{
+		{Op: OpType, T: NumType()},
+		{Op: OpOpt, Subs: []*Schema{TypeSchema(StrType())}},
+	}}
+	if got := s.String(); got != "<num, str?>" {
+		t.Errorf("String() = %q", got)
+	}
+	rep := &Schema{Exprs: []*Expr{{Op: OpRep, Subs: []*Schema{TypeSchema(StrType())}}}}
+	if got := rep.String(); got != "<str*>" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestNumericTypesShape(t *testing.T) {
+	s := &Schema{Exprs: []*Expr{
+		{Op: OpType, T: NumType()},
+		{Op: OpType, T: NumType()},
+	}}
+	types, ok := s.NumericTypes()
+	if !ok || len(types) != 2 {
+		t.Fatalf("NumericTypes = %v %v", types, ok)
+	}
+	s2 := &Schema{Exprs: []*Expr{{Op: OpType, T: StrType()}}}
+	if _, ok := s2.NumericTypes(); ok {
+		t.Error("str schema should not be numeric")
+	}
+}

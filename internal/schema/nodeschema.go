@@ -1,0 +1,136 @@
+package schema
+
+import "strings"
+
+// Op is a node-schema expression operator (paper §3.2.3: {|, ?, *} with
+// regular-expression semantics over types and schemas).
+type Op uint8
+
+const (
+	OpType Op = iota // a plain type expression
+	OpOr             // e1 | e2 | ... (ANY with dynamic children)
+	OpOpt            // e?           (OPT, SUBSET elements)
+	OpRep            // e*           (MULTI)
+)
+
+// Expr is one type expression in a node schema.
+type Expr struct {
+	Op   Op
+	T    Type      // when Op == OpType
+	Subs []*Schema // OpOr: alternatives; OpOpt/OpRep: exactly one element
+}
+
+// Schema is a node schema: a list of type expressions whose cross product
+// describes the structural variation a dynamic node expresses.
+type Schema struct {
+	Exprs []*Expr
+}
+
+// TypeSchema wraps a single plain type.
+func TypeSchema(t Type) *Schema {
+	return &Schema{Exprs: []*Expr{{Op: OpType, T: t}}}
+}
+
+// String renders schemas like "<T.a, num?>" (paper Figure 7 annotations).
+func (s *Schema) String() string {
+	if s == nil {
+		return "<>"
+	}
+	parts := make([]string, len(s.Exprs))
+	for i, e := range s.Exprs {
+		parts[i] = e.String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+func (e *Expr) String() string {
+	switch e.Op {
+	case OpType:
+		return e.T.String()
+	case OpOr:
+		parts := make([]string, len(e.Subs))
+		for i, s := range e.Subs {
+			parts[i] = s.compactString()
+		}
+		return strings.Join(parts, "|")
+	case OpOpt:
+		return e.Subs[0].compactString() + "?"
+	case OpRep:
+		return e.Subs[0].compactString() + "*"
+	}
+	return "?"
+}
+
+// compactString drops the angle brackets for single-expression schemas so
+// nested renderings stay readable, e.g. "<<str>*>" → "<str*>".
+func (s *Schema) compactString() string {
+	if len(s.Exprs) == 1 && s.Exprs[0].Op == OpType {
+		return s.Exprs[0].T.String()
+	}
+	return s.String()
+}
+
+// SingleType returns (type, true) when the schema is exactly one plain type
+// expression — the shape sliders, textboxes and VAL-style interactions need.
+func (s *Schema) SingleType() (Type, bool) {
+	if s != nil && len(s.Exprs) == 1 && s.Exprs[0].Op == OpType {
+		return s.Exprs[0].T, true
+	}
+	return Type{}, false
+}
+
+// AllOptional reports whether every expression is an OPT (the SUBSET shape
+// checkbox lists match).
+func (s *Schema) AllOptional() bool {
+	if s == nil || len(s.Exprs) == 0 {
+		return false
+	}
+	for _, e := range s.Exprs {
+		if e.Op != OpOpt {
+			return false
+		}
+	}
+	return true
+}
+
+// Arity returns the number of type expressions.
+func (s *Schema) Arity() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Exprs)
+}
+
+// NumericTypes returns the plain types of all expressions if every
+// expression is a numeric type expression (the range-slider shape), else
+// nil, false.
+func (s *Schema) NumericTypes() ([]Type, bool) {
+	if s == nil || len(s.Exprs) == 0 {
+		return nil, false
+	}
+	out := make([]Type, len(s.Exprs))
+	for i, e := range s.Exprs {
+		if e.Op != OpType || !e.T.IsNumeric() {
+			return nil, false
+		}
+		out[i] = e.T
+	}
+	return out, true
+}
+
+// ContinuousTypes returns the plain types of all expressions if every
+// expression is a continuous type (numeric or date) — the brush/pan/zoom
+// range shape, which unlike range sliders accepts orderable dates.
+func (s *Schema) ContinuousTypes() ([]Type, bool) {
+	if s == nil || len(s.Exprs) == 0 {
+		return nil, false
+	}
+	out := make([]Type, len(s.Exprs))
+	for i, e := range s.Exprs {
+		if e.Op != OpType || !e.T.Continuous() {
+			return nil, false
+		}
+		out[i] = e.T
+	}
+	return out, true
+}

@@ -1,0 +1,457 @@
+package schema
+
+import (
+	"strings"
+
+	"pi2/internal/catalog"
+	dt "pi2/internal/difftree"
+)
+
+// bigCardinality marks continuous / unbounded output columns (aggregates,
+// arithmetic) that can never be treated as categorical.
+const bigCardinality = 1 << 20
+
+// ResultCol describes one column of a Difftree's result schema.
+type ResultCol struct {
+	Name      string
+	Type      Type
+	Distinct  int
+	IsAgg     bool   // value of an aggregate function
+	GroupKey  bool   // grouping attribute in every expressed query
+	Quant     bool   // compatible with quantitative visual variables
+	Cat       bool   // compatible with categorical visual variables
+	Qualified string // qualified source attribute ("table.col"), "" otherwise
+}
+
+// ResultSchema is the union schema over all queries a Difftree expresses
+// (paper §3.2.2), plus the functional-dependency facts visualization
+// constraints need (§4.1).
+type ResultSchema struct {
+	Cols    []ResultCol
+	Grouped bool    // every query aggregates (GROUP BY or bare aggregates)
+	Keys    [][]int // result-column index sets that form candidate keys
+}
+
+// GroupKeyIdx returns the indexes of the grouping columns.
+func (rs *ResultSchema) GroupKeyIdx() []int {
+	var out []int
+	for i, c := range rs.Cols {
+		if c.GroupKey {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FDHolds reports whether the determinant columns functionally determine
+// the dependent column: grouping attributes determine aggregates, and any
+// candidate key determines everything.
+func (rs *ResultSchema) FDHolds(determinants []int, dep int) bool {
+	dset := map[int]bool{}
+	for _, d := range determinants {
+		dset[d] = true
+	}
+	if rs.Grouped && rs.Cols[dep].IsAgg {
+		all := true
+		for _, g := range rs.GroupKeyIdx() {
+			if !dset[g] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	for _, key := range rs.Keys {
+		covered := true
+		for _, k := range key {
+			if !dset[k] {
+				covered = false
+				break
+			}
+		}
+		if covered && len(key) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// InferResultSchema computes the union result schema of the queries; nil
+// when they are not union compatible.
+func InferResultSchema(queries []*dt.Node, cat *catalog.Catalog) *ResultSchema {
+	if len(queries) == 0 {
+		return nil
+	}
+	var out *ResultSchema
+	for _, q := range queries {
+		qs := queryResultSchema(q, cat)
+		if qs == nil {
+			return nil
+		}
+		if out == nil {
+			out = qs
+			continue
+		}
+		out = unionSchemas(out, qs)
+		if out == nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func unionSchemas(a, b *ResultSchema) *ResultSchema {
+	if len(a.Cols) != len(b.Cols) {
+		return nil
+	}
+	out := &ResultSchema{Grouped: a.Grouped && b.Grouped}
+	for i := range a.Cols {
+		ca, cb := a.Cols[i], b.Cols[i]
+		name := unionName(ca.Name, cb.Name)
+		qual := ca.Qualified
+		if cb.Qualified != qual {
+			qual = ""
+		}
+		out.Cols = append(out.Cols, ResultCol{
+			Name:      name,
+			Type:      Union(ca.Type, cb.Type),
+			Distinct:  maxInt(ca.Distinct, cb.Distinct),
+			IsAgg:     ca.IsAgg && cb.IsAgg,
+			GroupKey:  ca.GroupKey && cb.GroupKey,
+			Quant:     ca.Quant && cb.Quant,
+			Cat:       ca.Cat && cb.Cat,
+			Qualified: qual,
+		})
+	}
+	out.Keys = intersectKeys(a.Keys, b.Keys)
+	return out
+}
+
+// unionName concatenates the distinct attribute names of a unioned column
+// (paper §3.2.2: "each attribute name is a concatenation of the unique
+// attribute names").
+func unionName(a, b string) string {
+	parts := strings.Split(a, "∪")
+	for _, p := range strings.Split(b, "∪") {
+		found := false
+		for _, q := range parts {
+			if q == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			parts = append(parts, p)
+		}
+	}
+	return strings.Join(parts, "∪")
+}
+
+func intersectKeys(a, b [][]int) [][]int {
+	var out [][]int
+	for _, ka := range a {
+		for _, kb := range b {
+			if equalIntSets(ka, kb) {
+				out = append(out, ka)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func equalIntSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[int]bool{}
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// queryResultSchema statically analyzes one concrete query AST.
+func queryResultSchema(q *dt.Node, cat *catalog.Catalog) *ResultSchema {
+	if q.Kind != dt.KindQuery {
+		return nil
+	}
+	scope := map[string]string{}
+	collectScope(q, scope)
+	// restrict scope to THIS query's from clause for name resolution
+	localScope := map[string]string{}
+	from := q.Children[1]
+	if from.Kind == dt.KindFrom {
+		for _, ref := range from.Children {
+			src, alias := ref.Children[0], ref.Children[1]
+			if src.Kind == dt.KindIdent {
+				t := strings.ToLower(src.Label)
+				localScope[t] = t
+				if alias.Kind == dt.KindIdent {
+					localScope[strings.ToLower(alias.Label)] = t
+				}
+			}
+		}
+	}
+	if len(localScope) == 0 {
+		localScope = scope
+	}
+
+	sel, groupby, where := q.Children[0], q.Children[3], q.Children[2]
+	rs := &ResultSchema{}
+
+	var groupExprs []*dt.Node
+	if groupby.Kind == dt.KindGroupBy {
+		groupExprs = groupby.Children
+	}
+	hasAgg := containsAggregate(sel) || containsAggregate(q.Children[4])
+	rs.Grouped = len(groupExprs) > 0 || hasAgg
+
+	// pinned columns: top-level equality predicates fix an attribute to a
+	// constant, so it participates in key coverage implicitly.
+	pinned := pinnedCols(where, cat, localScope)
+
+	type colInfo struct {
+		rc   ResultCol
+		expr *dt.Node
+	}
+	var cols []colInfo
+	items := sel.Children
+	for _, item := range items {
+		expr := item.Children[0]
+		alias := item.Children[1]
+		if expr.Kind == dt.KindStar {
+			for _, tname := range sortedScopeTables(localScope) {
+				tm := cat.Tables[tname]
+				if tm == nil {
+					continue
+				}
+				for _, c := range tm.Columns {
+					rc := attrResultCol(c)
+					cols = append(cols, colInfo{rc, dt.Ident(c.Qualified())})
+				}
+			}
+			continue
+		}
+		rc := exprResultCol(expr, cat, localScope)
+		if alias.Kind == dt.KindIdent {
+			rc.Name = alias.Label
+		}
+		cols = append(cols, colInfo{rc, expr})
+	}
+
+	// grouping flags: a column is a group key when its expression matches a
+	// GROUP BY expression structurally or by attribute name.
+	for i := range cols {
+		for _, g := range groupExprs {
+			if dt.Equal(cols[i].expr, g) || sameAttrRef(cols[i].expr, g) {
+				cols[i].rc.GroupKey = true
+			}
+		}
+		rs.Cols = append(rs.Cols, cols[i].rc)
+	}
+
+	// candidate keys: for each table key, check coverage by result columns
+	// and pinned attributes.
+	for _, tname := range sortedScopeTables(localScope) {
+		tm := cat.Tables[tname]
+		if tm == nil {
+			continue
+		}
+		for _, key := range tm.Keys {
+			var idxs []int
+			covered := true
+			for _, kc := range key {
+				qual := strings.ToLower(tm.Name + "." + kc)
+				if pinned[qual] {
+					continue
+				}
+				found := -1
+				for i, c := range rs.Cols {
+					if strings.ToLower(c.Qualified) == qual {
+						found = i
+						break
+					}
+				}
+				if found < 0 {
+					covered = false
+					break
+				}
+				idxs = append(idxs, found)
+			}
+			if covered && len(idxs) > 0 {
+				rs.Keys = append(rs.Keys, idxs)
+			}
+		}
+	}
+	// DISTINCT over the full projection makes the whole row a key.
+	if sel.Label == "distinct" {
+		all := make([]int, len(rs.Cols))
+		for i := range all {
+			all[i] = i
+		}
+		rs.Keys = append(rs.Keys, all)
+	}
+	return rs
+}
+
+func sortedScopeTables(scope map[string]string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range scope {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	// deterministic order
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// sameAttrRef reports whether two expressions reference the same attribute
+// by (possibly differently qualified) name.
+func sameAttrRef(a, b *dt.Node) bool {
+	if a.Kind != dt.KindIdent || b.Kind != dt.KindIdent {
+		return false
+	}
+	return shortName(a.Label) == shortName(b.Label)
+}
+
+func shortName(s string) string {
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return strings.ToLower(s[i+1:])
+	}
+	return strings.ToLower(s)
+}
+
+// pinnedCols finds attributes fixed by top-level equality predicates.
+func pinnedCols(where *dt.Node, cat *catalog.Catalog, scope map[string]string) map[string]bool {
+	out := map[string]bool{}
+	if where.Kind != dt.KindWhere {
+		return out
+	}
+	var conjuncts []*dt.Node
+	if where.Children[0].Kind == dt.KindAnd {
+		conjuncts = where.Children[0].Children
+	} else {
+		conjuncts = []*dt.Node{where.Children[0]}
+	}
+	for _, c := range conjuncts {
+		if c.Kind == dt.KindBinary && c.Label == "=" {
+			l, r := c.Children[0], c.Children[1]
+			if l.Kind == dt.KindIdent && r.Kind.IsLiteral() {
+				for _, col := range cat.Lookup(l.Label, scope) {
+					out[strings.ToLower(col.Qualified())] = true
+				}
+			}
+			if r.Kind == dt.KindIdent && l.Kind.IsLiteral() {
+				for _, col := range cat.Lookup(r.Label, scope) {
+					out[strings.ToLower(col.Qualified())] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func containsAggregate(n *dt.Node) bool {
+	if n.Kind == dt.KindNone {
+		return false
+	}
+	found := false
+	n.Walk(func(m *dt.Node) bool {
+		if m != n && m.Kind == dt.KindQuery {
+			return false
+		}
+		if m.Kind == dt.KindFunc {
+			switch m.Label {
+			case "count", "sum", "avg", "min", "max":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func attrResultCol(c *catalog.Column) ResultCol {
+	return ResultCol{
+		Name:      c.Name,
+		Type:      AttrType(c),
+		Distinct:  c.Distinct,
+		Quant:     c.Quantitative(),
+		Cat:       c.Categorical(),
+		Qualified: c.Qualified(),
+	}
+}
+
+// exprResultCol derives column metadata from a select expression.
+func exprResultCol(e *dt.Node, cat *catalog.Catalog, scope map[string]string) ResultCol {
+	switch e.Kind {
+	case dt.KindIdent:
+		cols := cat.Lookup(e.Label, scope)
+		if len(cols) > 0 {
+			rc := attrResultCol(cols[0])
+			rc.Name = shortDisplayName(e.Label)
+			return rc
+		}
+		return ResultCol{Name: shortDisplayName(e.Label), Type: StrType(), Distinct: bigCardinality}
+	case dt.KindFunc:
+		name := e.Label
+		if len(e.Children) == 1 && e.Children[0].Kind == dt.KindIdent {
+			name = e.Label + "_" + shortDisplayName(e.Children[0].Label)
+		}
+		switch e.Label {
+		case "count", "sum", "avg", "min", "max":
+			return ResultCol{Name: name, Type: NumType(), Distinct: bigCardinality, IsAgg: true, Quant: true}
+		case "date", "today":
+			return ResultCol{Name: name, Type: StrType(), Distinct: bigCardinality, Quant: true}
+		default:
+			return ResultCol{Name: name, Type: NumType(), Distinct: bigCardinality, Quant: true}
+		}
+	case dt.KindIn, dt.KindBinary, dt.KindBetween, dt.KindAnd, dt.KindOr, dt.KindNot:
+		if e.Kind == dt.KindBinary {
+			switch e.Label {
+			case "+", "-", "*", "/":
+				return ResultCol{Name: "expr", Type: NumType(), Distinct: bigCardinality, Quant: true}
+			}
+		}
+		// boolean: two values, categorical and quantitative
+		return ResultCol{Name: "expr", Type: NumType(), Distinct: 2, Quant: true, Cat: true}
+	case dt.KindNumber:
+		return ResultCol{Name: "expr", Type: NumType(), Distinct: 1, Quant: true, Cat: true}
+	case dt.KindString:
+		return ResultCol{Name: "expr", Type: StrType(), Distinct: 1, Cat: true}
+	default:
+		return ResultCol{Name: "expr", Type: ASTType(), Distinct: bigCardinality}
+	}
+}
+
+// shortDisplayName strips the qualifier: "gal.objID" → "objID".
+func shortDisplayName(s string) string {
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}

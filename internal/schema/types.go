@@ -1,0 +1,162 @@
+// Package schema implements PI2's type and schema inference (paper §3.2):
+// the AST→str→num type hierarchy with attribute specialization, node-schema
+// inference for dynamic nodes, result-schema inference with union
+// compatibility, and the functional-dependency facts visualization mapping
+// needs.
+package schema
+
+import (
+	"sort"
+	"strings"
+
+	"pi2/internal/catalog"
+)
+
+// Base is a primitive type in the paper's trivial hierarchy AST → str → num
+// (num specializes str, str specializes AST).
+type Base uint8
+
+const (
+	BaseAST Base = iota
+	BaseStr
+	BaseNum
+)
+
+func (b Base) String() string {
+	switch b {
+	case BaseNum:
+		return "num"
+	case BaseStr:
+		return "str"
+	default:
+		return "AST"
+	}
+}
+
+// Type is a node type: a primitive base optionally specialized by one or
+// more attributes (an ANY over literals compared against both a and b gets
+// the union attribute set {a, b}, paper §2 "Schemas").
+type Type struct {
+	Base  Base
+	Attrs []*catalog.Column // sorted by qualified name; empty = plain primitive
+}
+
+// NumType and StrType are the plain primitives.
+func NumType() Type { return Type{Base: BaseNum} }
+func StrType() Type { return Type{Base: BaseStr} }
+func ASTType() Type { return Type{Base: BaseAST} }
+
+// AttrType specializes the column's primitive to its domain.
+func AttrType(c *catalog.Column) Type {
+	b := BaseStr
+	if c.IsNum {
+		b = BaseNum
+	}
+	return Type{Base: b, Attrs: []*catalog.Column{c}}
+}
+
+// String renders e.g. "num", "T.a", "{T.a|T.b}".
+func (t Type) String() string {
+	switch len(t.Attrs) {
+	case 0:
+		return t.Base.String()
+	case 1:
+		return t.Attrs[0].Qualified()
+	default:
+		names := make([]string, len(t.Attrs))
+		for i, a := range t.Attrs {
+			names[i] = a.Qualified()
+		}
+		return "{" + strings.Join(names, "|") + "}"
+	}
+}
+
+// Union returns the least common ancestor type (paper §3.2.1). Attribute
+// sets with equal bases union; otherwise specialization is dropped.
+func Union(a, b Type) Type {
+	base := a.Base
+	if b.Base < base {
+		base = b.Base // smaller enum = more general (AST < str < num)
+	}
+	if len(a.Attrs) > 0 && len(b.Attrs) > 0 && a.Base == b.Base {
+		return Type{Base: base, Attrs: unionAttrs(a.Attrs, b.Attrs)}
+	}
+	return Type{Base: base}
+}
+
+func unionAttrs(a, b []*catalog.Column) []*catalog.Column {
+	seen := map[string]*catalog.Column{}
+	for _, c := range a {
+		seen[c.Qualified()] = c
+	}
+	for _, c := range b {
+		seen[c.Qualified()] = c
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*catalog.Column, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out
+}
+
+// Compatible reports whether sub's domain is a subset of super's domain at
+// the base level (paper: "a type t1 is compatible with t2 if its domain is a
+// subset of t2's domain"). num ⊆ str ⊆ AST; attribute types use their base.
+func Compatible(sub, super Type) bool {
+	return sub.Base >= super.Base
+}
+
+// IsNumeric reports whether values of the type are numbers (sliders and
+// range sliders require this).
+func (t Type) IsNumeric() bool { return t.Base == BaseNum }
+
+// Continuous reports whether the type supports range interactions (brush,
+// pan, zoom): numeric types, and date-attribute types whose ISO strings are
+// orderable (the paper's sp500/covid brushes operate on dates).
+func (t Type) Continuous() bool {
+	if t.IsNumeric() {
+		return true
+	}
+	if len(t.Attrs) == 0 {
+		return false
+	}
+	for _, a := range t.Attrs {
+		if !a.IsDate {
+			return false
+		}
+	}
+	return true
+}
+
+// Domain summarizes the value domain of an attribute-specialized type for
+// widget initialization: numeric [Min,Max], the distinct value list (for
+// enumerating widgets), and total cardinality. ok is false for plain
+// primitives, whose domains are unbounded.
+func (t Type) Domain() (min, max float64, values []string, card int, ok bool) {
+	if len(t.Attrs) == 0 {
+		return 0, 0, nil, 0, false
+	}
+	seen := map[string]bool{}
+	for i, a := range t.Attrs {
+		if i == 0 || a.Min < min {
+			min = a.Min
+		}
+		if i == 0 || a.Max > max {
+			max = a.Max
+		}
+		card += a.Distinct
+		for _, v := range a.Values {
+			if !seen[v] {
+				seen[v] = true
+				values = append(values, v)
+			}
+		}
+	}
+	sort.Strings(values)
+	return min, max, values, card, true
+}

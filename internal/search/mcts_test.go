@@ -1,0 +1,160 @@
+package search
+
+import (
+	"testing"
+
+	"pi2/internal/catalog"
+	"pi2/internal/dataset"
+	dt "pi2/internal/difftree"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+)
+
+var (
+	testDB  = dataset.NewDB()
+	testCat = catalog.Build(testDB, dataset.Keys())
+)
+
+func ctxFor(t *testing.T, sqls ...string) *transform.Context {
+	t.Helper()
+	qs, err := sqlparser.ParseAll(sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &transform.Context{Queries: qs, Cat: testCat}
+}
+
+func fastParams() Params {
+	p := DefaultParams()
+	p.Workers = 1
+	p.MaxIterations = 60
+	p.EarlyStop = 20
+	return p
+}
+
+func TestSearchImprovesOnInitialState(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p")
+	res := Run(ctx, testDB, fastParams())
+	if res.State == nil {
+		t.Fatal("no state returned")
+	}
+	// the returned state should contain a VAL node (a = VAL generalization)
+	hasVal := false
+	for _, tr := range res.State.Trees {
+		tr.Root.Walk(func(n *dt.Node) bool {
+			if n.Kind == dt.KindVal {
+				hasVal = true
+			}
+			return true
+		})
+	}
+	if !hasVal {
+		t.Errorf("search did not lift the literal to VAL: %v", res.State.Trees[0].Root)
+	}
+	if !res.State.Valid(ctx) {
+		t.Fatal("returned state invalid")
+	}
+	if res.Iterations == 0 {
+		t.Fatalf("iterations=%d", res.Iterations)
+	}
+}
+
+func TestSearchDeterministicForSeed(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38",
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90 AND mpg BETWEEN 16 AND 30")
+	p := fastParams()
+	a := Run(ctx, testDB, p)
+	b := Run(ctx, testDB, p)
+	if a.State.Hash() != b.State.Hash() {
+		t.Fatal("same seed produced different states")
+	}
+	if a.BestReward != b.BestReward {
+		t.Fatalf("rewards differ: %g vs %g", a.BestReward, b.BestReward)
+	}
+}
+
+func TestParallelWorkersShareBest(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p")
+	p := fastParams()
+	p.Workers = 3
+	p.SyncInterval = 5
+	res := Run(ctx, testDB, p)
+	if res.State == nil || !res.State.Valid(ctx) {
+		t.Fatal("parallel search failed")
+	}
+	if res.Iterations <= p.MaxIterations/2 {
+		t.Logf("iterations = %d (early stop)", res.Iterations)
+	}
+}
+
+func TestEarlyStopBoundsIterations(t *testing.T) {
+	ctx := ctxFor(t, "SELECT a FROM T")
+	p := fastParams()
+	p.EarlyStop = 5
+	res := Run(ctx, testDB, p)
+	// a single static query has a tiny space; early stop must kick in fast
+	if res.Iterations > 40 {
+		t.Fatalf("iterations = %d, early stop ineffective", res.Iterations)
+	}
+}
+
+func TestAverageReturnAblation(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p")
+	p := fastParams()
+	p.MaxReturn = false
+	res := Run(ctx, testDB, p)
+	if res.State == nil || !res.State.Valid(ctx) {
+		t.Fatal("average-return variant broken")
+	}
+}
+
+func TestNoVarianceAblation(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE b = 2 GROUP BY p")
+	p := fastParams()
+	p.UseVariance = false
+	res := Run(ctx, testDB, p)
+	if res.State == nil || !res.State.Valid(ctx) {
+		t.Fatal("no-variance variant broken")
+	}
+}
+
+func TestInterleaveByTree(t *testing.T) {
+	apps := []transform.Application{
+		{Rule: "A", Tree: 0}, {Rule: "B", Tree: 0}, {Rule: "C", Tree: 1}, {Rule: "D", Tree: 2},
+	}
+	out := interleaveByTree(apps)
+	if len(out) != 4 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0].Tree != 0 || out[1].Tree != 1 || out[2].Tree != 2 || out[3].Tree != 0 {
+		t.Fatalf("order = %v %v %v %v", out[0].Tree, out[1].Tree, out[2].Tree, out[3].Tree)
+	}
+}
+
+func TestRuleWeights(t *testing.T) {
+	if ruleWeight("Merge") >= ruleWeight("PushANY") {
+		t.Fatal("refactoring rules should outweigh cross-tree rules in rollouts")
+	}
+}
+
+func TestRewardNormalization(t *testing.T) {
+	w := &worker{minR: -100, maxR: -10, haveRange: true}
+	if got := w.norm(-10); got != 1 {
+		t.Fatalf("norm(best) = %g", got)
+	}
+	if got := w.norm(-100); got != 0 {
+		t.Fatalf("norm(worst) = %g", got)
+	}
+	if got := w.norm(failReward); got != -1 {
+		t.Fatalf("norm(fail) = %g", got)
+	}
+}

@@ -1,0 +1,136 @@
+// Package sqlparser lexes and parses the SQL analysis subset used by PI2
+// into difftree nodes, and renders trees back to SQL text. The grammar
+// covers the full query surface of the paper's seven workloads: projections
+// with expressions and aliases, DISTINCT, joins and derived tables, WHERE
+// with boolean logic / BETWEEN / IN / LIKE, GROUP BY, HAVING with correlated
+// scalar subqueries, ORDER BY, and LIMIT.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokKeyword
+	tokSymbol
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords lowercased; strings unquoted
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"select": true, "distinct": true, "from": true, "where": true,
+	"group": true, "by": true, "having": true, "order": true, "limit": true,
+	"and": true, "or": true, "not": true, "between": true, "in": true,
+	"like": true, "as": true, "asc": true, "desc": true,
+}
+
+// lex tokenizes the input. It is deliberately forgiving about whitespace and
+// accepts both '<>' and '!=' for inequality.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			j := i
+			seenDot := false
+			for j < n && (unicode.IsDigit(rune(input[j])) || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					// a dot not followed by a digit terminates the number
+					if j+1 >= n || !unicode.IsDigit(rune(input[j+1])) {
+						break
+					}
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(input[j]) {
+				j++
+			}
+			word := input[i:j]
+			lower := strings.ToLower(word)
+			if keywords[lower] {
+				toks = append(toks, token{tokKeyword, lower, i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < n {
+				if input[j] == quote {
+					if j+1 < n && input[j+1] == quote { // escaped quote
+						sb.WriteByte(quote)
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlparser: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		default:
+			// multi-char symbols first
+			if i+1 < n {
+				two := input[i : i+2]
+				switch two {
+				case "<>", "!=", "<=", ">=":
+					if two == "!=" {
+						two = "<>"
+					}
+					toks = append(toks, token{tokSymbol, two, i})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '.', '=', '<', '>', '+', '-', '*', '/':
+				toks = append(toks, token{tokSymbol, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("sqlparser: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}

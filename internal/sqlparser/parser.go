@@ -1,0 +1,546 @@
+package sqlparser
+
+import (
+	"fmt"
+
+	dt "pi2/internal/difftree"
+)
+
+// Parse parses a single SQL query into a difftree AST. The returned tree is
+// renumbered and contains no choice nodes (a "static" Difftree, paper §2).
+func Parse(sql string) (*dt.Node, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: sql}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %q", p.cur().text)
+	}
+	q.Renumber()
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and embedded
+// workload definitions that are known-good.
+func MustParse(sql string) *dt.Node {
+	q, err := Parse(sql)
+	if err != nil {
+		panic(fmt.Sprintf("sqlparser.MustParse(%q): %v", sql, err))
+	}
+	return q
+}
+
+// ParseAll parses a sequence of queries.
+func ParseAll(sqls []string) ([]*dt.Node, error) {
+	out := make([]*dt.Node, len(sqls))
+	for i, s := range sqls {
+		q, err := Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i+1, err)
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+// next consumes and returns the current token; the trailing EOF token is
+// never consumed, so cur() stays in range after any number of calls.
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokenKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlparser: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+// parseQuery parses SELECT ... [FROM ...] [WHERE ...] [GROUP BY ...]
+// [HAVING ...] [ORDER BY ...] [LIMIT n]. The Query node always has seven
+// children; missing clauses are KindNone.
+func (p *parser) parseQuery() (*dt.Node, error) {
+	if _, err := p.expect(tokKeyword, "select"); err != nil {
+		return nil, err
+	}
+	sel := dt.New(dt.KindSelectList, "")
+	if p.accept(tokKeyword, "distinct") {
+		sel.Label = "distinct"
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Children = append(sel.Children, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+
+	from := dt.NewNone()
+	if p.accept(tokKeyword, "from") {
+		from = dt.New(dt.KindFrom, "")
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			from.Children = append(from.Children, ref)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	where := dt.NewNone()
+	if p.accept(tokKeyword, "where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		where = dt.New(dt.KindWhere, "", andWrap(e))
+	}
+
+	groupby := dt.NewNone()
+	if p.accept(tokKeyword, "group") {
+		if _, err := p.expect(tokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		groupby = dt.New(dt.KindGroupBy, "")
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			groupby.Children = append(groupby.Children, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	having := dt.NewNone()
+	if p.accept(tokKeyword, "having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		having = dt.New(dt.KindHaving, "", andWrap(e))
+	}
+
+	orderby := dt.NewNone()
+	if p.accept(tokKeyword, "order") {
+		if _, err := p.expect(tokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		orderby = dt.New(dt.KindOrderBy, "")
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			dir := "asc"
+			if p.accept(tokKeyword, "desc") {
+				dir = "desc"
+			} else {
+				p.accept(tokKeyword, "asc")
+			}
+			orderby.Children = append(orderby.Children, dt.New(dt.KindOrderItem, dir, e))
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	limit := dt.NewNone()
+	if p.accept(tokKeyword, "limit") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		limit = dt.New(dt.KindLimit, t.text)
+	}
+
+	return dt.New(dt.KindQuery, "", sel, from, where, groupby, having, orderby, limit), nil
+}
+
+func (p *parser) parseSelectItem() (*dt.Node, error) {
+	if p.accept(tokSymbol, "*") {
+		return dt.New(dt.KindSelectItem, "", dt.New(dt.KindStar, ""), dt.NewNone()), nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	alias := dt.NewNone()
+	if p.accept(tokKeyword, "as") {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected alias identifier, found %q", t.text)
+		}
+		alias = dt.Ident(t.text)
+	} else if p.at(tokIdent, "") {
+		// implicit alias: SELECT a b
+		alias = dt.Ident(p.next().text)
+	}
+	return dt.New(dt.KindSelectItem, "", e, alias), nil
+}
+
+func (p *parser) parseTableRef() (*dt.Node, error) {
+	var src *dt.Node
+	if p.accept(tokSymbol, "(") {
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		src = q
+	} else {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected table name, found %q", t.text)
+		}
+		src = dt.Ident(t.text)
+	}
+	alias := dt.NewNone()
+	if p.accept(tokKeyword, "as") {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected alias identifier, found %q", t.text)
+		}
+		alias = dt.Ident(t.text)
+	} else if p.at(tokIdent, "") {
+		alias = dt.Ident(p.next().text)
+	}
+	return dt.New(dt.KindTableRef, "", src, alias), nil
+}
+
+// Expression grammar: Or > And > Not > Comparison > Add > Mul > Unary > Primary.
+
+func (p *parser) parseExpr() (*dt.Node, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (*dt.Node, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokKeyword, "or") {
+		return first, nil
+	}
+	or := dt.New(dt.KindOr, "", first)
+	for p.accept(tokKeyword, "or") {
+		e, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		or.Children = append(or.Children, e)
+	}
+	return or, nil
+}
+
+func (p *parser) parseAnd() (*dt.Node, error) {
+	first, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokKeyword, "and") {
+		return first, nil
+	}
+	and := dt.New(dt.KindAnd, "", first)
+	for p.accept(tokKeyword, "and") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		and.Children = append(and.Children, e)
+	}
+	return and, nil
+}
+
+func (p *parser) parseNot() (*dt.Node, error) {
+	if p.accept(tokKeyword, "not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return dt.New(dt.KindNot, "", e), nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (*dt.Node, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// comparison operators
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return dt.New(dt.KindBinary, op, left, right), nil
+		}
+	}
+	negate := false
+	if p.at(tokKeyword, "not") && p.toks[p.pos+1].kind == tokKeyword &&
+		(p.toks[p.pos+1].text == "in" || p.toks[p.pos+1].text == "between" || p.toks[p.pos+1].text == "like") {
+		p.next()
+		negate = true
+	}
+	switch {
+	case p.accept(tokKeyword, "between"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		node := dt.New(dt.KindBetween, "", left, lo, hi)
+		if negate {
+			return dt.New(dt.KindNot, "", node), nil
+		}
+		return node, nil
+	case p.accept(tokKeyword, "in"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		label := "in"
+		if negate {
+			label = "not in"
+		}
+		if p.at(tokKeyword, "select") {
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return dt.New(dt.KindIn, label, left, q), nil
+		}
+		list := dt.New(dt.KindExprList, "")
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list.Children = append(list.Children, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return dt.New(dt.KindIn, label, left, list), nil
+	case p.accept(tokKeyword, "like"):
+		pat, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		node := dt.New(dt.KindBinary, "like", left, pat)
+		if negate {
+			return dt.New(dt.KindNot, "", node), nil
+		}
+		return node, nil
+	}
+	if negate {
+		return nil, p.errf("dangling NOT")
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (*dt.Node, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokSymbol, "+"):
+			op = "+"
+		case p.accept(tokSymbol, "-"):
+			op = "-"
+		default:
+			return left, nil
+		}
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = dt.New(dt.KindBinary, op, left, right)
+	}
+}
+
+func (p *parser) parseMul() (*dt.Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokSymbol, "*"):
+			op = "*"
+		case p.accept(tokSymbol, "/"):
+			op = "/"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = dt.New(dt.KindBinary, op, left, right)
+	}
+}
+
+func (p *parser) parseUnary() (*dt.Node, error) {
+	if p.accept(tokSymbol, "-") {
+		// fold negation into numeric literals for cleaner trees
+		if p.at(tokNumber, "") {
+			t := p.next()
+			return dt.Number("-" + t.text), nil
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return dt.New(dt.KindBinary, "-", dt.Number("0"), e), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (*dt.Node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return dt.Number(t.text), nil
+	case tokString:
+		p.next()
+		return dt.Str(t.text), nil
+	case tokIdent:
+		p.next()
+		name := t.text
+		if p.accept(tokSymbol, ".") {
+			ft := p.next()
+			if ft.kind != tokIdent && ft.kind != tokKeyword {
+				return nil, p.errf("expected identifier after '.', found %q", ft.text)
+			}
+			name = name + "." + ft.text
+		}
+		if p.accept(tokSymbol, "(") {
+			fn := dt.New(dt.KindFunc, lowerASCII(name))
+			if p.accept(tokSymbol, "*") {
+				fn.Children = append(fn.Children, dt.New(dt.KindStar, ""))
+			} else if !p.at(tokSymbol, ")") {
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fn.Children = append(fn.Children, e)
+					if !p.accept(tokSymbol, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return fn, nil
+		}
+		return dt.Ident(name), nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			if p.at(tokKeyword, "select") {
+				q, err := p.parseQuery()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return q, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+// andWrap canonicalizes WHERE/HAVING expressions as AND lists, even for a
+// single conjunct. Canonical conjunct lists let the PushANY/PushOPT
+// transformation rules align predicates from queries with different
+// conjunct counts; difftree.Resolve removes clauses whose AND list resolves
+// empty, and Match treats a missing clause as an empty AND list.
+func andWrap(e *dt.Node) *dt.Node {
+	if e.Kind == dt.KindAnd {
+		return e
+	}
+	return dt.New(dt.KindAnd, "", e)
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if 'A' <= b[i] && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,270 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	dt "pi2/internal/difftree"
+)
+
+func TestParseSimpleGroupBy(t *testing.T) {
+	q, err := Parse("SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != dt.KindQuery || len(q.Children) != 7 {
+		t.Fatalf("query shape: %v", q)
+	}
+	sel := q.Children[0]
+	if len(sel.Children) != 2 {
+		t.Fatalf("select items = %d, want 2", len(sel.Children))
+	}
+	if sel.Children[1].Children[0].Kind != dt.KindFunc || sel.Children[1].Children[0].Label != "count" {
+		t.Fatalf("second item = %v", sel.Children[1])
+	}
+	where := q.Children[2]
+	if where.Kind != dt.KindWhere {
+		t.Fatalf("where = %v", where)
+	}
+	// WHERE expressions are canonicalized as AND lists
+	if where.Children[0].Kind != dt.KindAnd {
+		t.Fatalf("where should be AND-wrapped, got %v", where.Children[0].Kind)
+	}
+	pred := where.Children[0].Children[0]
+	if pred.Kind != dt.KindBinary || pred.Label != "=" {
+		t.Fatalf("pred = %v", pred)
+	}
+	if q.Children[3].Kind != dt.KindGroupBy {
+		t.Fatalf("groupby = %v", q.Children[3])
+	}
+}
+
+func TestParseMissingClausesAreNone(t *testing.T) {
+	q := MustParse("SELECT a FROM T")
+	for i, name := range []string{"select", "from", "where", "groupby", "having", "orderby", "limit"} {
+		got := q.Children[i].Kind
+		if i < 2 && got == dt.KindNone {
+			t.Errorf("%s missing", name)
+		}
+		if i >= 2 && got != dt.KindNone {
+			t.Errorf("%s should be none, got %v", name, got)
+		}
+	}
+}
+
+func TestParseBetweenAndBooleans(t *testing.T) {
+	q := MustParse("SELECT hp FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38")
+	where := q.Children[2].Children[0]
+	if where.Kind != dt.KindAnd || len(where.Children) != 2 {
+		t.Fatalf("expected AND of two conjuncts, got %v", where)
+	}
+	for _, c := range where.Children {
+		if c.Kind != dt.KindBetween {
+			t.Fatalf("conjunct = %v", c)
+		}
+	}
+}
+
+func TestParseInListWithAlias(t *testing.T) {
+	q := MustParse("SELECT mpg, id in (1, 2) as color FROM Cars")
+	item := q.Children[0].Children[1]
+	if item.Children[1].Label != "color" {
+		t.Fatalf("alias = %v", item.Children[1])
+	}
+	in := item.Children[0]
+	if in.Kind != dt.KindIn || in.Label != "in" {
+		t.Fatalf("in expr = %v", in)
+	}
+	if len(in.Children[1].Children) != 2 {
+		t.Fatalf("in list = %v", in.Children[1])
+	}
+}
+
+func TestParseNotIn(t *testing.T) {
+	q := MustParse("SELECT a FROM T WHERE a NOT IN (1,2)")
+	in := q.Children[2].Children[0].Children[0]
+	if in.Kind != dt.KindIn || in.Label != "not in" {
+		t.Fatalf("got %v", in)
+	}
+}
+
+func TestParseSubqueryInFromAndHaving(t *testing.T) {
+	sql := `SELECT city, product, sum(total) FROM sales as ss
+	        GROUP BY city, product
+	        HAVING sum(total) >= (SELECT max(t) FROM
+	          (SELECT sum(total) as t FROM sales as s WHERE s.city = ss.city
+	           GROUP BY s.city, s.product) AS sub)`
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	having := q.Children[4]
+	if having.Kind != dt.KindHaving {
+		t.Fatalf("having = %v", having)
+	}
+	cmp := having.Children[0].Children[0]
+	if cmp.Label != ">=" {
+		t.Fatalf("cmp = %v", cmp)
+	}
+	if cmp.Children[1].Kind != dt.KindQuery {
+		t.Fatalf("rhs should be scalar subquery, got %v", cmp.Children[1].Kind)
+	}
+	inner := cmp.Children[1]
+	ref := inner.Children[1].Children[0]
+	if ref.Children[0].Kind != dt.KindQuery {
+		t.Fatalf("derived table expected, got %v", ref.Children[0].Kind)
+	}
+}
+
+func TestParseDateFunctions(t *testing.T) {
+	q := MustParse("SELECT date, cases FROM covid WHERE state='CA' and date > date(today(), '-30 days')")
+	where := q.Children[2].Children[0]
+	if where.Kind != dt.KindAnd {
+		t.Fatalf("where = %v", where)
+	}
+	cmp := where.Children[1]
+	fn := cmp.Children[1]
+	if fn.Kind != dt.KindFunc || fn.Label != "date" || len(fn.Children) != 2 {
+		t.Fatalf("date fn = %v", fn)
+	}
+	if fn.Children[0].Label != "today" {
+		t.Fatalf("inner fn = %v", fn.Children[0])
+	}
+	if fn.Children[1].Kind != dt.KindString {
+		t.Fatalf("offset arg = %v", fn.Children[1])
+	}
+}
+
+func TestParseDistinctJoinQualified(t *testing.T) {
+	q := MustParse(`SELECT DISTINCT gal.objID, s.ra FROM galaxy as gal, specObj as s
+	                WHERE s.bestObjID = gal.objID AND s.ra BETWEEN 213.3 AND 214.1`)
+	if q.Children[0].Label != "distinct" {
+		t.Fatal("distinct flag lost")
+	}
+	if len(q.Children[1].Children) != 2 {
+		t.Fatalf("from refs = %v", q.Children[1])
+	}
+	first := q.Children[0].Children[0].Children[0]
+	if first.Kind != dt.KindIdent || first.Label != "gal.objID" {
+		t.Fatalf("qualified ident = %v", first)
+	}
+}
+
+func TestParseOrderByLimitDesc(t *testing.T) {
+	q := MustParse("SELECT a FROM T ORDER BY a DESC, b LIMIT 10")
+	ob := q.Children[5]
+	if len(ob.Children) != 2 {
+		t.Fatalf("order items = %v", ob)
+	}
+	if ob.Children[0].Label != "desc" || ob.Children[1].Label != "asc" {
+		t.Fatalf("directions = %q %q", ob.Children[0].Label, ob.Children[1].Label)
+	}
+	if q.Children[6].Label != "10" {
+		t.Fatalf("limit = %v", q.Children[6])
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	q := MustParse("SELECT a + b * 2 FROM T")
+	e := q.Children[0].Children[0].Children[0]
+	if e.Label != "+" {
+		t.Fatalf("root op = %q", e.Label)
+	}
+	if e.Children[1].Label != "*" {
+		t.Fatalf("rhs op = %q, want *", e.Children[1].Label)
+	}
+}
+
+func TestParseNegativeNumbersAndDecimals(t *testing.T) {
+	q := MustParse("SELECT a FROM T WHERE dec BETWEEN -0.9 AND -0.2")
+	bet := q.Children[2].Children[0].Children[0]
+	if bet.Children[1].Label != "-0.9" || bet.Children[2].Label != "-0.2" {
+		t.Fatalf("bounds = %v %v", bet.Children[1], bet.Children[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM T WHERE",
+		"SELECT a FROM T WHERE a ==",
+		"SELECT a FROM T GROUP a",
+		"SELECT a FROM T WHERE a BETWEEN 1",
+		"SELECT a FROM T WHERE a IN (",
+		"SELECT a FROM T LIMIT x",
+		"SELECT a FROM T trailing garbage (",
+		"SELECT 'unterminated FROM T",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestRoundTripThroughToSQL(t *testing.T) {
+	queries := []string{
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38",
+		"SELECT date, price FROM sp500 WHERE date > '2001-01-01' AND date < '2003-01-01'",
+		"SELECT mpg, disp, id IN (1, 2) AS color FROM Cars",
+		"SELECT hour, count(*) FROM flights WHERE delay BETWEEN 0 AND 50 GROUP BY hour",
+		"SELECT DISTINCT ra, dec FROM specObj WHERE ra BETWEEN 213.2 AND 213.6",
+		"SELECT a FROM T WHERE b = 'x''y'",
+		"SELECT a FROM T WHERE NOT (a = 1 OR b = 2)",
+		"SELECT date, sum(total) FROM sales WHERE branch = 'A' AND product = 'Health and beauty' GROUP BY date",
+		"SELECT a FROM T ORDER BY a DESC LIMIT 5",
+	}
+	for _, sql := range queries {
+		ast1, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		rendered := ToSQL(ast1)
+		ast2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("reparse %q (rendered from %q): %v", rendered, sql, err)
+		}
+		if !dt.Equal(ast1, ast2) {
+			t.Fatalf("round trip changed tree:\n  sql: %s\n  rendered: %s\n  a: %v\n  b: %v", sql, rendered, ast1, ast2)
+		}
+	}
+}
+
+func TestToSQLChoiceNodesReadable(t *testing.T) {
+	anyN := dt.New(dt.KindAny, "",
+		dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1")),
+		dt.New(dt.KindBinary, "=", dt.Ident("b"), dt.Number("2")))
+	s := ToSQL(anyN)
+	if !strings.Contains(s, "ANY{") || !strings.Contains(s, "a = 1") {
+		t.Fatalf("choice rendering = %q", s)
+	}
+	val := dt.New(dt.KindVal, "num", dt.Number("1"))
+	if ToSQL(val) != "VAL<num>" {
+		t.Fatalf("VAL rendering = %q", ToSQL(val))
+	}
+}
+
+func TestParseAllReportsIndex(t *testing.T) {
+	_, err := ParseAll([]string{"SELECT a FROM T", "SELECT FROM"})
+	if err == nil || !strings.Contains(err.Error(), "query 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	a := MustParse("select A from T where A = 1")
+	b := MustParse("SELECT A FROM T WHERE A = 1")
+	if !dt.Equal(a, b) {
+		t.Fatal("keyword case changed parse result")
+	}
+}
+
+func TestLineComments(t *testing.T) {
+	q := MustParse("SELECT a -- project a\nFROM T -- the table\n")
+	if len(q.Children[0].Children) != 1 {
+		t.Fatalf("parse with comments: %v", q)
+	}
+}

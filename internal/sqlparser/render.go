@@ -1,0 +1,211 @@
+package sqlparser
+
+import (
+	"strings"
+
+	dt "pi2/internal/difftree"
+)
+
+// ToSQL renders a tree back to SQL text. Concrete ASTs round-trip through
+// Parse/ToSQL. Choice nodes are rendered in a readable pseudo-syntax
+// (ANY{a | b}, VAL<num>, ...) so the function is also usable for widget
+// option labels and debugging output.
+func ToSQL(n *dt.Node) string {
+	var b strings.Builder
+	render(&b, n)
+	return b.String()
+}
+
+func render(b *strings.Builder, n *dt.Node) {
+	if n == nil {
+		return
+	}
+	switch n.Kind {
+	case dt.KindQuery:
+		renderQuery(b, n)
+	case dt.KindSelectList:
+		b.WriteString("SELECT ")
+		if n.Label == "distinct" {
+			b.WriteString("DISTINCT ")
+		}
+		renderList(b, n.Children, ", ")
+	case dt.KindSelectItem:
+		render(b, n.Children[0])
+		if len(n.Children) > 1 && n.Children[1].Kind != dt.KindNone {
+			b.WriteString(" AS ")
+			render(b, n.Children[1])
+		}
+	case dt.KindStar:
+		b.WriteByte('*')
+	case dt.KindFrom:
+		b.WriteString("FROM ")
+		renderList(b, n.Children, ", ")
+	case dt.KindTableRef:
+		if n.Children[0].Kind == dt.KindQuery {
+			b.WriteByte('(')
+			render(b, n.Children[0])
+			b.WriteByte(')')
+		} else {
+			render(b, n.Children[0])
+		}
+		if len(n.Children) > 1 && n.Children[1].Kind != dt.KindNone {
+			b.WriteString(" AS ")
+			render(b, n.Children[1])
+		}
+	case dt.KindWhere:
+		b.WriteString("WHERE ")
+		render(b, n.Children[0])
+	case dt.KindGroupBy:
+		b.WriteString("GROUP BY ")
+		renderList(b, n.Children, ", ")
+	case dt.KindHaving:
+		b.WriteString("HAVING ")
+		render(b, n.Children[0])
+	case dt.KindOrderBy:
+		b.WriteString("ORDER BY ")
+		renderList(b, n.Children, ", ")
+	case dt.KindOrderItem:
+		render(b, n.Children[0])
+		if n.Label == "desc" {
+			b.WriteString(" DESC")
+		}
+	case dt.KindLimit:
+		b.WriteString("LIMIT ")
+		b.WriteString(n.Label)
+	case dt.KindAnd:
+		renderBool(b, n.Children, " AND ")
+	case dt.KindOr:
+		renderBool(b, n.Children, " OR ")
+	case dt.KindNot:
+		b.WriteString("NOT ")
+		renderMaybeParen(b, n.Children[0])
+	case dt.KindBinary:
+		if n.Label == "like" {
+			renderMaybeParen(b, n.Children[0])
+			b.WriteString(" LIKE ")
+			renderMaybeParen(b, n.Children[1])
+			return
+		}
+		renderMaybeParen(b, n.Children[0])
+		b.WriteByte(' ')
+		b.WriteString(strings.ToUpper(n.Label))
+		b.WriteByte(' ')
+		renderMaybeParen(b, n.Children[1])
+	case dt.KindBetween:
+		renderMaybeParen(b, n.Children[0])
+		b.WriteString(" BETWEEN ")
+		renderMaybeParen(b, n.Children[1])
+		b.WriteString(" AND ")
+		renderMaybeParen(b, n.Children[2])
+	case dt.KindIn:
+		renderMaybeParen(b, n.Children[0])
+		if n.Label == "not in" {
+			b.WriteString(" NOT IN (")
+		} else {
+			b.WriteString(" IN (")
+		}
+		if n.Children[1].Kind == dt.KindExprList {
+			renderList(b, n.Children[1].Children, ", ")
+		} else {
+			render(b, n.Children[1])
+		}
+		b.WriteByte(')')
+	case dt.KindExprList:
+		renderList(b, n.Children, ", ")
+	case dt.KindFunc:
+		b.WriteString(n.Label)
+		b.WriteByte('(')
+		renderList(b, n.Children, ", ")
+		b.WriteByte(')')
+	case dt.KindIdent:
+		b.WriteString(n.Label)
+	case dt.KindNumber:
+		b.WriteString(n.Label)
+	case dt.KindString:
+		b.WriteByte('\'')
+		b.WriteString(strings.ReplaceAll(n.Label, "'", "''"))
+		b.WriteByte('\'')
+	case dt.KindNone:
+		// nothing
+	case dt.KindAny:
+		b.WriteString("ANY{")
+		renderList(b, n.Children, " | ")
+		b.WriteByte('}')
+	case dt.KindOpt:
+		b.WriteString("OPT{")
+		render(b, n.Children[0])
+		b.WriteByte('}')
+	case dt.KindVal:
+		b.WriteString("VAL<")
+		b.WriteString(n.Label)
+		b.WriteByte('>')
+	case dt.KindMulti:
+		b.WriteString("MULTI{")
+		render(b, n.Children[0])
+		b.WriteString("}*")
+	case dt.KindSubset:
+		b.WriteString("SUBSET{")
+		renderList(b, n.Children, " , ")
+		b.WriteByte('}')
+	default:
+		b.WriteString("<?" + n.Kind.String() + ">")
+	}
+}
+
+func renderQuery(b *strings.Builder, n *dt.Node) {
+	first := true
+	for _, c := range n.Children {
+		if c.Kind == dt.KindNone {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		render(b, c)
+		first = false
+	}
+}
+
+func renderList(b *strings.Builder, items []*dt.Node, sep string) {
+	first := true
+	for _, c := range items {
+		if c.Kind == dt.KindNone {
+			continue
+		}
+		if !first {
+			b.WriteString(sep)
+		}
+		render(b, c)
+		first = false
+	}
+}
+
+// renderBool renders boolean connective children, parenthesizing nested
+// connectives of lower precedence.
+func renderBool(b *strings.Builder, items []*dt.Node, sep string) {
+	for i, c := range items {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		if c.Kind == dt.KindOr || c.Kind == dt.KindAnd {
+			b.WriteByte('(')
+			render(b, c)
+			b.WriteByte(')')
+		} else {
+			render(b, c)
+		}
+	}
+}
+
+// renderMaybeParen renders expression operands, parenthesizing subqueries
+// and boolean connectives.
+func renderMaybeParen(b *strings.Builder, n *dt.Node) {
+	switch n.Kind {
+	case dt.KindQuery, dt.KindAnd, dt.KindOr, dt.KindBinary:
+		b.WriteByte('(')
+		render(b, n)
+		b.WriteByte(')')
+	default:
+		render(b, n)
+	}
+}

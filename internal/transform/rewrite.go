@@ -1,0 +1,684 @@
+package transform
+
+import (
+	"strings"
+
+	dt "pi2/internal/difftree"
+)
+
+// ---- Simplification rules (Figure 13, bottom-right) ----
+
+// ruleNoop collapses ANY nodes with a single (or all-equal) child.
+func ruleNoop(_, target *dt.Node) (*dt.Node, bool) {
+	if len(target.Children) == 0 {
+		return nil, false
+	}
+	return target.Children[0], true
+}
+
+// ruleDedup removes duplicate ANY children.
+func ruleDedup(_, target *dt.Node) (*dt.Node, bool) {
+	uniq := dedupByHash(target.Children)
+	if len(uniq) == len(target.Children) {
+		return nil, false
+	}
+	if len(uniq) == 1 {
+		return uniq[0], true
+	}
+	return dt.New(dt.KindAny, "", uniq...), true
+}
+
+// ruleMergeANY flattens a cascade of ANY nodes into one.
+func ruleMergeANY(_, target *dt.Node) (*dt.Node, bool) {
+	out := dt.New(dt.KindAny, "")
+	for _, c := range target.Children {
+		if c.Kind == dt.KindAny {
+			out.Children = append(out.Children, c.Children...)
+		} else {
+			out.Children = append(out.Children, c)
+		}
+	}
+	out.Children = dedupByHash(out.Children)
+	if len(out.Children) == 1 {
+		return out.Children[0], true
+	}
+	return out, true
+}
+
+// ruleOptIntro rewrites ANY(∅, x, ...) as OPT — the paper's "special case
+// when ANY has two children, where one is an empty subtree" made explicit so
+// toggles can map to it.
+func ruleOptIntro(_, target *dt.Node) (*dt.Node, bool) {
+	var rest []*dt.Node
+	for _, c := range target.Children {
+		if c.Kind != dt.KindNone {
+			rest = append(rest, c)
+		}
+	}
+	if len(rest) == len(target.Children) || len(rest) == 0 {
+		return nil, false
+	}
+	rest = dedupByHash(rest)
+	if len(rest) == 1 {
+		return dt.New(dt.KindOpt, "", rest[0]), true
+	}
+	return dt.New(dt.KindOpt, "", dt.New(dt.KindAny, "", rest...)), true
+}
+
+// ---- Refactoring rules ----
+
+// partitionApplies: grouping the ANY children by root production must yield
+// at least two groups with some group of size ≥ 2.
+func partitionApplies(n *dt.Node) bool {
+	if len(n.Children) < 3 {
+		return false
+	}
+	groups := groupByRootKey(n.Children)
+	if len(groups) < 2 {
+		return false
+	}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// rulePartition groups an ANY node's children into homogeneous clusters
+// (Figure 12): ANY(x, x', y) → ANY(ANY(x, x'), y).
+func rulePartition(_, target *dt.Node) (*dt.Node, bool) {
+	groups := groupByRootKey(target.Children)
+	out := dt.New(dt.KindAny, "")
+	for _, g := range groups {
+		if len(g) == 1 {
+			out.Children = append(out.Children, g[0])
+		} else {
+			out.Children = append(out.Children, dt.New(dt.KindAny, "", g...))
+		}
+	}
+	return out, true
+}
+
+func groupByRootKey(children []*dt.Node) [][]*dt.Node {
+	order := []string{}
+	groups := map[string][]*dt.Node{}
+	for _, c := range children {
+		k := dt.RootKey(c)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	out := make([][]*dt.Node, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+// pushANYApplies: every child shares the same root production and is not
+// itself a choice node, with aligned fixed arity or a list root.
+func pushANYApplies(n *dt.Node) bool {
+	if len(n.Children) < 2 {
+		return false
+	}
+	first := n.Children[0]
+	if first.Kind.IsChoice() || first.Kind == dt.KindNone {
+		return false
+	}
+	key := dt.RootKey(first)
+	for _, c := range n.Children[1:] {
+		if c.Kind.IsChoice() || dt.RootKey(c) != key {
+			return false
+		}
+	}
+	if first.Kind.IsList() {
+		return true
+	}
+	if len(first.Children) == 0 {
+		return false // leaves have nothing to push into
+	}
+	for _, c := range n.Children[1:] {
+		if len(c.Children) != len(first.Children) {
+			return false
+		}
+	}
+	return true
+}
+
+// rulePushANY pushes an ANY below the shared root of its children, creating
+// per-position ANY nodes for differing subtrees, and cascades the push to a
+// fixpoint (Figure 3(a)→(b) splits both operands in one step). List children
+// of differing lengths are aligned by item key, with missing items wrapped
+// in OPT.
+func rulePushANY(_, target *dt.Node) (*dt.Node, bool) {
+	out, ok := pushANYOnce(target)
+	if !ok {
+		return nil, false
+	}
+	return cascadePush(out), true
+}
+
+func pushANYOnce(target *dt.Node) (*dt.Node, bool) {
+	kids := target.Children
+	first := kids[0]
+	if first.Kind.IsList() {
+		return alignLists(kids)
+	}
+	out := dt.New(first.Kind, first.Label)
+	for j := range first.Children {
+		variants := make([]*dt.Node, len(kids))
+		for i, k := range kids {
+			variants[i] = k.Children[j]
+		}
+		uniq := dedupByHash(variants)
+		if len(uniq) == 1 {
+			out.Children = append(out.Children, uniq[0])
+		} else {
+			out.Children = append(out.Children, dt.New(dt.KindAny, "", uniq...))
+		}
+	}
+	return out, true
+}
+
+// cascadePush re-applies the push wherever the rewrite created a new ANY
+// whose children again share a root production. ANY nodes over mixed root
+// productions are partitioned into homogeneous groups on the way (with an
+// empty-subtree group folding into OPT), so one PushANY application
+// normalizes a whole merged subtree — matching the paper's Figure 12
+// sequence without requiring the search to chain each micro-step.
+func cascadePush(n *dt.Node) *dt.Node {
+	if n.Kind == dt.KindAny {
+		n = partitionMixed(n)
+	}
+	if n.Kind == dt.KindAny && pushANYApplies(n) {
+		if repl, ok := pushANYOnce(n); ok {
+			n = repl
+		}
+	}
+	for i, c := range n.Children {
+		n.Children[i] = cascadePush(c)
+	}
+	return n
+}
+
+// partitionMixed groups a heterogeneous ANY's children by root production;
+// a group of empty subtrees folds the rest into OPT.
+func partitionMixed(n *dt.Node) *dt.Node {
+	children := dedupByHash(n.Children)
+	if len(children) == 1 {
+		return children[0]
+	}
+	groups := groupByRootKey(children)
+	if len(groups) <= 1 {
+		if len(children) != len(n.Children) {
+			return dt.New(dt.KindAny, "", children...)
+		}
+		return n
+	}
+	hasNone := false
+	var parts []*dt.Node
+	for _, g := range groups {
+		if g[0].Kind == dt.KindNone {
+			hasNone = true
+			continue
+		}
+		if len(g) == 1 {
+			parts = append(parts, g[0])
+		} else {
+			parts = append(parts, dt.New(dt.KindAny, "", g...))
+		}
+	}
+	var out *dt.Node
+	if len(parts) == 1 {
+		out = parts[0]
+	} else {
+		out = dt.New(dt.KindAny, "", parts...)
+	}
+	if hasNone {
+		out = dt.New(dt.KindOpt, "", out)
+	}
+	return out
+}
+
+// alignLists merges k same-kind list nodes into one list whose columns hold
+// per-position variation. Position-semantic lists (projections, GROUP BY)
+// of equal length align by position; set-semantic lists (conjunctions) and
+// unequal lengths align against the longest list by an item key (root
+// production + subject attribute), with items missing from some lists
+// becoming OPT columns. The heuristic result is verified by BindAll, so a
+// bad alignment is rejected rather than miscompiled.
+func alignLists(kids []*dt.Node) (*dt.Node, bool) {
+	if positionalKind(kids[0].Kind) && sameLengths(kids) {
+		return alignPositional(kids), true
+	}
+	ref := kids[0]
+	for _, k := range kids[1:] {
+		if len(k.Children) > len(ref.Children) {
+			ref = k
+		}
+	}
+	type column struct {
+		variants []*dt.Node
+		present  int // how many lists contribute
+	}
+	cols := make([]*column, len(ref.Children))
+	for i, item := range ref.Children {
+		cols[i] = &column{variants: []*dt.Node{item}, present: 1}
+	}
+	var extras []*column
+	for _, k := range kids {
+		if k == ref {
+			continue
+		}
+		matches := lcsByKey(ref.Children, k.Children)
+		used := map[int]bool{}
+		for ri, ki := range matches {
+			cols[ri].variants = append(cols[ri].variants, k.Children[ki])
+			cols[ri].present++
+			used[ki] = true
+		}
+		for ki, item := range k.Children {
+			if !used[ki] {
+				extras = append(extras, &column{variants: []*dt.Node{item}, present: 1})
+			}
+		}
+	}
+	out := dt.New(ref.Kind, ref.Label)
+	total := len(kids)
+	emit := func(c *column) {
+		uniq := dedupByHash(c.variants)
+		var inner *dt.Node
+		if len(uniq) == 1 {
+			inner = uniq[0]
+		} else {
+			inner = dt.New(dt.KindAny, "", uniq...)
+		}
+		if c.present < total {
+			inner = dt.New(dt.KindOpt, "", inner)
+		}
+		out.Children = append(out.Children, inner)
+	}
+	for _, c := range cols {
+		emit(c)
+	}
+	for _, c := range extras {
+		emit(c)
+	}
+	return out, true
+}
+
+// positionalKind reports whether a list's item positions carry meaning
+// (the i-th projection is the i-th output column), as opposed to
+// set-semantic conjunct lists.
+func positionalKind(k dt.Kind) bool {
+	switch k {
+	case dt.KindSelectList, dt.KindGroupBy, dt.KindOrderBy, dt.KindExprList, dt.KindFrom:
+		return true
+	}
+	return false
+}
+
+func sameLengths(kids []*dt.Node) bool {
+	for _, k := range kids[1:] {
+		if len(k.Children) != len(kids[0].Children) {
+			return false
+		}
+	}
+	return true
+}
+
+// alignPositional zips equal-length lists column-wise: SELECT date, cases
+// and SELECT date, deaths become SELECT date, ANY{cases | deaths}.
+func alignPositional(kids []*dt.Node) *dt.Node {
+	first := kids[0]
+	out := dt.New(first.Kind, first.Label)
+	for j := range first.Children {
+		variants := make([]*dt.Node, len(kids))
+		for i, k := range kids {
+			variants[i] = k.Children[j]
+		}
+		uniq := dedupByHash(variants)
+		if len(uniq) == 1 {
+			out.Children = append(out.Children, uniq[0])
+		} else {
+			out.Children = append(out.Children, dt.New(dt.KindAny, "", uniq...))
+		}
+	}
+	return out
+}
+
+// lcsByKey computes a longest common subsequence between two item lists
+// using itemKey equality; it returns refIndex → otherIndex matches.
+func lcsByKey(ref, other []*dt.Node) map[int]int {
+	n, m := len(ref), len(other)
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if itemKey(ref[i]) == itemKey(other[j]) {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	out := map[int]int{}
+	i, j := 0, 0
+	for i < n && j < m {
+		if itemKey(ref[i]) == itemKey(other[j]) {
+			out[i] = j
+			i++
+			j++
+		} else if dp[i+1][j] >= dp[i][j+1] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// itemKey identifies alignable list items: the root production plus the
+// first attribute referenced in the subtree ("state = 'CA'" aligns with
+// "state = 'WA'" but not with "date > ...").
+func itemKey(n *dt.Node) string {
+	key := dt.RootKey(n)
+	ident := ""
+	n.Walk(func(m *dt.Node) bool {
+		if ident == "" && m.Kind == dt.KindIdent {
+			ident = strings.ToLower(m.Label)
+		}
+		return ident == ""
+	})
+	return key + "#" + ident
+}
+
+// ---- PushOPT rules ----
+
+// pushOPT2Applies: the OPT wraps a list node directly.
+func pushOPT2Applies(n *dt.Node) bool {
+	c := n.Children[0]
+	return c.Kind.IsList() && len(c.Children) > 0 && !allOpt(c.Children)
+}
+
+// rulePushOPT2 distributes an OPT over a list node's children: OPT(L(x,y,z))
+// → L(OPT x, OPT y, OPT z). Strictly more expressive (any subset of items).
+func rulePushOPT2(_, target *dt.Node) (*dt.Node, bool) {
+	list := target.Children[0]
+	out := dt.New(list.Kind, list.Label)
+	for _, c := range list.Children {
+		if c.Kind == dt.KindOpt {
+			out.Children = append(out.Children, c)
+		} else {
+			out.Children = append(out.Children, dt.New(dt.KindOpt, "", c))
+		}
+	}
+	return out, true
+}
+
+// pushOPT1Applies: the OPT wraps a WHERE/HAVING clause whose conjunct list
+// can absorb the optionality (the clause node itself plays Figure 13's
+// CO-OPT role: it disappears when all pushed OPTs resolve absent, via
+// difftree's canonicalization).
+func pushOPT1Applies(n *dt.Node) bool {
+	c := n.Children[0]
+	if c.Kind != dt.KindWhere && c.Kind != dt.KindHaving {
+		return false
+	}
+	inner := c.Children[0]
+	return inner.Kind == dt.KindAnd && len(inner.Children) > 0 && !allOpt(inner.Children)
+}
+
+// rulePushOPT1 pushes the OPT through a clause wrapper onto each conjunct:
+// OPT(WHERE(AND(c1..ck))) → WHERE(AND(OPT c1 .. OPT ck)).
+func rulePushOPT1(_, target *dt.Node) (*dt.Node, bool) {
+	clause := target.Children[0]
+	and := clause.Children[0]
+	newAnd := dt.New(and.Kind, and.Label)
+	for _, c := range and.Children {
+		if c.Kind == dt.KindOpt {
+			newAnd.Children = append(newAnd.Children, c)
+		} else {
+			newAnd.Children = append(newAnd.Children, dt.New(dt.KindOpt, "", c))
+		}
+	}
+	return dt.New(clause.Kind, clause.Label, newAnd), true
+}
+
+func allOpt(children []*dt.Node) bool {
+	for _, c := range children {
+		if c.Kind != dt.KindOpt {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- Mutation rules ----
+
+// anyToValApplies: every ANY child is a literal.
+func anyToValApplies(n *dt.Node) bool {
+	if len(n.Children) < 2 {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Kind.IsLiteral() {
+			return false
+		}
+	}
+	return true
+}
+
+// ruleAnyToVal lifts an ANY over literals to a VAL pattern (Figure 3(b)→(c)),
+// generalizing the widget beyond the input literals.
+func ruleAnyToVal(_, target *dt.Node) (*dt.Node, bool) {
+	label := "num"
+	for _, c := range target.Children {
+		if c.Kind != dt.KindNumber {
+			label = "str"
+			break
+		}
+	}
+	return dt.New(dt.KindVal, label, dedupByHash(target.Children)...), true
+}
+
+// anyListChildren: every ANY child is a list node of the same kind.
+func anyListChildren(n *dt.Node) bool {
+	if len(n.Children) < 2 {
+		return false
+	}
+	first := n.Children[0]
+	if !first.Kind.IsList() {
+		return false
+	}
+	for _, c := range n.Children[1:] {
+		if c.Kind != first.Kind || c.Label != first.Label {
+			return false
+		}
+	}
+	return true
+}
+
+// ruleAnyToMulti rewrites ANY over same-kind lists as a repetition of the
+// union item pattern: ANY(L(a,a), L(b)) → L(MULTI(ANY(a,b))).
+func ruleAnyToMulti(_, target *dt.Node) (*dt.Node, bool) {
+	var items []*dt.Node
+	for _, list := range target.Children {
+		items = append(items, list.Children...)
+	}
+	uniq := dedupByHash(items)
+	if len(uniq) == 0 {
+		return nil, false
+	}
+	var pattern *dt.Node
+	if len(uniq) == 1 {
+		pattern = uniq[0]
+	} else {
+		pattern = dt.New(dt.KindAny, "", uniq...)
+	}
+	first := target.Children[0]
+	return dt.New(first.Kind, first.Label, dt.New(dt.KindMulti, "", pattern)), true
+}
+
+// ruleAnyToSubset rewrites ANY over same-kind lists as an ordered SUBSET of
+// the union items: ANY(L(x,y), L(x,y,z)) → L(SUBSET(x,y,z)). Fails when the
+// lists cannot be ordered consistently.
+func ruleAnyToSubset(_, target *dt.Node) (*dt.Node, bool) {
+	union, ok := orderedUnion(target.Children)
+	if !ok || len(union) == 0 {
+		return nil, false
+	}
+	first := target.Children[0]
+	return dt.New(first.Kind, first.Label, dt.New(dt.KindSubset, "", union...)), true
+}
+
+// orderedUnion merges the item sequences so every input list is a
+// subsequence of the result; reports false on order conflicts.
+func orderedUnion(lists []*dt.Node) ([]*dt.Node, bool) {
+	var out []*dt.Node
+	index := map[uint64]int{}
+	for _, list := range lists {
+		last := -1
+		for _, item := range list.Children {
+			h := dt.Hash(item)
+			if pos, ok := index[h]; ok {
+				if pos < last {
+					return nil, false // order conflict
+				}
+				last = pos
+				continue
+			}
+			// insert right after `last`
+			pos := last + 1
+			out = append(out, nil)
+			copy(out[pos+1:], out[pos:])
+			out[pos] = item
+			for k, v := range index {
+				if v >= pos {
+					index[k] = v + 1
+				}
+			}
+			index[h] = pos
+			last = pos
+		}
+	}
+	return out, true
+}
+
+// ---- Post-push list mutations ----
+// After PushANY, variation lives in per-position ANY/OPT children of a list
+// node (e.g. exprlist(ANY(1,20), ANY(2,22))). The MULTI/SUBSET mutations of
+// Figure 13 apply to this shape as well: the list rewrites to a repetition
+// or ordered subset of the union of all item alternatives.
+
+// listMutable reports whether every list child is enumerable: a static
+// item, an ANY over static items, or an OPT over either.
+func listMutable(n *dt.Node) bool {
+	if !n.Kind.IsList() || len(n.Children) == 0 {
+		return false
+	}
+	hasChoice := false
+	for _, c := range n.Children {
+		alts := itemAlternatives(c)
+		if alts == nil {
+			return false
+		}
+		if c.Kind.IsChoice() {
+			hasChoice = true
+		}
+	}
+	// a list that is already a single MULTI/SUBSET needs no mutation
+	if len(n.Children) == 1 && (n.Children[0].Kind == dt.KindMulti || n.Children[0].Kind == dt.KindSubset) {
+		return false
+	}
+	return hasChoice
+}
+
+// itemAlternatives expands one list child into its static alternatives;
+// nil marks a non-enumerable child.
+func itemAlternatives(c *dt.Node) []*dt.Node {
+	switch c.Kind {
+	case dt.KindAny:
+		var out []*dt.Node
+		for _, alt := range c.Children {
+			sub := itemAlternatives(alt)
+			if sub == nil {
+				return nil
+			}
+			out = append(out, sub...)
+		}
+		return out
+	case dt.KindOpt:
+		return itemAlternatives(c.Children[0])
+	case dt.KindVal, dt.KindMulti, dt.KindSubset:
+		return nil
+	default:
+		if c.HasChoice() {
+			return nil
+		}
+		return []*dt.Node{c}
+	}
+}
+
+// ruleListToMulti rewrites a list with enumerable variation as a repetition
+// over the union pattern: exprlist(ANY(1,20), ANY(2,22)) →
+// exprlist(MULTI(ANY(1,2,20,22))).
+func ruleListToMulti(_, target *dt.Node) (*dt.Node, bool) {
+	var items []*dt.Node
+	for _, c := range target.Children {
+		alts := itemAlternatives(c)
+		if alts == nil {
+			return nil, false
+		}
+		items = append(items, alts...)
+	}
+	uniq := dedupByHash(items)
+	if len(uniq) == 0 {
+		return nil, false
+	}
+	var pattern *dt.Node
+	if len(uniq) == 1 {
+		pattern = uniq[0]
+	} else {
+		pattern = dt.New(dt.KindAny, "", uniq...)
+	}
+	return dt.New(target.Kind, target.Label, dt.New(dt.KindMulti, "", pattern)), true
+}
+
+// ruleListToSubset rewrites a list with enumerable variation as an ordered
+// subset over all item alternatives.
+func ruleListToSubset(_, target *dt.Node) (*dt.Node, bool) {
+	var items []*dt.Node
+	for _, c := range target.Children {
+		alts := itemAlternatives(c)
+		if alts == nil {
+			return nil, false
+		}
+		items = append(items, alts...)
+	}
+	uniq := dedupByHash(items)
+	if len(uniq) == 0 {
+		return nil, false
+	}
+	return dt.New(target.Kind, target.Label, dt.New(dt.KindSubset, "", uniq...)), true
+}
+
+func dedupByHash(nodes []*dt.Node) []*dt.Node {
+	seen := map[uint64]bool{}
+	var out []*dt.Node
+	for _, n := range nodes {
+		h := dt.Hash(n)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		out = append(out, n)
+	}
+	return out
+}

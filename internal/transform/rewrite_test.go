@@ -1,0 +1,176 @@
+package transform
+
+import (
+	"testing"
+
+	dt "pi2/internal/difftree"
+	"pi2/internal/sqlparser"
+)
+
+func TestCascadePushPartitionsMixedChildren(t *testing.T) {
+	// ANY(None, W1, W2): the None group folds into OPT and the Where group
+	// pushes, all within one PushANY application.
+	w1 := dt.New(dt.KindWhere, "", dt.New(dt.KindAnd, "",
+		dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1"))))
+	w2 := dt.New(dt.KindWhere, "", dt.New(dt.KindAnd, "",
+		dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("2"))))
+	mixed := dt.New(dt.KindAny, "", dt.NewNone(), w1, w2)
+	got := cascadePush(mixed)
+	if got.Kind != dt.KindOpt {
+		t.Fatalf("expected OPT root, got %v", got)
+	}
+	// inside: Where(And(a = ANY(1,2)))
+	hasAny := false
+	got.Walk(func(n *dt.Node) bool {
+		if n.Kind == dt.KindAny {
+			hasAny = true
+		}
+		return true
+	})
+	if !hasAny {
+		t.Fatalf("literal variation lost: %v", got)
+	}
+}
+
+func TestPositionalAlignmentForSelectLists(t *testing.T) {
+	// SELECT date, cases vs SELECT date, deaths → date, ANY{cases|deaths}
+	mk := func(col string) *dt.Node {
+		return dt.New(dt.KindSelectList, "",
+			dt.New(dt.KindSelectItem, "", dt.Ident("date"), dt.NewNone()),
+			dt.New(dt.KindSelectItem, "", dt.Ident(col), dt.NewNone()))
+	}
+	got, ok := alignLists([]*dt.Node{mk("cases"), mk("deaths")})
+	if !ok {
+		t.Fatal("alignment failed")
+	}
+	if len(got.Children) != 2 {
+		t.Fatalf("columns = %d", len(got.Children))
+	}
+	if got.Children[0].Kind != dt.KindSelectItem {
+		t.Fatalf("shared column wrapped: %v", got.Children[0])
+	}
+	if got.Children[1].Kind != dt.KindAny || len(got.Children[1].Children) != 2 {
+		t.Fatalf("metric column = %v", got.Children[1])
+	}
+}
+
+func TestKeyBasedAlignmentForConjunctions(t *testing.T) {
+	// AND lists align by subject attribute even at equal length:
+	// (state=, date>) vs (date>, ... ) — here same length but different
+	// subjects per position must not zip positionally.
+	state := dt.New(dt.KindBinary, "=", dt.Ident("state"), dt.Str("CA"))
+	date := dt.New(dt.KindBinary, ">", dt.Ident("date"), dt.Str("2020-01-01"))
+	l1 := dt.New(dt.KindAnd, "", state, date)
+	l2 := dt.New(dt.KindAnd, "", state.Clone(), date.Clone())
+	got, ok := alignLists([]*dt.Node{l1, l2})
+	if !ok {
+		t.Fatal("alignment failed")
+	}
+	// identical lists: both columns shared, no choice nodes
+	if got.HasChoice() {
+		t.Fatalf("identical conjuncts produced choice nodes: %v", got)
+	}
+}
+
+func TestListToMultiOnPushedExprList(t *testing.T) {
+	// exprlist(ANY(1,20), ANY(2,22)) → exprlist(MULTI(ANY(1,20,2,22)))
+	list := dt.New(dt.KindExprList, "",
+		dt.New(dt.KindAny, "", dt.Number("1"), dt.Number("20")),
+		dt.New(dt.KindAny, "", dt.Number("2"), dt.Number("22")))
+	if !listMutable(list) {
+		t.Fatal("list should be mutable")
+	}
+	got, ok := ruleListToMulti(nil, list)
+	if !ok {
+		t.Fatal("ToMULTI failed")
+	}
+	multi := got.Children[0]
+	if multi.Kind != dt.KindMulti {
+		t.Fatalf("got %v", got)
+	}
+	if len(multi.Children[0].Children) != 4 {
+		t.Fatalf("pattern alternatives = %v", multi.Children[0])
+	}
+}
+
+func TestListToSubsetKeepsOrder(t *testing.T) {
+	list := dt.New(dt.KindAnd, "",
+		dt.New(dt.KindOpt, "", dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1"))),
+		dt.New(dt.KindBinary, "=", dt.Ident("b"), dt.Number("2")))
+	got, ok := ruleListToSubset(nil, list)
+	if !ok {
+		t.Fatal("ToSUBSET failed")
+	}
+	sub := got.Children[0]
+	if sub.Kind != dt.KindSubset || len(sub.Children) != 2 {
+		t.Fatalf("subset = %v", sub)
+	}
+}
+
+func TestListMutableRejectsValChildren(t *testing.T) {
+	list := dt.New(dt.KindExprList, "",
+		dt.New(dt.KindVal, "num", dt.Number("1")))
+	if listMutable(list) {
+		t.Fatal("VAL children are not enumerable")
+	}
+}
+
+func TestConnectReachesMultiClickShape(t *testing.T) {
+	// end-to-end rule chain for the Connect IN-list: PushANY then ToMULTI
+	// then ANY→VAL yields exprlist(MULTI(VAL)) that multi-click can bind.
+	ctx := ctxFor(t,
+		"SELECT mpg, disp, id IN (1, 2) AS color FROM Cars",
+		"SELECT mpg, disp, id IN (20, 22) AS color FROM Cars")
+	s := InitState(ctx, true)
+	s = applyAll(t, s, ctx, "PushANY")
+	s = applyAll(t, s, ctx, "ToMULTI")
+	s = applyAll(t, s, ctx, "ANY→VAL")
+	if !s.Valid(ctx) {
+		t.Fatal("state invalid")
+	}
+	foundMultiVal := false
+	s.Trees[0].Root.Walk(func(n *dt.Node) bool {
+		if n.Kind == dt.KindMulti && n.Children[0].Kind == dt.KindVal {
+			foundMultiVal = true
+		}
+		return true
+	})
+	if !foundMultiVal {
+		t.Fatalf("no MULTI(VAL): %s", sqlparser.ToSQL(s.Trees[0].Root))
+	}
+	// the generalized tree must express an unseen id set of length 3
+	q := sqlparser.MustParse("SELECT mpg, disp, id IN (5, 7, 9) AS color FROM Cars")
+	if _, ok := dt.Match(s.Trees[0].Root, q); !ok {
+		t.Fatal("MULTI(VAL) failed to generalize to longer lists")
+	}
+}
+
+func applyAll(t *testing.T, s *State, ctx *Context, rule string) *State {
+	t.Helper()
+	for i := 0; i < 20; i++ {
+		applied := false
+		for _, a := range Applicable(s, ctx) {
+			if a.Rule != rule {
+				continue
+			}
+			if next, ok := a.Run(); ok {
+				s = next
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			return s
+		}
+	}
+	return s
+}
+
+func TestPartitionMixedDedupes(t *testing.T) {
+	a := dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1"))
+	mixed := dt.New(dt.KindAny, "", a, a.Clone())
+	got := partitionMixed(mixed)
+	if got.Kind == dt.KindAny {
+		t.Fatalf("duplicate children should collapse: %v", got)
+	}
+}

@@ -1,0 +1,266 @@
+package transform
+
+import (
+	"fmt"
+
+	dt "pi2/internal/difftree"
+	"pi2/internal/schema"
+)
+
+// Application is one candidate rule instance. Run executes it, returning the
+// successor state; ok is false when the rewrite failed verification (the new
+// tree no longer expresses its queries) and must be discarded.
+type Application struct {
+	Rule   string
+	Tree   int // index of the primary tree
+	NodeID int // target node (-1 for cross-tree rules)
+	Other  int // second tree for Merge (-1 otherwise)
+	Run    func() (*State, bool)
+}
+
+func (a Application) String() string {
+	if a.Other >= 0 {
+		return fmt.Sprintf("%s(t%d,t%d)", a.Rule, a.Tree, a.Other)
+	}
+	return fmt.Sprintf("%s(t%d,n%d)", a.Rule, a.Tree, a.NodeID)
+}
+
+// Applicable enumerates every rule application on the state (paper §6.1's
+// transition function). The enumeration order is deterministic.
+func Applicable(s *State, ctx *Context) []Application {
+	var apps []Application
+	for ti, tree := range s.Trees {
+		root := tree.Root
+		root.Walk(func(n *dt.Node) bool {
+			apps = append(apps, nodeRules(s, ctx, ti, n)...)
+			return true
+		})
+		if root.Kind == dt.KindAny && len(root.Children) >= 2 {
+			apps = append(apps, splitApp(s, ctx, ti))
+		}
+	}
+	// Merge every union-compatible tree pair.
+	for i := 0; i < len(s.Trees); i++ {
+		for j := i + 1; j < len(s.Trees); j++ {
+			if mergeCompatible(s, ctx, i, j) {
+				apps = append(apps, mergeApp(s, ctx, i, j))
+			}
+		}
+	}
+	return apps
+}
+
+// nodeRules enumerates single-node rules for one node.
+func nodeRules(s *State, ctx *Context, ti int, n *dt.Node) []Application {
+	var apps []Application
+	add := func(rule string, build func(clone *dt.Node, target *dt.Node) (*dt.Node, bool)) {
+		id := n.ID
+		apps = append(apps, Application{
+			Rule: rule, Tree: ti, NodeID: id, Other: -1,
+			Run: func() (*State, bool) {
+				return applyNodeRule(s, ctx, ti, id, build)
+			},
+		})
+	}
+	switch n.Kind {
+	case dt.KindAny:
+		if len(n.Children) == 1 || allEqualChildren(n) {
+			add("Noop", ruleNoop)
+		}
+		if hasDuplicateChildren(n) {
+			add("Dedup", ruleDedup)
+		}
+		if anyChildIsANY(n) {
+			add("MergeANY", ruleMergeANY)
+		}
+		if hasNoneChild(n) {
+			add("OptIntro", ruleOptIntro)
+		}
+		if partitionApplies(n) {
+			add("Partition", rulePartition)
+		}
+		if pushANYApplies(n) {
+			add("PushANY", rulePushANY)
+		}
+		if anyToValApplies(n) {
+			add("ANY→VAL", ruleAnyToVal)
+		}
+		if anyListChildren(n) {
+			add("ANY→MULTI", ruleAnyToMulti)
+			add("ANY→SUBSET", ruleAnyToSubset)
+		}
+	case dt.KindOpt:
+		if pushOPT2Applies(n) {
+			add("PushOPT2", rulePushOPT2)
+		}
+		if pushOPT1Applies(n) {
+			add("PushOPT1", rulePushOPT1)
+		}
+	default:
+		if listMutable(n) {
+			add("ToMULTI", ruleListToMulti)
+			add("ToSUBSET", ruleListToSubset)
+		}
+	}
+	return apps
+}
+
+// applyNodeRule clones the tree, rewrites the target node, renumbers, and
+// verifies expressiveness.
+func applyNodeRule(s *State, ctx *Context, ti, nodeID int, build func(clone, target *dt.Node) (*dt.Node, bool)) (*State, bool) {
+	next := s.Clone()
+	tree := next.Trees[ti]
+	target := tree.Root.Find(nodeID)
+	if target == nil {
+		return nil, false
+	}
+	repl, ok := build(tree.Root, target)
+	if !ok {
+		return nil, false
+	}
+	newRoot, ok := replaceByID(tree.Root, nodeID, repl)
+	if !ok {
+		return nil, false
+	}
+	tree.Root = newRoot
+	tree.Root.Renumber()
+	if len(tree.Root.ChoiceNodes()) > MaxChoiceNodes {
+		return nil, false
+	}
+	if _, ok := tree.Bind(ctx); !ok {
+		return nil, false
+	}
+	return next, true
+}
+
+func allEqualChildren(n *dt.Node) bool {
+	for _, c := range n.Children[1:] {
+		if !dt.Equal(n.Children[0], c) {
+			return false
+		}
+	}
+	return len(n.Children) > 0
+}
+
+func hasDuplicateChildren(n *dt.Node) bool {
+	seen := map[uint64]bool{}
+	for _, c := range n.Children {
+		h := dt.Hash(c)
+		if seen[h] {
+			return true
+		}
+		seen[h] = true
+	}
+	return false
+}
+
+func anyChildIsANY(n *dt.Node) bool {
+	for _, c := range n.Children {
+		if c.Kind == dt.KindAny {
+			return true
+		}
+	}
+	return false
+}
+
+func hasNoneChild(n *dt.Node) bool {
+	for _, c := range n.Children {
+		if c.Kind == dt.KindNone {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeCompatible gates Merge on union-compatible result schemas ("If union
+// compatible" in Figure 13).
+func mergeCompatible(s *State, ctx *Context, i, j int) bool {
+	var probe []*dt.Node
+	for _, qi := range s.Trees[i].Queries {
+		probe = append(probe, ctx.Queries[qi])
+	}
+	for _, qj := range s.Trees[j].Queries {
+		probe = append(probe, ctx.Queries[qj])
+	}
+	return schema.InferResultSchema(probe, ctx.Cat) != nil
+}
+
+func mergeApp(s *State, ctx *Context, i, j int) Application {
+	return Application{
+		Rule: "Merge", Tree: i, NodeID: -1, Other: j,
+		Run: func() (*State, bool) {
+			next := s.Clone()
+			a, b := next.Trees[i], next.Trees[j]
+			anyN := dt.New(dt.KindAny, "")
+			appendFlat := func(root *dt.Node) {
+				if root.Kind == dt.KindAny {
+					anyN.Children = append(anyN.Children, root.Children...)
+				} else {
+					anyN.Children = append(anyN.Children, root)
+				}
+			}
+			appendFlat(a.Root)
+			appendFlat(b.Root)
+			merged := &Tree{Root: anyN, Queries: append(append([]int{}, a.Queries...), b.Queries...)}
+			merged.Root.Renumber()
+			var trees []*Tree
+			for k, t := range next.Trees {
+				if k != i && k != j {
+					trees = append(trees, t)
+				}
+			}
+			trees = append(trees, merged)
+			next.Trees = trees
+			if len(merged.Root.ChoiceNodes()) > MaxChoiceNodes {
+				return nil, false
+			}
+			if _, ok := merged.Bind(ctx); !ok {
+				return nil, false
+			}
+			return next, true
+		},
+	}
+}
+
+func splitApp(s *State, ctx *Context, ti int) Application {
+	return Application{
+		Rule: "Split", Tree: ti, NodeID: 0, Other: -1,
+		Run: func() (*State, bool) {
+			next := s.Clone()
+			tree := next.Trees[ti]
+			var newTrees []*Tree
+			for _, c := range tree.Root.Children {
+				root := c.Clone()
+				root.Renumber()
+				newTrees = append(newTrees, &Tree{Root: root})
+			}
+			// assign each query to the first child tree that expresses it
+			for _, qi := range tree.Queries {
+				assigned := false
+				for _, nt := range newTrees {
+					if _, ok := dt.Match(nt.Root, ctx.Queries[qi]); ok {
+						nt.Queries = append(nt.Queries, qi)
+						assigned = true
+						break
+					}
+				}
+				if !assigned {
+					return nil, false
+				}
+			}
+			var trees []*Tree
+			for k, t := range next.Trees {
+				if k != ti {
+					trees = append(trees, t)
+				}
+			}
+			for _, nt := range newTrees {
+				if len(nt.Queries) > 0 {
+					trees = append(trees, nt)
+				}
+			}
+			next.Trees = trees
+			return next, true
+		},
+	}
+}

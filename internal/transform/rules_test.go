@@ -1,0 +1,414 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"pi2/internal/catalog"
+	"pi2/internal/dataset"
+	dt "pi2/internal/difftree"
+	"pi2/internal/sqlparser"
+)
+
+var testCat = catalog.Build(dataset.NewDB(), dataset.Keys())
+
+func ctxFor(t *testing.T, sqls ...string) *Context {
+	t.Helper()
+	qs, err := sqlparser.ParseAll(sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Context{Queries: qs, Cat: testCat}
+}
+
+// findApp locates the first application of the named rule.
+func findApp(t *testing.T, s *State, ctx *Context, rule string) Application {
+	t.Helper()
+	for _, a := range Applicable(s, ctx) {
+		if a.Rule == rule {
+			return a
+		}
+	}
+	t.Fatalf("rule %s not applicable; available: %v", rule, ruleNames(s, ctx))
+	return Application{}
+}
+
+func hasRule(s *State, ctx *Context, rule string) bool {
+	for _, a := range Applicable(s, ctx) {
+		if a.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func ruleNames(s *State, ctx *Context) []string {
+	var out []string
+	for _, a := range Applicable(s, ctx) {
+		out = append(out, a.String())
+	}
+	return out
+}
+
+func mustRun(t *testing.T, a Application) *State {
+	t.Helper()
+	next, ok := a.Run()
+	if !ok {
+		t.Fatalf("application %v failed verification", a)
+	}
+	return next
+}
+
+func TestInitStateUnclustered(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE b = 2 GROUP BY p")
+	s := InitState(ctx, false)
+	if len(s.Trees) != 2 {
+		t.Fatalf("trees = %d", len(s.Trees))
+	}
+	if !s.Valid(ctx) {
+		t.Fatal("initial state invalid")
+	}
+}
+
+func TestInitStateClustered(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE b = 2 GROUP BY p",
+		"SELECT a FROM T")
+	s := InitState(ctx, true)
+	if len(s.Trees) != 2 {
+		t.Fatalf("clusters = %d, want 2 (the two count queries merge)", len(s.Trees))
+	}
+	if !s.Valid(ctx) {
+		t.Fatal("clustered state invalid")
+	}
+	// the merged tree must express both queries
+	var merged *Tree
+	for _, tr := range s.Trees {
+		if len(tr.Queries) == 2 {
+			merged = tr
+		}
+	}
+	if merged == nil || merged.Root.Kind != dt.KindAny {
+		t.Fatalf("merged tree = %+v", merged)
+	}
+}
+
+// TestFigure12Pipeline follows the paper's Figure 12: Merge, Partition,
+// Split, PushANY, ANY→VAL on queries a=1, b=2, avg(c).
+func TestFigure12Pipeline(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p")
+	s := InitState(ctx, false)
+
+	s = mustRun(t, findApp(t, s, ctx, "Merge"))
+	if len(s.Trees) != 1 || s.Trees[0].Root.Kind != dt.KindAny {
+		t.Fatalf("after merge: %v", s.Trees[0].Root)
+	}
+
+	// PushANY through query → ... until the ANY sits over the literals.
+	for i := 0; i < 10 && hasRule(s, ctx, "PushANY"); i++ {
+		s = mustRun(t, findApp(t, s, ctx, "PushANY"))
+	}
+	if !hasRule(s, ctx, "ANY→VAL") {
+		t.Fatalf("ANY→VAL never became applicable; state: %v", s.Trees[0].Root)
+	}
+	s = mustRun(t, findApp(t, s, ctx, "ANY→VAL"))
+
+	// the tree now contains a VAL node and still expresses both queries
+	hasVal := false
+	s.Trees[0].Root.Walk(func(n *dt.Node) bool {
+		if n.Kind == dt.KindVal {
+			hasVal = true
+		}
+		return true
+	})
+	if !hasVal {
+		t.Fatal("no VAL node after ANY→VAL")
+	}
+	if !s.Valid(ctx) {
+		t.Fatal("state invalid after pipeline")
+	}
+	// generalization: the VAL tree should now also express a = 5
+	q5 := sqlparser.MustParse("SELECT p, count(*) FROM T WHERE a = 5 GROUP BY p")
+	if _, ok := dt.Match(s.Trees[0].Root, q5); !ok {
+		t.Fatal("VAL tree should generalize to unseen literals")
+	}
+}
+
+func TestPushANYFixedArity(t *testing.T) {
+	// ANY(a=1, b=2) → =(ANY(a,b), ANY(1,2))
+	anyN := dt.New(dt.KindAny, "",
+		dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1")),
+		dt.New(dt.KindBinary, "=", dt.Ident("b"), dt.Number("2")))
+	got, ok := rulePushANY(nil, anyN)
+	if !ok {
+		t.Fatal("push failed")
+	}
+	if got.Kind != dt.KindBinary || got.Label != "=" {
+		t.Fatalf("root = %v", got)
+	}
+	if got.Children[0].Kind != dt.KindAny || got.Children[1].Kind != dt.KindAny {
+		t.Fatalf("children = %v", got)
+	}
+}
+
+func TestPushANYSharedOperand(t *testing.T) {
+	// ANY(a=1, a=2) → =(a, ANY(1,2)): the shared operand is not wrapped.
+	anyN := dt.New(dt.KindAny, "",
+		dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1")),
+		dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("2")))
+	got, _ := rulePushANY(nil, anyN)
+	if got.Children[0].Kind != dt.KindIdent {
+		t.Fatalf("shared operand wrapped: %v", got)
+	}
+	if got.Children[1].Kind != dt.KindAny {
+		t.Fatalf("literal variants not wrapped: %v", got)
+	}
+}
+
+func TestAlignListsDifferentLengths(t *testing.T) {
+	// AND(state=, date>) vs AND(state=): date> column becomes OPT.
+	mk := func(attr, lit string) *dt.Node {
+		return dt.New(dt.KindBinary, "=", dt.Ident(attr), dt.Str(lit))
+	}
+	l1 := dt.New(dt.KindAnd, "", mk("state", "CA"), dt.New(dt.KindBinary, ">", dt.Ident("date"), dt.Str("2020-01-01")))
+	l2 := dt.New(dt.KindAnd, "", mk("state", "WA"))
+	got, ok := alignLists([]*dt.Node{l1, l2})
+	if !ok {
+		t.Fatal("alignment failed")
+	}
+	if len(got.Children) != 2 {
+		t.Fatalf("columns = %v", got)
+	}
+	foundOpt := false
+	foundAny := false
+	for _, c := range got.Children {
+		if c.Kind == dt.KindOpt {
+			foundOpt = true
+		}
+		if c.Kind == dt.KindAny {
+			foundAny = true
+		}
+	}
+	if !foundOpt || !foundAny {
+		t.Fatalf("expected OPT and ANY columns, got %v", got)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	anyN := dt.New(dt.KindAny, "",
+		dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1")),
+		dt.New(dt.KindBinary, "=", dt.Ident("b"), dt.Number("2")),
+		dt.New(dt.KindFunc, "avg", dt.Ident("c")))
+	if !partitionApplies(anyN) {
+		t.Fatal("partition should apply")
+	}
+	got, _ := rulePartition(nil, anyN)
+	if len(got.Children) != 2 {
+		t.Fatalf("groups = %v", got)
+	}
+	if got.Children[0].Kind != dt.KindAny || len(got.Children[0].Children) != 2 {
+		t.Fatalf("equality group = %v", got.Children[0])
+	}
+	if got.Children[1].Kind != dt.KindFunc {
+		t.Fatalf("singleton group = %v", got.Children[1])
+	}
+}
+
+func TestOptIntro(t *testing.T) {
+	anyN := dt.New(dt.KindAny, "", dt.NewNone(),
+		dt.New(dt.KindWhere, "", dt.New(dt.KindAnd, "", dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1")))))
+	got, ok := ruleOptIntro(nil, anyN)
+	if !ok || got.Kind != dt.KindOpt {
+		t.Fatalf("got %v", got)
+	}
+	if got.Children[0].Kind != dt.KindWhere {
+		t.Fatalf("inner = %v", got.Children[0])
+	}
+}
+
+func TestPushOPT1ThroughWhere(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT date, price FROM sp500",
+		"SELECT date, price FROM sp500 WHERE date > '2001-01-01' AND date < '2003-01-01'")
+	s := InitState(ctx, true)
+	// drive: push the root ANY down to the where clause
+	for i := 0; i < 12; i++ {
+		switch {
+		case hasRule(s, ctx, "PushANY"):
+			s = mustRun(t, findApp(t, s, ctx, "PushANY"))
+		case hasRule(s, ctx, "OptIntro"):
+			s = mustRun(t, findApp(t, s, ctx, "OptIntro"))
+		case hasRule(s, ctx, "Noop"):
+			s = mustRun(t, findApp(t, s, ctx, "Noop"))
+		}
+	}
+	if !hasRule(s, ctx, "PushOPT1") {
+		t.Fatalf("PushOPT1 unavailable; state = %v", s.Trees[0].Root)
+	}
+	s = mustRun(t, findApp(t, s, ctx, "PushOPT1"))
+	if !s.Valid(ctx) {
+		t.Fatal("state invalid after PushOPT1")
+	}
+	// after the push, individual conjuncts are optional
+	optCount := 0
+	s.Trees[0].Root.Walk(func(n *dt.Node) bool {
+		if n.Kind == dt.KindOpt {
+			optCount++
+		}
+		return true
+	})
+	if optCount < 2 {
+		t.Fatalf("opt conjuncts = %d, want >= 2", optCount)
+	}
+}
+
+func TestAnyToMulti(t *testing.T) {
+	// ANY over two select lists with different projections
+	l1 := dt.New(dt.KindExprList, "", dt.Ident("a"), dt.Ident("a"))
+	l2 := dt.New(dt.KindExprList, "", dt.Ident("b"))
+	anyN := dt.New(dt.KindAny, "", l1, l2)
+	got, ok := ruleAnyToMulti(nil, anyN)
+	if !ok {
+		t.Fatal("multi failed")
+	}
+	if got.Kind != dt.KindExprList || got.Children[0].Kind != dt.KindMulti {
+		t.Fatalf("got %v", got)
+	}
+	inner := got.Children[0].Children[0]
+	if inner.Kind != dt.KindAny || len(inner.Children) != 2 {
+		t.Fatalf("pattern = %v", inner)
+	}
+}
+
+func TestAnyToSubset(t *testing.T) {
+	x := dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1"))
+	y := dt.New(dt.KindBinary, "=", dt.Ident("b"), dt.Number("2"))
+	z := dt.New(dt.KindBinary, "=", dt.Ident("c"), dt.Number("3"))
+	l1 := dt.New(dt.KindAnd, "", x, y)
+	l2 := dt.New(dt.KindAnd, "", x.Clone(), y.Clone(), z)
+	anyN := dt.New(dt.KindAny, "", l1, l2)
+	got, ok := ruleAnyToSubset(nil, anyN)
+	if !ok {
+		t.Fatal("subset failed")
+	}
+	sub := got.Children[0]
+	if sub.Kind != dt.KindSubset || len(sub.Children) != 3 {
+		t.Fatalf("subset = %v", sub)
+	}
+	// conflicting order must fail
+	bad := dt.New(dt.KindAny, "",
+		dt.New(dt.KindAnd, "", x.Clone(), y.Clone()),
+		dt.New(dt.KindAnd, "", y.Clone(), x.Clone()))
+	if _, ok := ruleAnyToSubset(nil, bad); ok {
+		t.Fatal("order conflict should fail")
+	}
+}
+
+func TestMergeANYFlattens(t *testing.T) {
+	inner := dt.New(dt.KindAny, "", dt.Number("1"), dt.Number("2"))
+	outer := dt.New(dt.KindAny, "", inner, dt.Number("3"))
+	got, _ := ruleMergeANY(nil, outer)
+	if len(got.Children) != 3 {
+		t.Fatalf("flattened = %v", got)
+	}
+}
+
+func TestSplitAssignsQueries(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE b = 2 GROUP BY p")
+	s := InitState(ctx, true)
+	if len(s.Trees) != 1 {
+		t.Fatalf("want single merged tree, got %d", len(s.Trees))
+	}
+	s2 := mustRun(t, findApp(t, s, ctx, "Split"))
+	if len(s2.Trees) != 2 {
+		t.Fatalf("split trees = %d", len(s2.Trees))
+	}
+	for _, tr := range s2.Trees {
+		if len(tr.Queries) != 1 {
+			t.Fatalf("query assignment = %v", tr.Queries)
+		}
+	}
+}
+
+func TestMergeGateRejectsIncompatible(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T GROUP BY p",
+		"SELECT a FROM T")
+	s := InitState(ctx, false)
+	for _, a := range Applicable(s, ctx) {
+		if a.Rule == "Merge" {
+			t.Fatal("merge offered for union-incompatible trees")
+		}
+	}
+}
+
+func TestStateHashDistinguishes(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p")
+	s1 := InitState(ctx, false)
+	s2 := InitState(ctx, true)
+	if s1.Hash() == s2.Hash() {
+		t.Fatal("different states share a hash")
+	}
+	if s1.Hash() != InitState(ctx, false).Hash() {
+		t.Fatal("identical states hash differently")
+	}
+}
+
+func TestApplicationsPreserveExpressiveness(t *testing.T) {
+	// Property-style: run every applicable rule once on the covid log's
+	// initial state; every successful application must keep the state valid.
+	ctx := ctxFor(t,
+		"SELECT date, cases FROM covid WHERE state = 'CA'",
+		"SELECT date, cases FROM covid WHERE state = 'WA' AND date > date(today(), '-30 days')",
+		"SELECT date, cases FROM covid WHERE state = 'CA' AND date > date(today(), '-7 days')")
+	s := InitState(ctx, true)
+	apps := Applicable(s, ctx)
+	if len(apps) == 0 {
+		t.Fatal("no applicable rules")
+	}
+	ran := 0
+	for _, a := range apps {
+		next, ok := a.Run()
+		if !ok {
+			continue
+		}
+		ran++
+		if !next.Valid(ctx) {
+			t.Fatalf("rule %v produced invalid state", a)
+		}
+		// original state untouched
+		if !s.Valid(ctx) {
+			t.Fatalf("rule %v mutated the source state", a)
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no application succeeded")
+	}
+}
+
+func TestChoiceBudgetEnforced(t *testing.T) {
+	if MaxChoiceNodes > 64 {
+		t.Fatal("choice budget must fit the 64-bit cover mask")
+	}
+}
+
+func TestRuleNamesRenderable(t *testing.T) {
+	ctx := ctxFor(t,
+		"SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+		"SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p")
+	s := InitState(ctx, true)
+	names := ruleNames(s, ctx)
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "(t0") {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -1,0 +1,212 @@
+// Package transform implements the Difftree transformation rules of PI2
+// (paper §6.1, Figure 13). A search State is a forest of Difftrees, each
+// expressing a subset of the input queries; rules rewrite choice-node
+// subtrees while preserving expressiveness. Every application re-verifies
+// expressiveness by re-deriving the query bindings (difftree.BindAll), so a
+// heuristic rewrite that would lose a query is rejected rather than applied.
+package transform
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"pi2/internal/catalog"
+	dt "pi2/internal/difftree"
+	"pi2/internal/schema"
+)
+
+// MaxChoiceNodes caps the choice nodes per tree. Trees beyond the cap are
+// unusable for interface mapping (the exact-cover search uses 64-bit masks)
+// and the paper observes such Difftrees are poor interfaces anyway.
+const MaxChoiceNodes = 60
+
+// Context carries the immutable inputs of a generation run.
+type Context struct {
+	Queries []*dt.Node // concrete input ASTs, in sequence order
+	Cat     *catalog.Catalog
+}
+
+// Tree is one Difftree plus the indexes of the input queries it expresses.
+type Tree struct {
+	Root    *dt.Node
+	Queries []int
+}
+
+// QueryASTs returns the concrete ASTs this tree must express.
+func (t *Tree) QueryASTs(ctx *Context) []*dt.Node {
+	out := make([]*dt.Node, len(t.Queries))
+	for i, qi := range t.Queries {
+		out[i] = ctx.Queries[qi]
+	}
+	return out
+}
+
+// Bind re-derives the per-query bindings for the tree.
+func (t *Tree) Bind(ctx *Context) (*dt.QueryBindings, bool) {
+	return dt.BindAll(t.Root, t.QueryASTs(ctx))
+}
+
+// State is a forest of Difftrees covering all input queries.
+type State struct {
+	Trees []*Tree
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	out := &State{Trees: make([]*Tree, len(s.Trees))}
+	for i, t := range s.Trees {
+		out.Trees[i] = &Tree{Root: t.Root.Clone(), Queries: append([]int(nil), t.Queries...)}
+	}
+	return out
+}
+
+// Hash identifies structurally identical states (tree order insensitive).
+func (s *State) Hash() uint64 {
+	hashes := make([]uint64, len(s.Trees))
+	for i, t := range s.Trees {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|", t.Queries)
+		hashes[i] = dt.Hash(t.Root) ^ h.Sum64()
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	h := fnv.New64a()
+	for _, x := range hashes {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// ChoiceCount returns the total number of choice nodes in the forest.
+func (s *State) ChoiceCount() int {
+	total := 0
+	for _, t := range s.Trees {
+		total += len(t.Root.ChoiceNodes())
+	}
+	return total
+}
+
+// Valid reports whether every tree still expresses its queries and stays
+// within the choice-node budget.
+func (s *State) Valid(ctx *Context) bool {
+	for _, t := range s.Trees {
+		if len(t.Root.ChoiceNodes()) > MaxChoiceNodes {
+			return false
+		}
+		if _, ok := t.Bind(ctx); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// InitState builds the starting state: one static Difftree per query. When
+// clustered is set, queries with union-compatible result schemas are merged
+// under a root ANY first — the paper's "Partition is used to initially
+// cluster the input queries by their result schema" optimization.
+func InitState(ctx *Context, clustered bool) *State {
+	if !clustered {
+		s := &State{}
+		for qi, q := range ctx.Queries {
+			root := q.Clone()
+			root.Renumber()
+			s.Trees = append(s.Trees, &Tree{Root: root, Queries: []int{qi}})
+		}
+		return s
+	}
+	type cluster struct {
+		queries []int
+	}
+	var clusters []*cluster
+	for qi := range ctx.Queries {
+		placed := false
+		for _, c := range clusters {
+			probe := make([]*dt.Node, 0, len(c.queries)+1)
+			for _, j := range c.queries {
+				probe = append(probe, ctx.Queries[j])
+			}
+			probe = append(probe, ctx.Queries[qi])
+			rs := schema.InferResultSchema(probe, ctx.Cat)
+			if rs == nil || hasUnionNames(rs) {
+				continue // incompatible, or the union would mix attributes
+			}
+			c.queries = append(c.queries, qi)
+			placed = true
+			break
+		}
+		if !placed {
+			clusters = append(clusters, &cluster{queries: []int{qi}})
+		}
+	}
+	s := &State{}
+	for _, c := range clusters {
+		if len(c.queries) == 1 {
+			root := ctx.Queries[c.queries[0]].Clone()
+			root.Renumber()
+			s.Trees = append(s.Trees, &Tree{Root: root, Queries: c.queries})
+			continue
+		}
+		anyN := dt.New(dt.KindAny, "")
+		seen := map[uint64]bool{}
+		for _, qi := range c.queries {
+			q := ctx.Queries[qi]
+			h := dt.Hash(q)
+			if seen[h] {
+				continue
+			}
+			seen[h] = true
+			anyN.Children = append(anyN.Children, q.Clone())
+		}
+		var root *dt.Node
+		if len(anyN.Children) == 1 {
+			root = anyN.Children[0]
+		} else {
+			root = anyN
+		}
+		root.Renumber()
+		s.Trees = append(s.Trees, &Tree{Root: root, Queries: c.queries})
+	}
+	return s
+}
+
+// hasUnionNames reports whether the union schema mixed differently named
+// attributes (the initial clustering keeps those apart; the Merge rule can
+// still join them during search when the cost model favors it).
+func hasUnionNames(rs *schema.ResultSchema) bool {
+	for _, c := range rs.Cols {
+		if strings.Contains(c.Name, "∪") {
+			return true
+		}
+	}
+	return false
+}
+
+// replaceByID returns root with the node of the given ID replaced (root is
+// mutated in place; callers operate on clones). Returns false if not found.
+func replaceByID(root *dt.Node, id int, repl *dt.Node) (*dt.Node, bool) {
+	if root.ID == id {
+		return repl, true
+	}
+	done := false
+	var rec func(n *dt.Node)
+	rec = func(n *dt.Node) {
+		for i, c := range n.Children {
+			if done {
+				return
+			}
+			if c.ID == id {
+				n.Children[i] = repl
+				done = true
+				return
+			}
+			rec(c)
+		}
+	}
+	rec(root)
+	return root, done
+}

@@ -1,0 +1,137 @@
+package vis
+
+// InteractionKind names a visualization interaction (paper Table 1).
+type InteractionKind string
+
+const (
+	Click      InteractionKind = "click"
+	MultiClick InteractionKind = "multiclick"
+	BrushX     InteractionKind = "brush-x"
+	BrushY     InteractionKind = "brush-y"
+	BrushXY    InteractionKind = "brush-xy"
+	Pan        InteractionKind = "pan"
+	Zoom       InteractionKind = "zoom"
+)
+
+// StreamShape describes how an event stream's values behave, which decides
+// both schema matching and the safety check (§4.2.2).
+type StreamShape uint8
+
+const (
+	// ShapeValue emits one value per manipulation (click on a mark); only
+	// values present in the rendered result are expressible.
+	ShapeValue StreamShape = iota
+	// ShapeRange emits (lo, hi) bounds (brush/pan/zoom); any value between
+	// the rendered min and max is expressible.
+	ShapeRange
+	// ShapeSet emits a set of values (multi-click).
+	ShapeSet
+)
+
+// EventStream is one event stream an interaction emits. Vars lists the
+// visual variables whose mapped result columns form the stream schema
+// (repeats allowed: a brush over x emits <x, x>).
+type EventStream struct {
+	Name  string
+	Vars  []string
+	Shape StreamShape
+	// Togglable marks streams whose interaction has an "empty" state that
+	// can express absence (clearing a brush disables the predicate, paper
+	// §7.1 Filter), letting the stream bind an OPT node.
+	Togglable bool
+	// Unbounded marks streams that can express values beyond the rendered
+	// data extent: pan and zoom move the viewport itself, so unlike a
+	// brush they are not limited to the currently drawn range.
+	Unbounded bool
+}
+
+// Interaction is an interaction template on a visualization type.
+type Interaction struct {
+	Kind InteractionKind
+	// Conflicts lists interaction kinds that cannot coexist on the same
+	// visualization (Algorithm 1 note ②: brush-x conflicts with brush-y).
+	Conflicts []InteractionKind
+	Streams   []EventStream
+}
+
+// InteractionsFor returns the interaction templates a visualization type
+// supports (Table 1).
+func InteractionsFor(t Type) []Interaction {
+	// Clicking a mark selects the underlying input record, so besides the
+	// encoded visual variables the event carries every record column
+	// (paper Figure 9: the record stream has the input data's schema, with
+	// an internal _idx for binding). "*" expands per result column.
+	click := Interaction{Kind: Click, Streams: []EventStream{
+		{Name: "x-value", Vars: []string{"x"}, Shape: ShapeValue},
+		{Name: "y-value", Vars: []string{"y"}, Shape: ShapeValue},
+		{Name: "color-value", Vars: []string{"color"}, Shape: ShapeValue},
+		{Name: "row-value", Vars: []string{"*"}, Shape: ShapeValue},
+	}}
+	multi := Interaction{Kind: MultiClick, Streams: []EventStream{
+		{Name: "x-set", Vars: []string{"x"}, Shape: ShapeSet},
+		{Name: "row-set", Vars: []string{"*"}, Shape: ShapeSet},
+	}}
+	brushX := Interaction{Kind: BrushX,
+		Conflicts: []InteractionKind{BrushY, BrushXY, Pan, Zoom},
+		Streams: []EventStream{
+			{Name: "x-range", Vars: []string{"x", "x"}, Shape: ShapeRange, Togglable: true},
+		}}
+	brushY := Interaction{Kind: BrushY,
+		Conflicts: []InteractionKind{BrushX, BrushXY, Pan, Zoom},
+		Streams: []EventStream{
+			{Name: "y-range", Vars: []string{"y", "y"}, Shape: ShapeRange, Togglable: true},
+		}}
+	brushXY := Interaction{Kind: BrushXY,
+		Conflicts: []InteractionKind{BrushX, BrushY, Pan, Zoom},
+		Streams: []EventStream{
+			{Name: "xy-range", Vars: []string{"x", "x", "y", "y"}, Shape: ShapeRange, Togglable: true},
+		}}
+	pan := Interaction{Kind: Pan,
+		Conflicts: []InteractionKind{BrushX, BrushY, BrushXY, Zoom},
+		Streams: []EventStream{
+			{Name: "x-viewport", Vars: []string{"x", "x"}, Shape: ShapeRange, Unbounded: true},
+			{Name: "xy-viewport", Vars: []string{"x", "x", "y", "y"}, Shape: ShapeRange, Unbounded: true},
+		}}
+	zoom := Interaction{Kind: Zoom,
+		Conflicts: []InteractionKind{BrushX, BrushY, BrushXY, Pan},
+		Streams: []EventStream{
+			{Name: "x-viewport", Vars: []string{"x", "x"}, Shape: ShapeRange, Unbounded: true},
+			{Name: "xy-viewport", Vars: []string{"x", "x", "y", "y"}, Shape: ShapeRange, Unbounded: true},
+		}}
+
+	if ints, ok := registeredInteractions[t]; ok {
+		return ints
+	}
+	switch t {
+	case Table:
+		// clicking a row can emit any column's value; modeled as click
+		// streams over pseudo visual variables col0..colN resolved by the
+		// mapping layer.
+		return []Interaction{{Kind: Click, Streams: []EventStream{
+			{Name: "row-value", Vars: []string{"*"}, Shape: ShapeValue},
+		}}}
+	case Point:
+		return []Interaction{click, multi, brushX, brushY, brushXY, pan, zoom}
+	case Bar:
+		return []Interaction{click, multi, brushX}
+	case Line:
+		return []Interaction{click, pan, zoom}
+	}
+	return nil
+}
+
+// ConflictsWith reports whether two interaction kinds conflict on the same
+// visualization.
+func ConflictsWith(a, b InteractionKind) bool {
+	for _, i := range InteractionsFor(Point) {
+		if i.Kind != a {
+			continue
+		}
+		for _, c := range i.Conflicts {
+			if c == b {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package vis
+
+import (
+	"testing"
+)
+
+// TestRegisterCustomVisualization exercises the paper's extensibility claim
+// (§4: "developers can add new visualization types [and] interaction
+// templates"): an area chart joins candidate generation like the built-ins.
+func TestRegisterCustomVisualization(t *testing.T) {
+	defer ResetRegistry()
+	area := Schema{
+		Name: "area",
+		Vars: []Var{
+			{Name: "x", Quant: true},
+			{Name: "y", Quant: true},
+		},
+		FDs: []FD{{Determinants: []string{"x"}, Dependent: "y"}},
+	}
+	typ := Register(area, []Interaction{{
+		Kind: BrushX,
+		Streams: []EventStream{
+			{Name: "x-range", Vars: []string{"x", "x"}, Shape: ShapeRange, Togglable: true},
+		},
+	}})
+	if typ.String() != "area" {
+		t.Fatalf("custom type name = %q", typ.String())
+	}
+	if len(Catalog()) != 5 {
+		t.Fatalf("catalog size = %d, want 5", len(Catalog()))
+	}
+	ints := InteractionsFor(typ)
+	if len(ints) != 1 || ints[0].Kind != BrushX {
+		t.Fatalf("custom interactions = %v", ints)
+	}
+	// the registered type participates in candidate generation
+	rs := rsFor(t, "SELECT date, price FROM sp500")
+	found := false
+	for _, m := range CandidateMappings(rs) {
+		if m.Vis.Type == typ {
+			found = true
+			if m.Col("x") < 0 || m.Col("y") < 0 {
+				t.Fatalf("area mapping incomplete: %v", m.Assign)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("registered type never became a candidate")
+	}
+}
+
+func TestResetRegistry(t *testing.T) {
+	Register(Schema{Name: "tmp", Vars: []Var{{Name: "x", Quant: true}, {Name: "y", Quant: true}}}, nil)
+	ResetRegistry()
+	if len(Catalog()) != 4 {
+		t.Fatalf("catalog after reset = %d", len(Catalog()))
+	}
+}

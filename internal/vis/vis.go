@@ -1,0 +1,252 @@
+// Package vis models visualizations as schemas (paper §4.1, Table 1): each
+// visualization type declares visual variables with type requirements,
+// optional functional-dependency constraints, and the interactions it
+// supports together with their event-stream schemas (§4.2.1, Figure 9).
+package vis
+
+import (
+	"fmt"
+
+	"pi2/internal/schema"
+)
+
+// Type is a visualization type.
+type Type uint8
+
+const (
+	Table Type = iota
+	Point
+	Bar
+	Line
+)
+
+func (t Type) String() string {
+	switch t {
+	case Table:
+		return "table"
+	case Point:
+		return "point"
+	case Bar:
+		return "bar"
+	case Line:
+		return "line"
+	}
+	if n, ok := customNames[t]; ok && n != "" {
+		return n
+	}
+	return "custom"
+}
+
+// Var is a visual variable in a visualization schema.
+type Var struct {
+	Name     string
+	Quant    bool // accepts quantitative attributes
+	Cat      bool // accepts categorical attributes
+	Optional bool
+}
+
+// FD is a functional-dependency constraint: Determinants → Dependent, in
+// visual-variable names (paper Table 1, e.g. bar charts assume (x, color) →
+// y).
+type FD struct {
+	Determinants []string
+	Dependent    string
+}
+
+// Schema describes one visualization type.
+type Schema struct {
+	Type Type
+	Name string // display name for registered types ("" for built-ins)
+	Vars []Var
+	FDs  []FD
+	// AnySchema marks the table visualization, which renders any result.
+	AnySchema bool
+}
+
+// registered holds developer-added visualization types (paper §4: "PI2 is
+// extensible, in that developers can add new visualization types,
+// interaction templates, as well as different types of layouts").
+var (
+	registered             []Schema
+	registeredInteractions = map[Type][]Interaction{}
+	nextCustomType         = Type(100)
+)
+
+// Register adds a visualization type with its interaction templates and
+// returns its assigned Type. Registered types participate in candidate
+// generation exactly like the built-ins.
+func Register(s Schema, interactions []Interaction) Type {
+	s.Type = nextCustomType
+	nextCustomType++
+	registered = append(registered, s)
+	registeredInteractions[s.Type] = interactions
+	customNames[s.Type] = s.Name
+	return s.Type
+}
+
+// ResetRegistry removes registered types (tests).
+func ResetRegistry() {
+	registered = nil
+	registeredInteractions = map[Type][]Interaction{}
+	nextCustomType = Type(100)
+	customNames = map[Type]string{}
+}
+
+var customNames = map[Type]string{}
+
+// Catalog returns the built-in visualization schemas (Table 1) plus any
+// registered extensions.
+func Catalog() []Schema {
+	return append(builtinCatalog(), registered...)
+}
+
+func builtinCatalog() []Schema {
+	return []Schema{
+		{Type: Table, AnySchema: true},
+		{Type: Point, Vars: []Var{
+			{Name: "x", Quant: true, Cat: true},
+			{Name: "y", Quant: true},
+			{Name: "shape", Cat: true, Optional: true},
+			{Name: "size", Cat: true, Optional: true},
+			{Name: "color", Cat: true, Optional: true},
+		}},
+		{Type: Bar,
+			Vars: []Var{
+				{Name: "x", Cat: true},
+				{Name: "y", Quant: true},
+				{Name: "color", Cat: true, Optional: true},
+			},
+			FDs: []FD{{Determinants: []string{"x", "color"}, Dependent: "y"}},
+		},
+		{Type: Line,
+			Vars: []Var{
+				{Name: "x", Quant: true, Cat: true},
+				{Name: "y", Quant: true},
+				{Name: "shape", Cat: true, Optional: true},
+				{Name: "size", Cat: true, Optional: true},
+				{Name: "color", Cat: true, Optional: true},
+			},
+			FDs: []FD{{Determinants: []string{"x", "shape", "size", "color"}, Dependent: "y"}},
+		},
+	}
+}
+
+// Mapping assigns result-schema columns to a visualization's visual
+// variables.
+type Mapping struct {
+	Vis    Schema
+	Assign map[string]int // visual variable name -> result column index
+}
+
+// Col returns the result column index mapped to the visual variable, or -1.
+func (m *Mapping) Col(v string) int {
+	if i, ok := m.Assign[v]; ok {
+		return i
+	}
+	return -1
+}
+
+func (m *Mapping) String() string {
+	return fmt.Sprintf("%s%v", m.Vis.Type, m.Assign)
+}
+
+// CandidateMappings enumerates all valid visualization mappings for a result
+// schema (paper §4.1 Candidate Generation): every data attribute maps to a
+// visual variable (key columns may be omitted, matching the paper's Connect
+// case study where the primary key is "not rendered by default"), each
+// visual variable at most once, non-optional variables are covered, types
+// are compatible, and FD constraints hold.
+func CandidateMappings(rs *schema.ResultSchema) []Mapping {
+	if rs == nil {
+		return nil
+	}
+	var out []Mapping
+	// key columns may stay unmapped
+	omittable := map[int]bool{}
+	for _, key := range rs.Keys {
+		if len(key) == 1 {
+			omittable[key[0]] = true
+		}
+	}
+	for _, vs := range Catalog() {
+		if vs.AnySchema {
+			out = append(out, Mapping{Vis: vs, Assign: map[string]int{}})
+			continue
+		}
+		assign := map[string]int{}
+		used := make([]bool, len(rs.Cols))
+		var rec func(ci int)
+		rec = func(ci int) {
+			if ci == len(rs.Cols) {
+				// all non-optional vars covered?
+				for _, v := range vs.Vars {
+					if !v.Optional {
+						if _, ok := assign[v.Name]; !ok {
+							return
+						}
+					}
+				}
+				if !fdsSatisfied(vs, assign, rs) {
+					return
+				}
+				cp := make(map[string]int, len(assign))
+				for k, v := range assign {
+					cp[k] = v
+				}
+				out = append(out, Mapping{Vis: vs, Assign: cp})
+				return
+			}
+			col := rs.Cols[ci]
+			for _, v := range vs.Vars {
+				if _, taken := assign[v.Name]; taken {
+					continue
+				}
+				if !varCompatible(v, col) {
+					continue
+				}
+				assign[v.Name] = ci
+				used[ci] = true
+				rec(ci + 1)
+				delete(assign, v.Name)
+				used[ci] = false
+			}
+			if omittable[ci] {
+				rec(ci + 1) // skip the key column
+			}
+		}
+		rec(0)
+	}
+	return out
+}
+
+// varCompatible implements §4.1 compatibility: categorical visual variables
+// accept str/num attributes with cardinality below 20; quantitative visual
+// variables accept numeric (and date) attributes.
+func varCompatible(v Var, col schema.ResultCol) bool {
+	if v.Quant && col.Quant {
+		return true
+	}
+	if v.Cat && col.Cat {
+		return true
+	}
+	return false
+}
+
+func fdsSatisfied(vs Schema, assign map[string]int, rs *schema.ResultSchema) bool {
+	for _, fd := range vs.FDs {
+		dep, ok := assign[fd.Dependent]
+		if !ok {
+			continue
+		}
+		var det []int
+		for _, d := range fd.Determinants {
+			if ci, ok := assign[d]; ok {
+				det = append(det, ci)
+			}
+		}
+		if !rs.FDHolds(det, dep) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package vis
+
+import (
+	"testing"
+
+	"pi2/internal/catalog"
+	"pi2/internal/dataset"
+	dt "pi2/internal/difftree"
+	"pi2/internal/schema"
+	"pi2/internal/sqlparser"
+)
+
+var testCat = catalog.Build(dataset.NewDB(), dataset.Keys())
+
+func rsFor(t *testing.T, sql string) *schema.ResultSchema {
+	t.Helper()
+	q := sqlparser.MustParse(sql)
+	rs := schema.InferResultSchema([]*dt.Node{q}, testCat)
+	if rs == nil {
+		t.Fatalf("undefined result schema for %s", sql)
+	}
+	return rs
+}
+
+func typesOf(ms []Mapping) map[Type]bool {
+	out := map[Type]bool{}
+	for _, m := range ms {
+		out[m.Vis.Type] = true
+	}
+	return out
+}
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 4 {
+		t.Fatalf("vis types = %d, want 4", len(cat))
+	}
+	byType := map[Type]Schema{}
+	for _, s := range cat {
+		byType[s.Type] = s
+	}
+	if !byType[Table].AnySchema {
+		t.Error("table must accept any schema")
+	}
+	bar := byType[Bar]
+	if len(bar.FDs) != 1 || bar.FDs[0].Dependent != "y" {
+		t.Errorf("bar FD = %+v", bar.FDs)
+	}
+	if bar.Vars[0].Quant || !bar.Vars[0].Cat {
+		t.Error("bar x must be categorical only")
+	}
+	point := byType[Point]
+	if !point.Vars[0].Quant || !point.Vars[0].Cat {
+		t.Error("point x must accept Q|C")
+	}
+}
+
+func TestGroupByGetsBarChart(t *testing.T) {
+	rs := rsFor(t, "SELECT hour, count(*) FROM flights GROUP BY hour")
+	ms := CandidateMappings(rs)
+	types := typesOf(ms)
+	if !types[Bar] {
+		t.Fatalf("no bar mapping; got %v", types)
+	}
+	// find the bar mapping and check the assignment
+	for _, m := range ms {
+		if m.Vis.Type == Bar {
+			if m.Col("x") != 0 || m.Col("y") != 1 {
+				t.Errorf("bar assignment = %v", m.Assign)
+			}
+		}
+	}
+}
+
+func TestScatterForNumericPair(t *testing.T) {
+	rs := rsFor(t, "SELECT hp, mpg, origin FROM Cars")
+	types := typesOf(CandidateMappings(rs))
+	if !types[Point] {
+		t.Fatal("no point mapping for hp/mpg/origin")
+	}
+	if types[Bar] {
+		t.Fatal("bar should be invalid: hp is not categorical and no FD holds")
+	}
+}
+
+func TestKeyColumnMayBeOmitted(t *testing.T) {
+	// Connect case study: id is a primary key and "not rendered by default"
+	rs := rsFor(t, "SELECT hp, disp, id FROM Cars")
+	found := false
+	for _, m := range CandidateMappings(rs) {
+		if m.Vis.Type != Point {
+			continue
+		}
+		usesID := false
+		for _, ci := range m.Assign {
+			if ci == 2 {
+				usesID = true
+			}
+		}
+		if !usesID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no scatter mapping omitting the key column")
+	}
+}
+
+func TestNonOptionalVarsMustBeCovered(t *testing.T) {
+	// single categorical column: no quantitative y available → no bar/point/line
+	rs := rsFor(t, "SELECT origin FROM Cars")
+	types := typesOf(CandidateMappings(rs))
+	if types[Bar] || types[Point] || types[Line] {
+		t.Fatalf("chart mapping without y: %v", types)
+	}
+	if !types[Table] {
+		t.Fatal("table must always be available")
+	}
+}
+
+func TestLineFDWithKey(t *testing.T) {
+	rs := rsFor(t, "SELECT date, price FROM sp500")
+	types := typesOf(CandidateMappings(rs))
+	if !types[Line] {
+		t.Fatal("no line mapping for keyed date series")
+	}
+}
+
+func TestInteractionsMatchTable1(t *testing.T) {
+	has := func(t Type, k InteractionKind) bool {
+		for _, i := range InteractionsFor(t) {
+			if i.Kind == k {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(Point, Pan) || !has(Point, BrushXY) || !has(Point, MultiClick) {
+		t.Error("point interactions incomplete")
+	}
+	if has(Bar, Pan) || has(Bar, BrushY) {
+		t.Error("bar should not support pan or brush-y")
+	}
+	if !has(Bar, BrushX) || !has(Bar, Click) {
+		t.Error("bar must support brush-x and click")
+	}
+	if !has(Line, Pan) || !has(Line, Zoom) || has(Line, BrushX) {
+		t.Error("line interactions wrong")
+	}
+	if !has(Table, Click) {
+		t.Error("table must support click")
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	if !ConflictsWith(BrushX, BrushY) {
+		t.Error("brush-x should conflict with brush-y")
+	}
+	if !ConflictsWith(Pan, BrushX) {
+		t.Error("pan should conflict with brush-x")
+	}
+	if ConflictsWith(Click, BrushX) {
+		t.Error("click should not conflict with brush-x")
+	}
+	if ConflictsWith(BrushX, BrushX) {
+		t.Error("an interaction kind does not conflict with itself")
+	}
+}
+
+func TestPanZoomUnbounded(t *testing.T) {
+	for _, i := range InteractionsFor(Point) {
+		for _, s := range i.Streams {
+			switch i.Kind {
+			case Pan, Zoom:
+				if !s.Unbounded {
+					t.Errorf("%s stream %s must be unbounded", i.Kind, s.Name)
+				}
+			case BrushX, BrushY, BrushXY:
+				if s.Unbounded {
+					t.Errorf("%s stream %s must be bounded", i.Kind, s.Name)
+				}
+				if !s.Togglable {
+					t.Errorf("%s stream %s must be togglable (clearing disables the predicate)", i.Kind, s.Name)
+				}
+			}
+		}
+	}
+}

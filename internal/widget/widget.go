@@ -1,0 +1,312 @@
+// Package widget implements PI2's widget library (paper §4.2, Table 2):
+// widget schemas, constraints, schema matching against dynamic-node schemas,
+// and the per-widget manipulation-cost coefficients used by the SUPPLE cost
+// model (§5).
+package widget
+
+import (
+	"strconv"
+
+	dt "pi2/internal/difftree"
+	"pi2/internal/schema"
+)
+
+// Kind is a widget type.
+type Kind string
+
+const (
+	Button      Kind = "button"
+	Radio       Kind = "radio"
+	Dropdown    Kind = "dropdown"
+	Checkbox    Kind = "checkbox"
+	Toggle      Kind = "toggle"
+	Slider      Kind = "slider"
+	RangeSlider Kind = "rangeslider"
+	Textbox     Kind = "textbox"
+	Adder       Kind = "adder"
+)
+
+// Kinds lists all widget kinds (Table 2's library).
+func Kinds() []Kind {
+	return []Kind{Button, Radio, Dropdown, Checkbox, Toggle, Slider, RangeSlider, Textbox, Adder}
+}
+
+// SchemaPattern documents the widget's schema in the paper's notation.
+func SchemaPattern(k Kind) string {
+	switch k {
+	case Button, Radio, Dropdown, Textbox:
+		return "<v:_>"
+	case Toggle:
+		return "<v:_?>"
+	case Checkbox, Adder:
+		return "<v:_*>"
+	case Slider:
+		return "<v:num>"
+	case RangeSlider:
+		return "<s:num,e:num>"
+	}
+	return ""
+}
+
+// Constraint documents the widget's binding constraint, if any.
+func Constraint(k Kind) string {
+	if k == RangeSlider {
+		return "s <= e"
+	}
+	return ""
+}
+
+// CostCoeffs returns the SUPPLE manipulation-cost polynomial coefficients
+// Cm(w) = a0 + a1·|w.d| + a2·|w.d|² (paper §5), fit per widget kind on an
+// estimated-milliseconds scale so they are commensurable with the paper's
+// literal Fitts'-law constants (a=1, b=25, ~50–150 per movement). Widgets
+// that enumerate options define |w.d| as the option count; others use 0.
+func CostCoeffs(k Kind) (a0, a1, a2 float64) {
+	switch k {
+	case Button:
+		return 110, 20, 8
+	case Radio:
+		return 120, 20, 8
+	case Dropdown:
+		return 160, 12, 8
+	case Checkbox:
+		return 130, 25, 8
+	case Toggle:
+		return 80, 0, 0
+	case Slider:
+		return 150, 0, 0
+	case RangeSlider:
+		return 210, 0, 0
+	case Textbox:
+		return 450, 0, 0
+	case Adder:
+		return 280, 20, 0
+	}
+	return 200, 0, 0
+}
+
+// Candidate is one valid widget mapping for a dynamic node.
+type Candidate struct {
+	Kind       Kind
+	NodeID     int   // the dynamic node the widget binds
+	Cover      []int // choice-node IDs the widget expresses
+	DomainSize int   // |w.d| for the cost model
+	Options    int   // enumerated option count (== DomainSize for enumerating widgets)
+	Min, Max   float64
+	NumDomain  bool
+}
+
+// CandidatesFor enumerates the widget candidates for a dynamic node, given
+// the analysis info and the node's query bindings (paper §4.2.1: a mapping
+// is valid if the schemas match and the bindings satisfy the constraints).
+func CandidatesFor(n *dt.Node, info *schema.Info, qb *dt.QueryBindings) []Candidate {
+	if !info.Dynamic[n] {
+		return nil
+	}
+	s := info.SchemaOf(n)
+	if s == nil {
+		return nil
+	}
+	var out []Candidate
+	switch n.Kind {
+	case dt.KindAny:
+		// Radio / dropdown / button choose one of the children. Cover is
+		// the ANY itself; dynamic children keep their own widgets (nested
+		// sub-interfaces, §4.3 layout widgets). The cost-model domain size
+		// weights each option by its rendered label length: scanning a list
+		// of whole SQL statements takes far longer than scanning 'CA'/'WA'.
+		k := len(n.Children)
+		d := effectiveDomain(n.Children)
+		for _, w := range []Kind{Radio, Dropdown, Button} {
+			out = append(out, Candidate{Kind: w, NodeID: n.ID, Cover: []int{n.ID}, DomainSize: d, Options: k})
+		}
+	case dt.KindOpt:
+		out = append(out, Candidate{Kind: Toggle, NodeID: n.ID, Cover: []int{n.ID}, DomainSize: 0, Options: 2})
+	case dt.KindVal:
+		t, _ := s.SingleType()
+		min, max, values, card, hasDomain := t.Domain()
+		if t.IsNumeric() {
+			c := Candidate{Kind: Slider, NodeID: n.ID, Cover: []int{n.ID}, NumDomain: true}
+			if hasDomain {
+				c.Min, c.Max = min, max
+			} else {
+				c.Min, c.Max = bindingRange(qb, n.ID)
+			}
+			out = append(out, c)
+		}
+		if hasDomain && len(values) > 0 && card < 64 {
+			out = append(out, Candidate{Kind: Dropdown, NodeID: n.ID, Cover: []int{n.ID}, DomainSize: len(values), Options: len(values)})
+		}
+		out = append(out, Candidate{Kind: Textbox, NodeID: n.ID, Cover: []int{n.ID}})
+	case dt.KindSubset:
+		if allStaticChildren(info, n) {
+			k := len(n.Children)
+			out = append(out, Candidate{Kind: Checkbox, NodeID: n.ID, Cover: []int{n.ID}, DomainSize: k, Options: k})
+		}
+	case dt.KindMulti:
+		cover := choiceIDs(n)
+		pattern := n.Children[0]
+		if staticOptions := multiOptionCount(info, pattern); staticOptions > 0 && noDuplicateReps(qb, n.ID) {
+			out = append(out, Candidate{Kind: Checkbox, NodeID: n.ID, Cover: cover, DomainSize: staticOptions, Options: staticOptions})
+		}
+		out = append(out, Candidate{Kind: Adder, NodeID: n.ID, Cover: cover, DomainSize: maxReps(qb, n.ID)})
+	default:
+		// Dynamic ancestor nodes: a range slider matches a <num, num>
+		// cross-product schema covering exactly two choice nodes
+		// (paper Figure 8's list node).
+		if types, ok := s.NumericTypes(); ok && len(types) == 2 {
+			cover := choiceIDs(n)
+			if len(cover) == 2 && rangeBindingsValid(qb, cover) {
+				min1, max1, _, _, ok1 := types[0].Domain()
+				min2, max2, _, _, ok2 := types[1].Domain()
+				c := Candidate{Kind: RangeSlider, NodeID: n.ID, Cover: cover, NumDomain: true}
+				if ok1 && ok2 {
+					c.Min, c.Max = minf(min1, min2), maxf(max1, max2)
+				} else {
+					lo1, hi1 := bindingRange(qb, cover[0])
+					lo2, hi2 := bindingRange(qb, cover[1])
+					c.Min, c.Max = minf(lo1, lo2), maxf(hi1, hi2)
+				}
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// effectiveDomain weights each enumerated option by its rendered size:
+// an option roughly the size of an attribute value counts 1; an option
+// that is a whole query fragment counts several (SUPPLE-style visual
+// search grows with the amount of text scanned).
+func effectiveDomain(options []*dt.Node) int {
+	total := 0.0
+	for _, o := range options {
+		sz := o.Size() // subtree node count approximates label length
+		total += 1 + float64(sz)/4
+	}
+	return int(total + 0.5)
+}
+
+// choiceIDs returns the IDs of all choice nodes in the subtree.
+func choiceIDs(n *dt.Node) []int {
+	var out []int
+	for _, c := range n.ChoiceNodes() {
+		out = append(out, c.ID)
+	}
+	return out
+}
+
+func allStaticChildren(info *schema.Info, n *dt.Node) bool {
+	for _, c := range n.Children {
+		if info.Dynamic[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// multiOptionCount returns the enumerable option count of a MULTI pattern:
+// a static item counts 1, an ANY over static items counts its children;
+// 0 when the pattern is not enumerable.
+func multiOptionCount(info *schema.Info, pattern *dt.Node) int {
+	if !info.Dynamic[pattern] {
+		return 1
+	}
+	if pattern.Kind == dt.KindAny && allStaticChildren(info, pattern) {
+		return len(pattern.Children)
+	}
+	return 0
+}
+
+// noDuplicateReps verifies no query binding repeats an item (checkboxes
+// cannot express duplicate list entries).
+func noDuplicateReps(qb *dt.QueryBindings, id int) bool {
+	if qb == nil {
+		return true
+	}
+	for _, v := range qb.ValuesFor(id) {
+		seen := map[string]bool{}
+		for _, rep := range v.Reps {
+			k := rep.KeyString()
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+	}
+	return true
+}
+
+func maxReps(qb *dt.QueryBindings, id int) int {
+	max := 0
+	if qb == nil {
+		return 0
+	}
+	for _, v := range qb.ValuesFor(id) {
+		if len(v.Reps) > max {
+			max = len(v.Reps)
+		}
+	}
+	return max
+}
+
+// bindingRange computes the numeric extent of a VAL node's query bindings.
+func bindingRange(qb *dt.QueryBindings, id int) (float64, float64) {
+	lo, hi := 0.0, 0.0
+	first := true
+	if qb == nil {
+		return 0, 0
+	}
+	for _, v := range qb.ValuesFor(id) {
+		f, err := strconv.ParseFloat(v.Lit, 64)
+		if err != nil {
+			continue
+		}
+		if first || f < lo {
+			lo = f
+		}
+		if first || f > hi {
+			hi = f
+		}
+		first = false
+	}
+	return lo, hi
+}
+
+// rangeBindingsValid checks the range-slider constraint s ≤ e over every
+// query binding (paper §4.2.1 Example 6).
+func rangeBindingsValid(qb *dt.QueryBindings, cover []int) bool {
+	if qb == nil {
+		return true
+	}
+	for _, b := range qb.PerQuery {
+		lo, okLo := b[cover[0]]
+		hi, okHi := b[cover[1]]
+		if !okLo || !okHi {
+			continue
+		}
+		flo, err1 := strconv.ParseFloat(lo.Lit, 64)
+		fhi, err2 := strconv.ParseFloat(hi.Lit, 64)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if flo > fhi {
+			return false
+		}
+	}
+	return true
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,239 @@
+package widget
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pi2/internal/catalog"
+	"pi2/internal/dataset"
+	dt "pi2/internal/difftree"
+	"pi2/internal/schema"
+	"pi2/internal/sqlparser"
+)
+
+var testCat = catalog.Build(dataset.NewDB(), dataset.Keys())
+
+// analyze builds a tree with the given predicate subtree at the WHERE slot.
+func analyze(t *testing.T, pred *dt.Node) (*schema.Info, *dt.QueryBindings, *dt.Node) {
+	t.Helper()
+	q := sqlparser.MustParse("SELECT p FROM T WHERE a = 1")
+	tree := q.Clone()
+	tree.Children[2] = dt.New(dt.KindWhere, "", dt.New(dt.KindAnd, "", pred))
+	tree.Renumber()
+	info := schema.Analyze(tree, []*dt.Node{q}, testCat)
+	return info, nil, tree
+}
+
+func kindsOf(cands []Candidate) map[Kind]bool {
+	out := map[Kind]bool{}
+	for _, c := range cands {
+		out[c.Kind] = true
+	}
+	return out
+}
+
+func TestAnyGetsEnumeratingWidgets(t *testing.T) {
+	anyN := dt.New(dt.KindAny, "",
+		dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1")),
+		dt.New(dt.KindBinary, "=", dt.Ident("b"), dt.Number("2")))
+	info, _, _ := analyze(t, anyN)
+	cands := CandidatesFor(anyN, info, nil)
+	kinds := kindsOf(cands)
+	if !kinds[Radio] || !kinds[Dropdown] || !kinds[Button] {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for _, c := range cands {
+		if len(c.Cover) != 1 || c.Cover[0] != anyN.ID {
+			t.Errorf("ANY widget cover = %v", c.Cover)
+		}
+		if c.Options != 2 {
+			t.Errorf("options = %d", c.Options)
+		}
+	}
+}
+
+func TestValNumGetsSlider(t *testing.T) {
+	val := dt.New(dt.KindVal, "num", dt.Number("1"), dt.Number("2"))
+	pred := dt.New(dt.KindBinary, "=", dt.Ident("a"), val)
+	info, _, _ := analyze(t, pred)
+	cands := CandidatesFor(val, info, nil)
+	kinds := kindsOf(cands)
+	if !kinds[Slider] || !kinds[Textbox] {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for _, c := range cands {
+		if c.Kind == Slider {
+			if c.Min >= c.Max {
+				t.Errorf("slider domain [%g, %g]", c.Min, c.Max)
+			}
+		}
+	}
+}
+
+func TestValStrGetsDropdownFromCatalog(t *testing.T) {
+	// state VAL over covid.state: the dropdown enumerates all 5 states.
+	q := sqlparser.MustParse("SELECT date, cases FROM covid WHERE state = 'CA'")
+	tree := q.Clone()
+	val := dt.New(dt.KindVal, "str", dt.Str("CA"), dt.Str("WA"))
+	tree.Children[2].Children[0].Children[0].Children[1] = val
+	tree.Renumber()
+	info := schema.Analyze(tree, []*dt.Node{q}, testCat)
+	cands := CandidatesFor(val, info, nil)
+	var dd *Candidate
+	for i := range cands {
+		if cands[i].Kind == Dropdown {
+			dd = &cands[i]
+		}
+	}
+	if dd == nil {
+		t.Fatalf("no dropdown; kinds = %v", kindsOf(cands))
+	}
+	if dd.Options != 5 {
+		t.Errorf("dropdown options = %d, want 5 states", dd.Options)
+	}
+}
+
+func TestOptGetsToggle(t *testing.T) {
+	opt := dt.New(dt.KindOpt, "", dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1")))
+	info, _, _ := analyze(t, opt)
+	kinds := kindsOf(CandidatesFor(opt, info, nil))
+	if !kinds[Toggle] {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestRangeSliderOnBetween(t *testing.T) {
+	v1 := dt.New(dt.KindVal, "num", dt.Number("1"))
+	v2 := dt.New(dt.KindVal, "num", dt.Number("3"))
+	between := dt.New(dt.KindBetween, "", dt.Ident("a"), v1, v2)
+	info, _, tree := analyze(t, between)
+	_ = tree
+	// valid bindings (1, 3) and (2, 4)
+	qb := dt.CollectQueryBindings([]dt.Binding{
+		{v1.ID: dt.BindValue{Lit: "1", LitKind: dt.KindNumber}, v2.ID: dt.BindValue{Lit: "3", LitKind: dt.KindNumber}},
+		{v1.ID: dt.BindValue{Lit: "2", LitKind: dt.KindNumber}, v2.ID: dt.BindValue{Lit: "4", LitKind: dt.KindNumber}},
+	})
+	cands := CandidatesFor(between, info, qb)
+	kinds := kindsOf(cands)
+	if !kinds[RangeSlider] {
+		t.Fatalf("no range slider; kinds = %v", kinds)
+	}
+	for _, c := range cands {
+		if c.Kind == RangeSlider && len(c.Cover) != 2 {
+			t.Errorf("cover = %v", c.Cover)
+		}
+	}
+}
+
+func TestRangeSliderConstraintViolation(t *testing.T) {
+	// binding (5, 3) violates s <= e (paper Example 6's constraint)
+	v1 := dt.New(dt.KindVal, "num", dt.Number("5"))
+	v2 := dt.New(dt.KindVal, "num", dt.Number("3"))
+	between := dt.New(dt.KindBetween, "", dt.Ident("a"), v1, v2)
+	info, _, _ := analyze(t, between)
+	qb := dt.CollectQueryBindings([]dt.Binding{
+		{v1.ID: dt.BindValue{Lit: "5", LitKind: dt.KindNumber}, v2.ID: dt.BindValue{Lit: "3", LitKind: dt.KindNumber}},
+	})
+	kinds := kindsOf(CandidatesFor(between, info, qb))
+	if kinds[RangeSlider] {
+		t.Fatal("range slider offered despite s > e binding")
+	}
+}
+
+func TestSubsetGetsCheckbox(t *testing.T) {
+	sub := dt.New(dt.KindSubset, "",
+		dt.New(dt.KindBinary, "=", dt.Ident("a"), dt.Number("1")),
+		dt.New(dt.KindBinary, "=", dt.Ident("b"), dt.Number("2")))
+	info, _, _ := analyze(t, sub)
+	kinds := kindsOf(CandidatesFor(sub, info, nil))
+	if !kinds[Checkbox] {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestMultiGetsAdderAndCheckbox(t *testing.T) {
+	pattern := dt.New(dt.KindAny, "", dt.Ident("a"), dt.Ident("b"))
+	multi := dt.New(dt.KindMulti, "", pattern)
+	// place in a group-by list
+	q := sqlparser.MustParse("SELECT p FROM T GROUP BY a")
+	tree := q.Clone()
+	tree.Children[3] = dt.New(dt.KindGroupBy, "", multi)
+	tree.Renumber()
+	info := schema.Analyze(tree, []*dt.Node{q}, testCat)
+	qb := dt.CollectQueryBindings([]dt.Binding{
+		{multi.ID: dt.BindValue{Reps: []dt.Binding{{pattern.ID: dt.BindValue{Index: 0}}}}},
+	})
+	cands := CandidatesFor(multi, info, qb)
+	kinds := kindsOf(cands)
+	if !kinds[Adder] || !kinds[Checkbox] {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for _, c := range cands {
+		if len(c.Cover) != 2 {
+			t.Errorf("multi cover should include the pattern ANY: %v", c.Cover)
+		}
+	}
+}
+
+func TestCheckboxRejectsDuplicateReps(t *testing.T) {
+	pattern := dt.New(dt.KindAny, "", dt.Ident("a"), dt.Ident("b"))
+	multi := dt.New(dt.KindMulti, "", pattern)
+	q := sqlparser.MustParse("SELECT p FROM T GROUP BY a")
+	tree := q.Clone()
+	tree.Children[3] = dt.New(dt.KindGroupBy, "", multi)
+	tree.Renumber()
+	info := schema.Analyze(tree, []*dt.Node{q}, testCat)
+	// duplicate repetitions [a, a] cannot be expressed by a checkbox
+	qb := dt.CollectQueryBindings([]dt.Binding{
+		{multi.ID: dt.BindValue{Reps: []dt.Binding{
+			{pattern.ID: dt.BindValue{Index: 0}},
+			{pattern.ID: dt.BindValue{Index: 0}},
+		}}},
+	})
+	kinds := kindsOf(CandidatesFor(multi, info, qb))
+	if kinds[Checkbox] {
+		t.Fatal("checkbox offered despite duplicate repetitions")
+	}
+	if !kinds[Adder] {
+		t.Fatal("adder should still be offered")
+	}
+}
+
+func TestCostCoeffsMonotone(t *testing.T) {
+	// Cm grows with domain size for enumerating widgets.
+	for _, k := range []Kind{Button, Radio, Dropdown, Checkbox} {
+		a0, a1, a2 := CostCoeffs(k)
+		f := func(d uint8) bool {
+			x := float64(d % 64)
+			c1 := a0 + a1*x + a2*x*x
+			c2 := a0 + a1*(x+1) + a2*(x+1)*(x+1)
+			return c2 > c1
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", k, err)
+		}
+	}
+}
+
+func TestEffectiveDomainWeighsLabelSize(t *testing.T) {
+	small := []*dt.Node{dt.Str("CA"), dt.Str("WA")}
+	big := []*dt.Node{
+		sqlparser.MustParse("SELECT a, b, c FROM T WHERE a = 1 GROUP BY a"),
+		sqlparser.MustParse("SELECT a, b, c FROM T WHERE b = 2 GROUP BY a"),
+	}
+	if effectiveDomain(small) >= effectiveDomain(big) {
+		t.Fatalf("whole-query options should weigh more: %d vs %d",
+			effectiveDomain(small), effectiveDomain(big))
+	}
+}
+
+func TestSchemaPatternsComplete(t *testing.T) {
+	for _, k := range Kinds() {
+		if SchemaPattern(k) == "" {
+			t.Errorf("%s has no schema pattern", k)
+		}
+	}
+	if Constraint(RangeSlider) != "s <= e" {
+		t.Error("range slider constraint missing")
+	}
+}

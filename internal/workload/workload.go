@@ -1,0 +1,159 @@
+// Package workload defines the paper's seven query logs (§7.1–§7.2,
+// Listings 1–7), cleaned up to full SQL (the paper abbreviates "BTWN a & b"
+// for BETWEEN a AND b and elides repeated clauses with "..").
+package workload
+
+// Log is one named query log.
+type Log struct {
+	Name    string
+	Figure  string // the paper artifact it reproduces
+	Queries []string
+}
+
+// Explore is Listing 1: range predicates over the Cars scatterplot
+// (Figure 14a — pan & zoom).
+func Explore() Log {
+	return Log{
+		Name:   "Explore",
+		Figure: "Figure 14a",
+		Queries: []string{
+			`SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38`,
+			`SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90 AND mpg BETWEEN 16 AND 30`,
+		},
+	}
+}
+
+// Abstract is Listing 2: optional date-range predicates over sp500
+// (Figure 14c — overview + detail).
+func Abstract() Log {
+	return Log{
+		Name:   "Abstract",
+		Figure: "Figure 14c",
+		Queries: []string{
+			`SELECT date, price FROM sp500`,
+			`SELECT date, price FROM sp500 WHERE date > '2001-01-01' AND date < '2003-01-01'`,
+			`SELECT date, price FROM sp500 WHERE date > '2001-02-01' AND date < '2003-02-01'`,
+		},
+	}
+}
+
+// Connect is Listing 3: linked selection across two scatterplots
+// (Figure 14b).
+func Connect() Log {
+	return Log{
+		Name:   "Connect",
+		Figure: "Figure 14b",
+		Queries: []string{
+			`SELECT hp, disp, id FROM Cars`,
+			`SELECT mpg, disp, id IN (1, 2) AS color FROM Cars`,
+			`SELECT mpg, disp, id IN (20, 22) AS color FROM Cars`,
+		},
+	}
+}
+
+// Filter is Listing 4: cross-filtering over three grouped flight charts
+// (Figure 14d).
+func Filter() Log {
+	return Log{
+		Name:   "Filter",
+		Figure: "Figure 14d",
+		Queries: []string{
+			`SELECT hour, count(*) FROM flights GROUP BY hour`,
+			`SELECT hour, count(*) FROM flights WHERE delay BETWEEN 0 AND 50 AND dist BETWEEN 400 AND 800 GROUP BY hour`,
+			`SELECT hour, count(*) FROM flights WHERE delay BETWEEN 10 AND 60 AND dist BETWEEN 10 AND 300 GROUP BY hour`,
+			`SELECT delay, count(*) FROM flights GROUP BY delay`,
+			`SELECT delay, count(*) FROM flights WHERE hour BETWEEN 10 AND 16 AND dist BETWEEN 400 AND 800 GROUP BY delay`,
+			`SELECT delay, count(*) FROM flights WHERE hour BETWEEN 15 AND 20 AND dist BETWEEN 200 AND 700 GROUP BY delay`,
+			`SELECT dist, count(*) FROM flights GROUP BY dist`,
+			`SELECT dist, count(*) FROM flights WHERE hour BETWEEN 10 AND 16 AND delay BETWEEN 0 AND 50 GROUP BY dist`,
+			`SELECT dist, count(*) FROM flights WHERE hour BETWEEN 8 AND 19 AND delay BETWEEN 20 AND 61 GROUP BY dist`,
+		},
+	}
+}
+
+// SDSS is Listing 5: the Sloan Digital Sky Survey case study (Figure 15a).
+func SDSS() Log {
+	return Log{
+		Name:   "SDSS",
+		Figure: "Figure 15a",
+		Queries: []string{
+			`SELECT DISTINCT gal.objID, gal.u, gal.g, gal.r, gal.i, gal.z, s.z, s.ra, s.dec
+			 FROM galaxy AS gal, specObj AS s
+			 WHERE s.bestObjID = gal.objID AND s.z BETWEEN 0.1362 AND 0.141
+			   AND s.ra BETWEEN 213.3 AND 214.1 AND s.dec BETWEEN -0.9 AND -0.2`,
+			`SELECT DISTINCT gal.objID, gal.u, gal.g, gal.r, gal.i, gal.z, s.z, s.ra, s.dec
+			 FROM galaxy AS gal, specObj AS s
+			 WHERE s.bestObjID = gal.objID AND s.z BETWEEN 0.1362 AND 0.141
+			   AND s.ra BETWEEN 213.4191 AND 213.9 AND s.dec BETWEEN -0.565 AND -0.3111`,
+			`SELECT DISTINCT gal.objID, gal.u, gal.g, gal.r, gal.i, gal.z, s.z, s.ra, s.dec
+			 FROM galaxy AS gal, specObj AS s
+			 WHERE s.bestObjID = gal.objID AND s.z BETWEEN 0.1362 AND 0.141
+			   AND s.ra BETWEEN 213.5 AND 213.8 AND s.dec BETWEEN -0.34 AND -0.2`,
+			`SELECT DISTINCT ra, dec FROM specObj WHERE ra BETWEEN 213.2 AND 213.6 AND dec BETWEEN -0.3 AND -0.1`,
+			`SELECT DISTINCT ra, dec FROM specObj WHERE ra BETWEEN 213 AND 214 AND dec BETWEEN -0.8 AND -0.4`,
+		},
+	}
+}
+
+// Covid is Listing 6: Google's Covid-19 visualization (Figure 15b).
+func Covid() Log {
+	return Log{
+		Name:   "Covid",
+		Figure: "Figure 15b",
+		Queries: []string{
+			`SELECT date, cases FROM covid WHERE state = 'CA'`,
+			`SELECT date, cases FROM covid WHERE state = 'WA' AND date > date(today(), '-30 days')`,
+			`SELECT date, cases FROM covid WHERE state = 'CA' AND date > date(today(), '-7 days')`,
+			`SELECT date, deaths FROM covid WHERE state = 'CA'`,
+			`SELECT date, deaths FROM covid WHERE state = 'NY'`,
+			`SELECT date, deaths FROM covid WHERE state = 'WA' AND date > date(today(), '-14 days')`,
+			`SELECT date, deaths FROM covid WHERE state = 'WA' AND date > date(today(), '-7 days')`,
+			`SELECT date, deaths FROM covid WHERE state = 'NY' AND date > date(today(), '-7 days')`,
+		},
+	}
+}
+
+// Sales is Listing 7: the supermarket sales dashboard (Figure 15c). The
+// first three queries carry the correlated HAVING subquery that Metabase
+// and Tableau cannot parameterize.
+func Sales() Log {
+	top := func(dateFilter string) string {
+		where := ""
+		innerWhere := "WHERE s.city = ss.city"
+		if dateFilter != "" {
+			where = "WHERE ss.date BETWEEN " + dateFilter + " "
+			innerWhere = "WHERE s.city = ss.city AND s.date BETWEEN " + dateFilter
+		}
+		return `SELECT city, product, sum(total) FROM sales AS ss ` + where +
+			`GROUP BY city, product HAVING sum(total) >= (SELECT max(t) FROM (` +
+			`SELECT sum(total) AS t FROM sales AS s ` + innerWhere +
+			` GROUP BY s.city, s.product) AS m)`
+	}
+	return Log{
+		Name:   "Sales",
+		Figure: "Figure 15c",
+		Queries: []string{
+			top(""),
+			top("'2019-01-25' AND '2019-02-15'"),
+			top("'2019-02-01' AND '2019-03-10'"),
+			`SELECT date, sum(total) FROM sales WHERE branch = 'A' AND product = 'Health and beauty' GROUP BY date`,
+			`SELECT date, sum(total) FROM sales WHERE branch = 'B' AND product = 'Electronics' GROUP BY date`,
+			`SELECT date, sum(total) FROM sales WHERE branch = 'C' AND product = 'Lifestyle' GROUP BY date`,
+		},
+	}
+}
+
+// All returns the seven logs in the paper's order.
+func All() []Log {
+	return []Log{Explore(), Abstract(), Connect(), Filter(), SDSS(), Covid(), Sales()}
+}
+
+// ByName looks a log up by case-sensitive name; ok is false when unknown.
+func ByName(name string) (Log, bool) {
+	for _, l := range All() {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return Log{}, false
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"pi2/internal/catalog"
+	"pi2/internal/dataset"
+	"pi2/internal/engine"
+	"pi2/internal/schema"
+	"pi2/internal/sqlparser"
+)
+
+func TestAllLogsParseAndExecute(t *testing.T) {
+	db := dataset.NewDB()
+	for _, log := range All() {
+		if len(log.Queries) == 0 {
+			t.Errorf("%s: empty log", log.Name)
+		}
+		for i, sql := range log.Queries {
+			ast, err := sqlparser.Parse(sql)
+			if err != nil {
+				t.Fatalf("%s q%d: parse: %v", log.Name, i+1, err)
+			}
+			res, err := engine.Exec(db, ast)
+			if err != nil {
+				t.Fatalf("%s q%d: exec: %v", log.Name, i+1, err)
+			}
+			if len(res.Cols) == 0 {
+				t.Errorf("%s q%d: no output columns", log.Name, i+1)
+			}
+		}
+	}
+}
+
+func TestLogSizesMatchPaper(t *testing.T) {
+	sizes := map[string]int{
+		"Explore": 2, "Abstract": 3, "Connect": 3, "Filter": 9,
+		"SDSS": 5, "Covid": 8, "Sales": 6,
+	}
+	for _, log := range All() {
+		if got := len(log.Queries); got != sizes[log.Name] {
+			t.Errorf("%s: %d queries, want %d", log.Name, got, sizes[log.Name])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Filter"); !ok {
+		t.Fatal("Filter missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown log found")
+	}
+}
+
+func TestLogsWithinLogAreUnionCompatibleByGroup(t *testing.T) {
+	// within each log, queries with identical projections must union:
+	// this is what the initial clustering relies on.
+	db := dataset.NewDB()
+	cat := catalog.Build(db, dataset.Keys())
+	log := Explore()
+	qs, err := sqlparser.ParseAll(log.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.InferResultSchema(qs, cat) == nil {
+		t.Fatal("Explore queries should be union compatible")
+	}
+}
+
+func TestSalesQueriesReturnRows(t *testing.T) {
+	// the HAVING-with-correlated-subquery queries must produce top-sales rows
+	db := dataset.NewDB()
+	log := Sales()
+	ast := sqlparser.MustParse(log.Queries[0])
+	res, err := engine.Exec(db, ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("top-sales query returned nothing")
+	}
+	// exactly one top product per city
+	cities := map[string]int{}
+	for _, row := range res.Rows {
+		cities[row[0].Str]++
+	}
+	for c, n := range cities {
+		if n != 1 {
+			t.Errorf("city %s has %d top rows, want 1", c, n)
+		}
+	}
+}

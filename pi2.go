@@ -1,0 +1,54 @@
+// Package pi2 is the public facade of this PI2 reproduction (Chen & Wu,
+// SIGMOD 2022): end-to-end generation of interactive multi-visualization
+// interfaces from example SQL analysis queries.
+//
+// Quickstart:
+//
+//	db := dataset.NewDB()                       // or build your own engine.DB
+//	gen := pi2.NewGenerator(db, dataset.Keys())
+//	res, err := gen.Generate([]string{
+//	    "SELECT hp, mpg FROM Cars WHERE hp BETWEEN 50 AND 60",
+//	    "SELECT hp, mpg FROM Cars WHERE hp BETWEEN 60 AND 90",
+//	})
+//	fmt.Println(iface.RenderText(res.Interface))
+//
+// The generator is database agnostic: it needs only the SQL grammar (built
+// in), a query-execution connection (engine.DB) and the database catalogue,
+// exactly as the paper prescribes.
+package pi2
+
+import (
+	"pi2/internal/catalog"
+	"pi2/internal/core"
+	"pi2/internal/engine"
+)
+
+// Generator generates interfaces against one database.
+type Generator struct {
+	DB     *engine.DB
+	Cat    *catalog.Catalog
+	Config core.Config
+}
+
+// NewGenerator builds a generator with the paper's default parameters. keys
+// maps table names to primary-key column lists for functional-dependency
+// inference (may be nil).
+func NewGenerator(db *engine.DB, keys map[string][]string) *Generator {
+	return &Generator{
+		DB:     db,
+		Cat:    catalog.Build(db, keys),
+		Config: core.DefaultConfig(),
+	}
+}
+
+// Generate runs the full pipeline on a SQL query log.
+func (g *Generator) Generate(sqls []string) (*core.Result, error) {
+	return core.Generate(sqls, g.DB, g.Cat, g.Config)
+}
+
+// WithSeed returns the generator with a different random seed (search is
+// deterministic for a fixed seed and worker count).
+func (g *Generator) WithSeed(seed int64) *Generator {
+	g.Config.Search.Seed = seed
+	return g
+}

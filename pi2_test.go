@@ -1,0 +1,65 @@
+package pi2
+
+import (
+	"testing"
+
+	"pi2/internal/dataset"
+	"pi2/internal/iface"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+)
+
+func TestGeneratorEndToEnd(t *testing.T) {
+	db := dataset.NewDB()
+	gen := NewGenerator(db, dataset.Keys()).WithSeed(7)
+	gen.Config.Search.Workers = 1
+	gen.Config.Search.MaxIterations = 60
+
+	queries := []string{
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38",
+		"SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90 AND mpg BETWEEN 16 AND 30",
+	}
+	res, err := gen.Generate(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifc := res.Interface
+	if len(ifc.Vis) != 1 {
+		t.Fatalf("charts = %d, want 1", len(ifc.Vis))
+	}
+	if ifc.InteractionCount() == 0 {
+		t.Fatal("no interactions generated")
+	}
+
+	// the generated interface must express both input queries through its
+	// runtime: pan to each query's ranges and compare against direct
+	// execution.
+	asts, err := sqlparser.ParseAll(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &transform.Context{Queries: asts, Cat: gen.Cat}
+	sess, err := iface.NewSession(ifc, ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := ifc.Vis[0].ElemID
+	if err := sess.Brush(chart, "pan", "60", "90", "16", "30"); err != nil {
+		t.Fatal(err)
+	}
+	sql, err := sess.CurrentSQL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90 AND mpg BETWEEN 16 AND 30"
+	if sql != want {
+		t.Fatalf("panned query = %q, want %q", sql, want)
+	}
+}
+
+func TestGeneratorParseError(t *testing.T) {
+	gen := NewGenerator(dataset.NewDB(), dataset.Keys())
+	if _, err := gen.Generate([]string{"SELEC nonsense"}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
