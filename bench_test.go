@@ -8,7 +8,11 @@ import (
 	"io"
 	"testing"
 
+	"pi2/internal/dataset"
 	"pi2/internal/experiment"
+	"pi2/internal/iface"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
 	"pi2/internal/vis"
 	"pi2/internal/widget"
 	"pi2/internal/workload"
@@ -99,6 +103,79 @@ func BenchmarkEndToEndLatency(b *testing.B) {
 			b.Fatalf("logs = %d", len(runs))
 		}
 	}
+}
+
+// BenchmarkSessionInteraction measures the serving hot path: one widget
+// event (a binding change) followed by re-executing every bound query. The
+// "cold" variant drops the interaction cache each iteration, paying the
+// full resolve+plan+execute cost the interpreter paid on every event; the
+// "cached" variant repeats the same two binding states, so after warmup
+// each event is answered from memoized results.
+func BenchmarkSessionInteraction(b *testing.B) {
+	wl := workload.Explore()
+	db := dataset.NewDB()
+	gen := NewGenerator(db, dataset.Keys())
+	res, err := gen.Generate(wl.Queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	asts, err := sqlparser.ParseAll(wl.Queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := &transform.Context{Queries: asts, Cat: gen.Cat}
+	newSession := func(b *testing.B) *iface.Session {
+		sess, err := iface.NewSession(res.Interface, ctx, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sess
+	}
+	// The Explore interface maps the log onto a pan interaction covering the
+	// four BETWEEN bounds (Figure 14a); panning between the two viewports of
+	// the input queries is the repeated interaction.
+	if len(res.Interface.VisInts) == 0 {
+		b.Fatal("Explore interface has no visualization interactions")
+	}
+	vi := res.Interface.VisInts[0]
+	srcElem := res.Interface.Vis[vi.SourceVis].ElemID
+	kind := string(vi.Kind)
+	viewports := [][]string{
+		{"50", "60", "27", "38"},
+		{"60", "90", "16", "30"},
+	}
+	interact := func(b *testing.B, sess *iface.Session, i int) {
+		if err := sess.Brush(srcElem, kind, viewports[i%2]...); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Results(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		sess := newSession(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sess.ResetCache()
+			interact(b, sess, i)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		sess := newSession(b)
+		for i := 0; i < len(wl.Queries); i++ { // warm every state once
+			interact(b, sess, i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			interact(b, sess, i)
+		}
+		b.StopTimer()
+		st := sess.Stats()
+		b.ReportMetric(float64(st.ResultHits)/float64(st.ResultHits+st.ResultMisses), "hit_rate")
+	})
 }
 
 // Table 1: visualization schema catalog + candidate mapping generation.

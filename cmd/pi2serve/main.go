@@ -3,6 +3,12 @@
 // results, widget manipulations post back and rewrite the bound queries —
 // the browser/server/database stack the paper's interfaces deploy to.
 //
+// Serving runs on the cached session path: bound queries are compiled once
+// into engine plans and result tables are memoized per binding state, so
+// repeated widget events skip parse, plan, and execution entirely. The
+// session's own mutex serializes concurrent requests; cache hit/miss
+// counters are exposed at /stats.
+//
 //	pi2serve -log Covid -addr :8080
 //	open http://localhost:8080
 package main
@@ -53,6 +59,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving on %s\n", *addr)
+	fmt.Printf("serving on %s (interaction cache enabled; counters at /stats)\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, iface.NewServer(sess).Handler()))
 }

@@ -1,0 +1,3 @@
+module pi2
+
+go 1.22

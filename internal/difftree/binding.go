@@ -83,9 +83,11 @@ func (v BindValue) key(b *strings.Builder) {
 		}
 		b.WriteByte('}')
 	case v.Lit != "" || v.LitKind != KindInvalid:
-		b.WriteString(v.LitKind.String())
-		b.WriteByte(':')
-		b.WriteString(v.Lit)
+		// The literal is length-prefixed so user-controlled text (textbox
+		// bindings) cannot forge the key's structural separators and make
+		// two distinct binding states render the same canonical key — the
+		// interaction result cache compares these keys for exact equality.
+		fmt.Fprintf(b, "%s:%d:%s", v.LitKind, len(v.Lit), v.Lit)
 	default:
 		fmt.Fprintf(b, "i%d/%t", v.Index, v.Present)
 	}

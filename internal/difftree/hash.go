@@ -27,6 +27,18 @@ func hashInto(n *Node, h hasher) {
 	h.Write([]byte{0x1e})
 }
 
+// HashKey returns a 64-bit hash of a canonical key string — in particular
+// Binding.KeyString, which renders equal binding states identically
+// regardless of map iteration order. Callers that need both the key and
+// its hash (the interaction result cache) compute KeyString once and pass
+// it here; collisions are possible, so exact callers re-verify with the
+// key itself.
+func HashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
 // RootKey returns a shallow key identifying the root production of a node:
 // the kind plus, for kinds where the label is structural (operators, function
 // names), the label. It is used by Partition and PushANY to decide whether

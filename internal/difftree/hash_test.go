@@ -1,0 +1,26 @@
+package difftree
+
+import "testing"
+
+// Binding-state hashes must be canonical: hashing KeyString gives the same
+// value for the same logical state regardless of map construction order —
+// the property the interaction result cache keys on.
+func TestHashKeyOverBindingsCanonical(t *testing.T) {
+	a := Binding{
+		3: {Lit: "50", LitKind: KindNumber},
+		7: {Index: 1},
+		9: {Present: true},
+	}
+	b := Binding{}
+	b[9] = BindValue{Present: true}
+	b[3] = BindValue{Lit: "50", LitKind: KindNumber}
+	b[7] = BindValue{Index: 1}
+	if HashKey(a.KeyString()) != HashKey(b.KeyString()) {
+		t.Fatal("equal bindings hash differently")
+	}
+	c := a.Clone()
+	c[3] = BindValue{Lit: "51", LitKind: KindNumber}
+	if HashKey(a.KeyString()) == HashKey(c.KeyString()) {
+		t.Fatal("distinct bindings collided on a trivial change")
+	}
+}

@@ -48,7 +48,12 @@ type rowEnv struct {
 }
 
 func (e *rowEnv) lookup(name string) (Value, bool) {
-	lower := strings.ToLower(name)
+	return e.lookupLower(strings.ToLower(name))
+}
+
+// lookupLower is lookup for an already-lowercased name; the compiled plan
+// path pre-lowers identifiers once at prepare time and calls this directly.
+func (e *rowEnv) lookupLower(lower string) (Value, bool) {
 	if i := strings.IndexByte(lower, '.'); i >= 0 {
 		alias, col := lower[:i], lower[i+1:]
 		for env := e; env != nil; env = env.outer {
@@ -180,50 +185,16 @@ func execQuery(db *DB, q *dt.Node, outer *rowEnv) (*Table, error) {
 
 	// 4. DISTINCT.
 	if sel.Label == "distinct" {
-		seen := map[string]bool{}
-		var dr [][]Value
-		var dk [][]Value
-		for i, row := range outRows {
-			k := rowKey(row)
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			dr = append(dr, row)
-			dk = append(dk, sortKeys[i])
-		}
-		outRows, sortKeys = dr, dk
+		outRows, sortKeys = distinctRows(outRows, sortKeys)
 	}
 
 	// 5. ORDER BY (stable).
 	if len(orderExprs) > 0 {
-		idx := make([]int, len(outRows))
-		for i := range idx {
-			idx[i] = i
-		}
 		dirs := make([]bool, len(orderExprs)) // true = desc
 		for i, oi := range orderExprs {
 			dirs[i] = oi.Label == "desc"
 		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
-			for i := range ka {
-				c := Compare(ka[i], kb[i])
-				if c == 0 {
-					continue
-				}
-				if dirs[i] {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-		sorted := make([][]Value, len(outRows))
-		for i, j := range idx {
-			sorted[i] = outRows[j]
-		}
-		outRows = sorted
+		outRows = sortRowsStable(outRows, sortKeys, dirs)
 	}
 
 	// 6. LIMIT.
@@ -422,6 +393,54 @@ func exprName(e *dt.Node, i int) string {
 	default:
 		return fmt.Sprintf("expr%d", i+1)
 	}
+}
+
+// distinctRows drops duplicate rows (first occurrence wins, by canonical
+// text), keeping each surviving row's sort keys aligned. Shared by the
+// interpreted and planned execution paths so DISTINCT semantics cannot
+// diverge between them.
+func distinctRows(rows, keys [][]Value) ([][]Value, [][]Value) {
+	seen := map[string]bool{}
+	var dr [][]Value
+	var dk [][]Value
+	for i, row := range rows {
+		k := rowKey(row)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		dr = append(dr, row)
+		dk = append(dk, keys[i])
+	}
+	return dr, dk
+}
+
+// sortRowsStable stable-sorts rows by their sort keys with per-key
+// descending flags. Shared by the interpreted and planned execution paths.
+func sortRowsStable(rows, keys [][]Value, desc []bool) [][]Value {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i := range ka {
+			c := Compare(ka[i], kb[i])
+			if c == 0 {
+				continue
+			}
+			if desc[i] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sorted := make([][]Value, len(rows))
+	for i, j := range idx {
+		sorted[i] = rows[j]
+	}
+	return sorted
 }
 
 func rowKey(row []Value) string {

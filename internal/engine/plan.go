@@ -1,0 +1,922 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	dt "pi2/internal/difftree"
+)
+
+// Plan is a query compiled once against a DB snapshot: table references are
+// resolved to *Table pointers, identifiers are pre-lowercased and (where
+// possible) bound to (frame, column) indexes, expressions become closures,
+// and the output schema (column names and types) is computed up front.
+// Executing a Plan re-walks no AST and re-lowercases no strings.
+//
+// A Plan is bound to the DB generation it was prepared at; Exec refuses to
+// run once the DB has mutated (see DB.Generation). Plans are safe for
+// concurrent Exec calls as long as the underlying tables are not mutated.
+type Plan struct {
+	db   *DB
+	gen  uint64
+	root *planQuery
+}
+
+// Prepare compiles a concrete query AST (no choice nodes) into a Plan.
+func Prepare(db *DB, q *dt.Node) (*Plan, error) {
+	if q == nil || q.Kind != dt.KindQuery {
+		return nil, fmt.Errorf("engine: expected query node, got %v", q)
+	}
+	c := &compiler{db: db}
+	return &Plan{db: db, gen: db.Generation(), root: c.compileQuery(q, nil)}, nil
+}
+
+// Exec runs the compiled plan and returns the result table. The returned
+// table shares its Cols/Types slices across executions; callers must treat
+// results as immutable.
+func (p *Plan) Exec() (*Table, error) {
+	if p.Stale() {
+		return nil, fmt.Errorf("engine: plan is stale (database mutated since Prepare)")
+	}
+	return p.root.run(nil)
+}
+
+// Stale reports whether the database has mutated since the plan was
+// prepared, which would make its resolved table pointers unreliable.
+func (p *Plan) Stale() bool { return p.gen != p.db.Generation() }
+
+// Cols returns the output column names, known without executing.
+func (p *Plan) Cols() []string { return p.root.cols }
+
+// Types returns the output column types, known without executing.
+func (p *Plan) Types() []ColType { return p.root.types }
+
+// exprFn is a compiled expression: it evaluates against a row (or group)
+// environment exactly as evalExpr would evaluate the source AST.
+type exprFn func(env *rowEnv) (Value, error)
+
+// planSource is one compiled FROM entry.
+type planSource struct {
+	alias string   // lowercased alias (or table name)
+	cols  []string // lowercased column names, fixed at prepare time
+	table *Table   // base table; nil for derived tables
+	sub   *planQuery
+	meta  *Table // schema used for output naming/typing (original-case cols)
+}
+
+// planQuery mirrors execQuery with every per-row decision hoisted to
+// prepare time.
+type planQuery struct {
+	err error // deferred compile error (unknown table, bad table ref)
+
+	sources []*planSource
+	pred    exprFn // nil when there is no WHERE clause
+
+	// items holds one compiled closure per select item; a nil entry is a
+	// '*' item, which appends every frame's row wholesale at projection
+	// time exactly like the interpreter (rows may be ragged in empty-group
+	// or derived-table edge cases, so '*' cannot be pre-expanded into
+	// per-column accesses).
+	items   []exprFn
+	hasStar bool
+
+	grouped    bool
+	hasGroupBy bool
+	groupBy    []exprFn
+	having     exprFn
+
+	order     []exprFn
+	orderDesc []bool
+
+	limit    int // -1 when absent
+	limitErr error
+	distinct bool
+
+	cols  []string
+	types []ColType
+}
+
+// scope is the compile-time image of the rowEnv chain: one level per query
+// nesting, each holding that query's FROM sources.
+type scope struct {
+	sources []*planSource
+	outer   *scope
+}
+
+type compiler struct {
+	db *DB
+	sc *scope
+}
+
+func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
+	sel, from, where := q.Children[0], q.Children[1], q.Children[2]
+	groupby, having, orderby, limit := q.Children[3], q.Children[4], q.Children[5], q.Children[6]
+
+	pq := &planQuery{limit: -1, distinct: sel.Label == "distinct"}
+
+	// FROM: resolve base tables now; compile derived tables against the
+	// enclosing scope (they may be correlated with the outer query but not
+	// with their siblings).
+	if from.Kind == dt.KindFrom {
+		for _, ref := range from.Children {
+			src, alias := ref.Children[0], ref.Children[1]
+			ps := &planSource{}
+			name := ""
+			switch src.Kind {
+			case dt.KindIdent:
+				t, ok := c.db.Table(src.Label)
+				if !ok {
+					if pq.err == nil {
+						pq.err = fmt.Errorf("engine: unknown table %q", src.Label)
+					}
+					t = &Table{}
+				}
+				ps.table = t
+				ps.meta = t
+				name = t.Name
+			case dt.KindQuery:
+				ps.sub = c.compileQuery(src, outer)
+				ps.meta = &Table{Cols: ps.sub.cols, Types: ps.sub.types}
+			default:
+				if pq.err == nil {
+					pq.err = fmt.Errorf("engine: bad table ref %v", src)
+				}
+				ps.meta = &Table{}
+			}
+			if alias.Kind == dt.KindIdent {
+				name = alias.Label
+			}
+			if name == "" {
+				name = fmt.Sprintf("t%d", len(pq.sources))
+			}
+			ps.alias = strings.ToLower(name)
+			ps.cols = make([]string, len(ps.meta.Cols))
+			for j, col := range ps.meta.Cols {
+				ps.cols[j] = strings.ToLower(col)
+			}
+			pq.sources = append(pq.sources, ps)
+		}
+	}
+	pq.grouped = groupby.Kind == dt.KindGroupBy || anyAggregate(sel.Children) ||
+		(having.Kind == dt.KindHaving && anyAggregate([]*dt.Node{having}))
+	pq.hasGroupBy = groupby.Kind == dt.KindGroupBy
+
+	// Expressions compile in this query's scope.
+	sc := &scope{sources: pq.sources, outer: outer}
+	inner := &compiler{db: c.db, sc: sc}
+
+	if where.Kind == dt.KindWhere {
+		pq.pred = inner.compile(where.Children[0])
+	}
+	for _, item := range sel.Children {
+		if item.Children[0].Kind == dt.KindStar {
+			pq.items = append(pq.items, nil)
+			pq.hasStar = true
+			continue
+		}
+		pq.items = append(pq.items, inner.compile(item.Children[0]))
+	}
+	if pq.hasGroupBy {
+		for _, g := range groupby.Children {
+			pq.groupBy = append(pq.groupBy, inner.compile(g))
+		}
+	}
+	if having.Kind == dt.KindHaving {
+		pq.having = inner.compile(having.Children[0])
+	}
+	for _, oi := range orderItems(orderby) {
+		pq.order = append(pq.order, inner.compile(oi.Children[0]))
+		pq.orderDesc = append(pq.orderDesc, oi.Label == "desc")
+	}
+	if limit.Kind == dt.KindLimit {
+		n, err := strconv.Atoi(limit.Label)
+		if err != nil {
+			pq.limitErr = fmt.Errorf("engine: bad limit %q", limit.Label)
+		} else {
+			pq.limit = n
+		}
+	}
+
+	// Output schema, computed once: reuse the interpreter's naming and type
+	// inference over pseudo-sources so the result header is bit-identical.
+	pseudo := make([]source, len(pq.sources))
+	for i, ps := range pq.sources {
+		pseudo[i] = source{alias: ps.alias, table: ps.meta}
+	}
+	pq.cols, _ = outputNames(sel.Children, pseudo)
+	expanded := expandItems(sel.Children, pseudo)
+	pq.types = make([]ColType, len(pq.cols))
+	for i, item := range expanded {
+		pq.types[i] = inferColType(c.db, item, pseudo, nil)
+	}
+	return pq
+}
+
+// run executes the compiled query, mirroring execQuery step for step.
+func (pq *planQuery) run(outer *rowEnv) (*Table, error) {
+	if pq.err != nil {
+		return nil, pq.err
+	}
+
+	// 1. FROM: base tables were resolved at prepare time; derived tables
+	// execute once per run (they may be correlated with the outer query).
+	tables := make([]*Table, len(pq.sources))
+	for i, ps := range pq.sources {
+		if ps.sub != nil {
+			t, err := ps.sub.run(outer)
+			if err != nil {
+				return nil, err
+			}
+			tables[i] = t
+		} else {
+			tables[i] = ps.table
+		}
+	}
+
+	// 2. Filtered cross product.
+	rows, err := pq.crossFilter(tables, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Project rows (grouped or plain).
+	var outRows [][]Value
+	var sortKeys [][]Value
+	if pq.grouped {
+		groups, order := pq.groupRows(rows)
+		for _, key := range order {
+			g := groups[key]
+			genv := &rowEnv{outer: outer, groupRows: g}
+			if len(g) > 0 {
+				genv.frames = g[0].frames
+			} else {
+				genv.groupRows = []*rowEnv{} // empty group: count(*)=0
+			}
+			if pq.having != nil {
+				hv, err := pq.having(genv)
+				if err != nil {
+					return nil, err
+				}
+				if !hv.Truthy() {
+					continue
+				}
+			}
+			row, keys, err := pq.projectRow(genv)
+			if err != nil {
+				return nil, err
+			}
+			outRows = append(outRows, row)
+			sortKeys = append(sortKeys, keys)
+		}
+	} else {
+		for _, env := range rows {
+			row, keys, err := pq.projectRow(env)
+			if err != nil {
+				return nil, err
+			}
+			outRows = append(outRows, row)
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+
+	// 4. DISTINCT.
+	if pq.distinct {
+		outRows, sortKeys = distinctRows(outRows, sortKeys)
+	}
+
+	// 5. ORDER BY (stable).
+	if len(pq.order) > 0 {
+		outRows = sortRowsStable(outRows, sortKeys, pq.orderDesc)
+	}
+
+	// 6. LIMIT.
+	if pq.limitErr != nil {
+		return nil, pq.limitErr
+	}
+	if pq.limit >= 0 && pq.limit < len(outRows) {
+		outRows = outRows[:pq.limit]
+	}
+
+	// 7. Output schema was pre-computed at prepare time.
+	return &Table{Cols: pq.cols, Types: pq.types, Rows: outRows}, nil
+}
+
+// crossFilter enumerates the filtered cross product. Unlike the interpreted
+// path it evaluates the predicate on a reused probe environment and only
+// materializes frames for surviving rows.
+func (pq *planQuery) crossFilter(tables []*Table, outer *rowEnv) ([]*rowEnv, error) {
+	n := len(pq.sources)
+	if n == 0 {
+		// SELECT without FROM: a single empty row.
+		env := &rowEnv{outer: outer}
+		if pq.pred != nil {
+			v, err := pq.pred(env)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				return nil, nil
+			}
+		}
+		return []*rowEnv{env}, nil
+	}
+	cur := make([]frame, n)
+	for i, ps := range pq.sources {
+		cur[i] = frame{alias: ps.alias, cols: ps.cols}
+	}
+	probe := &rowEnv{frames: cur, outer: outer}
+	var out []*rowEnv
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == n {
+			if pq.pred != nil {
+				v, err := pq.pred(probe)
+				if err != nil {
+					return err
+				}
+				if !v.Truthy() {
+					return nil
+				}
+			}
+			keep := make([]frame, n)
+			copy(keep, cur)
+			out = append(out, &rowEnv{frames: keep, outer: outer})
+			return nil
+		}
+		for _, row := range tables[i].Rows {
+			cur[i].row = row
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// groupRows partitions rows by the compiled GROUP BY key, preserving
+// first-seen order; a key expression that errors groups under NULL exactly
+// like the interpreted path.
+func (pq *planQuery) groupRows(rows []*rowEnv) (map[string][]*rowEnv, []string) {
+	groups := map[string][]*rowEnv{}
+	var order []string
+	for _, env := range rows {
+		key := ""
+		if pq.hasGroupBy {
+			var sb strings.Builder
+			for gi, g := range pq.groupBy {
+				v, err := g(env)
+				if err != nil {
+					v = NullVal()
+				}
+				if gi > 0 {
+					sb.WriteByte('\x1f')
+				}
+				sb.WriteString(v.Text())
+			}
+			key = sb.String()
+		}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], env)
+	}
+	if !pq.hasGroupBy && len(rows) == 0 {
+		// aggregate over empty input still yields one (empty) group
+		groups[""] = nil
+		order = append(order, "")
+	}
+	return groups, order
+}
+
+// projectRow evaluates the compiled select items and order keys. Without a
+// '*' item the output row is pre-sized; with one, frames append wholesale
+// (mirroring the interpreter, including its ragged rows when a frame's row
+// is shorter than the compile-time schema or absent entirely).
+func (pq *planQuery) projectRow(env *rowEnv) ([]Value, []Value, error) {
+	var row []Value
+	if !pq.hasStar {
+		row = make([]Value, len(pq.items))
+		for i, it := range pq.items {
+			v, err := it(env)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		return pq.projectKeys(env, row)
+	}
+	for _, it := range pq.items {
+		if it == nil {
+			for _, f := range env.frames {
+				row = append(row, f.row...)
+			}
+			continue
+		}
+		v, err := it(env)
+		if err != nil {
+			return nil, nil, err
+		}
+		row = append(row, v)
+	}
+	return pq.projectKeys(env, row)
+}
+
+func (pq *planQuery) projectKeys(env *rowEnv, row []Value) ([]Value, []Value, error) {
+	if len(pq.order) == 0 {
+		return row, nil, nil
+	}
+	keys := make([]Value, len(pq.order))
+	for i, of := range pq.order {
+		v, err := of(env)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys[i] = v
+	}
+	return row, keys, nil
+}
+
+func constFn(v Value) exprFn {
+	return func(*rowEnv) (Value, error) { return v, nil }
+}
+
+func errFn(err error) exprFn {
+	return func(*rowEnv) (Value, error) { return Value{}, err }
+}
+
+// compile turns an expression AST into a closure. Compilation itself never
+// fails: anything the interpreter would reject at evaluation time (unknown
+// column, unknown operator, '*' outside count) compiles to a closure that
+// returns the identical error, preserving short-circuit semantics — a
+// predicate branch that is never evaluated never errors.
+func (c *compiler) compile(e *dt.Node) exprFn {
+	switch e.Kind {
+	case dt.KindNumber:
+		f, err := strconv.ParseFloat(e.Label, 64)
+		if err != nil {
+			return errFn(fmt.Errorf("engine: bad number %q", e.Label))
+		}
+		return constFn(NumVal(f))
+	case dt.KindString:
+		return constFn(StrVal(e.Label))
+	case dt.KindIdent:
+		return c.compileIdent(e.Label)
+	case dt.KindAnd:
+		fns := c.compileAll(e.Children)
+		return func(env *rowEnv) (Value, error) {
+			for _, fn := range fns {
+				v, err := fn(env)
+				if err != nil {
+					return Value{}, err
+				}
+				if !v.Truthy() {
+					return BoolVal(false), nil
+				}
+			}
+			return BoolVal(true), nil
+		}
+	case dt.KindOr:
+		fns := c.compileAll(e.Children)
+		return func(env *rowEnv) (Value, error) {
+			for _, fn := range fns {
+				v, err := fn(env)
+				if err != nil {
+					return Value{}, err
+				}
+				if v.Truthy() {
+					return BoolVal(true), nil
+				}
+			}
+			return BoolVal(false), nil
+		}
+	case dt.KindNot:
+		fn := c.compile(e.Children[0])
+		return func(env *rowEnv) (Value, error) {
+			v, err := fn(env)
+			if err != nil {
+				return Value{}, err
+			}
+			return BoolVal(!v.Truthy()), nil
+		}
+	case dt.KindBinary:
+		return c.compileBinary(e)
+	case dt.KindBetween:
+		vf := c.compile(e.Children[0])
+		lof := c.compile(e.Children[1])
+		hif := c.compile(e.Children[2])
+		return func(env *rowEnv) (Value, error) {
+			v, err := vf(env)
+			if err != nil {
+				return Value{}, err
+			}
+			lo, err := lof(env)
+			if err != nil {
+				return Value{}, err
+			}
+			hi, err := hif(env)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.Null || lo.Null || hi.Null {
+				return BoolVal(false), nil
+			}
+			return BoolVal(Compare(v, lo) >= 0 && Compare(v, hi) <= 0), nil
+		}
+	case dt.KindIn:
+		return c.compileIn(e)
+	case dt.KindFunc:
+		return c.compileFunc(e)
+	case dt.KindQuery:
+		sub := c.compileQuery(e, c.sc)
+		return func(env *rowEnv) (Value, error) {
+			t, err := sub.run(env)
+			if err != nil {
+				return Value{}, err
+			}
+			if len(t.Rows) == 0 || len(t.Rows[0]) == 0 {
+				return NullVal(), nil
+			}
+			return t.Rows[0][0], nil
+		}
+	case dt.KindStar:
+		return errFn(fmt.Errorf("engine: '*' outside count()"))
+	default:
+		return errFn(fmt.Errorf("engine: cannot evaluate %v node", e.Kind))
+	}
+}
+
+func (c *compiler) compileAll(nodes []*dt.Node) []exprFn {
+	out := make([]exprFn, len(nodes))
+	for i, n := range nodes {
+		out[i] = c.compile(n)
+	}
+	return out
+}
+
+// compileIdent resolves a column reference at prepare time. References to
+// this query's own sources become direct (frame, column) index accesses;
+// correlated (outer) references and unresolvable names fall back to the
+// dynamic chain lookup with a pre-lowercased name.
+func (c *compiler) compileIdent(name string) exprFn {
+	lower := strings.ToLower(name)
+	alias, col := "", lower
+	if i := strings.IndexByte(lower, '.'); i >= 0 {
+		alias, col = lower[:i], lower[i+1:]
+	}
+	unknown := fmt.Errorf("engine: unknown column %q", name)
+	depth := 0
+	for sc := c.sc; sc != nil; sc = sc.outer {
+		for fi, ps := range sc.sources {
+			if alias != "" && ps.alias != alias {
+				continue
+			}
+			for ci, pc := range ps.cols {
+				if pc != col {
+					continue
+				}
+				if depth > 0 {
+					// Correlated reference: the runtime env chain can pass
+					// through group contexts whose frame layout differs, so
+					// resolve dynamically (but with the lowering pre-done).
+					return func(env *rowEnv) (Value, error) {
+						if v, ok := env.lookupLower(lower); ok {
+							return v, nil
+						}
+						return Value{}, unknown
+					}
+				}
+				fi, ci := fi, ci
+				return func(env *rowEnv) (Value, error) {
+					if len(env.frames) == 0 {
+						// Empty-group context (aggregate over no rows): the
+						// interpreter's lookup would skip the empty local
+						// level and search outward; mirror that.
+						if v, ok := env.lookupLower(lower); ok {
+							return v, nil
+						}
+						return Value{}, unknown
+					}
+					return env.frames[fi].row[ci], nil
+				}
+			}
+		}
+		depth++
+	}
+	return errFn(unknown)
+}
+
+func (c *compiler) compileBinary(e *dt.Node) exprFn {
+	lf := c.compile(e.Children[0])
+	rf := c.compile(e.Children[1])
+	switch e.Label {
+	case "=", "<>", "<", ">", "<=", ">=":
+		var test func(int) bool
+		switch e.Label {
+		case "=":
+			test = func(c int) bool { return c == 0 }
+		case "<>":
+			test = func(c int) bool { return c != 0 }
+		case "<":
+			test = func(c int) bool { return c < 0 }
+		case ">":
+			test = func(c int) bool { return c > 0 }
+		case "<=":
+			test = func(c int) bool { return c <= 0 }
+		default:
+			test = func(c int) bool { return c >= 0 }
+		}
+		return func(env *rowEnv) (Value, error) {
+			l, r, err := evalPair(lf, rf, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if l.Null || r.Null {
+				return BoolVal(false), nil
+			}
+			return BoolVal(test(Compare(l, r))), nil
+		}
+	case "+", "-", "*", "/":
+		op := e.Label
+		return func(env *rowEnv) (Value, error) {
+			l, r, err := evalPair(lf, rf, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if l.Null || r.Null {
+				return NullVal(), nil
+			}
+			if l.IsStr || r.IsStr {
+				return Value{}, fmt.Errorf("engine: arithmetic on string values")
+			}
+			switch op {
+			case "+":
+				return NumVal(l.Num + r.Num), nil
+			case "-":
+				return NumVal(l.Num - r.Num), nil
+			case "*":
+				return NumVal(l.Num * r.Num), nil
+			default:
+				if r.Num == 0 {
+					return NullVal(), nil
+				}
+				return NumVal(l.Num / r.Num), nil
+			}
+		}
+	case "like":
+		return func(env *rowEnv) (Value, error) {
+			l, r, err := evalPair(lf, rf, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if l.Null || r.Null {
+				return BoolVal(false), nil
+			}
+			return BoolVal(likeMatch(l.Text(), r.Text())), nil
+		}
+	default:
+		return errFn(fmt.Errorf("engine: unknown operator %q", e.Label))
+	}
+}
+
+func evalPair(lf, rf exprFn, env *rowEnv) (Value, Value, error) {
+	l, err := lf(env)
+	if err != nil {
+		return Value{}, Value{}, err
+	}
+	r, err := rf(env)
+	if err != nil {
+		return Value{}, Value{}, err
+	}
+	return l, r, nil
+}
+
+func (c *compiler) compileIn(e *dt.Node) exprFn {
+	vf := c.compile(e.Children[0])
+	negate := e.Label == "not in"
+	target := e.Children[1]
+	if target.Kind == dt.KindQuery {
+		sub := c.compileQuery(target, c.sc)
+		return func(env *rowEnv) (Value, error) {
+			v, err := vf(env)
+			if err != nil {
+				return Value{}, err
+			}
+			t, err := sub.run(env)
+			if err != nil {
+				return Value{}, err
+			}
+			found := false
+			for _, row := range t.Rows {
+				if len(row) > 0 && EqualVal(v, row[0]) {
+					found = true
+					break
+				}
+			}
+			return BoolVal(found != negate), nil
+		}
+	}
+	elems := c.compileAll(target.Children)
+	return func(env *rowEnv) (Value, error) {
+		v, err := vf(env)
+		if err != nil {
+			return Value{}, err
+		}
+		found := false
+		for _, ef := range elems {
+			cv, err := ef(env)
+			if err != nil {
+				return Value{}, err
+			}
+			if EqualVal(v, cv) {
+				found = true
+				break
+			}
+		}
+		return BoolVal(found != negate), nil
+	}
+}
+
+func (c *compiler) compileFunc(e *dt.Node) exprFn {
+	name := e.Label
+	if isAggregate(name) {
+		return c.compileAggregate(e)
+	}
+	switch name {
+	case "today":
+		db := c.db
+		return func(*rowEnv) (Value, error) { return StrVal(db.Now), nil }
+	case "date":
+		if len(e.Children) != 2 {
+			return errFn(fmt.Errorf("engine: date() takes (base, offset)"))
+		}
+		basef := c.compile(e.Children[0])
+		offf := c.compile(e.Children[1])
+		return func(env *rowEnv) (Value, error) {
+			base, off, err := evalPair(basef, offf, env)
+			if err != nil {
+				return Value{}, err
+			}
+			return dateOffset(base.Text(), off.Text())
+		}
+	case "abs":
+		if len(e.Children) == 0 {
+			return errFn(fmt.Errorf("engine: %s() takes one argument", name))
+		}
+		fn := c.compile(e.Children[0])
+		return func(env *rowEnv) (Value, error) {
+			v, err := fn(env)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.Null || v.IsStr {
+				return NullVal(), nil
+			}
+			if v.Num < 0 {
+				return NumVal(-v.Num), nil
+			}
+			return v, nil
+		}
+	case "round":
+		if len(e.Children) == 0 {
+			return errFn(fmt.Errorf("engine: %s() takes one argument", name))
+		}
+		fn := c.compile(e.Children[0])
+		return func(env *rowEnv) (Value, error) {
+			v, err := fn(env)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.Null || v.IsStr {
+				return NullVal(), nil
+			}
+			return NumVal(float64(int64(v.Num + 0.5))), nil
+		}
+	case "lower", "upper":
+		if len(e.Children) == 0 {
+			return errFn(fmt.Errorf("engine: %s() takes one argument", name))
+		}
+		toLower := name == "lower"
+		fn := c.compile(e.Children[0])
+		return func(env *rowEnv) (Value, error) {
+			v, err := fn(env)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.Null {
+				return NullVal(), nil
+			}
+			if toLower {
+				return StrVal(strings.ToLower(v.Text())), nil
+			}
+			return StrVal(strings.ToUpper(v.Text())), nil
+		}
+	default:
+		return errFn(fmt.Errorf("engine: unknown function %q", name))
+	}
+}
+
+func (c *compiler) compileAggregate(e *dt.Node) exprFn {
+	name := e.Label
+	outsideGroup := fmt.Errorf("engine: aggregate %s() outside grouping context", name)
+	star := len(e.Children) == 1 && e.Children[0].Kind == dt.KindStar
+	if name == "count" && (star || len(e.Children) == 0) {
+		return func(env *rowEnv) (Value, error) {
+			if env.groupRows == nil {
+				return Value{}, outsideGroup
+			}
+			return NumVal(float64(len(env.groupRows))), nil
+		}
+	}
+	if len(e.Children) != 1 {
+		return func(env *rowEnv) (Value, error) {
+			if env.groupRows == nil {
+				return Value{}, outsideGroup
+			}
+			return Value{}, fmt.Errorf("engine: %s() takes one argument", name)
+		}
+	}
+	argFn := c.compile(e.Children[0])
+	// forEach streams the non-null argument values of the group; the reused
+	// inner env mirrors the interpreter's per-row environment.
+	forEach := func(env *rowEnv, visit func(Value) error) error {
+		if env.groupRows == nil {
+			return outsideGroup
+		}
+		inner := &rowEnv{outer: env.outer}
+		for _, renv := range env.groupRows {
+			inner.frames = renv.frames
+			v, err := argFn(inner)
+			if err != nil {
+				return err
+			}
+			if !v.Null {
+				if err := visit(v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	switch name {
+	case "count":
+		return func(env *rowEnv) (Value, error) {
+			n := 0
+			if err := forEach(env, func(Value) error { n++; return nil }); err != nil {
+				return Value{}, err
+			}
+			return NumVal(float64(n)), nil
+		}
+	case "sum", "avg":
+		isAvg := name == "avg"
+		strErr := fmt.Errorf("engine: %s() over strings", name)
+		return func(env *rowEnv) (Value, error) {
+			total, n := 0.0, 0
+			if err := forEach(env, func(v Value) error {
+				if v.IsStr {
+					return strErr
+				}
+				total += v.Num
+				n++
+				return nil
+			}); err != nil {
+				return Value{}, err
+			}
+			if isAvg {
+				if n == 0 {
+					return NullVal(), nil
+				}
+				return NumVal(total / float64(n)), nil
+			}
+			return NumVal(total), nil
+		}
+	case "min", "max":
+		wantLess := name == "min"
+		return func(env *rowEnv) (Value, error) {
+			var best Value
+			have := false
+			if err := forEach(env, func(v Value) error {
+				if !have {
+					best, have = v, true
+					return nil
+				}
+				cmp := Compare(v, best)
+				if (wantLess && cmp < 0) || (!wantLess && cmp > 0) {
+					best = v
+				}
+				return nil
+			}); err != nil {
+				return Value{}, err
+			}
+			if !have {
+				return NullVal(), nil
+			}
+			return best, nil
+		}
+	}
+	return errFn(fmt.Errorf("engine: unknown aggregate %q", name))
+}

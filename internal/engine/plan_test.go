@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"pi2/internal/sqlparser"
+)
+
+// planRun prepares and executes sql on the compiled path.
+func planRun(t *testing.T, db *DB, sql string) *Table {
+	t.Helper()
+	plan, err := Prepare(db, sqlparser.MustParse(sql))
+	if err != nil {
+		t.Fatalf("prepare %q: %v", sql, err)
+	}
+	res, err := plan.Exec()
+	if err != nil {
+		t.Fatalf("exec plan %q: %v", sql, err)
+	}
+	return res
+}
+
+// TestPlanMatchesInterpreterBattery cross-checks the compiled path against
+// the interpreter on constructs the workload logs do not all exercise:
+// correlated subqueries, derived tables, HAVING, short-circuit evaluation,
+// string functions, and aggregates over empty input.
+func TestPlanMatchesInterpreterBattery(t *testing.T) {
+	db := testDB()
+	queries := []string{
+		`SELECT p, a FROM T WHERE a = 1`,
+		`SELECT * FROM T ORDER BY p DESC, a LIMIT 3`,
+		`SELECT DISTINCT p FROM T ORDER BY p`,
+		`SELECT p, count(*), sum(b) FROM T GROUP BY p ORDER BY p`,
+		`SELECT dept, avg(salary) FROM emp GROUP BY dept HAVING avg(salary) > 90`,
+		`SELECT count(*) FROM emp WHERE salary > 1000`,
+		`SELECT min(salary), max(salary), avg(salary) FROM emp WHERE dept = 'none'`,
+		`SELECT e.id, d.city FROM emp e, dept d WHERE e.dept = d.name ORDER BY e.id`,
+		`SELECT id FROM emp WHERE salary > (SELECT avg(salary) FROM emp)`,
+		`SELECT id FROM emp e WHERE salary > (SELECT avg(salary) FROM emp WHERE dept = e.dept)`,
+		`SELECT id FROM emp WHERE dept IN (SELECT name FROM dept WHERE city = 'NYC')`,
+		`SELECT id FROM emp WHERE dept NOT IN ('eng')`,
+		`SELECT x.p, x.n FROM (SELECT p, count(*) AS n FROM T GROUP BY p) x WHERE x.n > 1`,
+		`SELECT upper(dept), lower(dept) FROM emp WHERE id = 1`,
+		`SELECT day FROM events WHERE day > date(today(), '-30 days')`,
+		`SELECT id FROM emp WHERE dept LIKE 'e%'`,
+		`SELECT id, salary + 1, salary - 1, salary * 2, salary / 0 FROM emp WHERE id = 1`,
+		`SELECT p FROM T WHERE a BETWEEN 1 AND 1 AND b BETWEEN 2 AND 3`,
+		`SELECT 1 + 2`,
+		`SELECT p FROM T WHERE 1 = 2 AND nosuchcolumn = 3`, // short-circuit: never evaluated
+		`SELECT p FROM T WHERE 1 = 2 AND abs() > 0`,        // zero-arg func, never evaluated
+		// star + aggregate over an empty implicit group: the interpreter
+		// emits a ragged row with no star values
+		`SELECT *, count(a) FROM T WHERE a > 100`,
+		// outer star over a derived table whose rows are ragged (shorter
+		// than its schema) — must not panic, must match the interpreter
+		`SELECT * FROM (SELECT max(a), * FROM T WHERE a > 100) d`,
+		`SELECT * FROM (SELECT count(a), * FROM T WHERE a > 100) d, dept`,
+	}
+	for _, sql := range queries {
+		ast := sqlparser.MustParse(sql)
+		direct, directErr := Exec(db, ast)
+		plan, err := Prepare(db, ast)
+		if err != nil {
+			t.Fatalf("%q: prepare: %v", sql, err)
+		}
+		planned, plannedErr := plan.Exec()
+		if (directErr != nil) != (plannedErr != nil) {
+			t.Fatalf("%q: error mismatch: interpreter=%v planned=%v", sql, directErr, plannedErr)
+		}
+		if directErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(direct.Cols, planned.Cols) || !reflect.DeepEqual(direct.Types, planned.Types) {
+			t.Errorf("%q: header mismatch: (%v,%v) vs (%v,%v)",
+				sql, direct.Cols, direct.Types, planned.Cols, planned.Types)
+		}
+		if !reflect.DeepEqual(direct.Rows, planned.Rows) {
+			t.Errorf("%q: rows mismatch:\n  interpreter %v\n  planned     %v",
+				sql, direct.Rows, planned.Rows)
+		}
+	}
+}
+
+// Errors the interpreter only raises at evaluation time must surface from
+// Exec, not Prepare, so that never-evaluated branches stay silent.
+func TestPlanDefersEvaluationErrors(t *testing.T) {
+	db := testDB()
+	for _, sql := range []string{
+		`SELECT nosuch FROM T`,
+		`SELECT p FROM nosuchtable`,
+		`SELECT abs() FROM T`, // zero-arg scalar function (interpreter panics; plan must error)
+		`SELECT lower() FROM T`,
+	} {
+		plan, err := Prepare(db, sqlparser.MustParse(sql))
+		if err != nil {
+			t.Fatalf("%q: Prepare should defer the error, got %v", sql, err)
+		}
+		if _, err := plan.Exec(); err == nil {
+			t.Fatalf("%q: Exec should fail", sql)
+		}
+	}
+}
+
+func TestPlanStaleAfterDBMutation(t *testing.T) {
+	db := testDB()
+	plan, err := Prepare(db, sqlparser.MustParse(`SELECT p FROM T`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stale() {
+		t.Fatal("fresh plan reported stale")
+	}
+	if _, err := plan.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	db.Add(&Table{Name: "T", Cols: []string{"p"}, Types: []ColType{TNum}})
+	if !plan.Stale() {
+		t.Fatal("plan not stale after db.Add")
+	}
+	if _, err := plan.Exec(); err == nil {
+		t.Fatal("stale plan executed without error")
+	}
+}
+
+func TestPlanColsTypesKnownBeforeExec(t *testing.T) {
+	db := testDB()
+	plan, err := Prepare(db, sqlparser.MustParse(`SELECT dept, count(*) AS n FROM emp GROUP BY dept`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Cols(); !reflect.DeepEqual(got, []string{"dept", "n"}) {
+		t.Fatalf("cols = %v", got)
+	}
+	if got := plan.Types(); !reflect.DeepEqual(got, []ColType{TStr, TNum}) {
+		t.Fatalf("types = %v", got)
+	}
+	res := planRun(t, db, `SELECT dept, count(*) AS n FROM emp GROUP BY dept`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// BenchmarkExecInterpreted/BenchmarkExecPlanned quantify what Prepare buys
+// on one workload-shaped grouped aggregate (plan compiled once, run many).
+func benchQuery() string {
+	return `SELECT p, count(*), sum(b) FROM T WHERE a BETWEEN 1 AND 2 GROUP BY p ORDER BY p`
+}
+
+func BenchmarkExecInterpreted(b *testing.B) {
+	db := testDB()
+	ast := sqlparser.MustParse(benchQuery())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exec(db, ast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecPlanned(b *testing.B) {
+	db := testDB()
+	plan, err := Prepare(db, sqlparser.MustParse(benchQuery()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Exec(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -160,6 +160,11 @@ func (t *Table) String() string {
 type DB struct {
 	Tables map[string]*Table
 	Now    string // ISO date used by today()
+
+	// gen counts mutations. Prepared plans and memoized results record the
+	// generation they were built at and treat any later mutation as an
+	// invalidation signal.
+	gen uint64
 }
 
 // NewDB returns an empty database with a fixed clock.
@@ -167,8 +172,16 @@ func NewDB(now string) *DB {
 	return &DB{Tables: map[string]*Table{}, Now: now}
 }
 
-// Add registers a table under its lowercased name.
-func (db *DB) Add(t *Table) { db.Tables[strings.ToLower(t.Name)] = t }
+// Add registers a table under its lowercased name and bumps the mutation
+// generation, invalidating outstanding plans and cached results.
+func (db *DB) Add(t *Table) {
+	db.gen++
+	db.Tables[strings.ToLower(t.Name)] = t
+}
+
+// Generation returns the mutation counter. It changes whenever the set of
+// tables changes, so callers can cheaply detect staleness.
+func (db *DB) Generation() uint64 { return db.gen }
 
 // Table looks a table up by case-insensitive name.
 func (db *DB) Table(name string) (*Table, bool) {

@@ -1,0 +1,228 @@
+package iface
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"pi2/internal/dataset"
+	"pi2/internal/engine"
+)
+
+// A repeated identical interaction must be answered from the result cache:
+// no parse, no plan, no execution.
+func TestSecondIdenticalInteractionHitsCache(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	sess, err := NewSession(ifc, ctx, testDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetSlider("w0", 3); err != nil {
+		t.Fatal(err)
+	}
+	first, err := sess.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.ResultMisses == 0 || st.ResultHits != 0 {
+		t.Fatalf("cold stats = %+v, want misses only", st)
+	}
+	// the same widget event again: identical binding state
+	if err := sess.SetSlider("w0", 3); err != nil {
+		t.Fatal(err)
+	}
+	second, err := sess.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := sess.Stats()
+	if st2.ResultHits == 0 {
+		t.Fatalf("stats after repeat = %+v, want a result hit", st2)
+	}
+	if st2.ResultMisses != st.ResultMisses {
+		t.Fatalf("repeat interaction re-executed: %+v -> %+v", st, st2)
+	}
+	if !reflect.DeepEqual(first[0].Rows, second[0].Rows) {
+		t.Fatal("cached result differs from computed result")
+	}
+}
+
+// Sliding away and back must hit for both states once each was computed —
+// the slider back-and-forth pattern the cache exists for.
+func TestSliderBackAndForthHitsCache(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	sess, _ := NewSession(ifc, ctx, testDB)
+	for _, v := range []float64{1, 2, 1, 2, 1, 2} {
+		if err := sess.SetSlider("w0", v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Results(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sess.Stats()
+	if st.ResultMisses != 2 {
+		t.Fatalf("misses = %d, want 2 (one per distinct state)", st.ResultMisses)
+	}
+	if st.ResultHits != 4 {
+		t.Fatalf("hits = %d, want 4", st.ResultHits)
+	}
+}
+
+// Each distinct resolved query compiles exactly one plan.
+func TestPlanCachePerDistinctQuery(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	sess, _ := NewSession(ifc, ctx, testDB)
+	for _, v := range []float64{1, 2, 3} {
+		if err := sess.SetSlider("w0", v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Results(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sess.Stats()
+	// three distinct literals -> three distinct queries -> three plans
+	if st.PlanMisses != 3 || st.PlanHits != 0 {
+		t.Fatalf("plan stats = %+v", st)
+	}
+}
+
+// When a binding state's memoized result is gone (evicted) but its resolved
+// query's plan survives, the plan is reused: only execution runs.
+func TestPlanCacheHitAfterResultEviction(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	sess, _ := NewSession(ifc, ctx, testDB)
+	if err := sess.SetSlider("w0", 3); err != nil {
+		t.Fatal(err)
+	}
+	first, err := sess.Result(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// evict the result layer only, as cap pressure would
+	sess.mu.Lock()
+	sess.results[0] = map[uint64]cachedResult{}
+	sess.mu.Unlock()
+	second, err := sess.Result(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.PlanHits != 1 || st.PlanMisses != 1 {
+		t.Fatalf("plan stats = %+v, want one miss then one hit", st)
+	}
+	if st.ResultMisses != 2 {
+		t.Fatalf("result stats = %+v, want two misses", st)
+	}
+	if !reflect.DeepEqual(first.Rows, second.Rows) {
+		t.Fatal("plan-hit execution disagrees with original")
+	}
+}
+
+// Mutating the database must invalidate both cache layers: the next
+// interaction recomputes against fresh data.
+func TestCacheInvalidatesOnDBMutation(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	db := dataset.NewDB()
+	sess, err := NewSession(ifc, ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := sess.Result(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Rows) == 0 {
+		t.Fatal("no rows before mutation")
+	}
+	// replace T with an empty table of the same shape
+	db.Add(&engine.Table{Name: "T", Cols: []string{"p", "a", "b"},
+		Types: []engine.ColType{engine.TNum, engine.TNum, engine.TNum}})
+	after, err := sess.Result(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != 0 {
+		t.Fatalf("stale rows served after mutation: %v", after.Rows)
+	}
+	if st := sess.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+// ResetCache forces the next interaction down the full cold path.
+func TestResetCacheForcesRecomputation(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	sess, _ := NewSession(ifc, ctx, testDB)
+	if _, err := sess.Results(); err != nil {
+		t.Fatal(err)
+	}
+	misses := sess.Stats().ResultMisses
+	sess.ResetCache()
+	if _, err := sess.Results(); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.Stats(); st.ResultMisses != misses+1 {
+		t.Fatalf("stats after reset = %+v, want a fresh miss", st)
+	}
+}
+
+// The result cache must stay bounded under an unbounded stream of distinct
+// binding states (every drag step of a slider is a new state).
+func TestResultCacheBounded(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	sess, _ := NewSession(ifc, ctx, testDB)
+	for i := 0; i < maxCachedResultsPerTree*3; i++ {
+		if err := sess.SetSlider("w0", float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Results(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.mu.Lock()
+	nResults := len(sess.results[0])
+	nPlans := len(sess.plans)
+	sess.mu.Unlock()
+	if nResults > maxCachedResultsPerTree {
+		t.Fatalf("result cache grew to %d entries (cap %d)", nResults, maxCachedResultsPerTree)
+	}
+	if nPlans > maxCachedPlans {
+		t.Fatalf("plan cache grew to %d entries (cap %d)", nPlans, maxCachedPlans)
+	}
+}
+
+// Concurrent interactions and reads must be race-free under the session
+// mutex (run with -race to check).
+func TestSessionConcurrentAccess(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	sess, _ := NewSession(ifc, ctx, testDB)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := sess.SetSlider("w0", float64(1+(g+i)%3)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sess.Results(); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sess.CurrentSQL(0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := sess.Stats()
+	if st.ResultHits+st.ResultMisses != 4*25 {
+		t.Fatalf("stats = %+v, want 100 result lookups", st)
+	}
+}

@@ -3,6 +3,7 @@ package iface
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	dt "pi2/internal/difftree"
 	"pi2/internal/engine"
@@ -10,17 +11,59 @@ import (
 	"pi2/internal/transform"
 )
 
+// CacheStats counts interaction-cache traffic. A result hit means a widget
+// event was answered entirely from memoized state — no parse, plan, or
+// execution; a plan hit means only execution ran.
+type CacheStats struct {
+	ResultHits    uint64
+	ResultMisses  uint64
+	PlanHits      uint64
+	PlanMisses    uint64
+	Invalidations uint64 // cache flushes triggered by DB mutation
+}
+
+// cachedResult memoizes one tree's result table for a binding state. The
+// canonical key string guards against 64-bit hash collisions.
+type cachedResult struct {
+	key string
+	tbl *engine.Table
+}
+
+// cachedPlan memoizes a compiled plan for a resolved query. The AST guards
+// against hash collisions. (ensureFreshLocked flushes the whole cache on
+// any DB mutation, so cached plans are never stale in practice; the
+// Stale() re-check at the use site is defense-in-depth only.)
+type cachedPlan struct {
+	ast  *dt.Node
+	plan *engine.Plan
+}
+
 // Session is the interaction runtime: the in-process stand-in for the
 // browser (DESIGN.md §4). It holds the current binding of every Difftree;
 // manipulating a widget or visualization interaction routes an event tuple
 // to the covered choice nodes (paper §4.2.1), after which the bound queries
 // re-resolve and re-execute.
+//
+// The session caches aggressively on the serving hot path: plans are keyed
+// by the hash of the resolved query (so distinct binding states that
+// resolve to the same SQL share one compiled plan) and result tables are
+// memoized per tree per binding state (so repeated widget events — a slider
+// dragged back and forth, a filter toggled — skip parse, plan, and
+// execution entirely). Both layers flush when the database mutates,
+// detected via engine.DB.Generation. All exported methods lock a
+// per-session mutex, so one Session can serve concurrent HTTP requests.
 type Session struct {
 	Ifc *Interface
 	Ctx *transform.Context
 	DB  *engine.DB
 
+	mu       sync.Mutex
 	bindings []dt.Binding // per tree
+
+	gen     uint64                    // DB generation the caches were built at
+	plans   map[uint64]cachedPlan     // resolved-AST hash -> compiled plan
+	results []map[uint64]cachedResult // per tree: binding hash -> result
+	stats   CacheStats
 }
 
 // NewSession initializes the runtime with each tree bound to its first
@@ -34,14 +77,56 @@ func NewSession(ifc *Interface, ctx *transform.Context, db *engine.DB) (*Session
 		}
 		s.bindings = append(s.bindings, qb.PerQuery[0].Clone())
 	}
+	s.resetCacheLocked()
 	return s, nil
 }
 
-// Binding exposes the current binding of a tree (for tests).
-func (s *Session) Binding(tree int) dt.Binding { return s.bindings[tree] }
+// Stats returns a snapshot of the cache counters.
+func (s *Session) Stats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetCache drops all memoized plans and result tables (counters are
+// kept). The next interaction takes the full parse/plan/execute path.
+func (s *Session) ResetCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetCacheLocked()
+}
+
+func (s *Session) resetCacheLocked() {
+	s.gen = s.DB.Generation()
+	s.plans = make(map[uint64]cachedPlan)
+	s.results = make([]map[uint64]cachedResult, len(s.bindings))
+	for i := range s.results {
+		s.results[i] = make(map[uint64]cachedResult)
+	}
+}
+
+// ensureFreshLocked flushes the caches when the database has mutated since
+// they were populated.
+func (s *Session) ensureFreshLocked() {
+	if s.DB.Generation() != s.gen {
+		s.resetCacheLocked()
+		s.stats.Invalidations++
+	}
+}
+
+// Binding exposes the current binding of a tree (for tests). It returns a
+// deep copy: the live map is mutated in place by widget events, so handing
+// it out would leak unsynchronized interior state past the session mutex.
+func (s *Session) Binding(tree int) dt.Binding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bindings[tree].Clone()
+}
 
 // CurrentSQL resolves a tree under its current binding and renders SQL.
 func (s *Session) CurrentSQL(tree int) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ast, err := dt.Resolve(s.Ifc.State.Trees[tree].Root, s.bindings[tree])
 	if err != nil {
 		return "", err
@@ -49,15 +134,44 @@ func (s *Session) CurrentSQL(tree int) (string, error) {
 	return sqlparser.ToSQL(ast), nil
 }
 
-// Results executes every tree under its current binding.
-func (s *Session) Results() ([]*engine.Table, error) {
-	out := make([]*engine.Table, len(s.bindings))
+// TreeSQL is one tree's rendered SQL (or the resolution error) from an
+// atomic CurrentSQLAll snapshot.
+type TreeSQL struct {
+	SQL string
+	Err error
+}
+
+// CurrentSQLAll resolves every tree under one lock acquisition, so the
+// snapshot is consistent even while concurrent requests rebind widgets.
+func (s *Session) CurrentSQLAll() []TreeSQL {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TreeSQL, len(s.bindings))
 	for ti, tree := range s.Ifc.State.Trees {
 		ast, err := dt.Resolve(tree.Root, s.bindings[ti])
 		if err != nil {
-			return nil, err
+			out[ti] = TreeSQL{Err: err}
+			continue
 		}
-		res, err := engine.Exec(s.DB, ast)
+		out[ti] = TreeSQL{SQL: sqlparser.ToSQL(ast)}
+	}
+	return out
+}
+
+// Results executes every tree under its current binding, serving repeated
+// binding states from the interaction cache. The returned tables are
+// shared with the cache (and across callers): treat them as immutable.
+func (s *Session) Results() ([]*engine.Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resultsLocked()
+}
+
+func (s *Session) resultsLocked() ([]*engine.Table, error) {
+	s.ensureFreshLocked()
+	out := make([]*engine.Table, len(s.bindings))
+	for ti := range s.bindings {
+		res, err := s.resultLocked(ti)
 		if err != nil {
 			return nil, err
 		}
@@ -66,13 +180,72 @@ func (s *Session) Results() ([]*engine.Table, error) {
 	return out, nil
 }
 
-// Result executes one tree.
+// Result executes one tree (cached like Results; the returned table is
+// shared with the cache — treat it as immutable).
 func (s *Session) Result(tree int) (*engine.Table, error) {
-	all, err := s.Results()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureFreshLocked()
+	return s.resultLocked(tree)
+}
+
+// Cache size caps. A long-lived serving session sees an unbounded stream
+// of binding states (every drag step of a brush is a new state), so both
+// layers are bounded; at the cap one arbitrary entry is evicted per insert
+// (map iteration order), which keeps steady-state memory flat while still
+// retaining the recently-hot states with high probability.
+const (
+	maxCachedResultsPerTree = 512
+	maxCachedPlans          = 256
+)
+
+// resultLocked is the cached execution path for one tree: result cache by
+// binding hash, then plan cache by resolved-query hash, then compile.
+func (s *Session) resultLocked(tree int) (*engine.Table, error) {
+	b := s.bindings[tree]
+	bkey := b.KeyString()
+	bh := dt.HashKey(bkey)
+	if cr, ok := s.results[tree][bh]; ok && cr.key == bkey {
+		s.stats.ResultHits++
+		return cr.tbl, nil
+	}
+	s.stats.ResultMisses++
+	ast, err := dt.Resolve(s.Ifc.State.Trees[tree].Root, b)
 	if err != nil {
 		return nil, err
 	}
-	return all[tree], nil
+	qh := dt.Hash(ast)
+	var plan *engine.Plan
+	if cp, ok := s.plans[qh]; ok && !cp.plan.Stale() && dt.Equal(cp.ast, ast) {
+		s.stats.PlanHits++
+		plan = cp.plan
+	} else {
+		s.stats.PlanMisses++
+		plan, err = engine.Prepare(s.DB, ast)
+		if err != nil {
+			return nil, err
+		}
+		evictOver(s.plans, maxCachedPlans)
+		s.plans[qh] = cachedPlan{ast: ast, plan: plan}
+	}
+	res, err := plan.Exec()
+	if err != nil {
+		return nil, err
+	}
+	evictOver(s.results[tree], maxCachedResultsPerTree)
+	s.results[tree][bh] = cachedResult{key: bkey, tbl: res}
+	return res, nil
+}
+
+// evictOver removes arbitrary entries until the map is below the cap,
+// making room for one insert.
+func evictOver[V any](m map[uint64]V, limit int) {
+	for k := range m {
+		if len(m) < limit {
+			return
+		}
+		delete(m, k)
+	}
 }
 
 func (s *Session) widget(elemID string) (*WidgetSpec, error) {
@@ -95,6 +268,8 @@ func (s *Session) node(tree, id int) (*dt.Node, error) {
 // SetOption binds an enumerating widget (radio, dropdown, button, also
 // checkbox-as-single) to its i-th option.
 func (s *Session) SetOption(elemID string, option int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	w, err := s.widget(elemID)
 	if err != nil {
 		return err
@@ -126,6 +301,8 @@ func (s *Session) SetOption(elemID string, option int) error {
 
 // SetToggle binds a toggle's OPT node.
 func (s *Session) SetToggle(elemID string, on bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	w, err := s.widget(elemID)
 	if err != nil {
 		return err
@@ -148,6 +325,8 @@ func (s *Session) SetToggle(elemID string, on bool) error {
 
 // SetSlider binds a numeric VAL.
 func (s *Session) SetSlider(elemID string, v float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	w, err := s.widget(elemID)
 	if err != nil {
 		return err
@@ -165,6 +344,8 @@ func (s *Session) SetSlider(elemID string, v float64) error {
 
 // SetText binds a textbox VAL.
 func (s *Session) SetText(elemID, text string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	w, err := s.widget(elemID)
 	if err != nil {
 		return err
@@ -192,6 +373,8 @@ func (s *Session) SetRange(elemID string, lo, hi float64) error {
 	if lo > hi {
 		return fmt.Errorf("iface: range slider requires lo <= hi")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	w, err := s.widget(elemID)
 	if err != nil {
 		return err
@@ -211,6 +394,8 @@ func (s *Session) SetRange(elemID string, lo, hi float64) error {
 
 // SetChecked binds a checkbox list: a SUBSET selection or MULTI repetitions.
 func (s *Session) SetChecked(elemID string, options []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	w, err := s.widget(elemID)
 	if err != nil {
 		return err
@@ -257,12 +442,15 @@ func (s *Session) visInt(sourceElem string, kind string) (*VisIntSpec, error) {
 // Click simulates clicking the i-th rendered mark of a chart; the event
 // value (the mark's value for the stream's column) binds the target VAL.
 func (s *Session) Click(sourceElem string, row int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v, err := s.visInt(sourceElem, "click")
 	if err != nil {
 		return err
 	}
 	srcTree := s.Ifc.Vis[v.SourceVis].Tree
-	res, err := s.Result(srcTree)
+	s.ensureFreshLocked()
+	res, err := s.resultLocked(srcTree)
 	if err != nil {
 		return err
 	}
@@ -285,6 +473,8 @@ func (s *Session) Click(sourceElem string, row int) error {
 // Brush simulates a 1-D or 2-D brush / pan / zoom: bounds bind the covered
 // VAL nodes in order; an OPT wrapper becomes present.
 func (s *Session) Brush(sourceElem string, kind string, bounds ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v, err := s.visInt(sourceElem, kind)
 	if err != nil {
 		return err
@@ -313,6 +503,8 @@ func (s *Session) Brush(sourceElem string, kind string, bounds ...string) error 
 // ClearBrush simulates clearing a togglable brush: the OPT target resolves
 // absent (paper §7.1: "clearing the brush disables the predicate").
 func (s *Session) ClearBrush(sourceElem string, kind string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v, err := s.visInt(sourceElem, kind)
 	if err != nil {
 		return err
@@ -333,6 +525,12 @@ func (s *Session) ClearBrush(sourceElem string, kind string) error {
 // guarantee: for every input query there is a set of manipulations that
 // reproduces it exactly.
 func (s *Session) ApplyQuery(qi int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyQueryLocked(qi)
+}
+
+func (s *Session) applyQueryLocked(qi int) error {
 	if qi < 0 || qi >= len(s.Ctx.Queries) {
 		return fmt.Errorf("iface: query %d out of range", qi)
 	}
@@ -359,8 +557,10 @@ func (s *Session) ApplyQuery(qi int) error {
 // ExpressesAll verifies the guarantee end to end: applying each input
 // query's bindings must resolve its tree to exactly that query.
 func (s *Session) ExpressesAll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for qi, q := range s.Ctx.Queries {
-		if err := s.ApplyQuery(qi); err != nil {
+		if err := s.applyQueryLocked(qi); err != nil {
 			return err
 		}
 		for ti, tree := range s.Ifc.State.Trees {

@@ -1,23 +1,26 @@
 package iface
 
 import (
+	"encoding/json"
 	"fmt"
 	"html"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 
 	"pi2/internal/widget"
 )
 
 // Server serves a generated interface as a live web application: widgets
 // render as HTML forms, manipulations post back, the Session rebinds and
-// re-executes the underlying queries, and the page re-renders — the
-// browser/server/database stack the paper's generated interfaces deploy to,
-// built on net/http alone.
+// re-executes the underlying queries (via the session's interaction cache),
+// and the page re-renders — the browser/server/database stack the paper's
+// generated interfaces deploy to, built on net/http alone.
+//
+// Concurrency is handled per session: every Session method takes the
+// session's own mutex, so concurrent HTTP requests against the same session
+// serialize on its state while leaving other sessions untouched.
 type Server struct {
-	mu   sync.Mutex
 	sess *Session
 }
 
@@ -32,12 +35,11 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("/interact", sv.handleInteract)
 	mux.HandleFunc("/reset", sv.handleReset)
 	mux.HandleFunc("/sql", sv.handleSQL)
+	mux.HandleFunc("/stats", sv.handleStats)
 	return mux
 }
 
 func (sv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
 	page, err := sv.renderPage()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -50,8 +52,6 @@ func (sv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 // handleWidget applies a widget manipulation: ?id=w0&option=1, ?id=w0&value=3,
 // ?id=w0&on=true, ?id=w0&lo=1&hi=5, ?id=w0&checked=0,2.
 func (sv *Server) handleWidget(w http.ResponseWriter, r *http.Request) {
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
 	if err := r.ParseForm(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -112,8 +112,6 @@ func (sv *Server) handleWidget(w http.ResponseWriter, r *http.Request) {
 // ?vis=vis0&kind=brush-x&bounds=10,50  or ?vis=vis0&kind=click&row=3 or
 // ?vis=vis0&kind=brush-x&clear=1.
 func (sv *Server) handleInteract(w http.ResponseWriter, r *http.Request) {
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
 	if err := r.ParseForm(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -147,8 +145,6 @@ func (sv *Server) handleInteract(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) handleReset(w http.ResponseWriter, r *http.Request) {
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
 	if err := sv.sess.ApplyQuery(0); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -156,19 +152,30 @@ func (sv *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 	http.Redirect(w, r, "/", http.StatusSeeOther)
 }
 
-// handleSQL reports the current bound SQL of every tree (text/plain).
+// handleSQL reports the current bound SQL of every tree (text/plain). The
+// snapshot is taken under a single session lock so concurrent
+// manipulations cannot tear it across trees.
 func (sv *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for ti := range sv.sess.Ifc.State.Trees {
-		sql, err := sv.sess.CurrentSQL(ti)
-		if err != nil {
-			fmt.Fprintf(w, "tree %d: error: %v\n", ti, err)
+	for ti, ts := range sv.sess.CurrentSQLAll() {
+		if ts.Err != nil {
+			fmt.Fprintf(w, "tree %d: error: %v\n", ti, ts.Err)
 			continue
 		}
-		fmt.Fprintf(w, "tree %d: %s\n", ti, sql)
+		fmt.Fprintf(w, "tree %d: %s\n", ti, ts.SQL)
 	}
+}
+
+// handleStats reports interaction-cache counters as JSON, for monitoring
+// the serving hot path.
+func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	body, err := json.Marshal(sv.sess.Stats())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
 }
 
 // renderPage renders the snapshot plus manipulation forms.

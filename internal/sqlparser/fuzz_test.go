@@ -1,0 +1,74 @@
+package sqlparser_test
+
+// Native Go fuzz targets for the SQL parser. Under `go test` only the seed
+// corpus runs (fast, CI-safe); `go test -fuzz FuzzParse ./internal/sqlparser`
+// explores further.
+
+import (
+	"testing"
+
+	dt "pi2/internal/difftree"
+	"pi2/internal/sqlparser"
+	"pi2/internal/workload"
+)
+
+// seedQueries feeds every workload query plus a handful of syntax edge
+// cases into the corpus.
+func seedQueries(f *testing.F) {
+	f.Helper()
+	for _, log := range workload.All() {
+		for _, q := range log.Queries {
+			f.Add(q)
+		}
+	}
+	for _, q := range []string{
+		"",
+		"SELECT",
+		"SELECT * FROM t WHERE",
+		"SELECT a, b FROM t WHERE a = 'it''s' AND b LIKE '%x_'",
+		"SELECT count(*) FROM t GROUP BY a HAVING count(*) > 1 ORDER BY a DESC LIMIT 5",
+		"SELECT -1.5e3, (SELECT max(x) FROM u) FROM t",
+		"SELECT a FROM (SELECT a FROM t) sub WHERE a IN (1, 2, 3)",
+		"SELECT a FROM t WHERE NOT (a BETWEEN 1 AND 2 OR a <> 3)",
+		"select distinct t.a from t, u where t.a = u.a",
+		"SELECT ((((1))))",
+		"SELECT 'unterminated",
+		"SELECT a FROM t LIMIT abc",
+	} {
+		f.Add(q)
+	}
+}
+
+// FuzzParse asserts the parser never panics: any input either parses or
+// returns an error.
+func FuzzParse(f *testing.F) {
+	seedQueries(f)
+	f.Fuzz(func(t *testing.T, sql string) {
+		ast, err := sqlparser.Parse(sql)
+		if err == nil && ast == nil {
+			t.Fatalf("Parse(%q) returned nil AST without error", sql)
+		}
+	})
+}
+
+// FuzzRoundTrip asserts that rendering a parsed query and re-parsing it
+// reproduces a structurally equal AST: ToSQL is a faithful inverse of Parse
+// on the parseable subset of inputs.
+func FuzzRoundTrip(f *testing.F) {
+	seedQueries(f)
+	f.Fuzz(func(t *testing.T, sql string) {
+		ast, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Skip()
+		}
+		rendered := sqlparser.ToSQL(ast)
+		ast2, err := sqlparser.Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of rendered SQL failed:\n  input:    %q\n  rendered: %q\n  error:    %v", sql, rendered, err)
+		}
+		if !dt.Equal(ast, ast2) {
+			t.Fatalf("round-trip not structurally equal:\n  input:    %q\n  rendered: %q\n  ast:      %s\n  re-ast:   %s",
+				sql, rendered, ast, ast2)
+		}
+	})
+}

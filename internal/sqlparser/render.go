@@ -30,7 +30,7 @@ func render(b *strings.Builder, n *dt.Node) {
 		}
 		renderList(b, n.Children, ", ")
 	case dt.KindSelectItem:
-		render(b, n.Children[0])
+		renderExpr(b, n.Children[0])
 		if len(n.Children) > 1 && n.Children[1].Kind != dt.KindNone {
 			b.WriteString(" AS ")
 			render(b, n.Children[1])
@@ -54,18 +54,18 @@ func render(b *strings.Builder, n *dt.Node) {
 		}
 	case dt.KindWhere:
 		b.WriteString("WHERE ")
-		render(b, n.Children[0])
+		renderExpr(b, n.Children[0])
 	case dt.KindGroupBy:
 		b.WriteString("GROUP BY ")
-		renderList(b, n.Children, ", ")
+		renderExprList(b, n.Children, ", ")
 	case dt.KindHaving:
 		b.WriteString("HAVING ")
-		render(b, n.Children[0])
+		renderExpr(b, n.Children[0])
 	case dt.KindOrderBy:
 		b.WriteString("ORDER BY ")
 		renderList(b, n.Children, ", ")
 	case dt.KindOrderItem:
-		render(b, n.Children[0])
+		renderExpr(b, n.Children[0])
 		if n.Label == "desc" {
 			b.WriteString(" DESC")
 		}
@@ -105,17 +105,17 @@ func render(b *strings.Builder, n *dt.Node) {
 			b.WriteString(" IN (")
 		}
 		if n.Children[1].Kind == dt.KindExprList {
-			renderList(b, n.Children[1].Children, ", ")
+			renderExprList(b, n.Children[1].Children, ", ")
 		} else {
 			render(b, n.Children[1])
 		}
 		b.WriteByte(')')
 	case dt.KindExprList:
-		renderList(b, n.Children, ", ")
+		renderExprList(b, n.Children, ", ")
 	case dt.KindFunc:
 		b.WriteString(n.Label)
 		b.WriteByte('(')
-		renderList(b, n.Children, ", ")
+		renderExprList(b, n.Children, ", ")
 		b.WriteByte(')')
 	case dt.KindIdent:
 		b.WriteString(n.Label)
@@ -187,13 +187,43 @@ func renderBool(b *strings.Builder, items []*dt.Node, sep string) {
 		if i > 0 {
 			b.WriteString(sep)
 		}
-		if c.Kind == dt.KindOr || c.Kind == dt.KindAnd {
+		if c.Kind == dt.KindOr || c.Kind == dt.KindAnd || c.Kind == dt.KindQuery {
 			b.WriteByte('(')
 			render(b, c)
 			b.WriteByte(')')
 		} else {
 			render(b, c)
 		}
+	}
+}
+
+// renderExpr renders an expression in a standalone position (select item,
+// WHERE/HAVING body, GROUP BY / ORDER BY key, function argument),
+// parenthesizing scalar subqueries so the output re-parses. Without the
+// parentheses "SELECT (SELECT max(x) FROM u) FROM t" would render as
+// invalid SQL (found by FuzzRoundTrip).
+func renderExpr(b *strings.Builder, n *dt.Node) {
+	if n != nil && n.Kind == dt.KindQuery {
+		b.WriteByte('(')
+		render(b, n)
+		b.WriteByte(')')
+		return
+	}
+	render(b, n)
+}
+
+// renderExprList is renderList for expression positions.
+func renderExprList(b *strings.Builder, items []*dt.Node, sep string) {
+	first := true
+	for _, c := range items {
+		if c.Kind == dt.KindNone {
+			continue
+		}
+		if !first {
+			b.WriteString(sep)
+		}
+		renderExpr(b, c)
+		first = false
 	}
 }
 
