@@ -5,12 +5,15 @@
 package pi2
 
 import (
+	"bytes"
+	"fmt"
 	"io"
 	"testing"
 
 	"pi2/internal/dataset"
 	"pi2/internal/experiment"
 	"pi2/internal/iface"
+	"pi2/internal/ingest"
 	"pi2/internal/sqlparser"
 	"pi2/internal/transform"
 	"pi2/internal/vis"
@@ -232,4 +235,31 @@ func BenchmarkAblations(b *testing.B) {
 			b.Fatal("no ablation runs")
 		}
 	}
+}
+
+// Ingestion throughput: one-pass type inference + materialization over a
+// ~100k-row CSV with mixed int/float/str/date columns (the bring-your-own-
+// data hot path; rows/sec is the headline metric).
+func BenchmarkIngestCSV(b *testing.B) {
+	const rows = 100_000
+	var buf bytes.Buffer
+	buf.WriteString("id,val,ratio,label,date\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&buf, "%d,%d,%.4f,cat%d,2020-%02d-%02d\n",
+			i, i%1000, float64(i)/3.0, i%7, 1+i%12, 1+i%28)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, _, err := ingest.ReadTable(bytes.NewReader(data), "bench", ingest.FormatCSV, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) != rows {
+			b.Fatalf("ingested %d rows", len(tbl.Rows))
+		}
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
 }

@@ -1,10 +1,15 @@
 // Command pi2gen generates an interactive visualization interface from a
-// SQL query log.
+// SQL query log — one-shot, for scripting and benchmarking: files in,
+// rendered interface (and optionally JSON spec / HTML snapshot) out.
 //
 // Usage:
 //
 //	pi2gen -log Explore                 # one of the paper's seven logs
+//	pi2gen -log list                    # print the built-in log names
 //	pi2gen -file queries.sql            # semicolon-separated custom queries
+//	                                    # against the built-in tables
+//	pi2gen -data cars.csv -queries explore.sql   # bring your own data
+//	pi2gen -data a.csv,b.ndjson.gz -queries log.sql -manifest m.json
 //	pi2gen -log Covid -html out.html    # write an HTML snapshot
 //	pi2gen -log Filter -trees           # also dump the Difftrees
 package main
@@ -18,15 +23,20 @@ import (
 	"pi2/internal/catalog"
 	"pi2/internal/core"
 	"pi2/internal/dataset"
+	"pi2/internal/engine"
 	"pi2/internal/iface"
+	"pi2/internal/ingest"
 	"pi2/internal/sqlparser"
 	"pi2/internal/transform"
 	"pi2/internal/workload"
 )
 
 func main() {
-	logName := flag.String("log", "", "built-in workload name (Explore, Abstract, Connect, Filter, SDSS, Covid, Sales)")
-	file := flag.String("file", "", "file with semicolon-separated SQL queries")
+	logName := flag.String("log", "", "built-in workload name (use \"list\" to enumerate)")
+	file := flag.String("file", "", "file with semicolon-separated SQL queries against the built-in tables")
+	dataFiles := flag.String("data", "", "comma-separated data files (.csv/.tsv/.json/.ndjson/.jsonl, optionally .gz) to ingest instead of the built-in tables")
+	queriesFile := flag.String("queries", "", "query-log file for the ingested data (one statement per line or ;-separated, # comments)")
+	manifest := flag.String("manifest", "", "optional dataset manifest (table names, keys, type overrides)")
 	htmlOut := flag.String("html", "", "write an HTML snapshot to this path")
 	jsonOut := flag.String("json", "", "write the interface spec as JSON to this path")
 	seed := flag.Int64("seed", 1, "search seed")
@@ -36,14 +46,12 @@ func main() {
 	showTrees := flag.Bool("trees", false, "print the final Difftrees")
 	flag.Parse()
 
-	queries, err := loadQueries(*logName, *file)
+	db, keys, queries, err := loadInputs(*logName, *file, *dataFiles, *queriesFile, *manifest)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pi2gen:", err)
 		os.Exit(1)
 	}
-
-	db := dataset.NewDB()
-	cat := catalog.Build(db, dataset.Keys())
+	cat := catalog.Build(db, keys)
 	cfg := core.DefaultConfig()
 	cfg.Search.Seed = *seed
 	cfg.Search.Workers = *workers
@@ -101,18 +109,39 @@ func main() {
 	}
 }
 
-func loadQueries(logName, file string) ([]string, error) {
+// loadInputs resolves the three input modes: ingested files (-data/-queries),
+// a built-in workload (-log), or a raw query file over the built-in tables
+// (-file).
+func loadInputs(logName, file, dataFiles, queriesFile, manifest string) (*engine.DB, map[string][]string, []string, error) {
 	switch {
+	case dataFiles != "":
+		if queriesFile == "" {
+			return nil, nil, nil, fmt.Errorf("-data requires -queries <log.sql>")
+		}
+		loaded, stmts, err := ingest.LoadAll(ingest.SplitList(dataFiles), queriesFile, manifest)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, rep := range loaded.Tables {
+			fmt.Println("ingested", rep)
+		}
+		fmt.Printf("query log %s: %d statements\n", queriesFile, len(stmts))
+		return loaded.DB, loaded.Keys, ingest.SQLs(stmts), nil
+	case logName == "list":
+		fmt.Println("built-in logs:\n  " + strings.Join(workload.Names(), "\n  "))
+		os.Exit(0)
+		panic("unreachable")
 	case logName != "":
 		l, ok := workload.ByName(logName)
 		if !ok {
-			return nil, fmt.Errorf("unknown log %q", logName)
+			return nil, nil, nil, fmt.Errorf("unknown log %q; built-in logs are %s (or ingest your own data with -data/-queries)",
+				logName, strings.Join(workload.Names(), ", "))
 		}
-		return l.Queries, nil
+		return dataset.NewDB(), dataset.Keys(), l.Queries, nil
 	case file != "":
 		data, err := os.ReadFile(file)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		var out []string
 		for _, q := range strings.Split(string(data), ";") {
@@ -122,10 +151,10 @@ func loadQueries(logName, file string) ([]string, error) {
 			}
 		}
 		if len(out) == 0 {
-			return nil, fmt.Errorf("no queries in %s", file)
+			return nil, nil, nil, fmt.Errorf("no queries in %s", file)
 		}
-		return out, nil
+		return dataset.NewDB(), dataset.Keys(), out, nil
 	default:
-		return nil, fmt.Errorf("pass -log <name> or -file <path>")
+		return nil, nil, nil, fmt.Errorf("pass -log <name>, -file <path>, or -data <files> -queries <log>")
 	}
 }

@@ -3,14 +3,18 @@
 // results, widget manipulations post back and rewrite the bound queries —
 // the browser/server/database stack the paper's interfaces deploy to.
 //
-// Serving runs on the cached session path: bound queries are compiled once
-// into engine plans and result tables are memoized per binding state, so
-// repeated widget events skip parse, plan, and execution entirely. The
-// session's own mutex serializes concurrent requests; cache hit/miss
-// counters are exposed at /stats.
+// It serves either a built-in workload or user-supplied files:
 //
 //	pi2serve -log Covid -addr :8080
+//	pi2serve -log list
+//	pi2serve -data cars.csv,sales.ndjson.gz -queries log.sql -manifest m.json
 //	open http://localhost:8080
+//
+// Serving runs on the cached session path: bound queries are compiled once
+// into engine plans and result tables are memoized per binding state in LRU
+// caches, so repeated widget events skip parse, plan, and execution
+// entirely. The session's own mutex serializes concurrent requests; cache
+// hit/miss counters are exposed at /stats.
 package main
 
 import (
@@ -18,39 +22,46 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"strings"
 
 	"pi2/internal/catalog"
 	"pi2/internal/core"
 	"pi2/internal/dataset"
+	"pi2/internal/engine"
 	"pi2/internal/iface"
+	"pi2/internal/ingest"
 	"pi2/internal/sqlparser"
 	"pi2/internal/transform"
 	"pi2/internal/workload"
 )
 
 func main() {
-	logName := flag.String("log", "Explore", "workload name")
+	logName := flag.String("log", "", "built-in workload name (use \"list\" to enumerate); default Explore")
+	dataFiles := flag.String("data", "", "comma-separated data files (.csv/.tsv/.json/.ndjson/.jsonl, optionally .gz) to serve instead of the built-in tables")
+	queriesFile := flag.String("queries", "", "query-log file for the ingested data (one statement per line or ;-separated, # comments)")
+	manifest := flag.String("manifest", "", "optional dataset manifest (table names, keys, type overrides)")
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "search seed")
 	flag.Parse()
 
-	wl, ok := workload.ByName(*logName)
-	if !ok {
-		log.Fatalf("unknown log %q", *logName)
+	db, keys, queries, title, err := loadInputs(*logName, *dataFiles, *queriesFile, *manifest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pi2serve:", err)
+		os.Exit(1)
 	}
-	db := dataset.NewDB()
-	cat := catalog.Build(db, dataset.Keys())
+	cat := catalog.Build(db, keys)
 	cfg := core.DefaultConfig()
 	cfg.Search.Seed = *seed
 
-	fmt.Printf("generating interface for %s ...\n", wl.Name)
-	res, err := core.Generate(wl.Queries, db, cat, cfg)
+	fmt.Printf("generating interface for %s ...\n", title)
+	res, err := core.Generate(queries, db, cat, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(iface.RenderText(res.Interface))
 
-	asts, err := sqlparser.ParseAll(wl.Queries)
+	asts, err := sqlparser.ParseAll(queries)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,4 +72,35 @@ func main() {
 	}
 	fmt.Printf("serving on %s (interaction cache enabled; counters at /stats)\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, iface.NewServer(sess).Handler()))
+}
+
+// loadInputs resolves what to serve: ingested files (-data/-queries) or a
+// built-in workload (-log).
+func loadInputs(logName, dataFiles, queriesFile, manifest string) (*engine.DB, map[string][]string, []string, string, error) {
+	if dataFiles != "" {
+		if queriesFile == "" {
+			return nil, nil, nil, "", fmt.Errorf("-data requires -queries <log.sql>")
+		}
+		loaded, stmts, err := ingest.LoadAll(ingest.SplitList(dataFiles), queriesFile, manifest)
+		if err != nil {
+			return nil, nil, nil, "", err
+		}
+		for _, rep := range loaded.Tables {
+			fmt.Println("ingested", rep)
+		}
+		return loaded.DB, loaded.Keys, ingest.SQLs(stmts), queriesFile, nil
+	}
+	if logName == "list" {
+		fmt.Println("built-in logs:\n  " + strings.Join(workload.Names(), "\n  "))
+		os.Exit(0)
+	}
+	if logName == "" {
+		logName = "Explore"
+	}
+	wl, ok := workload.ByName(logName)
+	if !ok {
+		return nil, nil, nil, "", fmt.Errorf("unknown log %q; built-in logs are %s (or serve your own data with -data/-queries)",
+			logName, strings.Join(workload.Names(), ", "))
+	}
+	return dataset.NewDB(), dataset.Keys(), wl.Queries, wl.Name, nil
 }

@@ -1,0 +1,12 @@
+-- Covid case-study query log (Figure 15b) over examples/data/covid.csv;
+-- statements here are ;-separated to show the other log format. Run with:
+--
+--   pi2serve -data examples/data/covid.csv -queries examples/data/covid.sql
+SELECT date, cases FROM covid WHERE state = 'CA';
+SELECT date, cases FROM covid WHERE state = 'WA' AND date > date(today(), '-30 days');
+SELECT date, cases FROM covid WHERE state = 'CA' AND date > date(today(), '-7 days');
+SELECT date, deaths FROM covid WHERE state = 'CA';
+SELECT date, deaths FROM covid WHERE state = 'NY';
+SELECT date, deaths FROM covid WHERE state = 'WA' AND date > date(today(), '-14 days');
+SELECT date, deaths FROM covid WHERE state = 'WA' AND date > date(today(), '-7 days');
+SELECT date, deaths FROM covid WHERE state = 'NY' AND date > date(today(), '-7 days')

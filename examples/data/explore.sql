@@ -1,0 +1,6 @@
+# Explore-style query log over examples/data/cars.csv (Listing 1 of the
+# paper): two scatterplot range probes. Run with:
+#
+#   pi2gen -data examples/data/cars.csv -queries examples/data/explore.sql
+SELECT hp, mpg FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38
+SELECT hp, mpg FROM Cars WHERE hp BETWEEN 60 AND 90 AND mpg BETWEEN 16 AND 30

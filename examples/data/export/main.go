@@ -1,0 +1,42 @@
+// Command export regenerates the CSV exports under examples/data/ from the
+// built-in synthetic datasets, so the bring-your-own-data examples (and the
+// golden round-trip test) stay in lockstep with internal/dataset:
+//
+//	go run ./examples/data/export [dir]
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"strings"
+
+	"pi2/internal/dataset"
+	"pi2/internal/engine"
+	"pi2/internal/ingest"
+)
+
+func main() {
+	dir := "examples/data"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	for _, t := range []*engine.Table{dataset.Cars(), dataset.Covid()} {
+		path := filepath.Join(dir, strings.ToLower(t.Name)+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "export:", err)
+			os.Exit(1)
+		}
+		if err := ingest.WriteCSV(f, t); err != nil {
+			fmt.Fprintln(os.Stderr, "export:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "export:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, len(t.Rows))
+	}
+}

@@ -1,0 +1,7 @@
+# Exploration log over examples/data/penguins.csv — a dataset that does not
+# exist in internal/dataset, proving generation works on ingested files:
+#
+#   pi2gen -data examples/data/penguins.csv -queries examples/data/penguins.sql \
+#          -manifest examples/data/penguins.json
+SELECT bill_len, body_mass FROM penguins WHERE bill_len BETWEEN 35 AND 46 AND body_mass BETWEEN 3000 AND 4200
+SELECT bill_len, body_mass FROM penguins WHERE bill_len BETWEEN 43 AND 53 AND body_mass BETWEEN 3400 AND 5900

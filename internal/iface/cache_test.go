@@ -103,7 +103,7 @@ func TestPlanCacheHitAfterResultEviction(t *testing.T) {
 	}
 	// evict the result layer only, as cap pressure would
 	sess.mu.Lock()
-	sess.results[0] = map[uint64]cachedResult{}
+	sess.results[0] = newLRU[cachedResult](maxCachedResultsPerTree)
 	sess.mu.Unlock()
 	second, err := sess.Result(0)
 	if err != nil {
@@ -183,8 +183,8 @@ func TestResultCacheBounded(t *testing.T) {
 		}
 	}
 	sess.mu.Lock()
-	nResults := len(sess.results[0])
-	nPlans := len(sess.plans)
+	nResults := sess.results[0].len()
+	nPlans := sess.plans.len()
 	sess.mu.Unlock()
 	if nResults > maxCachedResultsPerTree {
 		t.Fatalf("result cache grew to %d entries (cap %d)", nResults, maxCachedResultsPerTree)
@@ -224,5 +224,74 @@ func TestSessionConcurrentAccess(t *testing.T) {
 	st := sess.Stats()
 	if st.ResultHits+st.ResultMisses != 4*25 {
 		t.Fatalf("stats = %+v, want 100 result lookups", st)
+	}
+}
+
+// LRU unit behavior: lookups refresh recency, the least recently used entry
+// is the one evicted, and replacing a key does not grow the cache.
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRU[int](3)
+	c.put(1, 10)
+	c.put(2, 20)
+	c.put(3, 30)
+	if _, ok := c.get(1); !ok { // refresh 1: order now 1,3,2
+		t.Fatal("entry 1 missing")
+	}
+	c.put(4, 40) // evicts 2
+	if _, ok := c.get(2); ok {
+		t.Fatal("least recently used entry 2 survived")
+	}
+	for _, k := range []uint64{1, 3, 4} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("entry %d evicted, want resident", k)
+		}
+	}
+	c.put(4, 44) // replace in place
+	if c.len() != 3 {
+		t.Fatalf("len = %d after replace, want 3", c.len())
+	}
+	if v, _ := c.get(4); v != 44 {
+		t.Fatalf("replaced value = %d, want 44", v)
+	}
+}
+
+// The session's hottest binding state must survive cap pressure: under the
+// old arbitrary-entry eviction a full cache could drop the state the user
+// keeps returning to; under LRU it cannot.
+func TestHotEntrySurvivesEviction(t *testing.T) {
+	ifc, ctx := buildSliderInterface(t)
+	sess, _ := NewSession(ifc, ctx, testDB)
+	if err := sess.SetSlider("w0", -1); err != nil { // the hot state
+		t.Fatal(err)
+	}
+	if _, err := sess.Results(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxCachedResultsPerTree*2; i++ {
+		// a cold stream of distinct states, re-touching the hot state each
+		// time so it stays the most recently used
+		if err := sess.SetSlider("w0", float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Results(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.SetSlider("w0", -1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Results(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := sess.Stats()
+	if err := sess.SetSlider("w0", -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Results(); err != nil {
+		t.Fatal(err)
+	}
+	after := sess.Stats()
+	if after.ResultHits != before.ResultHits+1 || after.ResultMisses != before.ResultMisses {
+		t.Fatalf("hot state evicted under pressure: %+v -> %+v", before, after)
 	}
 }

@@ -1,0 +1,53 @@
+package iface
+
+import "container/list"
+
+// lruCache is a size-bounded uint64-keyed map with least-recently-used
+// eviction: lookups and inserts both count as use, so the entries that keep
+// answering interactions (the slider positions a user oscillates between)
+// stay resident while stale drag states age out. The arbitrary-map-order
+// eviction it replaces could evict the hottest entry at the cap.
+type lruCache[V any] struct {
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[uint64]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key uint64
+	val V
+}
+
+func newLRU[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{cap: capacity, order: list.New(), entries: map[uint64]*list.Element{}}
+}
+
+// get returns the entry and marks it most recently used.
+func (c *lruCache[V]) get(k uint64) (V, bool) {
+	if e, ok := c.entries[k]; ok {
+		c.order.MoveToFront(e)
+		return e.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts or replaces the entry, marking it most recently used and
+// evicting the least recently used entry when the cache is at capacity.
+func (c *lruCache[V]) put(k uint64, v V) {
+	if e, ok := c.entries[k]; ok {
+		e.Value.(*lruEntry[V]).val = v
+		c.order.MoveToFront(e)
+		return
+	}
+	if len(c.entries) >= c.cap {
+		if back := c.order.Back(); back != nil {
+			delete(c.entries, back.Value.(*lruEntry[V]).key)
+			c.order.Remove(back)
+		}
+	}
+	c.entries[k] = c.order.PushFront(&lruEntry[V]{key: k, val: v})
+}
+
+// len reports the number of resident entries.
+func (c *lruCache[V]) len() int { return len(c.entries) }

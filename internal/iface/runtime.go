@@ -61,8 +61,8 @@ type Session struct {
 	bindings []dt.Binding // per tree
 
 	gen     uint64                    // DB generation the caches were built at
-	plans   map[uint64]cachedPlan     // resolved-AST hash -> compiled plan
-	results []map[uint64]cachedResult // per tree: binding hash -> result
+	plans   *lruCache[cachedPlan]     // resolved-AST hash -> compiled plan
+	results []*lruCache[cachedResult] // per tree: binding hash -> result
 	stats   CacheStats
 }
 
@@ -98,10 +98,10 @@ func (s *Session) ResetCache() {
 
 func (s *Session) resetCacheLocked() {
 	s.gen = s.DB.Generation()
-	s.plans = make(map[uint64]cachedPlan)
-	s.results = make([]map[uint64]cachedResult, len(s.bindings))
+	s.plans = newLRU[cachedPlan](maxCachedPlans)
+	s.results = make([]*lruCache[cachedResult], len(s.bindings))
 	for i := range s.results {
-		s.results[i] = make(map[uint64]cachedResult)
+		s.results[i] = newLRU[cachedResult](maxCachedResultsPerTree)
 	}
 }
 
@@ -191,9 +191,9 @@ func (s *Session) Result(tree int) (*engine.Table, error) {
 
 // Cache size caps. A long-lived serving session sees an unbounded stream
 // of binding states (every drag step of a brush is a new state), so both
-// layers are bounded; at the cap one arbitrary entry is evicted per insert
-// (map iteration order), which keeps steady-state memory flat while still
-// retaining the recently-hot states with high probability.
+// layers are LRU-bounded: at the cap the least recently used entry is
+// evicted per insert, keeping steady-state memory flat while guaranteeing
+// the recently-hot states stay resident.
 const (
 	maxCachedResultsPerTree = 512
 	maxCachedPlans          = 256
@@ -205,7 +205,7 @@ func (s *Session) resultLocked(tree int) (*engine.Table, error) {
 	b := s.bindings[tree]
 	bkey := b.KeyString()
 	bh := dt.HashKey(bkey)
-	if cr, ok := s.results[tree][bh]; ok && cr.key == bkey {
+	if cr, ok := s.results[tree].get(bh); ok && cr.key == bkey {
 		s.stats.ResultHits++
 		return cr.tbl, nil
 	}
@@ -216,7 +216,7 @@ func (s *Session) resultLocked(tree int) (*engine.Table, error) {
 	}
 	qh := dt.Hash(ast)
 	var plan *engine.Plan
-	if cp, ok := s.plans[qh]; ok && !cp.plan.Stale() && dt.Equal(cp.ast, ast) {
+	if cp, ok := s.plans.get(qh); ok && !cp.plan.Stale() && dt.Equal(cp.ast, ast) {
 		s.stats.PlanHits++
 		plan = cp.plan
 	} else {
@@ -225,27 +225,14 @@ func (s *Session) resultLocked(tree int) (*engine.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		evictOver(s.plans, maxCachedPlans)
-		s.plans[qh] = cachedPlan{ast: ast, plan: plan}
+		s.plans.put(qh, cachedPlan{ast: ast, plan: plan})
 	}
 	res, err := plan.Exec()
 	if err != nil {
 		return nil, err
 	}
-	evictOver(s.results[tree], maxCachedResultsPerTree)
-	s.results[tree][bh] = cachedResult{key: bkey, tbl: res}
+	s.results[tree].put(bh, cachedResult{key: bkey, tbl: res})
 	return res, nil
-}
-
-// evictOver removes arbitrary entries until the map is below the cap,
-// making room for one insert.
-func evictOver[V any](m map[uint64]V, limit int) {
-	for k := range m {
-		if len(m) < limit {
-			return
-		}
-		delete(m, k)
-	}
 }
 
 func (s *Session) widget(elemID string) (*WidgetSpec, error) {

@@ -1,0 +1,50 @@
+package ingest
+
+import (
+	"bufio"
+	"io"
+	"strings"
+
+	"pi2/internal/engine"
+)
+
+// WriteCSV exports a table in the exact dialect ReadTable ingests: a header
+// row, NULL as the empty field, numbers in Go's shortest round-trippable
+// form. Exporting and re-ingesting a table reproduces it bit for bit (the
+// golden round-trip test relies on this) with one documented exception: a
+// non-NULL empty string reads back as NULL, because CSV has no way to
+// distinguish the two (no built-in table contains one). Quoting is by hand
+// rather than encoding/csv for one corner: a single-column row whose only
+// cell is NULL must be written as `""` — csv.Writer would emit a blank
+// line, which the reader (correctly) skips.
+func WriteCSV(w io.Writer, t *engine.Table) error {
+	bw := bufio.NewWriter(w)
+	writeRec := func(rec []string) {
+		for i, field := range rec {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			if strings.ContainsAny(field, ",\"\n\r") || (field == "" && len(rec) == 1) {
+				bw.WriteByte('"')
+				bw.WriteString(strings.ReplaceAll(field, `"`, `""`))
+				bw.WriteByte('"')
+			} else {
+				bw.WriteString(field)
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	writeRec(t.Cols)
+	rec := make([]string, len(t.Cols))
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if v.Null {
+				rec[i] = ""
+			} else {
+				rec[i] = v.Text()
+			}
+		}
+		writeRec(rec)
+	}
+	return bw.Flush()
+}

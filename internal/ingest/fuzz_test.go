@@ -1,0 +1,111 @@
+package ingest_test
+
+// Native fuzz target for the CSV ingestion path. Under `go test` only the
+// seed corpus runs (fast, CI-safe); explore further with
+// `go test -fuzz FuzzIngestCSV ./internal/ingest`.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+
+	"pi2/internal/engine"
+	"pi2/internal/ingest"
+)
+
+func gzipped(s string) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte(s))
+	zw.Close()
+	return buf.Bytes()
+}
+
+// FuzzIngestCSV asserts ingestion never panics, and that any accepted input
+// yields a structurally valid table with a sound inferred schema.
+func FuzzIngestCSV(f *testing.F) {
+	for _, seed := range [][]byte{
+		[]byte("a,b,c\n1,2.5,x\n,,\n3,4,y\n"),
+		[]byte("id,hp,mpg,disp,origin\n1,114,29,193,USA\n2,53,41,80,Japan\n"),
+		[]byte("name,score\n\"Doe, Jane\",5\n\"say \"\"hi\"\"\",6\n"),
+		[]byte("a\n\"multi\nline\"\n"),
+		[]byte("a,b\n1,2\n3\n"),          // ragged
+		[]byte("a,a\n1,2\n"),             // duplicate column
+		[]byte("a,\n1,2\n"),              // empty column name
+		[]byte(""),                       // empty input
+		[]byte("NaN,Inf\nNaN,1_000\n"),   // numeric-parser edge cases
+		[]byte("a\n-1.5e300\n0.0\n-0\n"), // float extremes
+		gzipped("a,b\n1,x\n2,y\n"),       // transparent gzip
+		{0x1f, 0x8b, 0xff, 0xff},         // gzip magic, corrupt stream
+		[]byte("\"unterminated\n1\n"),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, rep, err := ingest.ReadTable(bytes.NewReader(data), "fuzz", ingest.FormatCSV, nil)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if len(tbl.Cols) == 0 {
+			t.Fatal("accepted table has no columns")
+		}
+		if len(tbl.Types) != len(tbl.Cols) || len(rep.Columns) != len(tbl.Cols) {
+			t.Fatalf("schema shape mismatch: %d cols, %d types, %d report columns",
+				len(tbl.Cols), len(tbl.Types), len(rep.Columns))
+		}
+		seen := map[string]bool{}
+		for i, c := range tbl.Cols {
+			if strings.TrimSpace(c) == "" {
+				t.Fatalf("column %d has blank name", i)
+			}
+			if seen[strings.ToLower(c)] {
+				t.Fatalf("duplicate column name %q", c)
+			}
+			seen[strings.ToLower(c)] = true
+			if rep.Columns[i].Kind.EngineType() != tbl.Types[i] {
+				t.Fatalf("column %q: report kind %v disagrees with table type %v",
+					c, rep.Columns[i].Kind, tbl.Types[i])
+			}
+		}
+		if rep.Rows != len(tbl.Rows) {
+			t.Fatalf("report rows %d != table rows %d", rep.Rows, len(tbl.Rows))
+		}
+		for ri, row := range tbl.Rows {
+			if len(row) != len(tbl.Cols) {
+				t.Fatalf("row %d has %d cells, want %d", ri, len(row), len(tbl.Cols))
+			}
+			for ci, v := range row {
+				if v.Null {
+					continue
+				}
+				if tbl.Types[ci] == engine.TNum && v.IsStr {
+					t.Fatalf("row %d col %q: string value in num column", ri, tbl.Cols[ci])
+				}
+				if tbl.Types[ci] == engine.TStr && !v.IsStr {
+					t.Fatalf("row %d col %q: numeric value in str column", ri, tbl.Cols[ci])
+				}
+			}
+		}
+		// Re-exporting and re-ingesting an accepted table must succeed and
+		// preserve the schema (cell text may legally change only for \r\n
+		// normalization inside quoted fields).
+		var buf bytes.Buffer
+		if err := ingest.WriteCSV(&buf, tbl); err != nil {
+			t.Fatalf("re-export failed: %v", err)
+		}
+		tbl2, _, err := ingest.ReadTable(&buf, "fuzz", ingest.FormatCSV, nil)
+		if err != nil {
+			t.Fatalf("re-ingest failed: %v", err)
+		}
+		if len(tbl2.Rows) != len(tbl.Rows) || len(tbl2.Cols) != len(tbl.Cols) {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
+				len(tbl.Rows), len(tbl.Cols), len(tbl2.Rows), len(tbl2.Cols))
+		}
+		for i, typ := range tbl.Types {
+			if tbl2.Types[i] != typ {
+				t.Fatalf("round trip changed column %q type %v -> %v", tbl.Cols[i], typ, tbl2.Types[i])
+			}
+		}
+	})
+}

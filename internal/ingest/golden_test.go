@@ -1,0 +1,194 @@
+package ingest_test
+
+// Golden round-trip proofs: exporting the built-in synthetic datasets to
+// CSV and ingesting them back must reproduce the exact same tables — and
+// therefore the exact same generated interface, byte for byte. This is the
+// end-to-end guarantee that the file-ingestion path is a faithful stand-in
+// for an in-process database.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pi2"
+	"pi2/internal/catalog"
+	"pi2/internal/core"
+	"pi2/internal/dataset"
+	"pi2/internal/engine"
+	"pi2/internal/iface"
+	"pi2/internal/ingest"
+	"pi2/internal/workload"
+)
+
+// exportAll writes every built-in table as <Name>.csv under dir and returns
+// the paths plus a manifest carrying the built-in key declarations.
+func exportAll(t *testing.T, dir string) ([]string, *ingest.Manifest) {
+	t.Helper()
+	db := dataset.NewDB()
+	m := &ingest.Manifest{Now: db.Now}
+	var paths []string
+	for _, tbl := range db.Tables {
+		path := filepath.Join(dir, tbl.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ingest.WriteCSV(f, tbl); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+		tm := ingest.TableManifest{File: tbl.Name + ".csv", Name: tbl.Name}
+		for kt, keys := range dataset.Keys() {
+			if strings.EqualFold(kt, tbl.Name) {
+				tm.Keys = keys
+			}
+		}
+		m.Tables = append(m.Tables, tm)
+	}
+	return paths, m
+}
+
+// Ingesting the CSV export of every built-in table must reproduce the
+// built-in tables exactly: names, columns, types, and every value.
+func TestGoldenTablesRoundTrip(t *testing.T) {
+	paths, m := exportAll(t, t.TempDir())
+	res, err := ingest.Load(paths, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dataset.NewDB()
+	if len(res.DB.Tables) != len(want.Tables) {
+		t.Fatalf("ingested %d tables, want %d", len(res.DB.Tables), len(want.Tables))
+	}
+	for lname, wt := range want.Tables {
+		gt, ok := res.DB.Tables[lname]
+		if !ok {
+			t.Errorf("table %s missing after round trip", wt.Name)
+			continue
+		}
+		if gt.Name != wt.Name {
+			t.Errorf("table name %q, want %q", gt.Name, wt.Name)
+		}
+		if !reflect.DeepEqual(gt.Cols, wt.Cols) {
+			t.Errorf("%s columns %v, want %v", wt.Name, gt.Cols, wt.Cols)
+		}
+		if !reflect.DeepEqual(gt.Types, wt.Types) {
+			t.Errorf("%s types %v, want %v", wt.Name, gt.Types, wt.Types)
+		}
+		if !reflect.DeepEqual(gt.Rows, wt.Rows) {
+			t.Errorf("%s rows differ after round trip", wt.Name)
+		}
+	}
+	if res.DB.Now != want.Now {
+		t.Errorf("Now = %q, want %q", res.DB.Now, want.Now)
+	}
+	// key declarations are equivalent up to table-name case (catalog.Build
+	// normalizes to lowercase)
+	if !reflect.DeepEqual(lowerKeys(res.Keys), lowerKeys(dataset.Keys())) {
+		t.Errorf("keys = %v, want %v", res.Keys, dataset.Keys())
+	}
+}
+
+func lowerKeys(m map[string][]string) map[string][]string {
+	out := map[string][]string{}
+	for k, v := range m {
+		out[strings.ToLower(k)] = v
+	}
+	return out
+}
+
+// The full pipeline on ingested data must produce a byte-identical
+// interface: same rendered text, same JSON spec.
+func TestGoldenInterfaceRoundTrip(t *testing.T) {
+	paths, m := exportAll(t, t.TempDir())
+	res, err := ingest.Load(paths, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, _ := workload.ByName("Explore")
+
+	builtin := dataset.NewDB()
+	wantRes, err := core.Generate(wl.Queries, builtin, catalog.Build(builtin, dataset.Keys()), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, err := core.Generate(wl.Queries, res.DB, catalog.Build(res.DB, res.Keys), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantText, gotText := iface.RenderText(wantRes.Interface), iface.RenderText(gotRes.Interface)
+	if wantText != gotText {
+		t.Errorf("rendered interface differs:\n--- built-in ---\n%s\n--- ingested ---\n%s", wantText, gotText)
+	}
+	wantJSON, err := iface.MarshalJSON(wantRes.Interface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := iface.MarshalJSON(gotRes.Interface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("JSON spec differs:\n--- built-in ---\n%s\n--- ingested ---\n%s", wantJSON, gotJSON)
+	}
+}
+
+// The committed example exports must stay in lockstep with internal/dataset
+// (regenerate with `go run ./examples/data/export`).
+func TestExampleExportsInSync(t *testing.T) {
+	for _, tc := range []struct {
+		path  string
+		table *engine.Table
+	}{
+		{"../../examples/data/cars.csv", dataset.Cars()},
+		{"../../examples/data/covid.csv", dataset.Covid()},
+	} {
+		var want bytes.Buffer
+		if err := ingest.WriteCSV(&want, tc.table); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("%s is stale; regenerate with `go run ./examples/data/export`", tc.path)
+		}
+	}
+}
+
+// GeneratorFromFiles on the committed penguins example — a dataset that
+// does not exist in internal/dataset — must generate a working interface.
+func TestGeneratorFromFilesPenguins(t *testing.T) {
+	gen, queries, err := pi2.GeneratorFromFiles(
+		[]string{"../../examples/data/penguins.csv"},
+		"../../examples/data/penguins.sql",
+		"../../examples/data/penguins.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 2 {
+		t.Fatalf("got %d queries, want 2", len(queries))
+	}
+	if _, ok := gen.DB.Table("penguins"); !ok {
+		t.Fatal("penguins table missing")
+	}
+	res, err := gen.Generate(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Interface.Vis) == 0 {
+		t.Fatal("no charts generated for penguins")
+	}
+	if res.Interface.InteractionCount() == 0 {
+		t.Fatal("no interactions generated for penguins")
+	}
+}

@@ -1,0 +1,370 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"pi2/internal/engine"
+)
+
+// ColKind is the inferred kind of one column. The engine stores both int
+// and float columns as TNum (float64); the int/float distinction is kept in
+// the ingestion report because it is what users check when a column they
+// meant to be integral picks up a stray decimal.
+type ColKind uint8
+
+const (
+	// ColInt means every non-null cell is an integer literal.
+	ColInt ColKind = iota
+	// ColFloat means every non-null cell is numeric, at least one non-integral.
+	ColFloat
+	// ColStr means at least one non-null cell is not numeric (or the column
+	// came from JSON strings, which are never reinterpreted as numbers).
+	ColStr
+)
+
+func (k ColKind) String() string {
+	switch k {
+	case ColInt:
+		return "int"
+	case ColFloat:
+		return "float"
+	default:
+		return "str"
+	}
+}
+
+// EngineType maps the inferred kind to the engine's storage type.
+func (k ColKind) EngineType() engine.ColType {
+	if k == ColStr {
+		return engine.TStr
+	}
+	return engine.TNum
+}
+
+// TableReport summarizes one ingested table.
+type TableReport struct {
+	Table   string
+	File    string
+	Rows    int
+	Columns []ColReport
+}
+
+// ColReport is the inference verdict for one column.
+type ColReport struct {
+	Name       string
+	Kind       ColKind
+	Nulls      int
+	Overridden bool // manifest type override applied
+}
+
+// String renders e.g. "cars(id int, hp int, origin str) 300 rows".
+func (r *TableReport) String() string {
+	cols := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		cols[i] = c.Name + " " + c.Kind.String()
+		if c.Overridden {
+			cols[i] += "*"
+		}
+	}
+	return fmt.Sprintf("%s(%s) %d rows", r.Table, strings.Join(cols, ", "), r.Rows)
+}
+
+// cell is one raw parsed cell: its canonical text plus the kind this cell
+// alone admits. A JSON string cell is pinned to ColStr even when its text
+// is numeric; CSV cells classify by parsing.
+type cell struct {
+	null bool
+	text string
+	kind ColKind
+}
+
+func classify(text string) ColKind {
+	// Go's parsers accept underscores, NaN and infinities; none of those
+	// should silently become numbers in somebody's dataset.
+	if strings.ContainsRune(text, '_') {
+		return ColStr
+	}
+	if _, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return ColInt
+	}
+	if f, err := strconv.ParseFloat(text, 64); err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
+		return ColFloat
+	}
+	return ColStr
+}
+
+// rawTable is the single-pass accumulation: header, cells, and per-column
+// running inference state (the join of the cell kinds seen so far).
+type rawTable struct {
+	cols  []string
+	kinds []ColKind // running join; ColInt is the bottom element
+	nulls []int
+	seen  []int // non-null cells per column
+	rows  [][]cell
+}
+
+func newRawTable(cols []string) (*rawTable, error) {
+	lower := map[string]int{}
+	for i, c := range cols {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			return nil, fmt.Errorf("column %d has an empty name", i+1)
+		}
+		if j, dup := lower[strings.ToLower(c)]; dup {
+			return nil, fmt.Errorf("duplicate column name %q (columns %d and %d)", c, j+1, i+1)
+		}
+		lower[strings.ToLower(c)] = i
+		cols[i] = c
+	}
+	return &rawTable{
+		cols:  cols,
+		kinds: make([]ColKind, len(cols)),
+		nulls: make([]int, len(cols)),
+		seen:  make([]int, len(cols)),
+	}, nil
+}
+
+func (rt *rawTable) add(row []cell) {
+	for i, c := range row {
+		if c.null {
+			rt.nulls[i]++
+			continue
+		}
+		rt.seen[i]++
+		if c.kind > rt.kinds[i] {
+			rt.kinds[i] = c.kind
+		}
+	}
+	rt.rows = append(rt.rows, row)
+}
+
+// materialize converts the accumulated cells into a typed engine table,
+// applying manifest type overrides. A column whose cells were all null
+// defaults to str.
+func (rt *rawTable) materialize(name string, tm *TableManifest) (*engine.Table, *TableReport, error) {
+	tbl := &engine.Table{
+		Name:  name,
+		Cols:  rt.cols,
+		Types: make([]engine.ColType, len(rt.cols)),
+	}
+	rep := &TableReport{Table: name, Rows: len(rt.rows)}
+	for i, col := range rt.cols {
+		kind := rt.kinds[i]
+		if rt.seen[i] == 0 {
+			kind = ColStr
+		}
+		overridden := false
+		if tm != nil {
+			if want, ok := tm.typeFor(col); ok {
+				switch want {
+				case "num":
+					if kind == ColStr {
+						// the override promises numeric cells; verify below
+						kind = ColFloat
+					}
+				case "str":
+					kind = ColStr
+				}
+				overridden = true
+			}
+		}
+		tbl.Types[i] = kind.EngineType()
+		rep.Columns = append(rep.Columns, ColReport{Name: col, Kind: kind, Nulls: rt.nulls[i], Overridden: overridden})
+	}
+	tbl.Rows = make([][]engine.Value, len(rt.rows))
+	for ri, row := range rt.rows {
+		out := make([]engine.Value, len(row))
+		for ci, c := range row {
+			switch {
+			case c.null:
+				out[ci] = engine.NullVal()
+			case tbl.Types[ci] == engine.TNum:
+				// an override-forced num column must still pass classify, so
+				// NaN/Inf/underscore literals can't sneak in as numbers
+				if rep.Columns[ci].Overridden && classify(c.text) == ColStr {
+					return nil, nil, fmt.Errorf("row %d column %q: %q is not numeric (type override num)", ri+1, rt.cols[ci], c.text)
+				}
+				f, err := strconv.ParseFloat(c.text, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("row %d column %q: %q is not numeric (type override num)", ri+1, rt.cols[ci], c.text)
+				}
+				out[ci] = engine.NumVal(f)
+			default:
+				out[ci] = engine.StrVal(c.text)
+			}
+		}
+		tbl.Rows[ri] = out
+	}
+	return tbl, rep, nil
+}
+
+// readSeparated ingests CSV or TSV: a header row naming the columns, then
+// one record per row. Empty fields are NULL; quoting follows RFC 4180 so
+// separators, quotes and newlines may appear inside quoted fields.
+func readSeparated(r io.Reader, comma rune) (*rawTable, error) {
+	cr := csv.NewReader(r)
+	cr.Comma = comma
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("empty input (want a header row)")
+	}
+	if err != nil {
+		return nil, err
+	}
+	rt, err := newRawTable(append([]string(nil), header...))
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rt, nil
+		}
+		if err != nil {
+			return nil, err // csv errors carry line/column positions
+		}
+		row := make([]cell, len(rec))
+		for i, field := range rec {
+			if field == "" {
+				row[i] = cell{null: true}
+				continue
+			}
+			row[i] = cell{text: field, kind: classify(field)}
+		}
+		rt.add(row)
+	}
+}
+
+// readNDJSON ingests newline-delimited JSON: one flat object per line.
+// Columns appear in order of first appearance; keys missing from a line are
+// NULL. JSON gives the cell kinds directly: numbers are int/float, strings
+// stay strings (never reinterpreted as numbers), booleans become 0/1,
+// nested values are rejected.
+func readNDJSON(r io.Reader) (*rawTable, error) {
+	rt, err := newRawTable(nil)
+	if err != nil {
+		return nil, err
+	}
+	colIdx := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		data := bytes.TrimSpace(sc.Bytes())
+		if len(data) == 0 {
+			continue
+		}
+		row := make([]cell, len(rt.cols))
+		for i := range row {
+			row[i] = cell{null: true}
+		}
+		colsBefore := len(rt.cols)
+		var badKey error
+		if err := decodeObject(data, func(key string, c cell) {
+			if strings.TrimSpace(key) == "" && badKey == nil {
+				badKey = fmt.Errorf("empty object key (columns need names)")
+				return
+			}
+			idx, ok := colIdx[strings.ToLower(key)]
+			if !ok {
+				idx = len(rt.cols)
+				colIdx[strings.ToLower(key)] = idx
+				rt.cols = append(rt.cols, key)
+				rt.kinds = append(rt.kinds, ColInt)
+				rt.nulls = append(rt.nulls, len(rt.rows)) // backfill: prior rows lack the key
+				rt.seen = append(rt.seen, 0)
+				row = append(row, cell{null: true})
+			}
+			row[idx] = c
+		}); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if badKey != nil {
+			return nil, fmt.Errorf("line %d: %w", line, badKey)
+		}
+		// earlier rows are shorter when this line introduced new columns;
+		// pad them so the table stays rectangular (only then — padding on
+		// every line would make ingestion quadratic in the row count).
+		if len(rt.cols) > colsBefore {
+			for ri, prev := range rt.rows {
+				for len(prev) < len(rt.cols) {
+					prev = append(prev, cell{null: true})
+				}
+				rt.rows[ri] = prev
+			}
+		}
+		rt.add(row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rt.cols) == 0 {
+		return nil, fmt.Errorf("empty input (want one JSON object per line)")
+	}
+	return rt, nil
+}
+
+// decodeObject parses one flat JSON object, emitting cells in key order.
+func decodeObject(data []byte, emit func(string, cell)) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fmt.Errorf("expected a JSON object, got %v", tok)
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		key := keyTok.(string)
+		valTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch v := valTok.(type) {
+		case nil:
+			emit(key, cell{null: true})
+		case string:
+			emit(key, cell{text: v, kind: ColStr})
+		case json.Number:
+			s := v.String()
+			kind := ColInt
+			if strings.ContainsAny(s, ".eE") {
+				kind = ColFloat
+			}
+			emit(key, cell{text: s, kind: kind})
+		case bool:
+			if v {
+				emit(key, cell{text: "1", kind: ColInt})
+			} else {
+				emit(key, cell{text: "0", kind: ColInt})
+			}
+		case json.Delim:
+			return fmt.Errorf("key %q: nested %v values are not supported (flatten the objects)", key, v)
+		default:
+			return fmt.Errorf("key %q: unsupported value %v", key, v)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return err
+	}
+	// anything after the object would be silently dropped data
+	if tok, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after object (got %v)", tok)
+	}
+	return nil
+}

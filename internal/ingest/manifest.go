@@ -1,0 +1,98 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Manifest is the optional dataset descriptor: a JSON file declaring, per
+// data file, the table name, the primary-key columns (which drive the
+// catalogue's functional-dependency inference) and column type overrides
+// for when one-pass inference guesses wrong (an id column of digit strings,
+// a zip code that must stay a string).
+//
+//	{
+//	  "now": "2020-12-31",
+//	  "tables": [
+//	    {"file": "cars.csv", "name": "Cars", "keys": ["id"],
+//	     "types": {"origin": "str"}}
+//	  ]
+//	}
+type Manifest struct {
+	// Now is the database's fixed "current date" for today(); defaults to
+	// DefaultNow.
+	Now    string          `json:"now,omitempty"`
+	Tables []TableManifest `json:"tables"`
+}
+
+// TableManifest describes one data file.
+type TableManifest struct {
+	// File matches the data file by base name, with or without extensions
+	// ("cars.csv.gz", "cars.csv" and "cars" all match cars.csv.gz).
+	File string `json:"file"`
+	// Name overrides the table name (default: sanitized file stem).
+	Name string `json:"name,omitempty"`
+	// Keys lists the primary-key columns.
+	Keys []string `json:"keys,omitempty"`
+	// Types maps column names to "num" or "str", overriding inference.
+	Types map[string]string `json:"types,omitempty"`
+}
+
+// typeFor looks up a column's type override case-insensitively.
+func (tm *TableManifest) typeFor(col string) (string, bool) {
+	for k, v := range tm.Types {
+		if strings.EqualFold(k, col) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// forFile finds the manifest entry for a data file, matching by base name
+// or stem. Nil receiver and no match both yield nil.
+func (m *Manifest) forFile(path string) *TableManifest {
+	if m == nil {
+		return nil
+	}
+	base := filepath.Base(path)
+	noGz := strings.TrimSuffix(base, ".gz")
+	stem := strings.TrimSuffix(noGz, filepath.Ext(noGz))
+	for i := range m.Tables {
+		f := m.Tables[i].File
+		if strings.EqualFold(f, base) || strings.EqualFold(f, noGz) || strings.EqualFold(f, stem) {
+			return &m.Tables[i]
+		}
+	}
+	return nil
+}
+
+// ReadManifest loads and validates a manifest file. Unknown JSON fields are
+// rejected so typos ("key" for "keys") fail loudly instead of being ignored.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("ingest: %s: %w", path, err)
+	}
+	for i := range m.Tables {
+		tm := &m.Tables[i]
+		if tm.File == "" {
+			return nil, fmt.Errorf("ingest: %s: tables[%d] is missing \"file\"", path, i)
+		}
+		for col, typ := range tm.Types {
+			if typ != "num" && typ != "str" {
+				return nil, fmt.Errorf("ingest: %s: tables[%d].types[%q] = %q (want \"num\" or \"str\")", path, i, col, typ)
+			}
+		}
+	}
+	return &m, nil
+}

@@ -1,0 +1,188 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	dt "pi2/internal/difftree"
+	"pi2/internal/engine"
+	"pi2/internal/sqlparser"
+)
+
+// Statement is one SQL statement from a query-log file, anchored to the
+// line it starts on so parse and validation errors point at the source.
+type Statement struct {
+	SQL  string
+	Line int // 1-based line of the statement's first token
+	AST  *dt.Node
+}
+
+// SQLs projects the statement texts (the shape core.Generate consumes).
+func SQLs(stmts []Statement) []string {
+	out := make([]string, len(stmts))
+	for i, s := range stmts {
+		out[i] = s.SQL
+	}
+	return out
+}
+
+// ReadLog opens and parses a query-log file (gzip detected transparently).
+func ReadLog(path string) ([]Statement, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	defer f.Close()
+	r, err := sniffGzip(f)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %s: %w", path, err)
+	}
+	return ParseLog(r, path)
+}
+
+// ParseLog parses a query log. The format is plain text: `#` and `--` start
+// comments that run to end of line; statements are separated by `;` when
+// the file contains any semicolon (outside string literals), otherwise each
+// non-blank line is one statement. Every statement must parse as a query;
+// all parse errors are reported together, each anchored as name:line.
+func ParseLog(r io.Reader, name string) ([]Statement, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %s: %w", name, err)
+	}
+	segs := splitStatements(string(data))
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("ingest: %s: no SQL statements (only blank lines and comments)", name)
+	}
+	var stmts []Statement
+	var errs []error
+	for _, seg := range segs {
+		ast, err := sqlparser.Parse(seg.text)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s:%d: %w", name, seg.line, err))
+			continue
+		}
+		stmts = append(stmts, Statement{SQL: seg.text, Line: seg.line, AST: ast})
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return stmts, nil
+}
+
+// segment is one raw statement and the line its first token starts on.
+type segment struct {
+	text string
+	line int
+}
+
+// splitStatements strips comments and splits the log into statements. The
+// scanner tracks single-quote string state (with ” escapes) so semicolons,
+// `#` and `--` inside literals are preserved.
+func splitStatements(src string) []segment {
+	type piece struct {
+		text string
+		line int
+	}
+	var pieces []piece // ;-terminated segments (cleaned text, newlines kept)
+	var cur strings.Builder
+	curLine := 1
+	line := 1
+	sawSemi := false
+	inQuote := false
+	flush := func() {
+		pieces = append(pieces, piece{text: cur.String(), line: curLine})
+		cur.Reset()
+		curLine = line
+	}
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			cur.WriteByte(c)
+		case inQuote:
+			cur.WriteByte(c)
+			if c == '\'' {
+				inQuote = false
+			}
+		case c == '\'':
+			inQuote = true
+			cur.WriteByte(c)
+		case c == '#', c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			i-- // the newline re-enters the loop for line counting
+		case c == ';':
+			sawSemi = true
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+
+	var segs []segment
+	add := func(text string, startLine int) {
+		// anchor to the first non-blank line within the raw text
+		for _, ln := range strings.Split(text, "\n") {
+			if strings.TrimSpace(ln) == "" {
+				startLine++
+				continue
+			}
+			break
+		}
+		if t := strings.TrimSpace(text); t != "" {
+			segs = append(segs, segment{text: t, line: startLine})
+		}
+	}
+	if sawSemi {
+		for _, p := range pieces {
+			add(p.text, p.line)
+		}
+		return segs
+	}
+	// no semicolons anywhere: one statement per non-blank line
+	for li, ln := range strings.Split(pieces[0].text, "\n") {
+		add(ln, pieces[0].line+li)
+	}
+	return segs
+}
+
+// Validate checks every statement's table references against the ingested
+// database, so a typo in a log fails with the file position and the tables
+// that do exist instead of surfacing later as an opaque engine error.
+func Validate(stmts []Statement, db *engine.DB, name string) error {
+	var errs []error
+	for _, st := range stmts {
+		st.AST.Walk(func(n *dt.Node) bool {
+			if n.Kind != dt.KindTableRef || len(n.Children) == 0 {
+				return true
+			}
+			src := n.Children[0]
+			if src.Kind != dt.KindIdent {
+				return true
+			}
+			if _, ok := db.Table(src.Label); !ok {
+				errs = append(errs, fmt.Errorf("%s:%d: unknown table %q (have %s)",
+					name, st.Line, src.Label, strings.Join(tableNames(db), ", ")))
+			}
+			return true
+		})
+	}
+	return errors.Join(errs...)
+}
+
+func tableNames(db *engine.DB) []string {
+	var names []string
+	for _, t := range db.Tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -148,6 +148,16 @@ func All() []Log {
 	return []Log{Explore(), Abstract(), Connect(), Filter(), SDSS(), Covid(), Sales()}
 }
 
+// Names lists the built-in log names in the paper's order (for CLI help
+// and unknown-name error messages).
+func Names() []string {
+	var names []string
+	for _, l := range All() {
+		names = append(names, l.Name)
+	}
+	return names
+}
+
 // ByName looks a log up by case-sensitive name; ok is false when unknown.
 func ByName(name string) (Log, bool) {
 	for _, l := range All() {

@@ -21,6 +21,7 @@ import (
 	"pi2/internal/catalog"
 	"pi2/internal/core"
 	"pi2/internal/engine"
+	"pi2/internal/ingest"
 )
 
 // Generator generates interfaces against one database.
@@ -39,6 +40,24 @@ func NewGenerator(db *engine.DB, keys map[string][]string) *Generator {
 		Cat:    catalog.Build(db, keys),
 		Config: core.DefaultConfig(),
 	}
+}
+
+// GeneratorFromFiles builds a generator from external files: tabular data
+// (CSV/TSV/NDJSON, optionally gzipped) becomes the database, the query-log
+// file supplies the example queries (returned ready for Generate), and the
+// optional manifest declares table names, keys and type overrides. Every
+// statement is validated against the ingested catalogue before anything
+// runs, so errors carry file:line positions.
+//
+//	gen, queries, err := pi2.GeneratorFromFiles(
+//	    []string{"cars.csv"}, "explore.sql", "")
+//	res, err := gen.Generate(queries)
+func GeneratorFromFiles(dataPaths []string, queryLogPath, manifestPath string) (*Generator, []string, error) {
+	loaded, stmts, err := ingest.LoadAll(dataPaths, queryLogPath, manifestPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewGenerator(loaded.DB, loaded.Keys), ingest.SQLs(stmts), nil
 }
 
 // Generate runs the full pipeline on a SQL query log.
