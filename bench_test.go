@@ -10,6 +10,8 @@ import (
 	"io"
 	"testing"
 
+	"pi2/internal/catalog"
+	"pi2/internal/core"
 	"pi2/internal/dataset"
 	"pi2/internal/experiment"
 	"pi2/internal/iface"
@@ -22,6 +24,42 @@ import (
 )
 
 var benchEnv = experiment.NewEnv()
+
+// benchGenerate measures the generation hot path in isolation — a direct
+// core.Generate call (parse + MCTS + final mapping), no experiment-harness
+// bookkeeping — with sub-benchmarks for the cross-worker shared caches on
+// and off so the sharing win is measurable by itself.
+func benchGenerate(b *testing.B, log workload.Log) {
+	db := dataset.NewDB()
+	cat := catalog.Build(db, dataset.Keys())
+	for _, shared := range []bool{true, false} {
+		name := "shared"
+		if !shared {
+			name = "private"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Search.SharedCaches = shared
+			b.ReportAllocs()
+			var lastCost float64
+			var ints int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Generate(log.Queries, db, cat, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastCost = res.Interface.Cost
+				ints = res.Interface.InteractionCount()
+			}
+			b.ReportMetric(lastCost, "cost")
+			b.ReportMetric(float64(ints), "interactions")
+		})
+	}
+}
+
+func BenchmarkGenerateExplore(b *testing.B) { benchGenerate(b, workload.Explore()) }
+func BenchmarkGenerateCovid(b *testing.B)   { benchGenerate(b, workload.Covid()) }
+func BenchmarkGenerateSDSS(b *testing.B)    { benchGenerate(b, workload.SDSS()) }
 
 // benchLog generates the given log once per iteration and reports cost and
 // interaction counts.

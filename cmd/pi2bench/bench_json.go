@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pi2/internal/catalog"
+	"pi2/internal/core"
+	"pi2/internal/dataset"
+	"pi2/internal/iface"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+	"pi2/internal/workload"
+)
+
+// BenchResult is one benchmark measurement in the machine-readable report.
+type BenchResult struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	Cost         float64 `json:"cost,omitempty"`
+	Interactions int     `json:"interactions,omitempty"`
+	HitRate      float64 `json:"hit_rate,omitempty"`
+}
+
+// BenchReport is the BENCH_*.json schema: the current measurements plus an
+// optional baseline (a previous report, or hand-recorded pre-change
+// numbers) so a single file shows the before/after trajectory.
+type BenchReport struct {
+	Schema   string        `json:"schema"`
+	Go       string        `json:"go"`
+	CPU      int           `json:"cpus"`
+	Note     string        `json:"note,omitempty"`
+	Benches  []BenchResult `json:"benches"`
+	Baseline *BenchReport  `json:"baseline,omitempty"`
+}
+
+// runJSON regenerates the performance-trajectory report: the generation
+// benches per workload (shared caches on and off) and the serving-path
+// session-interaction benches, written as JSON to path.
+func runJSON(path, baselinePath string) error {
+	report := &BenchReport{
+		Schema: "pi2-bench/v1",
+		Go:     runtime.Version(),
+		CPU:    runtime.NumCPU(),
+	}
+	if baselinePath != "" {
+		base := &BenchReport{}
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("pi2bench: read baseline: %w", err)
+		}
+		if err := json.Unmarshal(raw, base); err != nil {
+			return fmt.Errorf("pi2bench: parse baseline: %w", err)
+		}
+		base.Baseline = nil // keep exactly one level of history per report
+		report.Baseline = base
+	}
+
+	db := dataset.NewDB()
+	cat := catalog.Build(db, dataset.Keys())
+	for _, wl := range []workload.Log{workload.Explore(), workload.Covid(), workload.SDSS()} {
+		for _, shared := range []bool{true, false} {
+			variant := "shared"
+			if !shared {
+				variant = "private"
+			}
+			var cost float64
+			var ints int
+			var benchErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				cfg := core.DefaultConfig()
+				cfg.Search.SharedCaches = shared
+				for i := 0; i < b.N; i++ {
+					res, err := core.Generate(wl.Queries, db, cat, cfg)
+					if err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+					cost = res.Interface.Cost
+					ints = res.Interface.InteractionCount()
+				}
+			})
+			if benchErr != nil {
+				return fmt.Errorf("pi2bench: Generate/%s: %w", wl.Name, benchErr)
+			}
+			report.Benches = append(report.Benches, BenchResult{
+				Name:       "Generate/" + wl.Name + "/" + variant,
+				Iterations: r.N, NsPerOp: r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+				Cost: cost, Interactions: ints,
+			})
+		}
+	}
+
+	serving, err := servingBenches()
+	if err != nil {
+		return err
+	}
+	report.Benches = append(report.Benches, serving...)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// servingBenches measures the serving hot path exactly like the
+// BenchmarkSessionInteraction bench: one pan event plus re-execution of the
+// bound queries, cold (caches dropped per op) and cached.
+func servingBenches() ([]BenchResult, error) {
+	wl := workload.Explore()
+	edb := dataset.NewDB()
+	ecat := catalog.Build(edb, dataset.Keys())
+	res, err := core.Generate(wl.Queries, edb, ecat, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Interface.VisInts) == 0 {
+		return nil, fmt.Errorf("pi2bench: Explore interface has no visualization interactions")
+	}
+	asts, err := sqlparser.ParseAll(wl.Queries)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &transform.Context{Queries: asts, Cat: ecat}
+	vi := res.Interface.VisInts[0]
+	srcElem := res.Interface.Vis[vi.SourceVis].ElemID
+	kind := string(vi.Kind)
+	viewports := [][]string{
+		{"50", "60", "27", "38"},
+		{"60", "90", "16", "30"},
+	}
+	newSession := func() (*iface.Session, error) { return iface.NewSession(res.Interface, ctx, edb) }
+	interact := func(sess *iface.Session, i int) error {
+		if err := sess.Brush(srcElem, kind, viewports[i%2]...); err != nil {
+			return err
+		}
+		_, err := sess.Results()
+		return err
+	}
+
+	var out []BenchResult
+	var benchErr error
+	for _, cached := range []bool{false, true} {
+		sess, err := newSession()
+		if err != nil {
+			return nil, err
+		}
+		if cached {
+			for i := 0; i < len(wl.Queries); i++ {
+				if err := interact(sess, i); err != nil {
+					return nil, err
+				}
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !cached {
+					sess.ResetCache()
+				}
+				if err := interact(sess, i); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("pi2bench: session bench: %w", benchErr)
+		}
+		name := "SessionInteraction/cold"
+		br := BenchResult{
+			Iterations: r.N, NsPerOp: r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+		}
+		if cached {
+			name = "SessionInteraction/cached"
+			st := sess.Stats()
+			if st.ResultHits+st.ResultMisses > 0 {
+				br.HitRate = float64(st.ResultHits) / float64(st.ResultHits+st.ResultMisses)
+			}
+		}
+		br.Name = name
+		out = append(out, br)
+	}
+	return out, nil
+}

@@ -12,6 +12,12 @@
 //	pi2bench -fig t1 / t2      # visualization / widget catalogs (Tables 1, 2)
 //	pi2bench -fig ablations    # design-choice ablations
 //	pi2bench -fig all          # everything except the full sweep
+//
+// Performance trajectory (machine-readable, see BENCH_*.json in the repo
+// root):
+//
+//	pi2bench -json BENCH_PR3.json                       # run + write report
+//	pi2bench -json - -baseline BENCH_PR3.json           # compare to stdout
 package main
 
 import (
@@ -28,7 +34,17 @@ import (
 func main() {
 	fig := flag.String("fig", "latency", "figure/table to regenerate")
 	full := flag.Bool("full", false, "use the paper's full sweep resolution (slow)")
+	jsonPath := flag.String("json", "", "run the generation + serving benches and write a JSON report to this path ('-' for stdout)")
+	baseline := flag.String("baseline", "", "previous JSON report to embed as the baseline (use with -json)")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runJSON(*jsonPath, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	e := experiment.NewEnv()
 	w := os.Stdout

@@ -1,0 +1,68 @@
+package pi2
+
+import (
+	"bytes"
+	"testing"
+
+	"pi2/internal/dataset"
+	"pi2/internal/iface"
+	"pi2/internal/workload"
+)
+
+// TestSameSeedByteIdenticalInterface: with shared cross-worker caches on
+// (the default) and multiple parallel workers, repeat runs under one seed
+// must produce byte-identical interfaces — rendered text and JSON spec.
+// This is the determinism contract the search-side caches must not break.
+func TestSameSeedByteIdenticalInterface(t *testing.T) {
+	for _, wl := range []workload.Log{workload.Explore(), workload.Connect()} {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			render := func() (string, []byte) {
+				db := dataset.NewDB()
+				gen := NewGenerator(db, dataset.Keys())
+				gen.Config.Search.Workers = 3
+				gen.Config.Search.SyncInterval = 5
+				gen.Config.Search.MaxIterations = 120
+				res, err := gen.Generate(wl.Queries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				js, err := iface.MarshalJSON(res.Interface)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return iface.RenderText(res.Interface), js
+			}
+			text1, js1 := render()
+			text2, js2 := render()
+			if text1 != text2 {
+				t.Errorf("rendered text differs between same-seed runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", text1, text2)
+			}
+			if !bytes.Equal(js1, js2) {
+				t.Errorf("JSON spec differs between same-seed runs")
+			}
+		})
+	}
+}
+
+// TestSharedCacheAblationSameInterface: turning the shared caches off must
+// not change the generated interface, only how often work repeats.
+func TestSharedCacheAblationSameInterface(t *testing.T) {
+	wl := workload.Explore()
+	render := func(shared bool) string {
+		db := dataset.NewDB()
+		gen := NewGenerator(db, dataset.Keys())
+		gen.Config.Search.Workers = 3
+		gen.Config.Search.SyncInterval = 5
+		gen.Config.Search.MaxIterations = 120
+		gen.Config.Search.SharedCaches = shared
+		res, err := gen.Generate(wl.Queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return iface.RenderText(res.Interface)
+	}
+	if on, off := render(true), render(false); on != off {
+		t.Errorf("shared-cache ablation changed the interface:\n--- shared ---\n%s\n--- private ---\n%s", on, off)
+	}
+}

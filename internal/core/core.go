@@ -51,6 +51,17 @@ func Generate(sqls []string, db *engine.DB, cat *catalog.Catalog, cfg Config) (*
 	}
 	ctx := &transform.Context{Queries: queries, Cat: cat}
 
+	// One safety-check execution cache spans the whole run: the MCTS workers
+	// share it (the DB is read-only during generation) and the final mapping
+	// search reuses every result the search already computed.
+	if cfg.Search.MapOpts.CheckSafety && cfg.Search.MapOpts.Exec == nil {
+		exec := mapping.NewExecCache(db)
+		cfg.Search.MapOpts.Exec = exec
+		if cfg.Mapping.Exec == nil {
+			cfg.Mapping.Exec = exec
+		}
+	}
+
 	t0 := time.Now()
 	sr := search.Run(ctx, db, cfg.Search)
 	searchTime := time.Since(t0)

@@ -106,19 +106,36 @@ func (m Model) Fitts(from, to layout.Box) float64 {
 // order, and carries over from the last interaction of the previous query
 // (the paper's w1→w2→w1→w2 example).
 func (m Model) Navigation(ints []Interaction, changed []uint64, boxes map[string]layout.Box) float64 {
-	total := 0.0
-	var prev string
+	return m.NavigationAlong(NavSequence(ints, changed), boxes)
+}
+
+// NavSequence flattens the manipulation sequence into the ordered element
+// visits Navigation moves between, with consecutive repeats collapsed. The
+// sequence depends only on (ints, changed) — not on the layout — so layout
+// optimizers evaluating thousands of direction assignments compute it once
+// and re-cost only the movements.
+func NavSequence(ints []Interaction, changed []uint64) []string {
+	var seq []string
 	for _, idxs := range ManipulatedPerQuery(ints, changed) {
 		for _, ii := range idxs {
 			id := ints[ii].ElemID
-			if prev != "" && prev != id {
-				pb, okP := boxes[prev]
-				tb, okT := boxes[id]
-				if okP && okT {
-					total += m.Fitts(pb, tb)
-				}
+			if n := len(seq); n == 0 || seq[n-1] != id {
+				seq = append(seq, id)
 			}
-			prev = id
+		}
+	}
+	return seq
+}
+
+// NavigationAlong sums Fitts'-law movement costs along a precomputed visit
+// sequence under the given boxes.
+func (m Model) NavigationAlong(seq []string, boxes map[string]layout.Box) float64 {
+	total := 0.0
+	for i := 1; i < len(seq); i++ {
+		pb, okP := boxes[seq[i-1]]
+		tb, okT := boxes[seq[i]]
+		if okP && okT {
+			total += m.Fitts(pb, tb)
 		}
 	}
 	return total

@@ -1,30 +1,64 @@
 package difftree
 
-import "hash/fnv"
+import (
+	"hash/fnv"
+	"sync/atomic"
+)
 
 // Hash returns a structural 64-bit hash of the subtree (kind, label,
 // children), ignoring IDs. Equal trees hash equally; collisions are possible
 // but callers (Partition, sequence alignment) re-verify with Equal.
+//
+// The hash is memoized on each Node: a subtree is walked at most once and
+// later Hash calls on the same node (or on parents built over it) reuse the
+// cached value. The cache relies on the package-wide convention that a node's
+// structure (Kind, Label, Children) is immutable once it has been hashed;
+// the one code path that rewrites children of possibly-hashed nodes in place
+// (transform's cascading PushANY) must call InvalidateHash on every node it
+// revisits. ID changes (Renumber) never affect the hash.
 func Hash(n *Node) uint64 {
+	if n == nil {
+		// stable sentinel for the nil subtree, distinct from any real node
+		return nilNodeHash
+	}
+	if h := atomic.LoadUint64(&n.hc); h != 0 {
+		return h
+	}
 	h := fnv.New64a()
-	hashInto(n, h)
-	return h.Sum64()
+	var buf [8]byte
+	buf[0] = byte(n.Kind)
+	buf[1] = byte(len(n.Label))
+	buf[2] = byte(len(n.Label) >> 8)
+	buf[3] = byte(len(n.Children))
+	buf[4] = byte(len(n.Children) >> 8)
+	h.Write(buf[:5])
+	h.Write([]byte(n.Label))
+	for _, c := range n.Children {
+		ch := Hash(c)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(ch >> (8 * i))
+		}
+		h.Write(buf[:8])
+	}
+	v := h.Sum64()
+	if v == 0 {
+		v = 1 // 0 means "not yet computed" in the cache
+	}
+	// Concurrent hashers of a shared immutable subtree all store the same
+	// value; the atomic keeps that benign under the race detector.
+	atomic.StoreUint64(&n.hc, v)
+	return v
 }
 
-type hasher interface{ Write(p []byte) (int, error) }
+// nilNodeHash is fnv64a("<nil difftree>"), fixed so nil hashes are stable.
+var nilNodeHash = HashKey("<nil difftree>")
 
-func hashInto(n *Node, h hasher) {
-	if n == nil {
-		h.Write([]byte{0xff})
-		return
-	}
-	h.Write([]byte{byte(n.Kind)})
-	h.Write([]byte(n.Label))
-	h.Write([]byte{0x1f})
-	for _, c := range n.Children {
-		hashInto(c, h)
-	}
-	h.Write([]byte{0x1e})
+// InvalidateHash drops the node's cached structural hash. Code that mutates
+// a node's Kind, Label or Children after the node may already have been
+// hashed must call this on the mutated node (ancestors are the caller's
+// responsibility: invalidate bottom-up or only mutate fresh ancestors).
+func (n *Node) InvalidateHash() {
+	atomic.StoreUint64(&n.hc, 0)
 }
 
 // HashKey returns a 64-bit hash of a canonical key string — in particular

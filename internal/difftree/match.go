@@ -11,6 +11,10 @@ func Match(pattern, query *Node) (Binding, bool) {
 	return matchNode(pattern, query)
 }
 
+// merge copies both bindings into a fresh map. It is required where a source
+// binding outlives the call and may be extended along several backtracking
+// branches (matchSubset's accumulator); everywhere else the cheaper in-place
+// put suffices.
 func merge(dst, src Binding) Binding {
 	out := make(Binding, len(dst)+len(src))
 	for k, v := range dst {
@@ -22,6 +26,16 @@ func merge(dst, src Binding) Binding {
 	return out
 }
 
+// put moves src's entries into dst in place and returns dst. Only valid when
+// dst is freshly built and uniquely owned by the caller (every binding
+// returned by matchNode/matchSeq is); src is not retained.
+func put(dst, src Binding) Binding {
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
 func matchNode(p, q *Node) (Binding, bool) {
 	if p == nil || q == nil {
 		return nil, false
@@ -30,7 +44,7 @@ func matchNode(p, q *Node) (Binding, bool) {
 	case KindAny:
 		for i, c := range p.Children {
 			if b, ok := matchNode(c, q); ok {
-				b = merge(b, Binding{p.ID: BindValue{Index: i}})
+				b[p.ID] = BindValue{Index: i}
 				return b, true
 			}
 		}
@@ -40,7 +54,8 @@ func matchNode(p, q *Node) (Binding, bool) {
 			return Binding{p.ID: BindValue{Present: false}}, true
 		}
 		if b, ok := matchNode(p.Children[0], q); ok {
-			return merge(b, Binding{p.ID: BindValue{Present: true}}), true
+			b[p.ID] = BindValue{Present: true}
+			return b, true
 		}
 		return nil, false
 	case KindVal:
@@ -84,7 +99,7 @@ func matchNode(p, q *Node) (Binding, bool) {
 		if !ok {
 			return nil, false
 		}
-		b = merge(b, cb)
+		b = put(b, cb)
 	}
 	return b, true
 }
@@ -122,7 +137,8 @@ func matchSeq(pats, qs []*Node) (Binding, bool) {
 			if !match {
 				continue
 			}
-			return merge(rest, Binding{p.ID: BindValue{Reps: reps}}), true
+			rest[p.ID] = BindValue{Reps: reps}
+			return rest, true
 		}
 		return nil, false
 	case KindSubset:
@@ -132,14 +148,16 @@ func matchSeq(pats, qs []*Node) (Binding, bool) {
 		if len(qs) > 0 {
 			if cb, ok := matchNode(p.Children[0], qs[0]); ok {
 				if rest, ok2 := matchSeq(pats[1:], qs[1:]); ok2 {
-					b := merge(cb, rest)
-					return merge(b, Binding{p.ID: BindValue{Present: true}}), true
+					b := put(cb, rest)
+					b[p.ID] = BindValue{Present: true}
+					return b, true
 				}
 			}
 		}
 		// Absent: consume nothing.
 		if rest, ok := matchSeq(pats[1:], qs); ok {
-			return merge(rest, Binding{p.ID: BindValue{Present: false}}), true
+			rest[p.ID] = BindValue{Present: false}
+			return rest, true
 		}
 		return nil, false
 	default:
@@ -155,7 +173,7 @@ func matchSeq(pats, qs []*Node) (Binding, bool) {
 		if !ok {
 			return nil, false
 		}
-		return merge(cb, rest), true
+		return put(cb, rest), true
 	}
 }
 
@@ -177,14 +195,16 @@ func matchSubset(sub *Node, restPats, qs []*Node) (Binding, bool) {
 			}
 		}
 		// Stop: the rest of the sequence must be matched by the remaining
-		// patterns.
+		// patterns. rest is fresh, so it can absorb acc in place; acc itself
+		// must stay untouched — the parent frame's loop may still extend it.
 		rest, ok := matchSeq(restPats, qs[qi:])
 		if !ok {
 			return nil, false
 		}
-		b := merge(acc, rest)
+		b := put(rest, acc)
 		idx := append([]int(nil), chosen...)
-		return merge(b, Binding{sub.ID: BindValue{Indices: idx}}), true
+		b[sub.ID] = BindValue{Indices: idx}
+		return b, true
 	}
 	return rec(0, 0, nil, Binding{})
 }

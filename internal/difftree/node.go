@@ -8,7 +8,10 @@
 // text), and Children the sub-productions.
 package difftree
 
-import "strings"
+import (
+	"strings"
+	"sync/atomic"
+)
 
 // Kind identifies the grammar production rule a node corresponds to.
 type Kind uint8
@@ -117,6 +120,10 @@ type Node struct {
 	// Choice-node IDs key Binding maps; IDs are reassigned after every
 	// transformation.
 	ID int
+
+	// hc memoizes the structural hash (see Hash); 0 means "not computed".
+	// Accessed atomically so read-only trees may be hashed concurrently.
+	hc uint64
 }
 
 // New constructs a node.
@@ -136,12 +143,15 @@ func Number(text string) *Node { return &Node{Kind: KindNumber, Label: text} }
 // Str returns a string literal leaf.
 func Str(text string) *Node { return &Node{Kind: KindString, Label: text} }
 
-// Clone returns a deep copy of the subtree rooted at n, preserving IDs.
+// Clone returns a deep copy of the subtree rooted at n, preserving IDs. Any
+// memoized structural hashes carry over (the copy is structurally identical);
+// callers that mutate the copy in place must invalidate the mutated nodes
+// and their ancestors (see InvalidateHash).
 func (n *Node) Clone() *Node {
 	if n == nil {
 		return nil
 	}
-	c := &Node{Kind: n.Kind, Label: n.Label, ID: n.ID}
+	c := &Node{Kind: n.Kind, Label: n.Label, ID: n.ID, hc: atomic.LoadUint64(&n.hc)}
 	if len(n.Children) > 0 {
 		c.Children = make([]*Node, len(n.Children))
 		for i, ch := range n.Children {

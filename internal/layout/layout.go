@@ -46,17 +46,46 @@ const gap = 8 // pixels between siblings
 // assignment. It returns the root bounding box and fills boxes (keyed by
 // leaf ID; internal nodes are anonymous).
 func (n *Node) Arrange(x, y float64, boxes map[string]Box) Box {
+	b, _ := n.arrange(x, y, boxes)
+	return b
+}
+
+// arrange is Arrange plus an incremental exact-extent computation: named
+// reports whether the subtree recorded at least one named leaf box, in which
+// case the returned box is the bounding box over exactly those leaves (what
+// a full descendant walk would recompute — done in one pass here instead of
+// once per internal node).
+func (n *Node) arrange(x, y float64, boxes map[string]Box) (Box, bool) {
 	if len(n.Children) == 0 && n.Header == nil {
 		b := Box{X: x, Y: y, W: n.W, H: n.H}
 		if n.ID != "" {
 			boxes[n.ID] = b
+			return b, true
 		}
-		return b
+		return b, false
 	}
 	cx, cy := x, y
 	total := Box{X: x, Y: y}
+	var ext Box
+	named := false
+	acc := func(b Box, ok bool) {
+		if !ok {
+			return
+		}
+		if !named {
+			ext, named = b, true
+			return
+		}
+		x2 := math.Max(ext.X+ext.W, b.X+b.W)
+		y2 := math.Max(ext.Y+ext.H, b.Y+b.H)
+		ext.X = math.Min(ext.X, b.X)
+		ext.Y = math.Min(ext.Y, b.Y)
+		ext.W = x2 - ext.X
+		ext.H = y2 - ext.Y
+	}
 	if n.Header != nil {
-		hb := n.Header.Arrange(x, y, boxes)
+		hb, hn := n.Header.arrange(x, y, boxes)
+		acc(hb, hn)
 		cy = y + hb.H + gap
 		total.W = hb.W
 		total.H = hb.H + gap
@@ -64,8 +93,9 @@ func (n *Node) Arrange(x, y float64, boxes map[string]Box) Box {
 	maxW, maxH := 0.0, 0.0
 	for i, c := range n.Children {
 		var b Box
+		var bn bool
 		if n.Dir == Horiz {
-			b = c.Arrange(cx, cy, boxes)
+			b, bn = c.arrange(cx, cy, boxes)
 			cx += b.W
 			if i < len(n.Children)-1 {
 				cx += gap
@@ -74,7 +104,7 @@ func (n *Node) Arrange(x, y float64, boxes map[string]Box) Box {
 				maxH = b.H
 			}
 		} else {
-			b = c.Arrange(cx, cy, boxes)
+			b, bn = c.arrange(cx, cy, boxes)
 			cy += b.H
 			if i < len(n.Children)-1 {
 				cy += gap
@@ -83,6 +113,7 @@ func (n *Node) Arrange(x, y float64, boxes map[string]Box) Box {
 				maxW = b.W
 			}
 		}
+		acc(b, bn)
 	}
 	if n.Dir == Horiz {
 		total.W = math.Max(total.W, cx-x)
@@ -91,39 +122,12 @@ func (n *Node) Arrange(x, y float64, boxes map[string]Box) Box {
 		total.W = math.Max(math.Max(total.W, maxW), 0)
 		total.H = cy - y
 	}
-	// recompute exact extent from descendants for robustness
-	ext := extent(n, boxes)
-	if ext.W > 0 || ext.H > 0 {
-		total = ext
+	// the exact extent over named descendants wins when it is non-degenerate
+	// (mirroring the previous recomputation-from-boxes behavior)
+	if named && (ext.W > 0 || ext.H > 0) {
+		return ext, true
 	}
-	return total
-}
-
-func extent(n *Node, boxes map[string]Box) Box {
-	minX, minY := math.Inf(1), math.Inf(1)
-	maxX, maxY := math.Inf(-1), math.Inf(-1)
-	var walk func(m *Node)
-	walk = func(m *Node) {
-		if m.ID != "" {
-			if b, ok := boxes[m.ID]; ok {
-				minX = math.Min(minX, b.X)
-				minY = math.Min(minY, b.Y)
-				maxX = math.Max(maxX, b.X+b.W)
-				maxY = math.Max(maxY, b.Y+b.H)
-			}
-		}
-		if m.Header != nil {
-			walk(m.Header)
-		}
-		for _, c := range m.Children {
-			walk(c)
-		}
-	}
-	walk(n)
-	if math.IsInf(minX, 1) {
-		return Box{}
-	}
-	return Box{X: minX, Y: minY, W: maxX - minX, H: maxY - minY}
+	return total, named
 }
 
 // internalNodes collects the internal nodes (direction slots) in DFS order.
@@ -166,15 +170,18 @@ func Optimize(root *Node, cost func(boxes map[string]Box, total Box) float64) (m
 	best := math.Inf(1)
 	var bestDirs []Dir
 	dirs := make([]Dir, len(slots))
+	// One scratch box map serves the whole 2^k enumeration; only the final
+	// winning arrangement below allocates the map the caller keeps.
+	scratch := map[string]Box{}
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(slots) {
 			for j, s := range slots {
 				s.Dir = dirs[j]
 			}
-			boxes := map[string]Box{}
-			total := root.Arrange(0, 0, boxes)
-			c := cost(boxes, total)
+			clear(scratch)
+			total := root.Arrange(0, 0, scratch)
+			c := cost(scratch, total)
 			if c < best {
 				best = c
 				bestDirs = append([]Dir(nil), dirs...)

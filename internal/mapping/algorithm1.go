@@ -22,7 +22,9 @@ type Options struct {
 	MaxVisPerTree int  // cap on per-tree visualization candidates
 	Model         cost.Model
 	// Exec, when non-nil, memoizes safety-check query execution across
-	// calls (one cache per MCTS worker); nil builds a fresh cache per call.
+	// calls. The cache is concurrency-safe, so one instance is shared by
+	// all MCTS workers and the final mapping search of a generation run;
+	// nil builds a fresh cache per call.
 	Exec *ExecCache
 }
 

@@ -171,6 +171,9 @@ func costInteractions(sa *StateAnalysis, ifc *iface.Interface) []cost.Interactio
 func finishLayout(sa *StateAnalysis, ifc *iface.Interface, model cost.Model, random bool, rng *rand.Rand) {
 	ints := costInteractions(sa, ifc)
 	ifc.Cm = model.Manipulation(ints, sa.Changed)
+	// The visit sequence is layout-independent; compute it once instead of
+	// once per direction assignment inside the optimizer.
+	seq := cost.NavSequence(ints, sa.Changed)
 	vBase := 0.0
 	for _, v := range ifc.Vis {
 		vBase += visRenderCost(v.Mapping, sa.PerTree[v.Tree].RS)
@@ -185,11 +188,11 @@ func finishLayout(sa *StateAnalysis, ifc *iface.Interface, model cost.Model, ran
 		})
 		ifc.Boxes = map[string]layout.Box{}
 		ifc.TotalBox = ifc.LayoutTree.Arrange(0, 0, ifc.Boxes)
-		ifc.Cost = ifc.Cm + vBase + model.Navigation(ints, sa.Changed, ifc.Boxes) + model.LayoutPenalty(ifc.TotalBox)
+		ifc.Cost = ifc.Cm + vBase + model.NavigationAlong(seq, ifc.Boxes) + model.LayoutPenalty(ifc.TotalBox)
 		return
 	}
 	boxes, total, nav := layout.Optimize(ifc.LayoutTree, func(b map[string]layout.Box, t layout.Box) float64 {
-		return model.Navigation(ints, sa.Changed, b) + model.LayoutPenalty(t)
+		return model.NavigationAlong(seq, b) + model.LayoutPenalty(t)
 	})
 	ifc.Boxes = boxes
 	ifc.TotalBox = total

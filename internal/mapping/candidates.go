@@ -8,12 +8,14 @@ package mapping
 import (
 	"fmt"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"pi2/internal/cost"
 	dt "pi2/internal/difftree"
 	"pi2/internal/engine"
 	"pi2/internal/schema"
-	"pi2/internal/sqlparser"
 	"pi2/internal/transform"
 	"pi2/internal/vis"
 	"pi2/internal/widget"
@@ -27,29 +29,47 @@ type TreeAnalysis struct {
 	RS       *schema.ResultSchema
 	VisCands []vis.Mapping
 	Choice   []*dt.Node // choice nodes in DFS order
+	Dynamic  []*dt.Node // dynamic nodes in DFS order (precomputed walk)
 }
 
 // StateAnalysis bundles the full state analysis: per-tree results, the
 // global bit index over choice nodes, and the per-query changed-bit masks
 // the cost model consumes.
+//
+// A StateAnalysis additionally memoizes work that repeats across the many
+// Greedy/Random/Best mapping evaluations of one state: safety-check query
+// executions per (tree, query) and safety verdicts per candidate. It is not
+// safe for concurrent use; in the search every state is analyzed by exactly
+// one goroutine (the shared reward cache's single-flight guarantees it).
 type StateAnalysis struct {
 	State   *transform.State
 	Ctx     *transform.Context
 	PerTree []*TreeAnalysis
 	NBits   int
 	Changed []uint64 // per input query, global bits whose binding changed
+
+	bitIndex  map[bitKey]int     // (tree, nodeID) -> global bit
+	execMemo  [][]*execEntry     // [tree][query position], lazily filled
+	safeMemo  map[safeKey]bool   // safety verdicts, V-independent
+	icandMemo map[string][]ICand // per-source-chart candidates, see below
+}
+
+type bitKey struct{ tree, nodeID int }
+
+// safeKey identifies a safety check. The verdict depends only on the source
+// tree's query results and the target node's required values — not on the
+// V assignment — so one verdict serves every assignment that enumerates the
+// same (source, stream, columns, target) candidate.
+type safeKey struct {
+	src, target, nodeID int
+	stream              string
+	cols                string
 }
 
 // Bit returns the global bit of a choice node, or -1.
 func (sa *StateAnalysis) Bit(tree, nodeID int) int {
-	b := 0
-	for ti, ta := range sa.PerTree {
-		for _, c := range ta.Choice {
-			if ti == tree && c.ID == nodeID {
-				return b
-			}
-			b++
-		}
+	if b, ok := sa.bitIndex[bitKey{tree, nodeID}]; ok {
+		return b
 	}
 	return -1
 }
@@ -79,7 +99,11 @@ func (sa *StateAnalysis) AllMask() uint64 {
 // longer expresses its queries, its result schema is undefined, or the
 // choice-node count exceeds the 64-bit cover budget.
 func Analyze(state *transform.State, ctx *transform.Context) (*StateAnalysis, error) {
-	sa := &StateAnalysis{State: state, Ctx: ctx}
+	sa := &StateAnalysis{
+		State: state, Ctx: ctx,
+		safeMemo:  map[safeKey]bool{},
+		icandMemo: map[string][]ICand{},
+	}
 	total := 0
 	for ti, tree := range state.Trees {
 		qb, ok := tree.Bind(ctx)
@@ -99,6 +123,15 @@ func Analyze(state *transform.State, ctx *transform.Context) (*StateAnalysis, er
 			VisCands: vis.CandidateMappings(info.Result),
 			Choice:   tree.Root.ChoiceNodes(),
 		}
+		// One walk up front: candidate enumeration consults the dynamic-node
+		// list once per (stream, column, tree) combination, far too often to
+		// re-walk the tree each time.
+		ta.Tree.Root.Walk(func(n *dt.Node) bool {
+			if ta.Info.Dynamic[n] {
+				ta.Dynamic = append(ta.Dynamic, n)
+			}
+			return true
+		})
 		total += len(ta.Choice)
 		sa.PerTree = append(sa.PerTree, ta)
 	}
@@ -106,6 +139,15 @@ func Analyze(state *transform.State, ctx *transform.Context) (*StateAnalysis, er
 		return nil, fmt.Errorf("mapping: %d choice nodes exceed the 64-bit cover budget", total)
 	}
 	sa.NBits = total
+	sa.bitIndex = make(map[bitKey]int, total)
+	b := 0
+	for ti, ta := range sa.PerTree {
+		for _, c := range ta.Choice {
+			sa.bitIndex[bitKey{ti, c.ID}] = b
+			b++
+		}
+	}
+	sa.execMemo = make([][]*execEntry, len(sa.PerTree))
 	sa.computeChanged()
 	return sa, nil
 }
@@ -188,16 +230,7 @@ func (sa *StateAnalysis) WidgetCandidates() []WCand {
 	return out
 }
 
-func dynamicNodes(ta *TreeAnalysis) []*dt.Node {
-	var out []*dt.Node
-	ta.Tree.Root.Walk(func(n *dt.Node) bool {
-		if ta.Info.Dynamic[n] {
-			out = append(out, n)
-		}
-		return true
-	})
-	return out
-}
+func dynamicNodes(ta *TreeAnalysis) []*dt.Node { return ta.Dynamic }
 
 // ICand is a visualization-interaction candidate: an event stream of a
 // chart (rendering SourceTree under Mapping) bound to a dynamic node of
@@ -219,30 +252,64 @@ type ICand struct {
 // interactionCandidates enumerates the vis-interaction candidates for one V
 // assignment (one vis.Mapping per tree). exec caches query execution for
 // safety checks; nil disables safety (the §7.3 ablation).
+//
+// The candidates of one source chart depend only on that chart's own
+// mapping (its type and column assignment), never on the other trees'
+// assignments, so per-source lists are memoized across the many V
+// assignments Greedy, Random and Best enumerate over one state.
 func (sa *StateAnalysis) interactionCandidates(V []vis.Mapping, exec *ExecCache) []ICand {
 	var out []ICand
-	for srcIdx, m := range V {
-		srcTA := sa.PerTree[srcIdx]
-		for _, tpl := range vis.InteractionsFor(m.Vis.Type) {
-			for _, stream := range tpl.Streams {
-				for _, cols := range streamColumns(stream, m, srcTA.RS) {
-					for ti, ta := range sa.PerTree {
-						for _, n := range dynamicNodes(ta) {
-							cand, ok := sa.matchStream(srcIdx, srcTA, tpl.Kind, stream, cols, ti, ta, n)
-							if !ok {
-								continue
-							}
-							if exec != nil && !sa.safe(cand, V, exec) {
-								continue
-							}
-							out = append(out, cand)
+	for srcIdx := range V {
+		out = append(out, sa.sourceCandidates(srcIdx, &V[srcIdx], exec)...)
+	}
+	return out
+}
+
+// sourceCandidates returns the interaction candidates of one source chart
+// under one mapping, memoized by (source tree, mapping signature, safety).
+func (sa *StateAnalysis) sourceCandidates(srcIdx int, m *vis.Mapping, exec *ExecCache) []ICand {
+	key := sourceCandKey(srcIdx, m, exec != nil)
+	if cands, ok := sa.icandMemo[key]; ok {
+		return cands
+	}
+	// cands stays nil (not an empty slice) when nothing matches, so the
+	// memo still records the miss.
+	var cands []ICand
+	srcTA := sa.PerTree[srcIdx]
+	for _, tpl := range vis.InteractionsFor(m.Vis.Type) {
+		for _, stream := range tpl.Streams {
+			for _, cols := range streamColumns(stream, *m, srcTA.RS) {
+				for ti, ta := range sa.PerTree {
+					for _, n := range dynamicNodes(ta) {
+						cand, ok := sa.matchStream(srcIdx, srcTA, tpl.Kind, stream, cols, ti, ta, n)
+						if !ok {
+							continue
 						}
+						if exec != nil && !sa.safe(cand, exec) {
+							continue
+						}
+						cands = append(cands, cand)
 					}
 				}
 			}
 		}
 	}
-	return out
+	sa.icandMemo[key] = cands
+	return cands
+}
+
+// sourceCandKey renders the memo key: source index, visualization type and
+// the column assignment in schema-variable order (deterministic without
+// sorting), plus whether safety filtering applies.
+func sourceCandKey(srcIdx int, m *vis.Mapping, safety bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d|%v", srcIdx, m.Vis.Type, safety)
+	for _, v := range m.Vis.Vars {
+		if c, ok := m.Assign[v.Name]; ok {
+			fmt.Fprintf(&b, "|%s=%d", v.Name, c)
+		}
+	}
+	return b.String()
 }
 
 // streamColumns resolves a stream's visual variables to result columns of
@@ -375,46 +442,187 @@ func typesAgree(node, col schema.Type) bool {
 	return false
 }
 
-// ExecCache memoizes query execution during safety checking.
+// ExecCache memoizes query execution during safety checking. It is safe for
+// concurrent use: during MCTS the database is read-only, so one cache is
+// shared by every search worker (and by the final mapping search), and a
+// query executes exactly once no matter how many workers reach it.
+//
+// Queries run compiled: each distinct resolved AST is Prepared once into an
+// engine.Plan (keyed by difftree.Hash of the AST, mixed with the DB
+// generation so a mutated database cannot serve stale plans or results) and
+// executed via Plan.Exec. Errors are memoized too — a failing safety query
+// is not re-executed per candidate.
 type ExecCache struct {
-	DB    *engine.DB
-	cache map[string]*engine.Table
-	Execs int // cache misses (actual executions), for the §7.3 ablation
+	DB     *engine.DB
+	shards [execShards]execShard
+	execs  atomic.Int64
+}
+
+const execShards = 16
+
+type execShard struct {
+	mu      sync.Mutex
+	entries map[uint64]*execEntry
+}
+
+// execEntry is the single-flight compute slot for one resolved query, plus
+// lazily-built per-column indexes the safety check consumes.
+type execEntry struct {
+	once  sync.Once
+	plan  *engine.Plan // compiled form, kept so Run never re-prepares
+	table *engine.Table
+	err   error
+
+	mu   sync.Mutex
+	sets []map[string]bool // per column: distinct rendered values
+	exts []*colExtentCache // per column: [min, max] extent
+}
+
+type colExtentCache struct {
+	lo, hi engine.Value
+	ok     bool
 }
 
 // NewExecCache returns a cache over the database.
 func NewExecCache(db *engine.DB) *ExecCache {
-	return &ExecCache{DB: db, cache: map[string]*engine.Table{}}
+	ec := &ExecCache{DB: db}
+	for i := range ec.shards {
+		ec.shards[i].entries = map[uint64]*execEntry{}
+	}
+	return ec
 }
+
+// Execs returns the number of actual query executions (cache misses), for
+// the §7.3 ablation.
+func (ec *ExecCache) Execs() int { return int(ec.execs.Load()) }
 
 // Run resolves and executes a Difftree under one binding.
 func (ec *ExecCache) Run(root *dt.Node, b dt.Binding) (*engine.Table, error) {
+	e, err := ec.entry(root, b)
+	if err != nil {
+		return nil, err
+	}
+	return e.table, e.err
+}
+
+// entry resolves the tree, keys the result by structural hash and computes
+// it at most once across all goroutines.
+func (ec *ExecCache) entry(root *dt.Node, b dt.Binding) (*execEntry, error) {
 	ast, err := dt.Resolve(root, b)
 	if err != nil {
 		return nil, err
 	}
-	sql := sqlparser.ToSQL(ast)
-	if t, ok := ec.cache[sql]; ok {
-		return t, nil
+	// Mix the DB generation into the key: entries from before a mutation
+	// become unreachable rather than stale. (Collisions on the 64-bit key
+	// are tolerated, as everywhere difftree.Hash is used for identity.)
+	key := dt.Hash(ast) ^ (ec.DB.Generation() * 0x9e3779b97f4a7c15)
+	sh := &ec.shards[key%execShards]
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if !ok {
+		e = &execEntry{}
+		sh.entries[key] = e
 	}
-	t, err := engine.Exec(ec.DB, ast)
+	sh.mu.Unlock()
+	e.once.Do(func() {
+		e.plan, e.err = engine.Prepare(ec.DB, ast)
+		if e.err != nil {
+			return
+		}
+		ec.execs.Add(1)
+		e.table, e.err = e.plan.Exec()
+	})
+	return e, nil
+}
+
+// colSet returns the distinct rendered values of one result column, built
+// once per (query result, column) instead of once per candidate check.
+func (e *execEntry) colSet(col int) map[string]bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.sets) <= col {
+		e.sets = append(e.sets, nil)
+	}
+	if e.sets[col] == nil {
+		have := make(map[string]bool, len(e.table.Rows))
+		for _, row := range e.table.Rows {
+			have[row[col].Text()] = true
+		}
+		e.sets[col] = have
+	}
+	return e.sets[col]
+}
+
+// colExtent returns the [min, max] extent of one result column, memoized.
+func (e *execEntry) colExtent(col int) (engine.Value, engine.Value, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.exts) <= col {
+		e.exts = append(e.exts, nil)
+	}
+	if e.exts[col] == nil {
+		c := &colExtentCache{}
+		if len(e.table.Rows) > 0 {
+			c.lo, c.hi, c.ok = e.table.Rows[0][col], e.table.Rows[0][col], true
+			for _, row := range e.table.Rows[1:] {
+				v := row[col]
+				if engine.Compare(v, c.lo) < 0 {
+					c.lo = v
+				}
+				if engine.Compare(v, c.hi) > 0 {
+					c.hi = v
+				}
+			}
+		}
+		e.exts[col] = c
+	}
+	c := e.exts[col]
+	return c.lo, c.hi, c.ok
+}
+
+// execFor memoizes the safety-check execution of one source tree under one
+// query's binding for the lifetime of this analysis, so Resolve runs once
+// per (tree, query) rather than once per candidate check.
+func (sa *StateAnalysis) execFor(tree, qi int, exec *ExecCache) *execEntry {
+	if sa.execMemo[tree] == nil {
+		sa.execMemo[tree] = make([]*execEntry, len(sa.PerTree[tree].Tree.Queries))
+	}
+	if e := sa.execMemo[tree][qi]; e != nil {
+		return e
+	}
+	ta := sa.PerTree[tree]
+	e, err := exec.entry(ta.Tree.Root, ta.QB.PerQuery[qi])
 	if err != nil {
-		return nil, err
+		e = &execEntry{err: err}
 	}
-	ec.Execs++
-	ec.cache[sql] = t
-	return t, nil
+	sa.execMemo[tree][qi] = e
+	return e
 }
 
 // safe implements the §4.2.2 safety heuristic: instantiate the source chart
 // with each input query's result and check whether some single query's
-// result can express every query binding of the target node.
-func (sa *StateAnalysis) safe(c ICand, V []vis.Mapping, exec *ExecCache) bool {
+// result can express every query binding of the target node. Verdicts are
+// memoized per candidate — they do not depend on the V assignment, so one
+// check serves every assignment enumerating the same candidate.
+func (sa *StateAnalysis) safe(c ICand, exec *ExecCache) bool {
 	if c.Stream.Unbounded {
 		// pan/zoom move the viewport itself; they can express any range
 		// regardless of the rendered extent.
 		return true
 	}
+	key := safeKey{
+		src: c.SourceVis, target: c.TargetTree, nodeID: c.Node.ID,
+		stream: c.Stream.Name, cols: colsKey(c.Cols),
+	}
+	if v, ok := sa.safeMemo[key]; ok {
+		return v
+	}
+	v := sa.safeUncached(c, exec)
+	sa.safeMemo[key] = v
+	return v
+}
+
+func (sa *StateAnalysis) safeUncached(c ICand, exec *ExecCache) bool {
 	srcTA := sa.PerTree[c.SourceVis]
 	required := sa.requiredValues(c)
 	if required == nil {
@@ -424,11 +632,11 @@ func (sa *StateAnalysis) safe(c ICand, V []vis.Mapping, exec *ExecCache) bool {
 		return true // nothing to express (e.g. all bindings absent)
 	}
 	for qi := range srcTA.Tree.Queries {
-		res, err := exec.Run(srcTA.Tree.Root, srcTA.QB.PerQuery[qi])
-		if err != nil {
+		e := sa.execFor(c.SourceVis, qi, exec)
+		if e.err != nil {
 			continue
 		}
-		if sa.resultExpresses(c, res, required) {
+		if sa.resultExpresses(c, e, required) {
 			return true
 		}
 	}
@@ -504,18 +712,17 @@ func rangeValIDs(n *dt.Node) []int {
 	return out
 }
 
-// resultExpresses checks one rendered result against the requirements.
-func (sa *StateAnalysis) resultExpresses(c ICand, res *engine.Table, required []requirement) bool {
+// resultExpresses checks one rendered result against the requirements,
+// using the entry's memoized per-column value sets and extents.
+func (sa *StateAnalysis) resultExpresses(c ICand, e *execEntry, required []requirement) bool {
+	res := e.table
 	switch c.Stream.Shape {
 	case vis.ShapeValue, vis.ShapeSet:
 		col := c.Cols[0]
 		if col >= len(res.Cols) {
 			return false
 		}
-		have := map[string]bool{}
-		for _, row := range res.Rows {
-			have[row[col].Text()] = true
-		}
+		have := e.colSet(col)
 		for _, req := range required {
 			if !valuePresent(have, req[0]) {
 				return false
@@ -529,7 +736,7 @@ func (sa *StateAnalysis) resultExpresses(c ICand, res *engine.Table, required []
 			if col >= len(res.Cols) {
 				return false
 			}
-			lo, hi, ok := columnExtent(res, col)
+			lo, hi, ok := e.colExtent(col)
 			if !ok {
 				return false
 			}
@@ -553,23 +760,6 @@ func valuePresent(have map[string]bool, lit string) bool {
 		return have[strconv.FormatFloat(f, 'g', -1, 64)]
 	}
 	return false
-}
-
-func columnExtent(res *engine.Table, col int) (engine.Value, engine.Value, bool) {
-	if len(res.Rows) == 0 {
-		return engine.Value{}, engine.Value{}, false
-	}
-	lo, hi := res.Rows[0][col], res.Rows[0][col]
-	for _, row := range res.Rows[1:] {
-		v := row[col]
-		if engine.Compare(v, lo) < 0 {
-			lo = v
-		}
-		if engine.Compare(v, hi) > 0 {
-			hi = v
-		}
-	}
-	return lo, hi, true
 }
 
 func withinExtent(lit string, lo, hi engine.Value) bool {

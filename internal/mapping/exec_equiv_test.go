@@ -1,0 +1,185 @@
+package mapping
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	dt "pi2/internal/difftree"
+	"pi2/internal/engine"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+	"pi2/internal/workload"
+)
+
+// TestPlannedSafetyExecutionMatchesInterpreter is the golden equivalence
+// proof for the compiled safety-check path: for every candidate query of
+// every built-in workload log, executing the Difftree under each query's
+// binding through the ExecCache (Prepare/Plan.Exec, memoized) must produce
+// the exact table the interpreted engine.Exec produces on the resolved AST.
+func TestPlannedSafetyExecutionMatchesInterpreter(t *testing.T) {
+	for _, log := range workload.All() {
+		log := log
+		t.Run(log.Name, func(t *testing.T) {
+			qs, err := sqlparser.ParseAll(log.Queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := &transform.Context{Queries: qs, Cat: testCat}
+			for _, clustered := range []bool{false, true} {
+				exec := NewExecCache(testDB)
+				s := transform.InitState(ctx, clustered)
+				for ti, tree := range s.Trees {
+					qb, ok := tree.Bind(ctx)
+					if !ok {
+						t.Fatalf("tree %d does not bind", ti)
+					}
+					for qi := range tree.Queries {
+						b := qb.PerQuery[qi]
+						ast, err := dt.Resolve(tree.Root, b)
+						if err != nil {
+							t.Fatalf("tree %d query %d: resolve: %v", ti, qi, err)
+						}
+						want, wantErr := engine.Exec(testDB, ast)
+						got, gotErr := exec.Run(tree.Root, b)
+						if (wantErr == nil) != (gotErr == nil) {
+							t.Fatalf("tree %d query %d: interpreted err=%v planned err=%v", ti, qi, wantErr, gotErr)
+						}
+						if wantErr != nil {
+							continue
+						}
+						if !reflect.DeepEqual(want, got) {
+							t.Fatalf("tree %d query %d (clustered=%v):\ninterpreted:\n%s\nplanned:\n%s",
+								ti, qi, clustered, want, got)
+						}
+						// a second Run must serve the identical cached table
+						again, err := exec.Run(tree.Root, b)
+						if err != nil || again != got {
+							t.Fatalf("tree %d query %d: cache did not serve the same table (err=%v)", ti, qi, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExecCacheSingleFlight: concurrent Runs of the same query execute it
+// exactly once and all callers observe the same result table.
+func TestExecCacheSingleFlight(t *testing.T) {
+	ctx := ctxFor(t, "SELECT hp, mpg FROM Cars WHERE hp BETWEEN 50 AND 60")
+	s := transform.InitState(ctx, false)
+	tree := s.Trees[0]
+	qb, ok := tree.Bind(ctx)
+	if !ok {
+		t.Fatal("bind failed")
+	}
+	exec := NewExecCache(testDB)
+	const goroutines = 16
+	tables := make([]*engine.Table, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tbl, err := exec.Run(tree.Root, qb.PerQuery[0])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tables[g] = tbl
+		}(g)
+	}
+	wg.Wait()
+	if got := exec.Execs(); got != 1 {
+		t.Fatalf("Execs() = %d, want exactly 1", got)
+	}
+	for g := 1; g < goroutines; g++ {
+		if tables[g] != tables[0] {
+			t.Fatal("goroutines observed different table instances")
+		}
+	}
+}
+
+// TestExecCacheMemoizesErrors: a failing query is executed once and its
+// error is served from cache afterwards.
+func TestExecCacheMemoizesErrors(t *testing.T) {
+	qs, err := sqlparser.ParseAll([]string{"SELECT nosuchcol FROM Cars"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &transform.Context{Queries: qs, Cat: testCat}
+	s := transform.InitState(ctx, false)
+	tree := s.Trees[0]
+	qb, ok := tree.Bind(ctx)
+	if !ok {
+		t.Fatal("bind failed")
+	}
+	exec := NewExecCache(testDB)
+	_, err1 := exec.Run(tree.Root, qb.PerQuery[0])
+	_, err2 := exec.Run(tree.Root, qb.PerQuery[0])
+	if err1 == nil || err2 == nil {
+		t.Fatal("expected execution errors for unknown column")
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("errors differ: %v vs %v", err1, err2)
+	}
+}
+
+// TestExecCacheInvalidatesOnDBMutation: results cached before a database
+// mutation must not be served afterwards.
+func TestExecCacheInvalidatesOnDBMutation(t *testing.T) {
+	db := engine.NewDB("2020-01-01")
+	db.Add(&engine.Table{
+		Name:  "kv",
+		Cols:  []string{"k"},
+		Types: []engine.ColType{engine.TNum},
+		Rows:  [][]engine.Value{{engine.NumVal(1)}},
+	})
+	qs, err := sqlparser.ParseAll([]string{"SELECT k FROM kv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := qs[0].Clone()
+	root.Renumber()
+	exec := NewExecCache(db)
+	before, err := exec.Run(root, dt.Binding{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(before.Rows))
+	}
+	// mutate: the table grows a row, bumping the DB generation
+	db.Add(&engine.Table{
+		Name:  "kv",
+		Cols:  []string{"k"},
+		Types: []engine.ColType{engine.TNum},
+		Rows:  [][]engine.Value{{engine.NumVal(1)}, {engine.NumVal(2)}},
+	})
+	after, err := exec.Run(root, dt.Binding{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != 2 {
+		t.Fatalf("rows after mutation = %d, want 2 (stale cache served)", len(after.Rows))
+	}
+	if exec.Execs() != 2 {
+		t.Fatalf("Execs() = %d, want 2", exec.Execs())
+	}
+}
+
+// The safety verdict memo must key on enough of the candidate that distinct
+// candidates do not collide: same node via different streams/columns.
+func TestSafeKeyDistinguishesCandidates(t *testing.T) {
+	a := safeKey{src: 0, target: 1, nodeID: 3, stream: "x-range", cols: "0,"}
+	b := safeKey{src: 0, target: 1, nodeID: 3, stream: "x-range", cols: "1,"}
+	c := safeKey{src: 0, target: 1, nodeID: 3, stream: "y-range", cols: "0,"}
+	if a == b || a == c {
+		t.Fatal("safeKey collides for distinct candidates")
+	}
+	set := map[safeKey]bool{a: true, b: true, c: true}
+	if len(set) != 3 {
+		t.Fatalf("distinct keys = %d, want 3", len(set))
+	}
+}

@@ -175,7 +175,7 @@ func TestSafetyRejectsUnexpressibleClick(t *testing.T) {
 	if len(icands) > len(icandsNoSafety) {
 		t.Fatal("safety checking added candidates")
 	}
-	if exec.Execs == 0 && len(icandsNoSafety) > 0 {
+	if exec.Execs() == 0 && len(icandsNoSafety) > 0 {
 		t.Fatal("safety checking never executed a query")
 	}
 }

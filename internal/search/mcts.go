@@ -32,6 +32,14 @@ type Params struct {
 	MaxReturn   bool // return max-reward state (Cadiaplayer) vs best average
 	UseVariance bool // include Eq. (1)'s third term
 
+	// SharedCaches shares one reward cache and one safety-check execution
+	// cache across all workers (default on): a state reached by several
+	// workers is rewarded exactly once, and a safety query executes once.
+	// Off gives each worker private caches (the pre-sharing behavior, kept
+	// for benchmarks); the search result is identical either way because
+	// reward estimates are a pure function of (Seed, state).
+	SharedCaches bool
+
 	MapOpts mapping.Options
 }
 
@@ -51,6 +59,7 @@ func DefaultParams() Params {
 		ClusterInit:     true,
 		MaxReturn:       true,
 		UseVariance:     true,
+		SharedCaches:    true,
 		MapOpts:         mapping.DefaultOptions(),
 	}
 }
@@ -86,10 +95,15 @@ type worker struct {
 	best    *transform.State
 	bestR   float64
 	seen    map[uint64]bool
-	rewards map[uint64]float64 // state hash -> estimated reward (memoized)
+	rewards *rewardCache // shared across workers when Params.SharedCaches
 	iters   int
 	rolls   int
 	stale   int // iterations since the local best improved
+
+	// reused scratch buffers for the selection path and rule enumeration,
+	// avoiding per-iteration (and per-rollout-step) slice churn.
+	path []*node
+	apps []transform.Application
 
 	// running reward range for UCT normalization: rewards live on the cost
 	// model's scale (thousands), so Eq. (1)'s constants only make sense
@@ -98,9 +112,18 @@ type worker struct {
 	haveRange  bool
 }
 
-func newWorker(ctx *transform.Context, db *engine.DB, p Params, seed int64) *worker {
+// newWorker builds one MCTS instance. rewards and exec are the caches shared
+// across workers; either may be nil, giving the worker a private instance
+// (the Params.SharedCaches ablation).
+func newWorker(ctx *transform.Context, db *engine.DB, p Params, seed int64, rewards *rewardCache, exec *mapping.ExecCache) *worker {
 	init := transform.InitState(ctx, p.ClusterInit)
-	p.MapOpts.Exec = mapping.NewExecCache(db) // per-worker safety-check cache
+	if rewards == nil {
+		rewards = newRewardCache()
+	}
+	if exec == nil {
+		exec = mapping.NewExecCache(db)
+	}
+	p.MapOpts.Exec = exec
 	w := &worker{
 		root:    &node{state: init},
 		rng:     rand.New(rand.NewSource(seed)),
@@ -109,20 +132,22 @@ func newWorker(ctx *transform.Context, db *engine.DB, p Params, seed int64) *wor
 		db:      db,
 		bestR:   math.Inf(-1),
 		seen:    map[uint64]bool{init.Hash(): true},
-		rewards: map[uint64]float64{},
+		rewards: rewards,
 	}
 	return w
 }
 
 // reward estimates a state's reward as the negative of the minimum cost
-// over K random interface mappings (§6.2.1 step 4), memoized per state.
+// over K random interface mappings (§6.2.1 step 4), memoized per state
+// across all workers. The estimate is a pure function of (Params.Seed,
+// state): the sampling RNG is derived from the state hash, not from the
+// worker's rollout RNG, so whichever worker computes it first stores the
+// value every other worker would have computed.
 func (w *worker) reward(s *transform.State) float64 {
 	h := s.Hash()
-	if r, ok := w.rewards[h]; ok {
-		return r
-	}
-	r := w.rewardUncached(s)
-	w.rewards[h] = r
+	r := w.rewards.get(h, func() float64 { return w.rewardUncached(s, h) })
+	// The normalization range stays worker-local (it feeds this worker's UCT
+	// scores) and is updated on every observation, hit or miss.
 	if r != failReward {
 		if !w.haveRange {
 			w.minR, w.maxR, w.haveRange = r, r, true
@@ -150,11 +175,15 @@ func (w *worker) norm(r float64) float64 {
 	return (r - w.minR) / (w.maxR - w.minR)
 }
 
-func (w *worker) rewardUncached(s *transform.State) float64 {
+func (w *worker) rewardUncached(s *transform.State, h uint64) float64 {
 	sa, err := mapping.Analyze(s, w.ctx)
 	if err != nil {
 		return failReward
 	}
+	// Per-state RNG: the K−1 random samples draw from a stream seeded by
+	// (Seed, state hash), making the estimate reproducible across workers
+	// and runs regardless of which worker evaluates the state first.
+	rng := rand.New(rand.NewSource(w.p.Seed ^ int64(h)))
 	best := math.Inf(1)
 	got := false
 	// one greedy sample anchors the estimate; the remaining K−1 samples are
@@ -164,7 +193,7 @@ func (w *worker) rewardUncached(s *transform.State) float64 {
 		got = true
 	}
 	for i := 1; i < w.p.K; i++ {
-		ifc, ok := mapping.Random(sa, w.db, w.rng, w.p.MapOpts)
+		ifc, ok := mapping.Random(sa, w.db, rng, w.p.MapOpts)
 		if !ok {
 			continue
 		}
@@ -179,10 +208,12 @@ func (w *worker) rewardUncached(s *transform.State) float64 {
 	return -best
 }
 
+// observe records a new local best. States are immutable once published
+// (see transform.State), so the pointer is kept as-is — no defensive clone.
 func (w *worker) observe(s *transform.State, r float64) {
 	if r > w.bestR {
 		w.bestR = r
-		w.best = s.Clone()
+		w.best = s
 		w.stale = 0
 	}
 }
@@ -292,7 +323,8 @@ func (w *worker) rollout(s *transform.State) float64 {
 	best := w.reward(cur)
 	w.observe(cur, best)
 	for depth := 0; depth < w.p.MaxRolloutDepth; depth++ {
-		apps := transform.Applicable(cur, w.ctx)
+		w.apps = transform.AppendApplicable(w.apps[:0], cur, w.ctx)
+		apps := w.apps
 		if len(apps) == 0 {
 			return best
 		}
@@ -343,7 +375,7 @@ func (w *worker) iterate() {
 	w.iters++
 	w.stale++
 	// 1. select
-	path := []*node{w.root}
+	path := append(w.path[:0], w.root)
 	cur := w.root
 	for cur.expanded && !cur.terminal && len(cur.children) > 0 {
 		var best *node
@@ -383,6 +415,7 @@ func (w *worker) iterate() {
 		n.sum += r
 		n.sumSq += r * r
 	}
+	w.path = path // keep the (possibly grown) buffer for the next iteration
 }
 
 // done reports whether the worker hit its local stopping condition.
@@ -420,9 +453,22 @@ func Run(ctx *transform.Context, db *engine.DB, p Params) *Result {
 	if p.SyncInterval < 1 {
 		p.SyncInterval = 10
 	}
+	// Cross-worker caches: one reward memo and one safety-check execution
+	// cache serve all workers (the DB is read-only during search). With
+	// SharedCaches off each worker builds private instances in newWorker.
+	var rewards *rewardCache
+	exec := p.MapOpts.Exec
+	if p.SharedCaches {
+		rewards = newRewardCache()
+		if exec == nil && p.MapOpts.CheckSafety {
+			exec = mapping.NewExecCache(db)
+		}
+	} else {
+		exec = nil
+	}
 	workers := make([]*worker, p.Workers)
 	for i := range workers {
-		workers[i] = newWorker(ctx, db, p, p.Seed+int64(i)*7919)
+		workers[i] = newWorker(ctx, db, p, p.Seed+int64(i)*7919, rewards, exec)
 	}
 
 	type report struct {
@@ -439,7 +485,9 @@ func Run(ctx *transform.Context, db *engine.DB, p Params) *Result {
 	// lock-step rounds: each worker runs s iterations concurrently, then
 	// the coordinator gathers and redistributes the best state. Reports are
 	// processed in worker order so ties break deterministically and repeat
-	// runs with the same seed return the same state.
+	// runs with the same seed return the same state. States are immutable
+	// once published, so the coordinator and the workers share pointers
+	// instead of cloning on every exchange.
 	for round := 0; ; round++ {
 		reports := make([]report, len(workers))
 		done := make(chan int, len(workers))
@@ -456,15 +504,13 @@ func Run(ctx *transform.Context, db *engine.DB, p Params) *Result {
 			<-done
 		}
 		allDone := true
-		improved := false
 		totalIters, totalRolls = 0, 0
 		for _, rep := range reports {
 			totalIters += rep.iters
 			totalRolls += rep.rolls
 			if rep.r > globalBest && rep.best != nil {
 				globalBest = rep.r
-				globalState = rep.best.Clone()
-				improved = true
+				globalState = rep.best
 			}
 			if !rep.done {
 				allDone = false
@@ -474,12 +520,15 @@ func Run(ctx *transform.Context, db *engine.DB, p Params) *Result {
 		for _, w := range workers {
 			if globalState != nil && globalBest > w.bestR {
 				w.bestR = globalBest
-				w.best = globalState.Clone()
+				w.best = globalState
 			}
 		}
-		if allDone && !improved {
-			break
-		}
+		// Termination rule: the search ends on the first round in which
+		// every worker reports its local stopping condition (iteration cap,
+		// early stop, or exhausted root). An incoming better state does not
+		// restart a stopped worker — workers only ever *record* received
+		// bests — so "all done" alone decides; there is no separate
+		// "improved" condition.
 		if allDone {
 			break
 		}
@@ -515,5 +564,7 @@ func Run(ctx *transform.Context, db *engine.DB, p Params) *Result {
 		// no valid mapping anywhere: fall back to the initial state
 		globalState = transform.InitState(ctx, p.ClusterInit)
 	}
-	return &Result{State: globalState, BestReward: globalBest, Iterations: totalIters, Rollouts: totalRolls}
+	// One defensive clone at the boundary: the returned state escapes to the
+	// caller while the internal one may alias search-tree nodes.
+	return &Result{State: globalState.Clone(), BestReward: globalBest, Iterations: totalIters, Rollouts: totalRolls}
 }

@@ -197,6 +197,10 @@ func cascadePush(n *dt.Node) *dt.Node {
 			n = repl
 		}
 	}
+	// The child splice below may rewrite subtrees of nodes that were already
+	// hashed (dedupByHash memoizes hashes on every node it compares), so the
+	// cached value must be dropped before this node is hashed again.
+	n.InvalidateHash()
 	for i, c := range n.Children {
 		n.Children[i] = cascadePush(c)
 	}

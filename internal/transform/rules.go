@@ -28,7 +28,13 @@ func (a Application) String() string {
 // Applicable enumerates every rule application on the state (paper §6.1's
 // transition function). The enumeration order is deterministic.
 func Applicable(s *State, ctx *Context) []Application {
-	var apps []Application
+	return AppendApplicable(nil, s, ctx)
+}
+
+// AppendApplicable is Applicable appending into a caller-provided buffer
+// (pass apps[:0] to reuse it), for hot loops that enumerate rules once per
+// rollout step.
+func AppendApplicable(apps []Application, s *State, ctx *Context) []Application {
 	for ti, tree := range s.Trees {
 		root := tree.Root
 		root.Walk(func(n *dt.Node) bool {

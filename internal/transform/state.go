@@ -49,11 +49,21 @@ func (t *Tree) Bind(ctx *Context) (*dt.QueryBindings, bool) {
 }
 
 // State is a forest of Difftrees covering all input queries.
+//
+// States produced by Application.Run (and InitState) are immutable: the
+// search, mapping and interface layers only read them. Rule applications
+// always Clone first and mutate the clone before it escapes, which is what
+// makes the memoized Hash below (and sharing states across MCTS workers
+// without defensive copies) safe.
 type State struct {
 	Trees []*Tree
+
+	hash   uint64 // memoized Hash; valid only when hashOK
+	hashOK bool
 }
 
-// Clone deep-copies the state.
+// Clone deep-copies the state. The clone starts with no memoized hash: rule
+// applications mutate clones in place before publishing them.
 func (s *State) Clone() *State {
 	out := &State{Trees: make([]*Tree, len(s.Trees))}
 	for i, t := range s.Trees {
@@ -63,7 +73,14 @@ func (s *State) Clone() *State {
 }
 
 // Hash identifies structurally identical states (tree order insensitive).
+// The value is memoized on first call — search hashes each state several
+// times (expansion dedup, reward-cache lookups) — relying on the
+// immutable-once-published convention above. Not safe for concurrent first
+// calls; in the search each state is hashed by the worker that created it.
 func (s *State) Hash() uint64 {
+	if s.hashOK {
+		return s.hash
+	}
 	hashes := make([]uint64, len(s.Trees))
 	for i, t := range s.Trees {
 		h := fnv.New64a()
@@ -79,7 +96,8 @@ func (s *State) Hash() uint64 {
 		}
 		h.Write(buf[:])
 	}
-	return h.Sum64()
+	s.hash, s.hashOK = h.Sum64(), true
+	return s.hash
 }
 
 // ChoiceCount returns the total number of choice nodes in the forest.
@@ -188,25 +206,27 @@ func hasUnionNames(rs *schema.ResultSchema) bool {
 
 // replaceByID returns root with the node of the given ID replaced (root is
 // mutated in place; callers operate on clones). Returns false if not found.
+// Every ancestor of the replaced node drops its memoized structural hash —
+// clones carry their source's cached hashes, which this splice makes stale.
 func replaceByID(root *dt.Node, id int, repl *dt.Node) (*dt.Node, bool) {
 	if root.ID == id {
 		return repl, true
 	}
-	done := false
-	var rec func(n *dt.Node)
-	rec = func(n *dt.Node) {
+	var rec func(n *dt.Node) bool
+	rec = func(n *dt.Node) bool {
 		for i, c := range n.Children {
-			if done {
-				return
-			}
 			if c.ID == id {
 				n.Children[i] = repl
-				done = true
-				return
+				n.InvalidateHash()
+				return true
 			}
-			rec(c)
+			if rec(c) {
+				n.InvalidateHash()
+				return true
+			}
 		}
+		return false
 	}
-	rec(root)
+	done := rec(root)
 	return root, done
 }
