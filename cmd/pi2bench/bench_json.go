@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"pi2/internal/catalog"
 	"pi2/internal/core"
 	"pi2/internal/dataset"
+	"pi2/internal/engine"
 	"pi2/internal/iface"
 	"pi2/internal/sqlparser"
 	"pi2/internal/transform"
@@ -104,6 +106,12 @@ func runJSON(path, baselinePath string) error {
 	}
 	report.Benches = append(report.Benches, serving...)
 
+	engineB, err := engineBenches()
+	if err != nil {
+		return err
+	}
+	report.Benches = append(report.Benches, engineB...)
+
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -114,6 +122,78 @@ func runJSON(path, baselinePath string) error {
 		return err
 	}
 	return os.WriteFile(path, out, 0o644)
+}
+
+// engineBenches measures the engine's relational operator pipeline on
+// synthetic join / group / top-K micro-workloads, each against its
+// unoptimized (filtered cross product + full sort) baseline where the
+// pipeline changes the algorithm. Mirrors the BenchmarkEngine* benches in
+// internal/engine so the trajectory report captures the same numbers.
+func engineBenches() ([]BenchResult, error) {
+	r := rand.New(rand.NewSource(42))
+	db := engine.NewDB("2020-12-31")
+	const dims, facts, groups = 200, 2000, 50
+	dim := &engine.Table{Name: "dim", Cols: []string{"k", "label"}, Types: []engine.ColType{engine.TNum, engine.TStr}}
+	for i := 0; i < dims; i++ {
+		dim.Rows = append(dim.Rows, []engine.Value{engine.NumVal(float64(i)), engine.StrVal(fmt.Sprintf("d%d", i))})
+	}
+	fact := &engine.Table{Name: "fact", Cols: []string{"k", "v", "grp"}, Types: []engine.ColType{engine.TNum, engine.TNum, engine.TNum}}
+	for i := 0; i < facts; i++ {
+		fact.Rows = append(fact.Rows, []engine.Value{
+			engine.NumVal(float64(r.Intn(dims))),
+			engine.NumVal(r.Float64() * 100),
+			engine.NumVal(float64(r.Intn(groups))),
+		})
+	}
+	db.Add(dim)
+	db.Add(fact)
+
+	cases := []struct {
+		name      string
+		sql       string
+		optimized bool
+	}{
+		{"EngineJoin/hash", `SELECT f.v, d.label FROM fact AS f, dim AS d WHERE f.k = d.k AND f.v > 25`, true},
+		{"EngineJoin/crossproduct", `SELECT f.v, d.label FROM fact AS f, dim AS d WHERE f.k = d.k AND f.v > 25`, false},
+		{"EngineGroupBy", `SELECT grp, count(*), sum(v), avg(v) FROM fact GROUP BY grp`, true},
+		{"EngineTopK/heap", `SELECT k, v FROM fact WHERE v > 10 ORDER BY v DESC LIMIT 10`, true},
+		{"EngineTopK/fullsort", `SELECT k, v FROM fact WHERE v > 10 ORDER BY v DESC LIMIT 10`, false},
+		{"EngineDistinct", `SELECT DISTINCT grp FROM fact`, true},
+	}
+	var out []BenchResult
+	for _, c := range cases {
+		ast, err := sqlparser.Parse(c.sql)
+		if err != nil {
+			return nil, fmt.Errorf("pi2bench: %s: %w", c.name, err)
+		}
+		prep := engine.PrepareUnoptimized
+		if c.optimized {
+			prep = engine.Prepare
+		}
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Re-prepare per iteration: the per-plan scan/build caches
+				// would otherwise amortize the measured work away.
+				plan, err := prep(db, ast)
+				if err == nil {
+					_, err = plan.Exec()
+				}
+				if err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("pi2bench: %s: %w", c.name, benchErr)
+		}
+		out = append(out, BenchResult{
+			Name: c.name, Iterations: res.N, NsPerOp: res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(), BytesPerOp: res.AllocedBytesPerOp(),
+		})
+	}
+	return out, nil
 }
 
 // servingBenches measures the serving hot path exactly like the

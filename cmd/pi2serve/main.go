@@ -11,19 +11,29 @@
 //	open http://localhost:8080
 //
 // Serving runs on the cached session path: bound queries are compiled once
-// into engine plans and result tables are memoized per binding state in LRU
-// caches, so repeated widget events skip parse, plan, and execution
-// entirely. The session's own mutex serializes concurrent requests; cache
-// hit/miss counters are exposed at /stats.
+// into engine plans (executed through the relational operator pipeline) and
+// result tables are memoized per binding state in LRU caches, so repeated
+// widget events skip parse, plan, and execution entirely. The session's own
+// mutex serializes concurrent requests; cache hit/miss counters are exposed
+// at /stats and a lock-free liveness probe at /healthz.
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener closes
+// immediately and in-flight requests drain for up to -drain (default 10s).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"pi2/internal/catalog"
 	"pi2/internal/core"
@@ -43,6 +53,7 @@ func main() {
 	manifest := flag.String("manifest", "", "optional dataset manifest (table names, keys, type overrides)")
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "search seed")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	flag.Parse()
 
 	db, keys, queries, title, err := loadInputs(*logName, *dataFiles, *queriesFile, *manifest)
@@ -70,8 +81,45 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving on %s (interaction cache enabled; counters at /stats)\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, iface.NewServer(sess).Handler()))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving on %s (interaction cache enabled; counters at /stats, liveness at /healthz)\n", *addr)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	if err := serve(ln, iface.NewServer(sess).Handler(), sigs, *drain, log.Printf); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve runs the HTTP server until a signal arrives on sigs, then shuts
+// down gracefully: the listener closes immediately (new connections are
+// refused) while in-flight requests get up to drain to finish. The signal
+// channel is a parameter so tests can simulate SIGINT/SIGTERM without
+// killing the test process.
+func serve(ln net.Listener, h http.Handler, sigs <-chan os.Signal, drain time.Duration, logf func(string, ...any)) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Serve never returns nil; surface whatever brought it down.
+		return err
+	case sig := <-sigs:
+		logf("pi2serve: received %v, draining in-flight requests (up to %s)", sig, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("pi2serve: shutdown: %w", err)
+		}
+		// Shutdown closed the listener: Serve has returned ErrServerClosed.
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		logf("pi2serve: shutdown complete")
+		return nil
+	}
 }
 
 // loadInputs resolves what to serve: ingested files (-data/-queries) or a

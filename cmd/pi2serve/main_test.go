@@ -1,0 +1,194 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"pi2/internal/catalog"
+	"pi2/internal/core"
+	"pi2/internal/iface"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+)
+
+// slowHandler mimics an interaction request that is mid-flight when the
+// shutdown signal lands: it blocks until release is closed, then answers.
+type slowHandler struct {
+	started chan struct{}
+	release chan struct{}
+	served  atomic.Int32
+}
+
+func (h *slowHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	close(h.started)
+	<-h.release
+	h.served.Add(1)
+	fmt.Fprintln(w, "done")
+}
+
+// TestServeGracefulShutdown simulates SIGTERM while a request is in flight:
+// the in-flight request must complete, new connections must be refused, and
+// serve must return nil.
+func TestServeGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &slowHandler{started: make(chan struct{}), release: make(chan struct{})}
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(ln, h, sigs, 5*time.Second, t.Logf) }()
+
+	base := "http://" + ln.Addr().String()
+	if resp, err := http.Get(base + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Start the slow request, then deliver the (simulated) signal once the
+	// handler is definitely in flight.
+	reqDone := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			reqDone <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		reqDone <- strings.TrimSpace(string(body))
+	}()
+	<-h.started
+	sigs <- syscall.SIGTERM
+
+	// The listener must stop accepting new work promptly even though the
+	// old request is still draining.
+	waitRefused(t, base)
+
+	// Release the in-flight request: it must complete normally.
+	close(h.release)
+	if got := <-reqDone; got != "done" {
+		t.Fatalf("in-flight request = %q, want \"done\"", got)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+	if h.served.Load() != 1 {
+		t.Fatalf("served %d slow requests, want 1", h.served.Load())
+	}
+}
+
+// waitRefused polls until new connections are refused (shutdown closes the
+// listener asynchronously with signal delivery).
+func waitRefused(t *testing.T, base string) {
+	t.Helper()
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/healthz")
+		if err != nil {
+			return // refused or timed out: listener is closed
+		}
+		resp.Body.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("new connections still accepted after shutdown signal")
+}
+
+// TestServeReturnsListenerError pins the non-signal exit path: if the
+// listener dies underneath the server, serve surfaces the error instead of
+// hanging.
+func TestServeReturnsListenerError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make(chan os.Signal)
+	done := make(chan error, 1)
+	go func() { done <- serve(ln, http.NotFoundHandler(), sigs, time.Second, t.Logf) }()
+	ln.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("serve returned nil after listener close, want error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after listener close")
+	}
+}
+
+// TestHealthzEndToEnd generates a real interface (the Explore workload,
+// exactly like `pi2serve -log Explore`), serves it through the same serve
+// loop main uses, probes /healthz and /stats, and shuts down via a
+// simulated SIGINT.
+func TestHealthzEndToEnd(t *testing.T) {
+	db, keys, queries, _, err := loadInputs("Explore", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.Build(db, keys)
+	res, err := core.Generate(queries, db, cat, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	asts, err := sqlparser.ParseAll(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := iface.NewSession(res.Interface, &transform.Context{Queries: asts, Cat: cat}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(ln, iface.NewServer(sess).Handler(), sigs, time.Second, t.Logf) }()
+	base := "http://" + ln.Addr().String()
+
+	for _, path := range []string{"/healthz", "/stats", "/"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d (%s)", path, resp.StatusCode, body)
+		}
+		if path == "/healthz" && strings.TrimSpace(string(body)) != "ok" {
+			t.Fatalf("healthz body = %q", body)
+		}
+	}
+
+	sigs <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+}

@@ -14,7 +14,14 @@ import (
 // must produce byte-identical interfaces — rendered text and JSON spec.
 // This is the determinism contract the search-side caches must not break.
 func TestSameSeedByteIdenticalInterface(t *testing.T) {
-	for _, wl := range []workload.Log{workload.Explore(), workload.Connect()} {
+	logs := []workload.Log{workload.Explore(), workload.Connect()}
+	if !testing.Short() {
+		// The slower paper workloads ride in the full suite: Covid and SDSS
+		// exercise grouping, joins and the engine's operator pipeline end
+		// to end.
+		logs = append(logs, workload.Covid(), workload.SDSS())
+	}
+	for _, wl := range logs {
 		wl := wl
 		t.Run(wl.Name, func(t *testing.T) {
 			render := func() (string, []byte) {

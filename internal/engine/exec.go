@@ -146,9 +146,7 @@ func execQuery(db *DB, q *dt.Node, outer *rowEnv) (*Table, error) {
 	orderExprs := orderItems(orderby)
 
 	if grouped {
-		groups, order := groupRows(db, rows, groupby)
-		for _, key := range order {
-			g := groups[key]
+		for _, g := range groupRows(db, rows, groupby) {
 			genv := &rowEnv{outer: outer, groupRows: g}
 			if len(g) > 0 {
 				genv.frames = g[0].frames
@@ -217,8 +215,9 @@ func execQuery(db *DB, q *dt.Node, outer *rowEnv) (*Table, error) {
 }
 
 // crossFilter enumerates the cross product of the sources, applying the
-// WHERE predicate. A simple equi-join fast path kicks in for two-table joins
-// to keep the SDSS workload quick.
+// WHERE predicate per combined row. This is the executable specification
+// the operator pipeline (pipeline.go) is tested against — it stays naive on
+// purpose.
 func crossFilter(db *DB, sources []source, where *dt.Node, outer *rowEnv) ([]*rowEnv, error) {
 	var pred *dt.Node
 	if where.Kind == dt.KindWhere {
@@ -278,35 +277,38 @@ func crossFilter(db *DB, sources []source, where *dt.Node, outer *rowEnv) ([]*ro
 	return out, nil
 }
 
-// groupRows partitions rows by the GROUP BY key (or a single group when the
-// clause is absent but aggregates are used), preserving first-seen order.
-func groupRows(db *DB, rows []*rowEnv, groupby *dt.Node) (map[string][]*rowEnv, []string) {
-	groups := map[string][]*rowEnv{}
-	var order []string
+// groupRows partitions rows into groups by the GROUP BY key (or a single
+// group when the clause is absent but aggregates are used) in first-seen
+// order. Keys are type-tagged encodings (see key.go), so a string
+// containing the old 0x1f separator — or a number whose canonical text
+// equals a string, like 1 vs '1' — can no longer merge two groups.
+func groupRows(db *DB, rows []*rowEnv, groupby *dt.Node) [][]*rowEnv {
+	idx := map[string]int{}
+	var groups [][]*rowEnv
+	var buf []byte
 	for _, env := range rows {
-		key := ""
+		buf = buf[:0]
 		if groupby.Kind == dt.KindGroupBy {
-			var parts []string
 			for _, g := range groupby.Children {
 				v, err := evalExpr(db, g, env)
 				if err != nil {
 					v = NullVal()
 				}
-				parts = append(parts, v.Text())
+				buf = appendGroupKey(buf, v)
 			}
-			key = strings.Join(parts, "\x1f")
 		}
-		if _, ok := groups[key]; !ok {
-			order = append(order, key)
+		if gi, ok := idx[string(buf)]; ok {
+			groups[gi] = append(groups[gi], env)
+		} else {
+			idx[string(buf)] = len(groups)
+			groups = append(groups, []*rowEnv{env})
 		}
-		groups[key] = append(groups[key], env)
 	}
 	if groupby.Kind != dt.KindGroupBy && len(rows) == 0 {
 		// aggregate over empty input still yields one (empty) group
-		groups[""] = nil
-		order = append(order, "")
+		groups = append(groups, nil)
 	}
-	return groups, order
+	return groups
 }
 
 // projectRow evaluates the select items (expanding *) and order-by
@@ -395,20 +397,21 @@ func exprName(e *dt.Node, i int) string {
 	}
 }
 
-// distinctRows drops duplicate rows (first occurrence wins, by canonical
-// text), keeping each surviving row's sort keys aligned. Shared by the
-// interpreted and planned execution paths so DISTINCT semantics cannot
-// diverge between them.
+// distinctRows drops duplicate rows (first occurrence wins, by type-tagged
+// value identity — see key.go), keeping each surviving row's sort keys
+// aligned. Shared by the interpreted and planned execution paths so
+// DISTINCT semantics cannot diverge between them.
 func distinctRows(rows, keys [][]Value) ([][]Value, [][]Value) {
 	seen := map[string]bool{}
 	var dr [][]Value
 	var dk [][]Value
+	var buf []byte
 	for i, row := range rows {
-		k := rowKey(row)
-		if seen[k] {
+		buf = groupKey(buf, row)
+		if seen[string(buf)] {
 			continue
 		}
-		seen[k] = true
+		seen[string(buf)] = true
 		dr = append(dr, row)
 		dk = append(dk, keys[i])
 	}
@@ -441,14 +444,6 @@ func sortRowsStable(rows, keys [][]Value, desc []bool) [][]Value {
 		sorted[i] = rows[j]
 	}
 	return sorted
-}
-
-func rowKey(row []Value) string {
-	parts := make([]string, len(row))
-	for i, v := range row {
-		parts[i] = v.Text()
-	}
-	return strings.Join(parts, "\x1f")
 }
 
 // anyAggregate reports whether any expression in the nodes contains an

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"testing"
+
+	"pi2/internal/sqlparser"
+)
+
+// The old rowKey/groupRows keys joined Value.Text() with a 0x1f separator,
+// so two different rows could render to one key. Both collision shapes are
+// pinned here, for DISTINCT and for GROUP BY, on the interpreted and the
+// planned path (which share the type-tagged encoder in key.go).
+
+// collisionDB holds rows crafted to collide under text keys:
+//   - separator smuggling: ("a\x1fb", "c") vs ("a", "b\x1fc") join to the
+//     same "a\x1fb\x1fc" text key;
+//   - type punning: the number 1 and the string '1' share the text "1".
+func collisionDB() *DB {
+	db := NewDB("2020-12-31")
+	db.Add(&Table{
+		Name:  "sep",
+		Cols:  []string{"x", "y"},
+		Types: []ColType{TStr, TStr},
+		Rows: [][]Value{
+			{StrVal("a\x1fb"), StrVal("c")},
+			{StrVal("a"), StrVal("b\x1fc")},
+			{StrVal("a\x1fb"), StrVal("c")}, // true duplicate of row 0
+		},
+	})
+	db.Add(&Table{
+		Name:  "pun",
+		Cols:  []string{"v"},
+		Types: []ColType{TStr},
+		Rows: [][]Value{
+			{NumVal(1)},
+			{StrVal("1")},
+			{NumVal(1)}, // true duplicate of row 0
+			{NullVal()},
+			{StrVal("NULL")}, // must not merge with SQL NULL either
+		},
+	})
+	return db
+}
+
+// execBoth runs the statement through the interpreter and the pipeline plan
+// and asserts they agree on the row count before returning the table.
+func execBoth(t *testing.T, db *DB, sql string) *Table {
+	t.Helper()
+	ast, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	interp, err := Exec(db, ast)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	plan, err := Prepare(db, ast)
+	if err != nil {
+		t.Fatalf("prepare %q: %v", sql, err)
+	}
+	planned, err := plan.Exec()
+	if err != nil {
+		t.Fatalf("plan exec %q: %v", sql, err)
+	}
+	if len(interp.Rows) != len(planned.Rows) {
+		t.Fatalf("%q: interpreter %d rows, plan %d rows", sql, len(interp.Rows), len(planned.Rows))
+	}
+	return interp
+}
+
+func TestDistinctSeparatorCollision(t *testing.T) {
+	res := execBoth(t, collisionDB(), "SELECT DISTINCT x, y FROM sep")
+	// Three input rows, one true duplicate: the 0x1f-colliding pair must
+	// stay two distinct rows.
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2:\n%v", len(res.Rows), res.Rows)
+	}
+}
+
+func TestGroupBySeparatorCollision(t *testing.T) {
+	res := execBoth(t, collisionDB(), "SELECT x, y, count(*) FROM sep GROUP BY x, y")
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d, want 2:\n%v", len(res.Rows), res.Rows)
+	}
+	// first-seen order: the duplicated row leads with count 2
+	if res.Rows[0][2].Num != 2 || res.Rows[1][2].Num != 1 {
+		t.Fatalf("counts = %v", res.Rows)
+	}
+}
+
+func TestDistinctNumStrCollision(t *testing.T) {
+	res := execBoth(t, collisionDB(), "SELECT DISTINCT v FROM pun")
+	// num 1, str '1', NULL, str 'NULL' — four distinct values.
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4:\n%v", len(res.Rows), res.Rows)
+	}
+	if res.Rows[0][0].IsStr || res.Rows[1][0].Null || !res.Rows[1][0].IsStr {
+		t.Fatalf("first-seen order broken: %v", res.Rows)
+	}
+}
+
+func TestGroupByNumStrCollision(t *testing.T) {
+	res := execBoth(t, collisionDB(), "SELECT v, count(v) FROM pun GROUP BY v")
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d, want 4:\n%v", len(res.Rows), res.Rows)
+	}
+	// the numeric 1 group holds both numeric rows
+	if res.Rows[0][0].IsStr || res.Rows[0][1].Num != 2 {
+		t.Fatalf("num group = %v", res.Rows[0])
+	}
+}
+
+// The hash-join key must keep `=`'s coercion even though the group key
+// separates types: joining on num 1 = str '1' matches, exactly as the
+// nested loop would.
+func TestHashJoinKeepsEqualityCoercion(t *testing.T) {
+	db := collisionDB()
+	db.Add(&Table{
+		Name:  "nums",
+		Cols:  []string{"k"},
+		Types: []ColType{TNum},
+		Rows:  [][]Value{{NumVal(1)}, {NumVal(2)}, {NullVal()}},
+	})
+	res := execBoth(t, db, "SELECT n.k, p.v FROM nums AS n, pun AS p WHERE n.k = p.v")
+	// num 1 matches num 1 (twice) and str '1'; NULL matches nothing.
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%v", len(res.Rows), res.Rows)
+	}
+}
+
+func TestGroupKeyEncodingPrefixFree(t *testing.T) {
+	// Adjacent values cannot bleed into each other: ("ab","c") != ("a","bc").
+	a := groupKey(nil, []Value{StrVal("ab"), StrVal("c")})
+	b := groupKey(nil, []Value{StrVal("a"), StrVal("bc")})
+	if string(a) == string(b) {
+		t.Fatal("group key is not prefix-free")
+	}
+	// NULL, 0, and "" are three different keys.
+	n := groupKey(nil, []Value{NullVal()})
+	z := groupKey(nil, []Value{NumVal(0)})
+	e := groupKey(nil, []Value{StrVal("")})
+	if string(n) == string(z) || string(n) == string(e) || string(z) == string(e) {
+		t.Fatal("NULL / 0 / empty string keys collide")
+	}
+}
+
+func TestJoinKeyCoercion(t *testing.T) {
+	cases := []struct {
+		a, b  Value
+		equal bool
+	}{
+		{NumVal(1), StrVal("1"), true},
+		{NumVal(50), StrVal("50.0"), false}, // non-canonical text differs
+		{NumVal(0), NumVal(negZero()), true},
+		{StrVal("x"), StrVal("x"), true},
+		{NumVal(2), NumVal(3), false},
+	}
+	for _, c := range cases {
+		ka := string(appendJoinKey(nil, c.a))
+		kb := string(appendJoinKey(nil, c.b))
+		if got := ka == kb; got != c.equal {
+			t.Errorf("joinKey(%v) == joinKey(%v): got %v, want %v", c.a, c.b, got, c.equal)
+		}
+		if want := EqualVal(c.a, c.b); want != c.equal {
+			t.Errorf("test case out of sync with EqualVal(%v, %v) = %v", c.a, c.b, want)
+		}
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}

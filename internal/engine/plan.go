@@ -23,12 +23,27 @@ type Plan struct {
 	root *planQuery
 }
 
-// Prepare compiles a concrete query AST (no choice nodes) into a Plan.
+// Prepare compiles a concrete query AST (no choice nodes) into a Plan. The
+// plan executes through the relational operator pipeline: pushed-down scan
+// predicates, hash equi-joins, type-tagged grouping keys and a bounded
+// top-K heap for ORDER BY + LIMIT (see pipeline.go and ARCHITECTURE.md).
 func Prepare(db *DB, q *dt.Node) (*Plan, error) {
+	return prepare(db, q, false)
+}
+
+// PrepareUnoptimized compiles like Prepare but disables the operator
+// pipeline: the query runs as a filtered cross product with a full stable
+// sort, mirroring the interpreter step for step. It exists so equivalence
+// tests and benchmarks can pit the pipeline against its reference behavior.
+func PrepareUnoptimized(db *DB, q *dt.Node) (*Plan, error) {
+	return prepare(db, q, true)
+}
+
+func prepare(db *DB, q *dt.Node, noPipe bool) (*Plan, error) {
 	if q == nil || q.Kind != dt.KindQuery {
 		return nil, fmt.Errorf("engine: expected query node, got %v", q)
 	}
-	c := &compiler{db: db}
+	c := &compiler{db: db, noPipe: noPipe}
 	return &Plan{db: db, gen: db.Generation(), root: c.compileQuery(q, nil)}, nil
 }
 
@@ -93,6 +108,13 @@ type planQuery struct {
 	limitErr error
 	distinct bool
 
+	// opt gates the optimizations that change *how* (never *what*) the
+	// query computes: the operator pipeline and the top-K sink. Cleared by
+	// PrepareUnoptimized.
+	opt   bool
+	pipe  *pipePlan   // nil: no WHERE clause, no sources, or opt disabled
+	scans []scanState // per-source scan/build caches (pipeline only)
+
 	cols  []string
 	types []ColType
 }
@@ -105,8 +127,9 @@ type scope struct {
 }
 
 type compiler struct {
-	db *DB
-	sc *scope
+	db     *DB
+	sc     *scope
+	noPipe bool // disable the operator pipeline (PrepareUnoptimized)
 }
 
 func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
@@ -164,10 +187,21 @@ func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
 
 	// Expressions compile in this query's scope.
 	sc := &scope{sources: pq.sources, outer: outer}
-	inner := &compiler{db: c.db, sc: sc}
+	inner := &compiler{db: c.db, sc: sc, noPipe: c.noPipe}
 
+	pq.opt = !c.noPipe
 	if where.Kind == dt.KindWhere {
-		pq.pred = inner.compile(where.Children[0])
+		if pq.opt && len(pq.sources) > 1 {
+			// Joins: decompose the conjunction into the operator pipeline
+			// instead of one monolithic predicate. Single-source queries
+			// skip it — pushdown cannot beat evaluating the same predicate
+			// in the scan loop, and the pipeline's prepare-time analysis
+			// would only tax the serving cold path; they still get the
+			// type-tagged grouping keys and the top-K sink.
+			inner.compilePipe(pq, where.Children[0])
+		} else {
+			pq.pred = inner.compile(where.Children[0])
+		}
 	}
 	for _, item := range sel.Children {
 		if item.Children[0].Kind == dt.KindStar {
@@ -234,19 +268,26 @@ func (pq *planQuery) run(outer *rowEnv) (*Table, error) {
 		}
 	}
 
-	// 2. Filtered cross product.
-	rows, err := pq.crossFilter(tables, outer)
+	// 2. Join: the operator pipeline when compiled, the filtered cross
+	// product otherwise (no WHERE, no sources, or PrepareUnoptimized).
+	var rows []*rowEnv
+	var err error
+	if pq.pipe != nil {
+		rows, err = pq.runPipe(tables, outer)
+	} else {
+		rows, err = pq.crossFilter(tables, outer)
+	}
 	if err != nil {
 		return nil, err
 	}
 
-	// 3. Project rows (grouped or plain).
-	var outRows [][]Value
-	var sortKeys [][]Value
+	// 3. Project rows (grouped or plain) into the sink, which applies
+	// DISTINCT + ORDER BY + LIMIT — via a bounded top-K heap when the plan
+	// is optimized and both ORDER BY and LIMIT are present.
+	var sink rowSink
+	pq.initSink(&sink)
 	if pq.grouped {
-		groups, order := pq.groupRows(rows)
-		for _, key := range order {
-			g := groups[key]
+		for _, g := range pq.groupRows(rows) {
 			genv := &rowEnv{outer: outer, groupRows: g}
 			if len(g) > 0 {
 				genv.frames = g[0].frames
@@ -266,8 +307,7 @@ func (pq *planQuery) run(outer *rowEnv) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			outRows = append(outRows, row)
-			sortKeys = append(sortKeys, keys)
+			sink.add(row, keys)
 		}
 	} else {
 		for _, env := range rows {
@@ -275,20 +315,12 @@ func (pq *planQuery) run(outer *rowEnv) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			outRows = append(outRows, row)
-			sortKeys = append(sortKeys, keys)
+			sink.add(row, keys)
 		}
 	}
 
-	// 4. DISTINCT.
-	if pq.distinct {
-		outRows, sortKeys = distinctRows(outRows, sortKeys)
-	}
-
-	// 5. ORDER BY (stable).
-	if len(pq.order) > 0 {
-		outRows = sortRowsStable(outRows, sortKeys, pq.orderDesc)
-	}
+	// 4./5. DISTINCT + ORDER BY resolve in the sink.
+	outRows := sink.finish()
 
 	// 6. LIMIT.
 	if pq.limitErr != nil {
@@ -358,39 +390,38 @@ func (pq *planQuery) crossFilter(tables []*Table, outer *rowEnv) ([]*rowEnv, err
 	return out, nil
 }
 
-// groupRows partitions rows by the compiled GROUP BY key, preserving
-// first-seen order; a key expression that errors groups under NULL exactly
+// groupRows partitions rows into groups by the compiled GROUP BY key in
+// first-seen order, using type-tagged keys (a string containing the old
+// 0x1f separator, or a number whose text equals a string, can no longer
+// merge groups); a key expression that errors groups under NULL exactly
 // like the interpreted path.
-func (pq *planQuery) groupRows(rows []*rowEnv) (map[string][]*rowEnv, []string) {
-	groups := map[string][]*rowEnv{}
-	var order []string
+func (pq *planQuery) groupRows(rows []*rowEnv) [][]*rowEnv {
+	idx := map[string]int{}
+	var groups [][]*rowEnv
+	var buf []byte
 	for _, env := range rows {
-		key := ""
+		buf = buf[:0]
 		if pq.hasGroupBy {
-			var sb strings.Builder
-			for gi, g := range pq.groupBy {
+			for _, g := range pq.groupBy {
 				v, err := g(env)
 				if err != nil {
 					v = NullVal()
 				}
-				if gi > 0 {
-					sb.WriteByte('\x1f')
-				}
-				sb.WriteString(v.Text())
+				buf = appendGroupKey(buf, v)
 			}
-			key = sb.String()
 		}
-		if _, ok := groups[key]; !ok {
-			order = append(order, key)
+		if gi, ok := idx[string(buf)]; ok {
+			groups[gi] = append(groups[gi], env)
+		} else {
+			idx[string(buf)] = len(groups)
+			groups = append(groups, []*rowEnv{env})
 		}
-		groups[key] = append(groups[key], env)
 	}
 	if !pq.hasGroupBy && len(rows) == 0 {
 		// aggregate over empty input still yields one (empty) group
-		groups[""] = nil
-		order = append(order, "")
+		groups = append(groups, nil)
 	}
-	return groups, order
+	return groups
 }
 
 // projectRow evaluates the compiled select items and order keys. Without a

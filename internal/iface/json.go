@@ -2,6 +2,7 @@ package iface
 
 import (
 	"encoding/json"
+	"sort"
 
 	"pi2/internal/sqlparser"
 	"pi2/internal/transform"
@@ -99,7 +100,16 @@ func ToSpec(ifc *Interface) Spec {
 		})
 	}
 	spec.Trees = treesJSON(ifc.State)
-	for id, b := range ifc.Boxes {
+	// Emit the layout in sorted element order (as RenderText does): Boxes is
+	// a map, and ranging it directly made the JSON spec differ between
+	// otherwise byte-identical same-seed runs.
+	ids := make([]string, 0, len(ifc.Boxes))
+	for id := range ifc.Boxes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		b := ifc.Boxes[id]
 		spec.Layout = append(spec.Layout, BoxJSON{ID: id, X: b.X, Y: b.Y, W: b.W, H: b.H})
 	}
 	return spec

@@ -36,7 +36,17 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("/reset", sv.handleReset)
 	mux.HandleFunc("/sql", sv.handleSQL)
 	mux.HandleFunc("/stats", sv.handleStats)
+	mux.HandleFunc("/healthz", sv.handleHealthz)
 	return mux
+}
+
+// handleHealthz is the liveness/readiness probe: it answers without taking
+// the session lock, so a long-running interaction cannot fail a health
+// check, and load balancers can poll it cheaply.
+func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
 }
 
 func (sv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -87,6 +87,17 @@ func TestServerRejectsBadManipulation(t *testing.T) {
 	}
 }
 
+func TestServerHealthz(t *testing.T) {
+	srv, _ := newTestServer(t)
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if strings.TrimSpace(body) != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
 func TestServerReset(t *testing.T) {
 	srv, sess := newTestServer(t)
 	postForm(t, srv.URL+"/widget", url.Values{"id": {"w0"}, "value": {"4"}})

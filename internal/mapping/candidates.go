@@ -474,8 +474,8 @@ type execEntry struct {
 	err   error
 
 	mu   sync.Mutex
-	sets []map[string]bool // per column: distinct rendered values
-	exts []*colExtentCache // per column: [min, max] extent
+	sets []map[engine.Value]bool // per column: distinct values, type-tagged
+	exts []*colExtentCache       // per column: [min, max] extent
 }
 
 type colExtentCache struct {
@@ -535,18 +535,21 @@ func (ec *ExecCache) entry(root *dt.Node, b dt.Binding) (*execEntry, error) {
 	return e, nil
 }
 
-// colSet returns the distinct rendered values of one result column, built
-// once per (query result, column) instead of once per candidate check.
-func (e *execEntry) colSet(col int) map[string]bool {
+// colSet returns the distinct values of one result column, built once per
+// (query result, column) instead of once per candidate check. Values key
+// the map directly (engine.Value is comparable), so building the set
+// renders no text and allocates nothing per row — the same type-tagged
+// identity the engine's scan pipeline uses for grouping.
+func (e *execEntry) colSet(col int) map[engine.Value]bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for len(e.sets) <= col {
 		e.sets = append(e.sets, nil)
 	}
 	if e.sets[col] == nil {
-		have := make(map[string]bool, len(e.table.Rows))
+		have := make(map[engine.Value]bool, len(e.table.Rows))
 		for _, row := range e.table.Rows {
-			have[row[col].Text()] = true
+			have[row[col]] = true
 		}
 		e.sets[col] = have
 	}
@@ -751,13 +754,18 @@ func (sa *StateAnalysis) resultExpresses(c ICand, e *execEntry, required []requi
 	return false
 }
 
-func valuePresent(have map[string]bool, lit string) bool {
-	if have[lit] {
+func valuePresent(have map[engine.Value]bool, lit string) bool {
+	if have[engine.StrVal(lit)] {
 		return true
 	}
-	// numeric literals may differ textually ("50" vs "50.0")
+	// Numeric literals must match both numeric cells ("50" vs 50.0) and
+	// string cells holding the canonical text ("50.0" vs str "50") — the
+	// same coercion the engine's `=` applies.
 	if f, err := strconv.ParseFloat(lit, 64); err == nil {
-		return have[strconv.FormatFloat(f, 'g', -1, 64)]
+		if have[engine.NumVal(f)] {
+			return true
+		}
+		return have[engine.StrVal(strconv.FormatFloat(f, 'g', -1, 64))]
 	}
 	return false
 }

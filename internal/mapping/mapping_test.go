@@ -7,6 +7,7 @@ import (
 	"pi2/internal/catalog"
 	"pi2/internal/dataset"
 	dt "pi2/internal/difftree"
+	"pi2/internal/engine"
 	"pi2/internal/sqlparser"
 	"pi2/internal/transform"
 	"pi2/internal/vis"
@@ -323,5 +324,36 @@ func TestTableAlwaysAvailable(t *testing.T) {
 	}
 	if ifc.Vis[0].Mapping.Vis.Type != vis.Table {
 		t.Fatalf("vis = %v, want table", ifc.Vis[0].Mapping.Vis.Type)
+	}
+}
+
+// valuePresent must reproduce the engine's `=` coercion over the
+// Value-keyed sets: a numeric literal matches numeric cells and string
+// cells holding its canonical text, but non-canonical text stays distinct.
+func TestValuePresentCoercion(t *testing.T) {
+	have := map[engine.Value]bool{
+		engine.NumVal(50):     true,
+		engine.StrVal("60"):   true,
+		engine.StrVal("70.5"): true,
+		engine.StrVal("eng"):  true,
+	}
+	cases := []struct {
+		lit  string
+		want bool
+	}{
+		{"50", true},    // num cell, exact
+		{"50.0", true},  // num cell via parsed value
+		{"60", true},    // str cell, exact
+		{"60.0", true},  // str cell via canonical text
+		{"70.5", true},  // str cell, exact
+		{"70.50", true}, // canonicalizes to "70.5"
+		{"eng", true},
+		{"51", false},
+		{"ops", false},
+	}
+	for _, c := range cases {
+		if got := valuePresent(have, c.lit); got != c.want {
+			t.Errorf("valuePresent(%q) = %v, want %v", c.lit, got, c.want)
+		}
 	}
 }
