@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
 	"pi2/internal/catalog"
@@ -106,6 +107,12 @@ func runJSON(path, baselinePath string) error {
 	}
 	report.Benches = append(report.Benches, serving...)
 
+	multi, err := multiSessionBenches()
+	if err != nil {
+		return err
+	}
+	report.Benches = append(report.Benches, multi...)
+
 	engineB, err := engineBenches()
 	if err != nil {
 		return err
@@ -196,10 +203,18 @@ func engineBenches() ([]BenchResult, error) {
 	return out, nil
 }
 
-// servingBenches measures the serving hot path exactly like the
-// BenchmarkSessionInteraction bench: one pan event plus re-execution of the
-// bound queries, cold (caches dropped per op) and cached.
-func servingBenches() ([]BenchResult, error) {
+// exploreServing is the shared fixture of the serving benches: the
+// generated Explore interface plus an interact closure that applies one pan
+// event and re-executes the bound queries.
+type exploreServing struct {
+	ifc      *iface.Interface
+	ctx      *transform.Context
+	db       *engine.DB
+	queries  int // len of the Explore log, for warm-up loop bounds
+	interact func(*iface.Session, int) error
+}
+
+func newExploreServing() (*exploreServing, error) {
 	wl := workload.Explore()
 	edb := dataset.NewDB()
 	ecat := catalog.Build(edb, dataset.Keys())
@@ -214,7 +229,6 @@ func servingBenches() ([]BenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := &transform.Context{Queries: asts, Cat: ecat}
 	vi := res.Interface.VisInts[0]
 	srcElem := res.Interface.Vis[vi.SourceVis].ElemID
 	kind := string(vi.Kind)
@@ -222,24 +236,40 @@ func servingBenches() ([]BenchResult, error) {
 		{"50", "60", "27", "38"},
 		{"60", "90", "16", "30"},
 	}
-	newSession := func() (*iface.Session, error) { return iface.NewSession(res.Interface, ctx, edb) }
-	interact := func(sess *iface.Session, i int) error {
-		if err := sess.Brush(srcElem, kind, viewports[i%2]...); err != nil {
+	return &exploreServing{
+		ifc:     res.Interface,
+		ctx:     &transform.Context{Queries: asts, Cat: ecat},
+		db:      edb,
+		queries: len(wl.Queries),
+		interact: func(sess *iface.Session, i int) error {
+			if err := sess.Brush(srcElem, kind, viewports[i%2]...); err != nil {
+				return err
+			}
+			_, err := sess.Results()
 			return err
-		}
-		_, err := sess.Results()
-		return err
+		},
+	}, nil
+}
+
+// servingBenches measures the serving hot path exactly like the
+// BenchmarkSessionInteraction bench: one pan event plus re-execution of the
+// bound queries, cold (caches dropped per op) and cached.
+func servingBenches() ([]BenchResult, error) {
+	es, err := newExploreServing()
+	if err != nil {
+		return nil, err
 	}
+	interact := es.interact
 
 	var out []BenchResult
 	var benchErr error
 	for _, cached := range []bool{false, true} {
-		sess, err := newSession()
+		sess, err := iface.NewSession(es.ifc, es.ctx, es.db)
 		if err != nil {
 			return nil, err
 		}
 		if cached {
-			for i := 0; i < len(wl.Queries); i++ {
+			for i := 0; i < es.queries; i++ {
 				if err := interact(sess, i); err != nil {
 					return nil, err
 				}
@@ -272,6 +302,93 @@ func servingBenches() ([]BenchResult, error) {
 			}
 		}
 		br.Name = name
+		out = append(out, br)
+	}
+	return out, nil
+}
+
+// multiSessionBenches measures the multi-tenant serving path: one op is K
+// concurrent users each acquiring their own session from a fresh registry
+// and running one pan interaction. "cold" sessions carry private plan
+// caches, so all K compile everything themselves; "warm-shared" sessions
+// share one pre-warmed PlanCache, so compilation is amortized to zero and
+// only execution remains — the cross-session payoff the registry's shared
+// cache exists for.
+func multiSessionBenches() ([]BenchResult, error) {
+	es, err := newExploreServing()
+	if err != nil {
+		return nil, err
+	}
+	const sessions = 8
+	var out []BenchResult
+	for _, shared := range []bool{false, true} {
+		name := "ServeMultiSession/cold"
+		var pc *iface.PlanCache
+		if shared {
+			name = "ServeMultiSession/warm-shared"
+			pc = iface.NewPlanCache()
+			warm, err := iface.NewSessionWithPlans(es.ifc, es.ctx, es.db, pc)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < sessions; i++ {
+				if err := es.interact(warm, i); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var benchErr error
+		var last iface.RegistryStats
+		r := testing.Benchmark(func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				// Session construction (binding derivation) is identical in
+				// both variants; keep it off the clock so the measurement
+				// isolates what the variants actually contrast — per-user
+				// compilation vs shared-plan reuse on the first interaction.
+				b.StopTimer()
+				reg := iface.NewRegistry(func() (*iface.Session, error) {
+					return iface.NewSessionWithPlans(es.ifc, es.ctx, es.db, pc)
+				}, iface.RegistryOptions{MaxSessions: sessions, Plans: pc})
+				users := make([]*iface.Session, sessions)
+				for k := range users {
+					sess, err := reg.Acquire(fmt.Sprintf("user-%d", k))
+					if err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+					users[k] = sess
+				}
+				b.StartTimer()
+				errs := make(chan error, sessions)
+				var wg sync.WaitGroup
+				for k, sess := range users {
+					wg.Add(1)
+					go func(k int, sess *iface.Session) {
+						defer wg.Done()
+						if err := es.interact(sess, k); err != nil {
+							errs <- err
+						}
+					}(k, sess)
+				}
+				wg.Wait()
+				select {
+				case benchErr = <-errs:
+					b.FailNow()
+				default:
+				}
+				last = reg.Stats()
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("pi2bench: %s: %w", name, benchErr)
+		}
+		br := BenchResult{
+			Name: name, Iterations: r.N, NsPerOp: r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+		}
+		if tot := last.Cache.PlanHits + last.Cache.PlanMisses; tot > 0 {
+			br.HitRate = float64(last.Cache.PlanHits) / float64(tot)
+		}
 		out = append(out, br)
 	}
 	return out, nil

@@ -1,7 +1,8 @@
 // Command pi2serve generates an interface for a query log and serves it as
-// a live web application: charts render as SVG from the current query
-// results, widget manipulations post back and rewrite the bound queries —
-// the browser/server/database stack the paper's interfaces deploy to.
+// a live multi-user web application: charts render as SVG from the current
+// query results, widget manipulations post back and rewrite the bound
+// queries — the browser/server/database stack the paper's interfaces
+// deploy to.
 //
 // It serves either a built-in workload or user-supplied files:
 //
@@ -10,15 +11,18 @@
 //	pi2serve -data cars.csv,sales.ndjson.gz -queries log.sql -manifest m.json
 //	open http://localhost:8080
 //
-// Serving runs on the cached session path: bound queries are compiled once
-// into engine plans (executed through the relational operator pipeline) and
-// result tables are memoized per binding state in LRU caches, so repeated
-// widget events skip parse, plan, and execution entirely. The session's own
-// mutex serializes concurrent requests; cache hit/miss counters are exposed
-// at /stats and a lock-free liveness probe at /healthz.
+// Serving is multi-tenant: every user gets their own session (keyed by the
+// pi2session cookie, or an explicit ?session= parameter) with independent
+// widget/binding state, managed by a registry that enforces -max-sessions
+// (LRU eviction) and -session-ttl (idle expiry). Compiled query plans are
+// binding-independent, so one shared single-flight plan cache serves every
+// session; per-binding result tables stay session-private in LRU caches.
+// Aggregated per-session cache counters plus registry occupancy/eviction
+// counts are exposed at /stats, and a lock-free liveness probe at /healthz.
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes
-// immediately and in-flight requests drain for up to -drain (default 10s).
+// immediately, in-flight requests drain for up to -drain (default 10s), and
+// the registry then drains all sessions.
 package main
 
 import (
@@ -54,6 +58,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "search seed")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
+	maxSessions := flag.Int("max-sessions", iface.DefaultMaxSessions, "maximum live sessions; the least recently used is evicted at the cap")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (0 disables idle expiry)")
 	flag.Parse()
 
 	db, keys, queries, title, err := loadInputs(*logName, *dataFiles, *queriesFile, *manifest)
@@ -77,20 +83,65 @@ func main() {
 		log.Fatal(err)
 	}
 	ctx := &transform.Context{Queries: asts, Cat: cat}
-	sess, err := iface.NewSession(res.Interface, ctx, db)
-	if err != nil {
-		log.Fatal(err)
-	}
+	reg := newRegistry(res.Interface, ctx, db, *maxSessions, *sessionTTL)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving on %s (interaction cache enabled; counters at /stats, liveness at /healthz)\n", *addr)
+	fmt.Printf("serving on %s (max %d sessions, ttl %s; counters at /stats, liveness at /healthz)\n",
+		*addr, *maxSessions, *sessionTTL)
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	if err := serve(ln, iface.NewServer(sess).Handler(), sigs, *drain, log.Printf); err != nil {
+	stopSweeper := startSweeper(reg, *sessionTTL)
+	err = serve(ln, iface.NewRegistryServer(reg).Handler(), sigs, *drain, log.Printf)
+	stopSweeper()
+	reg.Close() // drain all sessions into the final aggregate
+	if st := reg.Stats(); st.Created > 0 {
+		log.Printf("pi2serve: served %d sessions (%d evicted, %d expired); cache %+v",
+			st.Created, st.EvictedLRU, st.ExpiredTTL, st.Cache)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// newRegistry wires the serving registry exactly as the tests and benches
+// do: per-user sessions from one generated interface, all sharing one
+// single-flight plan cache.
+func newRegistry(ifc *iface.Interface, ctx *transform.Context, db *engine.DB, maxSessions int, ttl time.Duration) *iface.Registry {
+	pc := iface.NewPlanCache()
+	return iface.NewRegistry(func() (*iface.Session, error) {
+		return iface.NewSessionWithPlans(ifc, ctx, db, pc)
+	}, iface.RegistryOptions{MaxSessions: maxSessions, TTL: ttl, Plans: pc})
+}
+
+// startSweeper periodically retires idle sessions so an abandoned fleet
+// shrinks between requests; the returned stop function ends it.
+func startSweeper(reg *iface.Registry, ttl time.Duration) (stop func()) {
+	if ttl <= 0 {
+		return func() {}
+	}
+	interval := ttl / 4
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	if interval < time.Second {
+		interval = time.Second // tiny TTLs must not yield a zero ticker
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				reg.Sweep()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 // serve runs the HTTP server until a signal arrives on sigs, then shuts

@@ -136,9 +136,10 @@ func TestServeReturnsListenerError(t *testing.T) {
 }
 
 // TestHealthzEndToEnd generates a real interface (the Explore workload,
-// exactly like `pi2serve -log Explore`), serves it through the same serve
-// loop main uses, probes /healthz and /stats, and shuts down via a
-// simulated SIGINT.
+// exactly like `pi2serve -log Explore`), serves it multi-tenant through the
+// same registry wiring and serve loop main uses, probes /healthz and
+// /stats, drives two independent sessions, and shuts down via a simulated
+// SIGINT — after which the registry drains and refuses new sessions.
 func TestHealthzEndToEnd(t *testing.T) {
 	db, keys, queries, _, err := loadInputs("Explore", "", "", "")
 	if err != nil {
@@ -153,10 +154,7 @@ func TestHealthzEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := iface.NewSession(res.Interface, &transform.Context{Queries: asts, Cat: cat}, db)
-	if err != nil {
-		t.Fatal(err)
-	}
+	reg := newRegistry(res.Interface, &transform.Context{Queries: asts, Cat: cat}, db, 8, time.Hour)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -164,10 +162,10 @@ func TestHealthzEndToEnd(t *testing.T) {
 	}
 	sigs := make(chan os.Signal, 1)
 	done := make(chan error, 1)
-	go func() { done <- serve(ln, iface.NewServer(sess).Handler(), sigs, time.Second, t.Logf) }()
+	go func() { done <- serve(ln, iface.NewRegistryServer(reg).Handler(), sigs, time.Second, t.Logf) }()
 	base := "http://" + ln.Addr().String()
 
-	for _, path := range []string{"/healthz", "/stats", "/"} {
+	for _, path := range []string{"/healthz", "/stats", "/?session=alice", "/?session=bob"} {
 		resp, err := http.Get(base + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -181,6 +179,9 @@ func TestHealthzEndToEnd(t *testing.T) {
 			t.Fatalf("healthz body = %q", body)
 		}
 	}
+	if st := reg.Stats(); st.LiveSessions != 2 || st.Created != 2 {
+		t.Fatalf("registry stats after two users = %+v", st)
+	}
 
 	sigs <- os.Interrupt
 	select {
@@ -190,5 +191,12 @@ func TestHealthzEndToEnd(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("serve did not shut down")
+	}
+	reg.Close()
+	if _, err := reg.Acquire("carol"); err != iface.ErrRegistryClosed {
+		t.Fatalf("Acquire after drain = %v, want ErrRegistryClosed", err)
+	}
+	if st := reg.Stats(); st.LiveSessions != 0 {
+		t.Fatalf("sessions not drained: %+v", st)
 	}
 }

@@ -103,7 +103,7 @@ func TestPlanCacheHitAfterResultEviction(t *testing.T) {
 	}
 	// evict the result layer only, as cap pressure would
 	sess.mu.Lock()
-	sess.results[0] = newLRU[cachedResult](maxCachedResultsPerTree)
+	sess.results[0] = newLRU[uint64, cachedResult](maxCachedResultsPerTree)
 	sess.mu.Unlock()
 	second, err := sess.Result(0)
 	if err != nil {
@@ -230,7 +230,7 @@ func TestSessionConcurrentAccess(t *testing.T) {
 // LRU unit behavior: lookups refresh recency, the least recently used entry
 // is the one evicted, and replacing a key does not grow the cache.
 func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
-	c := newLRU[int](3)
+	c := newLRU[uint64, int](3)
 	c.put(1, 10)
 	c.put(2, 20)
 	c.put(3, 30)

@@ -1,0 +1,84 @@
+package iface
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fuzzHandler serves the slider interface through a small registry (cap 4,
+// so fuzz inputs with distinct session keys also churn eviction) exactly as
+// the registry server wires it. Built once per fuzz process.
+var (
+	fuzzOnce    sync.Once
+	fuzzHandle  http.Handler
+	fuzzHandler = func(tb testing.TB) http.Handler {
+		fuzzOnce.Do(func() {
+			ifc, ctx := buildSliderInterface(tb)
+			pc := NewPlanCache()
+			reg := NewRegistry(func() (*Session, error) {
+				return NewSessionWithPlans(ifc, ctx, testDB, pc)
+			}, RegistryOptions{MaxSessions: 4, Plans: pc})
+			fuzzHandle = NewRegistryServer(reg).Handler()
+		})
+		return fuzzHandle
+	}
+)
+
+// FuzzInteractionRequest fuzzes the HTTP form/binding decoding path of the
+// multi-session server: whatever arrives — bad session keys, stale element
+// ids, malformed numbers, broken percent-encoding, hostile cookie values —
+// the server must neither panic nor blame itself (5xx). Client mistakes are
+// 4xx; redirects and successes are fine.
+func FuzzInteractionRequest(f *testing.F) {
+	// Valid traffic, so mutations start near the accepted grammar.
+	f.Add("/widget", "session=k1&id=w0&value=3", "", "")
+	f.Add("/widget", "session=k1&id=w0&lo=1&hi=5", "", "")
+	f.Add("/widget", "id=w0&option=0", "", "pi2session=cookie-user")
+	f.Add("/widget", "", "session=k1&id=w0&text=2", "")
+	f.Add("/interact", "session=k2&vis=vis0&kind=brush-x&bounds=10,50", "", "")
+	f.Add("/interact", "vis=vis0&kind=click&row=0", "", "")
+	f.Add("/interact", "vis=vis0&kind=brush-x&clear=1", "", "")
+	f.Add("/reset", "session=k1", "", "")
+	f.Add("/sql", "session=k1", "", "")
+	f.Add("/stats", "", "", "")
+	// Known-bad traffic: each must be a 4xx, never a 5xx or panic.
+	f.Add("/widget", "session=bad key&id=w0&value=3", "", "")          // invalid key
+	f.Add("/widget", "session="+strings.Repeat("x", 99), "", "")       // oversized key
+	f.Add("/widget", "session=k1&id=zombie&value=3", "", "")           // stale element id
+	f.Add("/widget", "session=k1&id=w0&value=NaNana", "", "")          // malformed value
+	f.Add("/widget", "session=k1&id=w0&checked=1,frog", "", "")        // malformed list
+	f.Add("/widget", "session=k1&id=w0&option=99", "", "")             // out of range
+	f.Add("/interact", "session=k1&vis=nope&kind=click&row=0", "", "") // unknown vis
+	f.Add("/interact", "session=k1&vis=vis0&kind=click&row=9999", "", "")
+	f.Add("/interact", "session=k1&vis=vis0&kind=warp&bounds=1", "", "")
+	f.Add("/widget", "%zz=broken&id=w0", "", "")                    // invalid percent-encoding
+	f.Add("/widget", "id=w0&value=3", "", "pi2session=bad key")     // hostile cookie value
+	f.Add("/widget", "id=w0&value=3", "", "pi2session=\x00\x7f;;=") // unparsable cookie
+
+	f.Fuzz(func(t *testing.T, path, rawQuery, body, cookie string) {
+		h := fuzzHandler(t)
+		// Build the request by hand: httptest.NewRequest panics on
+		// unparsable targets, and raw fuzz bytes must reach ParseForm, not
+		// the test harness.
+		req := &http.Request{
+			Method: http.MethodPost,
+			URL:    &url.URL{Path: "/" + strings.TrimPrefix(path, "/"), RawQuery: rawQuery},
+			Header: http.Header{"Content-Type": {"application/x-www-form-urlencoded"}},
+			Body:   io.NopCloser(strings.NewReader(body)),
+			Host:   "fuzz.local",
+		}
+		if cookie != "" {
+			req.Header.Set("Cookie", cookie)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic
+		if rec.Code >= 500 {
+			t.Fatalf("POST %s?%s (body %q) = %d:\n%s", path, rawQuery, body, rec.Code, rec.Body.String())
+		}
+	})
+}

@@ -20,8 +20,9 @@ var (
 )
 
 // buildSliderInterface hand-builds a one-chart one-slider interface over
-// SELECT p, count(*) FROM T WHERE a = VAL GROUP BY p.
-func buildSliderInterface(t *testing.T) (*Interface, *transform.Context) {
+// SELECT p, count(*) FROM T WHERE a = VAL GROUP BY p. It takes testing.TB
+// so tests, benchmarks, and fuzz targets all share the fixture.
+func buildSliderInterface(t testing.TB) (*Interface, *transform.Context) {
 	t.Helper()
 	q1 := sqlparser.MustParse("SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p")
 	q2 := sqlparser.MustParse("SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p")

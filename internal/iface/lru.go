@@ -2,31 +2,35 @@ package iface
 
 import "container/list"
 
-// lruCache is a size-bounded uint64-keyed map with least-recently-used
-// eviction: lookups and inserts both count as use, so the entries that keep
-// answering interactions (the slider positions a user oscillates between)
-// stay resident while stale drag states age out. The arbitrary-map-order
+// lruCache is a size-bounded map with least-recently-used eviction: lookups
+// and inserts both count as use, so the entries that keep answering
+// interactions (the slider positions a user oscillates between) stay
+// resident while stale drag states age out. The arbitrary-map-order
 // eviction it replaces could evict the hottest entry at the cap.
-type lruCache[V any] struct {
+//
+// The key is any comparable type: the session caches key by 64-bit hashes,
+// the shared plan cache by hash⊕generation, and tests by whatever is
+// convenient. Not safe for concurrent use; callers hold their own lock.
+type lruCache[K comparable, V any] struct {
 	cap     int
 	order   *list.List // front = most recently used
-	entries map[uint64]*list.Element
+	entries map[K]*list.Element
 }
 
-type lruEntry[V any] struct {
-	key uint64
+type lruEntry[K comparable, V any] struct {
+	key K
 	val V
 }
 
-func newLRU[V any](capacity int) *lruCache[V] {
-	return &lruCache[V]{cap: capacity, order: list.New(), entries: map[uint64]*list.Element{}}
+func newLRU[K comparable, V any](capacity int) *lruCache[K, V] {
+	return &lruCache[K, V]{cap: capacity, order: list.New(), entries: map[K]*list.Element{}}
 }
 
 // get returns the entry and marks it most recently used.
-func (c *lruCache[V]) get(k uint64) (V, bool) {
+func (c *lruCache[K, V]) get(k K) (V, bool) {
 	if e, ok := c.entries[k]; ok {
 		c.order.MoveToFront(e)
-		return e.Value.(*lruEntry[V]).val, true
+		return e.Value.(*lruEntry[K, V]).val, true
 	}
 	var zero V
 	return zero, false
@@ -34,20 +38,20 @@ func (c *lruCache[V]) get(k uint64) (V, bool) {
 
 // put inserts or replaces the entry, marking it most recently used and
 // evicting the least recently used entry when the cache is at capacity.
-func (c *lruCache[V]) put(k uint64, v V) {
+func (c *lruCache[K, V]) put(k K, v V) {
 	if e, ok := c.entries[k]; ok {
-		e.Value.(*lruEntry[V]).val = v
+		e.Value.(*lruEntry[K, V]).val = v
 		c.order.MoveToFront(e)
 		return
 	}
 	if len(c.entries) >= c.cap {
 		if back := c.order.Back(); back != nil {
-			delete(c.entries, back.Value.(*lruEntry[V]).key)
+			delete(c.entries, back.Value.(*lruEntry[K, V]).key)
 			c.order.Remove(back)
 		}
 	}
-	c.entries[k] = c.order.PushFront(&lruEntry[V]{key: k, val: v})
+	c.entries[k] = c.order.PushFront(&lruEntry[K, V]{key: k, val: v})
 }
 
 // len reports the number of resident entries.
-func (c *lruCache[V]) len() int { return len(c.entries) }
+func (c *lruCache[K, V]) len() int { return len(c.entries) }

@@ -1,0 +1,112 @@
+package iface
+
+import (
+	"sync"
+	"sync/atomic"
+
+	dt "pi2/internal/difftree"
+	"pi2/internal/engine"
+)
+
+// PlanCache is a compiled-plan cache shared read-only across sessions.
+//
+// A compiled engine.Plan depends only on the resolved query AST and the
+// database snapshot it was prepared against — it is binding-independent
+// (distinct binding states that resolve to the same SQL share one plan) and
+// session-independent (no per-user state leaks into compilation). So one
+// registry-wide cache can serve every session: entries are keyed by
+// difftree.Hash(ast) ⊕ DB generation, which makes entries from a mutated
+// database unreachable rather than requiring a flush (they age out of the
+// LRU under capacity pressure). Per-binding *result* tables, by contrast,
+// stay session-private — see Session.
+//
+// Compilation is single-flighted exactly like the search layer's
+// rewardCache: the per-entry sync.Once runs Prepare at most once across all
+// sessions and blocks concurrent requesters until the plan (or its error —
+// Prepare failures are deterministic for a fixed AST and generation, so
+// they are memoized too) is ready. Sharding keeps sessions from
+// serializing on one lock; each shard's LRU bounds residency.
+type PlanCache struct {
+	shards   [planShards]planShard
+	compiles atomic.Uint64 // Prepare calls actually run (for tests/stats)
+}
+
+const (
+	planShards           = 8
+	maxSharedPlansPerShd = 128 // 8 shards × 128 = 1024 plans registry-wide
+)
+
+type planShard struct {
+	mu  sync.Mutex
+	lru *lruCache[uint64, *planEntry]
+}
+
+// planEntry single-flights one (resolved AST, DB generation) compilation.
+// ast and gen guard against 64-bit key collisions; they are set before the
+// entry is published and never written again.
+type planEntry struct {
+	once sync.Once
+	ast  *dt.Node
+	gen  uint64
+	plan *engine.Plan
+	err  error
+}
+
+// NewPlanCache returns an empty shared plan cache.
+func NewPlanCache() *PlanCache {
+	pc := &PlanCache{}
+	for i := range pc.shards {
+		pc.shards[i].lru = newLRU[uint64, *planEntry](maxSharedPlansPerShd)
+	}
+	return pc
+}
+
+// planKey folds the DB generation into the AST hash so a mutated database
+// sees only fresh entries. The multiply spreads small generation deltas
+// across all 64 bits (fibonacci hashing); collisions are still guarded by
+// the entry's ast/gen fields.
+func planKey(qh, gen uint64) uint64 {
+	return qh ^ (gen+1)*0x9e3779b97f4a7c15
+}
+
+// Get returns the compiled plan for ast against db's current generation,
+// compiling at most once across all sessions. hit reports whether the entry
+// already existed (the caller may have waited for another session's
+// in-flight compilation, but no compilation ran on its behalf).
+func (pc *PlanCache) Get(db *engine.DB, ast *dt.Node) (plan *engine.Plan, hit bool, err error) {
+	gen := db.Generation()
+	key := planKey(dt.Hash(ast), gen)
+	sh := &pc.shards[key%planShards]
+	sh.mu.Lock()
+	e, ok := sh.lru.get(key)
+	if ok && (e.gen != gen || !dt.Equal(e.ast, ast)) {
+		ok = false // 64-bit collision: replace rather than serve a stranger's plan
+	}
+	if !ok {
+		e = &planEntry{ast: ast, gen: gen}
+		sh.lru.put(key, e)
+	}
+	sh.mu.Unlock()
+	e.once.Do(func() {
+		pc.compiles.Add(1)
+		e.plan, e.err = engine.Prepare(db, ast)
+	})
+	return e.plan, ok, e.err
+}
+
+// Len reports the number of resident plans across all shards.
+func (pc *PlanCache) Len() int {
+	n := 0
+	for i := range pc.shards {
+		sh := &pc.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Compiles reports how many Prepare calls actually ran — under single
+// flight this stays at one per distinct (query, generation) no matter how
+// many sessions request it concurrently.
+func (pc *PlanCache) Compiles() uint64 { return pc.compiles.Load() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	dt "pi2/internal/difftree"
 	"pi2/internal/engine"
@@ -13,13 +14,47 @@ import (
 
 // CacheStats counts interaction-cache traffic. A result hit means a widget
 // event was answered entirely from memoized state — no parse, plan, or
-// execution; a plan hit means only execution ran.
+// execution; a plan hit means only execution ran (with a shared PlanCache
+// it also means the compiled plan may have come from another session).
 type CacheStats struct {
 	ResultHits    uint64
 	ResultMisses  uint64
 	PlanHits      uint64
 	PlanMisses    uint64
 	Invalidations uint64 // cache flushes triggered by DB mutation
+}
+
+// Add accumulates o into c — how the registry folds per-session counters
+// into one multi-session aggregate.
+func (c *CacheStats) Add(o CacheStats) {
+	c.ResultHits += o.ResultHits
+	c.ResultMisses += o.ResultMisses
+	c.PlanHits += o.PlanHits
+	c.PlanMisses += o.PlanMisses
+	c.Invalidations += o.Invalidations
+}
+
+// sessionStats is CacheStats with each counter updated atomically, so a
+// snapshot never needs the session mutex. The registry's /stats aggregation
+// reads every live session's counters without blocking on (or serializing)
+// in-flight interactions — the alternative, taking every session lock at
+// once, would stall the whole fleet behind the slowest request.
+type sessionStats struct {
+	resultHits    atomic.Uint64
+	resultMisses  atomic.Uint64
+	planHits      atomic.Uint64
+	planMisses    atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+func (c *sessionStats) snapshot() CacheStats {
+	return CacheStats{
+		ResultHits:    c.resultHits.Load(),
+		ResultMisses:  c.resultMisses.Load(),
+		PlanHits:      c.planHits.Load(),
+		PlanMisses:    c.planMisses.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
 }
 
 // cachedResult memoizes one tree's result table for a binding state. The
@@ -52,6 +87,11 @@ type cachedPlan struct {
 // execution entirely). Both layers flush when the database mutates,
 // detected via engine.DB.Generation. All exported methods lock a
 // per-session mutex, so one Session can serve concurrent HTTP requests.
+//
+// Under a Registry, many sessions run side by side: each keeps its own
+// bindings, result caches, and mutex, while the plan layer is swapped for a
+// shared read-only PlanCache (NewSessionWithPlans) so the fleet compiles
+// each distinct resolved query once.
 type Session struct {
 	Ifc *Interface
 	Ctx *transform.Context
@@ -60,16 +100,31 @@ type Session struct {
 	mu       sync.Mutex
 	bindings []dt.Binding // per tree
 
-	gen     uint64                    // DB generation the caches were built at
-	plans   *lruCache[cachedPlan]     // resolved-AST hash -> compiled plan
-	results []*lruCache[cachedResult] // per tree: binding hash -> result
-	stats   CacheStats
+	gen     uint64                            // DB generation the caches were built at
+	shared  *PlanCache                        // cross-session plan cache; nil -> private plans
+	plans   *lruCache[uint64, cachedPlan]     // private: resolved-AST hash -> compiled plan
+	results []*lruCache[uint64, cachedResult] // per tree: binding hash -> result
+
+	// stats lives behind a pointer so the registry can keep just the
+	// counters of an evicted session (a few dozen bytes) while the session
+	// itself — bindings, caches, memoized tables — is garbage collected.
+	stats *sessionStats
 }
 
 // NewSession initializes the runtime with each tree bound to its first
 // input query (the interface's initial state).
 func NewSession(ifc *Interface, ctx *transform.Context, db *engine.DB) (*Session, error) {
-	s := &Session{Ifc: ifc, Ctx: ctx, DB: db}
+	return NewSessionWithPlans(ifc, ctx, db, nil)
+}
+
+// NewSessionWithPlans is NewSession with a shared read-only plan cache:
+// compiled plans are looked up in (and published to) plans instead of the
+// session-private plan LRU, so a fleet of sessions over one interface
+// compiles each distinct resolved query once. Result tables remain
+// session-private (they are keyed by this session's binding states). A nil
+// plans is equivalent to NewSession.
+func NewSessionWithPlans(ifc *Interface, ctx *transform.Context, db *engine.DB, plans *PlanCache) (*Session, error) {
+	s := &Session{Ifc: ifc, Ctx: ctx, DB: db, shared: plans, stats: &sessionStats{}}
 	for ti, tree := range ifc.State.Trees {
 		qb, ok := tree.Bind(ctx)
 		if !ok || len(qb.PerQuery) == 0 {
@@ -81,15 +136,16 @@ func NewSession(ifc *Interface, ctx *transform.Context, db *engine.DB) (*Session
 	return s, nil
 }
 
-// Stats returns a snapshot of the cache counters.
-func (s *Session) Stats() CacheStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
+// Stats returns a snapshot of the cache counters. It is lock-free (the
+// counters are atomics), so monitoring never blocks on — and never blocks —
+// an in-flight interaction holding the session mutex.
+func (s *Session) Stats() CacheStats { return s.stats.snapshot() }
 
-// ResetCache drops all memoized plans and result tables (counters are
-// kept). The next interaction takes the full parse/plan/execute path.
+// ResetCache drops this session's memoized plans and result tables
+// (counters are kept). The next interaction takes the full
+// parse/plan/execute path. A shared PlanCache is not flushed — it belongs
+// to every session, and its entries are keyed by DB generation so they can
+// never serve stale plans.
 func (s *Session) ResetCache() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -98,10 +154,10 @@ func (s *Session) ResetCache() {
 
 func (s *Session) resetCacheLocked() {
 	s.gen = s.DB.Generation()
-	s.plans = newLRU[cachedPlan](maxCachedPlans)
-	s.results = make([]*lruCache[cachedResult], len(s.bindings))
+	s.plans = newLRU[uint64, cachedPlan](maxCachedPlans)
+	s.results = make([]*lruCache[uint64, cachedResult], len(s.bindings))
 	for i := range s.results {
-		s.results[i] = newLRU[cachedResult](maxCachedResultsPerTree)
+		s.results[i] = newLRU[uint64, cachedResult](maxCachedResultsPerTree)
 	}
 }
 
@@ -110,7 +166,7 @@ func (s *Session) resetCacheLocked() {
 func (s *Session) ensureFreshLocked() {
 	if s.DB.Generation() != s.gen {
 		s.resetCacheLocked()
-		s.stats.Invalidations++
+		s.stats.invalidations.Add(1)
 	}
 }
 
@@ -206,26 +262,17 @@ func (s *Session) resultLocked(tree int) (*engine.Table, error) {
 	bkey := b.KeyString()
 	bh := dt.HashKey(bkey)
 	if cr, ok := s.results[tree].get(bh); ok && cr.key == bkey {
-		s.stats.ResultHits++
+		s.stats.resultHits.Add(1)
 		return cr.tbl, nil
 	}
-	s.stats.ResultMisses++
+	s.stats.resultMisses.Add(1)
 	ast, err := dt.Resolve(s.Ifc.State.Trees[tree].Root, b)
 	if err != nil {
 		return nil, err
 	}
-	qh := dt.Hash(ast)
-	var plan *engine.Plan
-	if cp, ok := s.plans.get(qh); ok && !cp.plan.Stale() && dt.Equal(cp.ast, ast) {
-		s.stats.PlanHits++
-		plan = cp.plan
-	} else {
-		s.stats.PlanMisses++
-		plan, err = engine.Prepare(s.DB, ast)
-		if err != nil {
-			return nil, err
-		}
-		s.plans.put(qh, cachedPlan{ast: ast, plan: plan})
+	plan, err := s.planFor(ast)
+	if err != nil {
+		return nil, err
 	}
 	res, err := plan.Exec()
 	if err != nil {
@@ -233,6 +280,38 @@ func (s *Session) resultLocked(tree int) (*engine.Table, error) {
 	}
 	s.results[tree].put(bh, cachedResult{key: bkey, tbl: res})
 	return res, nil
+}
+
+// planFor returns the compiled plan for a resolved query: from the shared
+// cross-session cache when one is attached, else from the session-private
+// plan LRU (compiling on miss). Called with the session mutex held; the
+// shared cache takes only its own shard lock underneath (see the locking
+// hierarchy in ARCHITECTURE.md).
+func (s *Session) planFor(ast *dt.Node) (*engine.Plan, error) {
+	if s.shared != nil {
+		plan, hit, err := s.shared.Get(s.DB, ast)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			s.stats.planHits.Add(1)
+		} else {
+			s.stats.planMisses.Add(1)
+		}
+		return plan, nil
+	}
+	qh := dt.Hash(ast)
+	if cp, ok := s.plans.get(qh); ok && !cp.plan.Stale() && dt.Equal(cp.ast, ast) {
+		s.stats.planHits.Add(1)
+		return cp.plan, nil
+	}
+	s.stats.planMisses.Add(1)
+	plan, err := engine.Prepare(s.DB, ast)
+	if err != nil {
+		return nil, err
+	}
+	s.plans.put(qh, cachedPlan{ast: ast, plan: plan})
+	return plan, nil
 }
 
 func (s *Session) widget(elemID string) (*WidgetSpec, error) {

@@ -1,10 +1,14 @@
 package iface
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 
@@ -17,15 +21,39 @@ import (
 // and the page re-renders — the browser/server/database stack the paper's
 // generated interfaces deploy to, built on net/http alone.
 //
+// In registry mode (NewRegistryServer) the server is multi-tenant: each
+// request is routed to a per-user Session picked by the session-key
+// protocol below, sessions are created on demand, and /stats reports the
+// registry aggregate. In single-session mode (NewServer) every request
+// shares one Session — the original one-user deployment, kept for embedding
+// and tests.
+//
+// Session-key protocol: a request addresses its session with the `session`
+// form/query parameter if present, else with the `pi2session` cookie; a
+// request carrying neither is assigned a fresh random key via Set-Cookie
+// (HttpOnly, SameSite=Lax — the key is the session's sole credential).
+// Keys are 1–64 characters of [A-Za-z0-9._~-]; anything else is a 400.
+// Redirects after manipulations propagate an explicitly passed key in the
+// URL so cookie-less clients (curl, tests, load generators) stay on their
+// session. Sessions are created by the page ("/") and by well-formed
+// manipulations; malformed manipulations are rejected before any session
+// is acquired, and the read-only /sql never creates one (unknown key →
+// 404) — so garbage traffic cannot churn creation or evict live users.
+//
 // Concurrency is handled per session: every Session method takes the
-// session's own mutex, so concurrent HTTP requests against the same session
+// session's own mutex, so concurrent requests against the same session
 // serialize on its state while leaving other sessions untouched.
 type Server struct {
-	sess *Session
+	reg    *Registry
+	single *Session
 }
 
-// NewServer wraps a session.
-func NewServer(sess *Session) *Server { return &Server{sess: sess} }
+// NewServer wraps a single session: every request addresses it, session
+// keys are ignored.
+func NewServer(sess *Session) *Server { return &Server{single: sess} }
+
+// NewRegistryServer serves per-user sessions out of a registry.
+func NewRegistryServer(reg *Registry) *Server { return &Server{reg: reg} }
 
 // Handler returns the http.Handler serving the interface.
 func (sv *Server) Handler() http.Handler {
@@ -40,9 +68,116 @@ func (sv *Server) Handler() http.Handler {
 	return mux
 }
 
+// sessionCookie names the cookie carrying a browser's session key.
+const sessionCookie = "pi2session"
+
+// validSessionKey accepts 1–64 characters of [A-Za-z0-9._~-] (the URL
+// "unreserved" set): enough for generated hex keys and human-chosen names,
+// and safe to echo into cookies, URLs, and HTML attributes.
+func validSessionKey(key string) bool {
+	if len(key) == 0 || len(key) > 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '.' || c == '_' || c == '~' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func newSessionKey() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; keys only need to be
+		// distinct per browser, so a fixed fallback still serves (as one
+		// shared session) rather than crashing the server.
+		return "fallback"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sessionFor resolves the session a request addresses and reports the key
+// to propagate (empty in single-session mode) plus whether the client named
+// it explicitly in the request parameters. On failure it writes the HTTP
+// error — bad keys are the client's fault (400), a draining registry is
+// unavailability (503) — and returns ok=false.
+func (sv *Server) sessionFor(w http.ResponseWriter, r *http.Request) (sess *Session, key string, explicit bool, ok bool) {
+	if sv.single != nil {
+		return sv.single, "", false, true
+	}
+	key = r.FormValue("session")
+	explicit = key != ""
+	fromCookie := false
+	if key == "" {
+		if c, err := r.Cookie(sessionCookie); err == nil {
+			key, fromCookie = c.Value, true
+		}
+	}
+	generated := key == ""
+	if generated {
+		key = newSessionKey()
+	}
+	if !validSessionKey(key) {
+		if fromCookie {
+			// An unusable cookie would otherwise 400 the client forever;
+			// replace it with a fresh session instead.
+			key, generated = newSessionKey(), true
+		} else {
+			http.Error(w, "invalid session key", http.StatusBadRequest)
+			return nil, "", false, false
+		}
+	}
+	sess, err := sv.reg.Acquire(key)
+	if err != nil {
+		if errors.Is(err, ErrRegistryClosed) {
+			http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
+		} else {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return nil, "", false, false
+	}
+	if generated {
+		// The key is the session's sole credential: keep it away from
+		// scripts and cross-site form posts.
+		http.SetCookie(w, &http.Cookie{
+			Name: sessionCookie, Value: key, Path: "/",
+			HttpOnly: true, SameSite: http.SameSiteLaxMode,
+		})
+	}
+	return sess, key, explicit, true
+}
+
+// requestKey resolves the session key a request addresses (parameter, then
+// cookie) without creating anything. ok is false when the key is missing
+// or malformed.
+func (sv *Server) requestKey(r *http.Request) (key string, ok bool) {
+	key = r.FormValue("session")
+	if key == "" {
+		if c, err := r.Cookie(sessionCookie); err == nil {
+			key = c.Value
+		}
+	}
+	return key, validSessionKey(key)
+}
+
+// redirectTarget keeps an explicitly addressed session on its key across
+// the post/redirect/get cycle; cookie-addressed sessions need nothing in
+// the URL.
+func redirectTarget(key string, explicit bool) string {
+	if explicit {
+		return "/?session=" + url.QueryEscape(key)
+	}
+	return "/"
+}
+
 // handleHealthz is the liveness/readiness probe: it answers without taking
-// the session lock, so a long-running interaction cannot fail a health
-// check, and load balancers can poll it cheaply.
+// any session or registry lock, so a long-running interaction cannot fail a
+// health check, and load balancers can poll it cheaply.
 func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
@@ -50,7 +185,14 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	page, err := sv.renderPage()
+	sess, key, explicit, ok := sv.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	if !explicit {
+		key = "" // cookie-bound: keep session keys out of forms and URLs
+	}
+	page, err := sv.renderPage(sess, key)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -59,115 +201,151 @@ func (sv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, page)
 }
 
-// handleWidget applies a widget manipulation: ?id=w0&option=1, ?id=w0&value=3,
-// ?id=w0&on=true, ?id=w0&lo=1&hi=5, ?id=w0&checked=0,2.
-func (sv *Server) handleWidget(w http.ResponseWriter, r *http.Request) {
-	if err := r.ParseForm(); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	id := r.Form.Get("id")
-	var err error
+// widgetAction decodes a widget manipulation (?id=w0&option=1,
+// ?id=w0&value=3, ?id=w0&on=true, ?id=w0&lo=1&hi=5, ?id=w0&checked=0,2)
+// into a deferred application. Decoding happens before any session is
+// acquired, so malformed requests are rejected without ever creating a
+// session (or evicting a live user's to make room for one).
+func widgetAction(form url.Values) (func(*Session) error, error) {
+	id := form.Get("id")
 	switch {
-	case r.Form.Get("option") != "":
-		var opt int
-		opt, err = strconv.Atoi(r.Form.Get("option"))
-		if err == nil {
-			err = sv.sess.SetOption(id, opt)
+	case form.Get("option") != "":
+		opt, err := strconv.Atoi(form.Get("option"))
+		if err != nil {
+			return nil, err
 		}
-	case r.Form.Get("value") != "":
-		var v float64
-		v, err = strconv.ParseFloat(r.Form.Get("value"), 64)
-		if err == nil {
-			err = sv.sess.SetSlider(id, v)
-		} else {
-			err = sv.sess.SetText(id, r.Form.Get("value"))
+		return func(s *Session) error { return s.SetOption(id, opt) }, nil
+	case form.Get("value") != "":
+		if v, err := strconv.ParseFloat(form.Get("value"), 64); err == nil {
+			return func(s *Session) error { return s.SetSlider(id, v) }, nil
 		}
-	case r.Form.Get("text") != "":
-		err = sv.sess.SetText(id, r.Form.Get("text"))
-	case r.Form.Get("on") != "":
-		err = sv.sess.SetToggle(id, r.Form.Get("on") == "true")
-	case r.Form.Get("lo") != "" && r.Form.Get("hi") != "":
-		var lo, hi float64
-		lo, err = strconv.ParseFloat(r.Form.Get("lo"), 64)
-		if err == nil {
-			hi, err = strconv.ParseFloat(r.Form.Get("hi"), 64)
+		return func(s *Session) error { return s.SetText(id, form.Get("value")) }, nil
+	case form.Get("text") != "":
+		return func(s *Session) error { return s.SetText(id, form.Get("text")) }, nil
+	case form.Get("on") != "":
+		on := form.Get("on") == "true"
+		return func(s *Session) error { return s.SetToggle(id, on) }, nil
+	case form.Get("lo") != "" && form.Get("hi") != "":
+		lo, err := strconv.ParseFloat(form.Get("lo"), 64)
+		if err != nil {
+			return nil, err
 		}
-		if err == nil {
-			err = sv.sess.SetRange(id, lo, hi)
+		hi, err := strconv.ParseFloat(form.Get("hi"), 64)
+		if err != nil {
+			return nil, err
 		}
-	case r.Form.Get("checked") != "":
+		return func(s *Session) error { return s.SetRange(id, lo, hi) }, nil
+	case form.Get("checked") != "":
 		var idxs []int
-		for _, p := range strings.Split(r.Form.Get("checked"), ",") {
-			var i int
-			if i, err = strconv.Atoi(strings.TrimSpace(p)); err != nil {
-				break
+		for _, p := range strings.Split(form.Get("checked"), ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, err
 			}
 			idxs = append(idxs, i)
 		}
-		if err == nil {
-			err = sv.sess.SetChecked(id, idxs)
-		}
-	default:
-		err = fmt.Errorf("no manipulation parameter")
+		return func(s *Session) error { return s.SetChecked(id, idxs) }, nil
 	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	http.Redirect(w, r, "/", http.StatusSeeOther)
+	return nil, fmt.Errorf("no manipulation parameter")
 }
 
-// handleInteract applies a visualization interaction:
-// ?vis=vis0&kind=brush-x&bounds=10,50  or ?vis=vis0&kind=click&row=3 or
-// ?vis=vis0&kind=brush-x&clear=1.
-func (sv *Server) handleInteract(w http.ResponseWriter, r *http.Request) {
+// interactAction decodes a visualization interaction
+// (?vis=vis0&kind=brush-x&bounds=10,50, ?vis=vis0&kind=click&row=3,
+// ?vis=vis0&kind=brush-x&clear=1) into a deferred application; same
+// decode-before-acquire contract as widgetAction.
+func interactAction(form url.Values) (func(*Session) error, error) {
+	visID := form.Get("vis")
+	kind := form.Get("kind")
+	switch {
+	case form.Get("clear") != "":
+		return func(s *Session) error { return s.ClearBrush(visID, kind) }, nil
+	case form.Get("row") != "":
+		row, err := strconv.Atoi(form.Get("row"))
+		if err != nil {
+			return nil, err
+		}
+		return func(s *Session) error { return s.Click(visID, row) }, nil
+	case form.Get("bounds") != "":
+		bounds := strings.Split(form.Get("bounds"), ",")
+		for i := range bounds {
+			bounds[i] = strings.TrimSpace(bounds[i])
+		}
+		return func(s *Session) error { return s.Brush(visID, kind, bounds...) }, nil
+	}
+	return nil, fmt.Errorf("no interaction parameter")
+}
+
+// handleManipulation is the shared skeleton of /widget and /interact:
+// parse, decode (reject garbage before touching the registry), resolve the
+// session, apply, redirect.
+func (sv *Server) handleManipulation(w http.ResponseWriter, r *http.Request,
+	decode func(url.Values) (func(*Session) error, error)) {
 	if err := r.ParseForm(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	visID := r.Form.Get("vis")
-	kind := r.Form.Get("kind")
-	var err error
-	switch {
-	case r.Form.Get("clear") != "":
-		err = sv.sess.ClearBrush(visID, kind)
-	case r.Form.Get("row") != "":
-		var row int
-		row, err = strconv.Atoi(r.Form.Get("row"))
-		if err == nil {
-			err = sv.sess.Click(visID, row)
-		}
-	case r.Form.Get("bounds") != "":
-		bounds := strings.Split(r.Form.Get("bounds"), ",")
-		for i := range bounds {
-			bounds[i] = strings.TrimSpace(bounds[i])
-		}
-		err = sv.sess.Brush(visID, kind, bounds...)
-	default:
-		err = fmt.Errorf("no interaction parameter")
-	}
+	apply, err := decode(r.Form)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	http.Redirect(w, r, "/", http.StatusSeeOther)
+	sess, key, explicit, ok := sv.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	if err := apply(sess); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Redirect(w, r, redirectTarget(key, explicit), http.StatusSeeOther)
+}
+
+func (sv *Server) handleWidget(w http.ResponseWriter, r *http.Request) {
+	sv.handleManipulation(w, r, widgetAction)
+}
+
+func (sv *Server) handleInteract(w http.ResponseWriter, r *http.Request) {
+	sv.handleManipulation(w, r, interactAction)
 }
 
 func (sv *Server) handleReset(w http.ResponseWriter, r *http.Request) {
-	if err := sv.sess.ApplyQuery(0); err != nil {
+	sess, key, explicit, ok := sv.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	if err := sess.ApplyQuery(0); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	http.Redirect(w, r, "/", http.StatusSeeOther)
+	http.Redirect(w, r, redirectTarget(key, explicit), http.StatusSeeOther)
 }
 
 // handleSQL reports the current bound SQL of every tree (text/plain). The
 // snapshot is taken under a single session lock so concurrent
-// manipulations cannot tear it across trees.
+// manipulations cannot tear it across trees. Read-only, so it never
+// creates a session: an unknown or absent key is a 404, and scrapes can
+// neither churn creation nor evict a live user.
 func (sv *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	sess := sv.single
+	if sess == nil {
+		key, ok := sv.requestKey(r)
+		if key == "" {
+			http.Error(w, "no session addressed", http.StatusNotFound)
+			return
+		}
+		if !ok {
+			http.Error(w, "invalid session key", http.StatusBadRequest)
+			return
+		}
+		s, live := sv.reg.Lookup(key)
+		if !live {
+			http.Error(w, "no such session", http.StatusNotFound)
+			return
+		}
+		sess = s
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for ti, ts := range sv.sess.CurrentSQLAll() {
+	for ti, ts := range sess.CurrentSQLAll() {
 		if ts.Err != nil {
 			fmt.Fprintf(w, "tree %d: error: %v\n", ti, ts.Err)
 			continue
@@ -176,10 +354,19 @@ func (sv *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleStats reports interaction-cache counters as JSON, for monitoring
-// the serving hot path.
+// handleStats reports the serving counters as JSON: the registry aggregate
+// (occupancy, evictions, summed per-session cache traffic) in registry
+// mode, the single session's CacheStats otherwise. Per-session counters are
+// atomics and the registry takes only its read lock, so /stats never waits
+// on an in-flight interaction.
 func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	body, err := json.Marshal(sv.sess.Stats())
+	var v any
+	if sv.reg != nil {
+		v = sv.reg.Stats()
+	} else {
+		v = sv.single.Stats()
+	}
+	body, err := json.Marshal(v)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -188,11 +375,17 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Write(append(body, '\n'))
 }
 
-// renderPage renders the snapshot plus manipulation forms.
-func (sv *Server) renderPage() (string, error) {
-	snapshot, err := RenderHTML(sv.sess)
+// renderPage renders the snapshot plus manipulation forms. A non-empty key
+// is embedded as a hidden field in every form (and in the reset/SQL links)
+// so explicitly addressed sessions survive the round trip.
+func (sv *Server) renderPage(sess *Session, key string) (string, error) {
+	snapshot, err := RenderHTML(sess)
 	if err != nil {
 		return "", err
+	}
+	sessionField := ""
+	if key != "" {
+		sessionField = fmt.Sprintf(`<input type="hidden" name="session" value="%s">`, html.EscapeString(key))
 	}
 	var b strings.Builder
 	// strip the closing tags so we can append the control panel
@@ -200,8 +393,9 @@ func (sv *Server) renderPage() (string, error) {
 	b.WriteString(trimmed)
 	b.WriteString(`<div style="margin-top:16px;border-top:1px solid #ccc;padding-top:8px">`)
 	b.WriteString(`<h3>Manipulations</h3>`)
-	for _, ws := range sv.sess.Ifc.Widgets {
+	for _, ws := range sess.Ifc.Widgets {
 		fmt.Fprintf(&b, `<form method="POST" action="/widget" style="margin:4px 0">`)
+		b.WriteString(sessionField)
 		fmt.Fprintf(&b, `<input type="hidden" name="id" value="%s">`, html.EscapeString(ws.ElemID))
 		fmt.Fprintf(&b, `<b>%s</b> (%s) `, html.EscapeString(ws.ElemID), ws.Kind)
 		switch ws.Kind {
@@ -224,9 +418,10 @@ func (sv *Server) renderPage() (string, error) {
 		}
 		b.WriteString(`<button type="submit">apply</button></form>`)
 	}
-	for _, v := range sv.sess.Ifc.VisInts {
-		src := sv.sess.Ifc.Vis[v.SourceVis].ElemID
+	for _, v := range sess.Ifc.VisInts {
+		src := sess.Ifc.Vis[v.SourceVis].ElemID
 		fmt.Fprintf(&b, `<form method="POST" action="/interact" style="margin:4px 0">`)
+		b.WriteString(sessionField)
 		fmt.Fprintf(&b, `<input type="hidden" name="vis" value="%s"><input type="hidden" name="kind" value="%s">`,
 			html.EscapeString(src), html.EscapeString(string(v.Kind)))
 		fmt.Fprintf(&b, `<b>%s on %s</b> → tree %d `, v.Kind, html.EscapeString(src), v.Tree)
@@ -238,8 +433,12 @@ func (sv *Server) renderPage() (string, error) {
 		}
 		b.WriteString(`<button type="submit">apply</button></form>`)
 	}
-	b.WriteString(`<form method="POST" action="/reset"><button type="submit">reset to first query</button></form>`)
-	b.WriteString(`<p><a href="/sql">current SQL</a></p>`)
+	fmt.Fprintf(&b, `<form method="POST" action="/reset">%s<button type="submit">reset to first query</button></form>`, sessionField)
+	sqlHref := "/sql"
+	if key != "" {
+		sqlHref += "?session=" + url.QueryEscape(key)
+	}
+	fmt.Fprintf(&b, `<p><a href="%s">current SQL</a></p>`, sqlHref)
 	b.WriteString(`</div></body></html>`)
 	return b.String(), nil
 }
