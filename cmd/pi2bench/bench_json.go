@@ -162,6 +162,10 @@ func engineBenches() ([]BenchResult, error) {
 	}{
 		{"EngineJoin/hash", `SELECT f.v, d.label FROM fact AS f, dim AS d WHERE f.k = d.k AND f.v > 25`, true},
 		{"EngineJoin/crossproduct", `SELECT f.v, d.label FROM fact AS f, dim AS d WHERE f.k = d.k AND f.v > 25`, false},
+		// The residual d.label <> 'd0' unmatches every fact with k = 0, so
+		// the outer pass emits NULL-padded rows, not just hash hits.
+		{"EngineJoin/leftouter", `SELECT f.v, d.label FROM fact AS f LEFT JOIN dim AS d ON f.k = d.k AND d.label <> 'd0' WHERE f.v > 25`, true},
+		{"EngineJoin/leftouter-nestedloop", `SELECT f.v, d.label FROM fact AS f LEFT JOIN dim AS d ON f.k = d.k AND d.label <> 'd0' WHERE f.v > 25`, false},
 		{"EngineGroupBy", `SELECT grp, count(*), sum(v), avg(v) FROM fact GROUP BY grp`, true},
 		{"EngineTopK/heap", `SELECT k, v FROM fact WHERE v > 10 ORDER BY v DESC LIMIT 10`, true},
 		{"EngineTopK/fullsort", `SELECT k, v FROM fact WHERE v > 10 ORDER BY v DESC LIMIT 10`, false},

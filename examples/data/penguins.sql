@@ -1,7 +1,10 @@
-# Exploration log over examples/data/penguins.csv — a dataset that does not
-# exist in internal/dataset, proving generation works on ingested files:
+# Exploration log over examples/data/penguins.csv + islands.csv — datasets
+# that do not exist in internal/dataset, proving generation works on
+# ingested files, including an outer join across them:
 #
-#   pi2gen -data examples/data/penguins.csv -queries examples/data/penguins.sql \
+#   pi2gen -data examples/data/penguins.csv,examples/data/islands.csv \
+#          -queries examples/data/penguins.sql \
 #          -manifest examples/data/penguins.json
 SELECT bill_len, body_mass FROM penguins WHERE bill_len BETWEEN 35 AND 46 AND body_mass BETWEEN 3000 AND 4200
 SELECT bill_len, body_mass FROM penguins WHERE bill_len BETWEEN 43 AND 53 AND body_mass BETWEEN 3400 AND 5900
+SELECT p.body_mass, i.area FROM penguins AS p LEFT JOIN islands AS i ON p.island = i.island WHERE p.body_mass BETWEEN 3000 AND 5000

@@ -79,7 +79,7 @@ func HashKey(key string) uint64 {
 // two subtrees share the same root.
 func RootKey(n *Node) string {
 	switch n.Kind {
-	case KindBinary, KindFunc, KindIn, KindOrderItem:
+	case KindBinary, KindFunc, KindIn, KindOrderItem, KindJoin:
 		return n.Kind.String() + ":" + n.Label
 	default:
 		return n.Kind.String()

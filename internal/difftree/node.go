@@ -28,8 +28,9 @@ const (
 	KindSelectList // list node; Label "distinct" when SELECT DISTINCT
 	KindSelectItem // children: [expr, alias]; alias is KindNone or KindIdent
 	KindStar       // '*'
-	KindFrom       // list node of table refs
+	KindFrom       // list node of table refs and join steps
 	KindTableRef   // children: [source, alias]; source is KindIdent or KindQuery
+	KindJoin       // Label: "inner", "left", "right" or "full"; children: [TableRef, on-expr]
 	KindWhere      // children: [expr]
 	KindGroupBy    // list node of expressions
 	KindHaving     // children: [expr]
@@ -67,7 +68,7 @@ const (
 var kindNames = map[Kind]string{
 	KindInvalid: "invalid", KindQuery: "query", KindSelectList: "selectlist",
 	KindSelectItem: "selectitem", KindStar: "star", KindFrom: "from",
-	KindTableRef: "tableref", KindWhere: "where", KindGroupBy: "groupby",
+	KindTableRef: "tableref", KindJoin: "join", KindWhere: "where", KindGroupBy: "groupby",
 	KindHaving: "having", KindOrderBy: "orderby", KindOrderItem: "orderitem",
 	KindLimit: "limit", KindAnd: "and", KindOr: "or", KindNot: "not",
 	KindBinary: "binary", KindBetween: "between", KindIn: "in",

@@ -88,6 +88,33 @@ type source struct {
 	table *Table
 }
 
+// fromEntry is one FROM-clause source with its join role: "cross" for
+// comma-separated entries (and the leading table), or the join type with its
+// ON condition for JOIN steps.
+type fromEntry struct {
+	ref *dt.Node // the KindTableRef node
+	typ string   // "cross", "inner", "left", "right" or "full"
+	on  *dt.Node // AND-wrapped ON expression; nil for "cross"
+}
+
+// fromEntries flattens a FROM child list into per-source entries, unwrapping
+// KindJoin nodes. hasJoin reports whether any JOIN step is present, which
+// selects the level-by-level join evaluator over the filtered cross product.
+func fromEntries(from *dt.Node) (entries []fromEntry, hasJoin bool, err error) {
+	for _, c := range from.Children {
+		e := fromEntry{ref: c, typ: "cross"}
+		if c.Kind == dt.KindJoin {
+			if len(entries) == 0 {
+				return nil, false, fmt.Errorf("engine: JOIN without a left-hand table")
+			}
+			e = fromEntry{ref: c.Children[0], typ: c.Label, on: c.Children[1]}
+			hasJoin = true
+		}
+		entries = append(entries, e)
+	}
+	return entries, hasJoin, nil
+}
+
 func execQuery(db *DB, q *dt.Node, outer *rowEnv) (*Table, error) {
 	sel, from, where := q.Children[0], q.Children[1], q.Children[2]
 	groupby, having, orderby, limit := q.Children[3], q.Children[4], q.Children[5], q.Children[6]
@@ -95,9 +122,16 @@ func execQuery(db *DB, q *dt.Node, outer *rowEnv) (*Table, error) {
 	// 1. FROM: evaluate sources (tables and derived tables, which may be
 	// correlated with the outer query).
 	var sources []source
+	var entries []fromEntry
+	hasJoin := false
 	if from.Kind == dt.KindFrom {
-		for _, ref := range from.Children {
-			src, alias := ref.Children[0], ref.Children[1]
+		var err error
+		entries, hasJoin, err = fromEntries(from)
+		if err != nil {
+			return nil, err
+		}
+		for _, en := range entries {
+			src, alias := en.ref.Children[0], en.ref.Children[1]
 			var tbl *Table
 			switch src.Kind {
 			case dt.KindIdent:
@@ -126,8 +160,15 @@ func execQuery(db *DB, q *dt.Node, outer *rowEnv) (*Table, error) {
 		}
 	}
 
-	// 2. Enumerate the (filtered) cross product.
-	rows, err := crossFilter(db, sources, where, outer)
+	// 2. Enumerate the joined rows: the level-by-level join evaluator when
+	// any JOIN step is present, the filtered cross product otherwise.
+	var rows []*rowEnv
+	var err error
+	if hasJoin {
+		rows, err = joinRows(db, sources, entries, where, outer)
+	} else {
+		rows, err = crossFilter(db, sources, where, outer)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -275,6 +316,117 @@ func crossFilter(db *DB, sources []source, where *dt.Node, outer *rowEnv) ([]*ro
 		return nil, err
 	}
 	return out, nil
+}
+
+// joinRows evaluates a FROM clause containing JOIN steps, one source level
+// at a time. This is the executable specification of join semantics: the
+// compiled paths (naive and hash-optimized) must be observably identical to
+// it on both result rows and error text.
+//
+// Level i materializes every surviving row prefix before level i+1 starts,
+// so all ON evaluations (and their errors) at one level happen before any at
+// the next. Per prefix, candidate rows are scanned in table order and the ON
+// condition is evaluated with three-valued logic; TRUE emits the combined
+// row. LEFT/FULL prefixes with no match emit once with the new frame
+// NULL-padded, in place. RIGHT/FULL build rows that matched no prefix are
+// appended after the level's matched output, in scan order, with every
+// earlier frame NULL-padded. The WHERE predicate applies after all joins,
+// per row in emission order — it is never pushed below an outer join, where
+// removing rows early would resurrect NULL-padded ones.
+func joinRows(db *DB, sources []source, entries []fromEntry, where *dt.Node, outer *rowEnv) ([]*rowEnv, error) {
+	n := len(sources)
+	metas := make([]frame, n)
+	nullRows := make([][]Value, n)
+	for i, s := range sources {
+		cols := make([]string, len(s.table.Cols))
+		nr := make([]Value, len(cols))
+		for j, c := range s.table.Cols {
+			cols[j] = strings.ToLower(c)
+			nr[j] = NullVal()
+		}
+		metas[i] = frame{alias: s.alias, cols: cols}
+		nullRows[i] = nr
+	}
+
+	envs := []*rowEnv{{outer: outer}}
+	for i := range sources {
+		en := entries[i]
+		rows := sources[i].table.Rows
+		var next []*rowEnv
+		extend := func(prefix []frame, row []Value) {
+			fr := make([]frame, len(prefix)+1)
+			copy(fr, prefix)
+			fr[len(prefix)] = frame{alias: metas[i].alias, cols: metas[i].cols, row: row}
+			next = append(next, &rowEnv{frames: fr, outer: outer})
+		}
+
+		if en.on == nil { // comma entry: plain cross product step
+			for _, env := range envs {
+				for _, row := range rows {
+					extend(env.frames, row)
+				}
+			}
+			envs = next
+			continue
+		}
+
+		padLeft := en.typ == "left" || en.typ == "full"
+		var matched []bool
+		if en.typ == "right" || en.typ == "full" {
+			matched = make([]bool, len(rows))
+		}
+		cand := &rowEnv{frames: make([]frame, i+1), outer: outer}
+		for _, env := range envs {
+			copy(cand.frames, env.frames)
+			cand.frames[i] = metas[i]
+			sawMatch := false
+			for ri, row := range rows {
+				cand.frames[i].row = row
+				v, err := evalExpr(db, en.on, cand)
+				if err != nil {
+					return nil, err
+				}
+				if v.Truthy() {
+					sawMatch = true
+					if matched != nil {
+						matched[ri] = true
+					}
+					extend(env.frames, row)
+				}
+			}
+			if !sawMatch && padLeft {
+				extend(env.frames, nullRows[i])
+			}
+		}
+		if matched != nil {
+			pad := make([]frame, i)
+			for j := 0; j < i; j++ {
+				pad[j] = metas[j]
+				pad[j].row = nullRows[j]
+			}
+			for ri, row := range rows {
+				if !matched[ri] {
+					extend(pad, row)
+				}
+			}
+		}
+		envs = next
+	}
+
+	if where.Kind == dt.KindWhere {
+		var out []*rowEnv
+		for _, env := range envs {
+			v, err := evalExpr(db, where.Children[0], env)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				out = append(out, env)
+			}
+		}
+		return out, nil
+	}
+	return envs, nil
 }
 
 // groupRows partitions rows into groups by the GROUP BY key (or a single

@@ -26,31 +26,50 @@ func evalExpr(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
 		}
 		return Value{}, fmt.Errorf("engine: unknown column %q", e.Label)
 	case dt.KindAnd:
+		// Kleene three-valued AND: FALSE short-circuits, NULL is absorbing
+		// only against TRUE. NULL conjuncts do not stop evaluation, so later
+		// conjuncts still surface their errors.
+		sawNull := false
 		for _, c := range e.Children {
 			v, err := evalExpr(db, c, env)
 			if err != nil {
 				return Value{}, err
 			}
-			if !v.Truthy() {
+			if v.Null {
+				sawNull = true
+			} else if !v.Truthy() {
 				return BoolVal(false), nil
 			}
 		}
+		if sawNull {
+			return NullVal(), nil
+		}
 		return BoolVal(true), nil
 	case dt.KindOr:
+		// Kleene OR, the dual: TRUE short-circuits, NULL | FALSE = NULL.
+		sawNull := false
 		for _, c := range e.Children {
 			v, err := evalExpr(db, c, env)
 			if err != nil {
 				return Value{}, err
 			}
-			if v.Truthy() {
+			if v.Null {
+				sawNull = true
+			} else if v.Truthy() {
 				return BoolVal(true), nil
 			}
+		}
+		if sawNull {
+			return NullVal(), nil
 		}
 		return BoolVal(false), nil
 	case dt.KindNot:
 		v, err := evalExpr(db, e.Children[0], env)
 		if err != nil {
 			return Value{}, err
+		}
+		if v.Null {
+			return NullVal(), nil
 		}
 		return BoolVal(!v.Truthy()), nil
 	case dt.KindBinary:
@@ -68,10 +87,18 @@ func evalExpr(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		if v.Null || lo.Null || hi.Null {
+		// BETWEEN is the Kleene AND of v >= lo and v <= hi: a definite
+		// failure on either bound wins over a NULL on the other.
+		if !v.Null && !lo.Null && Compare(v, lo) < 0 {
 			return BoolVal(false), nil
 		}
-		return BoolVal(Compare(v, lo) >= 0 && Compare(v, hi) <= 0), nil
+		if !v.Null && !hi.Null && Compare(v, hi) > 0 {
+			return BoolVal(false), nil
+		}
+		if v.Null || lo.Null || hi.Null {
+			return NullVal(), nil
+		}
+		return BoolVal(true), nil
 	case dt.KindIn:
 		return evalIn(db, e, env)
 	case dt.KindFunc:
@@ -105,7 +132,7 @@ func evalBinary(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
 	switch e.Label {
 	case "=", "<>", "<", ">", "<=", ">=":
 		if l.Null || r.Null {
-			return BoolVal(false), nil
+			return NullVal(), nil
 		}
 		c := Compare(l, r)
 		switch e.Label {
@@ -144,7 +171,7 @@ func evalBinary(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
 		}
 	case "like":
 		if l.Null || r.Null {
-			return BoolVal(false), nil
+			return NullVal(), nil
 		}
 		return BoolVal(likeMatch(l.Text(), r.Text())), nil
 	default:
@@ -157,7 +184,11 @@ func evalIn(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	var found bool
+	// IN is the Kleene OR of v = elem over the list: TRUE on a match,
+	// otherwise NULL when the operand or any compared element is NULL
+	// (the element might have been equal), otherwise FALSE. A match still
+	// short-circuits, so elements after it are never evaluated.
+	var found, sawNull bool
 	target := e.Children[1]
 	if target.Kind == dt.KindQuery {
 		t, err := execQuery(db, target, env)
@@ -165,9 +196,15 @@ func evalIn(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
 			return Value{}, err
 		}
 		for _, row := range t.Rows {
-			if len(row) > 0 && EqualVal(v, row[0]) {
+			if len(row) == 0 {
+				continue
+			}
+			if EqualVal(v, row[0]) {
 				found = true
 				break
+			}
+			if row[0].Null {
+				sawNull = true
 			}
 		}
 	} else {
@@ -180,12 +217,25 @@ func evalIn(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
 				found = true
 				break
 			}
+			if cv.Null {
+				sawNull = true
+			}
 		}
 	}
-	if e.Label == "not in" {
-		return BoolVal(!found), nil
+	return inVerdict(e.Label == "not in", found, sawNull || v.Null), nil
+}
+
+// inVerdict folds the scan outcome of an IN list into its three-valued
+// result, negating for NOT IN (Kleene NOT maps NULL to NULL).
+func inVerdict(negate, found, sawNull bool) Value {
+	switch {
+	case found:
+		return BoolVal(!negate)
+	case sawNull:
+		return NullVal()
+	default:
+		return BoolVal(negate)
 	}
-	return BoolVal(found), nil
 }
 
 func evalFunc(db *DB, e *dt.Node, env *rowEnv) (Value, error) {
@@ -333,27 +383,44 @@ func dateOffset(base, offset string) (Value, error) {
 	return StrVal(t.Format("2006-01-02")), nil
 }
 
-// likeMatch implements SQL LIKE with % (any run) and _ (any single char).
+// likeMatch implements SQL LIKE with % (any run), _ (any single char), and
+// backslash escapes: \%, \_ and \\ match the literal character. A trailing
+// lone backslash matches a literal backslash.
 func likeMatch(s, pattern string) bool {
-	// dynamic programming over pattern/string positions
-	m, n := len(pattern), len(s)
+	// Pre-scan the pattern into per-position ops so escapes collapse to
+	// literal matches before the DP over pattern/string positions.
+	type patOp struct {
+		ch      byte
+		literal bool
+	}
+	ops := make([]patOp, 0, len(pattern))
+	for i := 0; i < len(pattern); i++ {
+		c := pattern[i]
+		if c == '\\' && i+1 < len(pattern) {
+			i++
+			ops = append(ops, patOp{pattern[i], true})
+			continue
+		}
+		ops = append(ops, patOp{c, c != '%' && c != '_'})
+	}
+	m, n := len(ops), len(s)
 	dp := make([][]bool, m+1)
 	for i := range dp {
 		dp[i] = make([]bool, n+1)
 	}
 	dp[0][0] = true
 	for i := 1; i <= m; i++ {
-		if pattern[i-1] == '%' {
+		if !ops[i-1].literal && ops[i-1].ch == '%' {
 			dp[i][0] = dp[i-1][0]
 		}
 		for j := 1; j <= n; j++ {
-			switch pattern[i-1] {
-			case '%':
+			switch {
+			case !ops[i-1].literal && ops[i-1].ch == '%':
 				dp[i][j] = dp[i-1][j] || dp[i][j-1]
-			case '_':
+			case !ops[i-1].literal && ops[i-1].ch == '_':
 				dp[i][j] = dp[i-1][j-1]
 			default:
-				dp[i][j] = dp[i-1][j-1] && pattern[i-1] == s[j-1]
+				dp[i][j] = dp[i-1][j-1] && ops[i-1].ch == s[j-1]
 			}
 		}
 	}

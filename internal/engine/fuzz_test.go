@@ -150,6 +150,53 @@ func genQuery(r *rand.Rand) string {
 	}
 	src := func() genSource { return srcs[r.Intn(len(srcs))] }
 
+	// FROM clause: each source after the first attaches by comma or by a
+	// join flavor with a generated ON condition over the bound prefix.
+	srcPart := func(i int) string {
+		from := srcs[i].tbl.name
+		if srcs[i].derived != "" {
+			from = srcs[i].derived
+		}
+		return fmt.Sprintf("%s AS %s", from, srcs[i].alias)
+	}
+	joinOn := func(i int) string {
+		prev, cur := srcs[r.Intn(i)], srcs[i]
+		var conds []string
+		switch r.Intn(4) {
+		case 0, 1: // equi condition (hash-join candidate)
+			conds = append(conds, fmt.Sprintf("%s = %s", anyCol(prev), anyCol(cur)))
+		case 2: // non-equi cross condition (nested-loop fallback)
+			conds = append(conds, fmt.Sprintf("%s <= %s", anyCol(prev), anyCol(cur)))
+		default: // build-side-only predicate
+			if c, ok := numCol(cur); ok {
+				conds = append(conds, fmt.Sprintf("%s > %d", c, r.Intn(100)))
+			} else {
+				conds = append(conds, fmt.Sprintf("%s = %s", anyCol(prev), anyCol(cur)))
+			}
+		}
+		switch r.Intn(4) {
+		case 0: // impure extra conjunct: forces the whole ON residual
+			if c, ok := numCol(cur); ok {
+				conds = append(conds, fmt.Sprintf("%s + %d < %d", c, r.Intn(5), r.Intn(120)))
+			}
+		case 1:
+			if c, ok := strCol(cur); ok {
+				conds = append(conds, fmt.Sprintf("%s LIKE '%s'", c, genStrLits[r.Intn(len(genStrLits))]))
+			}
+		}
+		return strings.Join(conds, " AND ")
+	}
+	fromSQL := srcPart(0)
+	for i := 1; i < nSrc; i++ {
+		if r.Intn(5) < 2 {
+			fromSQL += ", " + srcPart(i)
+			continue
+		}
+		flavors := []string{"JOIN", "INNER JOIN", "LEFT JOIN", "LEFT OUTER JOIN",
+			"RIGHT JOIN", "RIGHT OUTER JOIN", "FULL JOIN", "FULL OUTER JOIN"}
+		fromSQL += fmt.Sprintf(" %s %s ON %s", flavors[r.Intn(len(flavors))], srcPart(i), joinOn(i))
+	}
+
 	// WHERE conjuncts, mixing pushable, equi-join, hoistable and residual
 	// shapes (arithmetic, subqueries) in random order.
 	var conjs []string
@@ -229,7 +276,7 @@ func genQuery(r *rand.Rand) string {
 			agg = fmt.Sprintf(agg, aggCol)
 		}
 		fmt.Fprintf(&sb, "%s, %s AS m", gcol, agg)
-		fmt.Fprintf(&sb, " FROM %s", fromClause(srcs))
+		fmt.Fprintf(&sb, " FROM %s", fromSQL)
 		writeWhere(&sb, conjs)
 		fmt.Fprintf(&sb, " GROUP BY %s", gcol)
 		if r.Intn(2) == 0 {
@@ -246,7 +293,7 @@ func genQuery(r *rand.Rand) string {
 			items = append(items, "*")
 		}
 		sb.WriteString(strings.Join(items, ", "))
-		fmt.Fprintf(&sb, " FROM %s", fromClause(srcs))
+		fmt.Fprintf(&sb, " FROM %s", fromSQL)
 		writeWhere(&sb, conjs)
 		orderCols = items[:len(items)-boolToInt(items[len(items)-1] == "*")]
 	}
@@ -263,18 +310,6 @@ func genQuery(r *rand.Rand) string {
 		fmt.Fprintf(&sb, " LIMIT %d", r.Intn(8))
 	}
 	return sb.String()
-}
-
-func fromClause(srcs []genSource) string {
-	parts := make([]string, len(srcs))
-	for i, s := range srcs {
-		from := s.tbl.name
-		if s.derived != "" {
-			from = s.derived
-		}
-		parts[i] = fmt.Sprintf("%s AS %s", from, s.alias)
-	}
-	return strings.Join(parts, ", ")
 }
 
 func writeWhere(sb *strings.Builder, conjs []string) {

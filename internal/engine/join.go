@@ -1,0 +1,243 @@
+package engine
+
+// This file implements the compiled execution path for FROM clauses that
+// contain JOIN steps (INNER/LEFT/RIGHT/FULL ... ON). Join queries bypass the
+// comma-join operator pipeline (pipeline.go): the WHERE predicate stays
+// monolithic above the joins — pushing it below an outer join would filter
+// rows before the padding decision and resurrect NULL-padded rows SQL drops
+// — and instead each ON condition is optimized per join level.
+//
+// The executable specification is the interpreter's joinRows (exec.go):
+// levels materialize left to right, candidates scan in table order, LEFT/
+// FULL pad in place on an unmatched prefix, RIGHT/FULL append their
+// unmatched build rows after the level's matched output with NULL-padded
+// prefix frames. The compiled path must match it on rows, row order, and
+// error text.
+//
+// Per level the ON condition runs in one of two modes:
+//
+//   - hash equi-join, when every ON conjunct is provably error-free and at
+//     least one is `a.x = b.y` with the build side bound at this level: the
+//     build rows hash once per plan (NULL keys excluded — `=` never matches
+//     NULL, but for RIGHT/FULL those rows still surface in the unmatched
+//     sweep), probes skip non-matching candidates wholesale, and the
+//     remaining pure conjuncts evaluate per bucket row;
+//   - filtered nested loop otherwise: the full compiled ON (Kleene AND)
+//     evaluates per candidate pair, preserving the interpreter's error
+//     order exactly. PrepareUnoptimized always uses this mode.
+//
+// The purity gate mirrors pipeline.go: under three-valued logic a NULL
+// conjunct does not stop AND evaluation, so skipping candidates early is
+// only unobservable when every skipped evaluation is error-free.
+
+// planJoin is the compiled join role of one FROM source level.
+type planJoin struct {
+	typ string // "cross", "inner", "left", "right" or "full"
+	on  exprFn // full compiled ON condition; nil for "cross"
+
+	// Hash equi-join decomposition (optimized plans with a pure ON only).
+	hash  bool
+	probe []exprFn // key exprs over frames bound at earlier levels
+	build []exprFn // key exprs over this level's frame alone
+	resid []exprFn // remaining pure ON conjuncts, evaluated per bucket row
+}
+
+// compileJoins fills pq.joins from the FROM entries. ON conditions compile
+// against the prefix scope sources[:i+1]: a reference to a later FROM source
+// is an unknown column at level i, exactly as the interpreter's truncated
+// frame list resolves it.
+func (c *compiler) compileJoins(pq *planQuery, entries []fromEntry, outer *scope) {
+	n := len(pq.sources)
+	pq.joins = make([]planJoin, n)
+	if pq.scans == nil {
+		pq.scans = make([]scanState, n)
+	}
+	for i, en := range entries {
+		jn := &pq.joins[i]
+		jn.typ = en.typ
+		if en.on == nil {
+			continue
+		}
+		pc := &compiler{db: c.db, sc: &scope{sources: pq.sources[:i+1], outer: outer}, noPipe: c.noPipe}
+		jn.on = pc.compile(en.on)
+		if c.noPipe || !pc.conjunctProps(en.on).pure {
+			continue
+		}
+		for _, conj := range flattenAnd(en.on, nil) {
+			if probe, build, bf, ok := pc.equiSides(conj); ok && bf == i {
+				jn.probe = append(jn.probe, pc.compile(probe))
+				jn.build = append(jn.build, pc.compile(build))
+				continue
+			}
+			jn.resid = append(jn.resid, pc.compile(conj))
+		}
+		jn.hash = len(jn.build) > 0
+		if !jn.hash {
+			jn.resid = nil // no equi key: the nested loop uses jn.on
+		}
+	}
+}
+
+// joinHash builds (or returns the cached) hash table over a join level's
+// build rows. Base-table sources cache across executions like the pipeline's
+// build sides; derived tables rebuild per run.
+func (pq *planQuery) joinHash(i int, rows [][]Value, metas []frame) (*hashSide, error) {
+	cur := make([]frame, i+1)
+	cur[i] = metas[i]
+	benv := &rowEnv{frames: cur}
+	if pq.sources[i].sub == nil {
+		st := &pq.scans[i]
+		st.buildOnce.Do(func() {
+			st.hash, st.buildErr = buildHashSide(rows, pq.joins[i].build, i, cur, benv)
+		})
+		return st.hash, st.buildErr
+	}
+	return buildHashSide(rows, pq.joins[i].build, i, cur, benv)
+}
+
+// runJoin executes the compiled join levels, mirroring joinRows step for
+// step, then applies the monolithic WHERE predicate per row in order.
+func (pq *planQuery) runJoin(tables []*Table, outer *rowEnv) ([]*rowEnv, error) {
+	n := len(pq.sources)
+	metas := make([]frame, n)
+	nullRows := make([][]Value, n)
+	for i, ps := range pq.sources {
+		metas[i] = frame{alias: ps.alias, cols: ps.cols}
+		nr := make([]Value, len(ps.cols))
+		for j := range nr {
+			nr[j] = NullVal()
+		}
+		nullRows[i] = nr
+	}
+
+	envs := []*rowEnv{{outer: outer}}
+	for i := range pq.sources {
+		jn := &pq.joins[i]
+		rows := tables[i].Rows
+		var next []*rowEnv
+		extend := func(prefix []frame, row []Value) {
+			fr := make([]frame, len(prefix)+1)
+			copy(fr, prefix)
+			fr[len(prefix)] = frame{alias: metas[i].alias, cols: metas[i].cols, row: row}
+			next = append(next, &rowEnv{frames: fr, outer: outer})
+		}
+
+		if jn.on == nil { // comma entry: plain cross product step
+			for _, env := range envs {
+				for _, row := range rows {
+					extend(env.frames, row)
+				}
+			}
+			envs = next
+			continue
+		}
+
+		padLeft := jn.typ == "left" || jn.typ == "full"
+		var matched []bool
+		if jn.typ == "right" || jn.typ == "full" {
+			matched = make([]bool, len(rows))
+		}
+		var hash *hashSide
+		if jn.hash {
+			h, err := pq.joinHash(i, rows, metas)
+			if err != nil {
+				return nil, err
+			}
+			hash = h
+		}
+
+		cand := &rowEnv{frames: make([]frame, i+1), outer: outer}
+		var kb []byte
+		for _, env := range envs {
+			copy(cand.frames, env.frames)
+			cand.frames[i] = metas[i]
+			sawMatch := false
+			if hash != nil {
+				kb = kb[:0]
+				nullKey := false
+				for _, pf := range jn.probe {
+					v, err := pf(cand)
+					if err != nil {
+						return nil, err
+					}
+					if v.Null {
+						nullKey = true // NULL probe key matches nothing
+						break
+					}
+					kb = appendJoinKey(kb, v)
+				}
+				if !nullKey {
+					if bi, ok := hash.idx[string(kb)]; ok {
+						for _, ri := range hash.buckets[bi] {
+							cand.frames[i].row = rows[ri]
+							pass := true
+							for _, rf := range jn.resid {
+								v, err := rf(cand)
+								if err != nil {
+									return nil, err
+								}
+								if !v.Truthy() {
+									pass = false
+									break
+								}
+							}
+							if pass {
+								sawMatch = true
+								if matched != nil {
+									matched[ri] = true
+								}
+								extend(env.frames, rows[ri])
+							}
+						}
+					}
+				}
+			} else {
+				for ri, row := range rows {
+					cand.frames[i].row = row
+					v, err := jn.on(cand)
+					if err != nil {
+						return nil, err
+					}
+					if v.Truthy() {
+						sawMatch = true
+						if matched != nil {
+							matched[ri] = true
+						}
+						extend(env.frames, row)
+					}
+				}
+			}
+			if !sawMatch && padLeft {
+				extend(env.frames, nullRows[i])
+			}
+		}
+		if matched != nil {
+			pad := make([]frame, i)
+			for j := 0; j < i; j++ {
+				pad[j] = metas[j]
+				pad[j].row = nullRows[j]
+			}
+			for ri, row := range rows {
+				if !matched[ri] {
+					extend(pad, row)
+				}
+			}
+		}
+		envs = next
+	}
+
+	if pq.pred != nil {
+		var out []*rowEnv
+		for _, env := range envs {
+			v, err := pq.pred(env)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				out = append(out, env)
+			}
+		}
+		envs = out
+	}
+	return envs, nil
+}

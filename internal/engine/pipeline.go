@@ -28,11 +28,14 @@ import (
 //     fully joined rows.
 //
 // "Pure" means the conjunct can be proven at prepare time never to return an
-// evaluation error. The prefix rule — a conjunct may only be hoisted when
-// every conjunct before it is pure — preserves the interpreter's error
-// short-circuit semantics exactly: hoisting can only skip evaluations whose
-// outcome (a pure boolean) is unobservable, never an evaluation that would
-// have surfaced an error first.
+// evaluation error. Hoisting is allowed only when *every* conjunct in the
+// WHERE is pure: under three-valued logic a NULL conjunct does not stop the
+// interpreter's AND evaluation, so dropping a row early (at a scan, hash
+// probe, or hoisted filter) skips the evaluation of every later conjunct on
+// that row — which is only unobservable when all of those evaluations are
+// provably error-free. When any conjunct may error, the whole conjunction
+// stays in the residual chain, evaluated in original order with Kleene
+// semantics (FALSE stops, NULL continues) exactly like the interpreter.
 
 // pipePlan is the compiled pipeline for one query's FROM/WHERE.
 type pipePlan struct {
@@ -214,14 +217,16 @@ func (c *compiler) compilePipe(pq *planQuery, where *dt.Node) {
 	pq.scans = make([]scanState, n)
 
 	conjs := flattenAnd(where, nil)
-	prefixPure := true
+	allPure := n <= 64
+	for _, e := range conjs {
+		if !c.conjunctProps(e).pure {
+			allPure = false
+			break
+		}
+	}
 	for _, e := range conjs {
 		props := c.conjunctProps(e)
-		hoistable := prefixPure && props.pure && n <= 64
-		if !props.pure {
-			prefixPure = false
-		}
-		if !hoistable || props.frames == 0 {
+		if !allPure || props.frames == 0 {
 			// Constant pure conjuncts are legal to hoist but worthless —
 			// they keep their original slot in the residual chain instead.
 			pipe.residual = append(pipe.residual, c.compile(e))
@@ -365,14 +370,23 @@ func (pq *planQuery) runPipe(tables []*Table, outer *rowEnv) ([]*rowEnv, error) 
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == n {
+			// Kleene residual: FALSE drops the row immediately, NULL keeps
+			// evaluating (a later impure conjunct must still surface its
+			// error) and drops the row at the end.
+			sawNull := false
 			for _, rf := range pq.pipe.residual {
 				v, err := rf(probe)
 				if err != nil {
 					return err
 				}
-				if !v.Truthy() {
+				if v.Null {
+					sawNull = true
+				} else if !v.Truthy() {
 					return nil
 				}
+			}
+			if sawNull {
+				return nil
 			}
 			keep := make([]frame, n)
 			copy(keep, cur)

@@ -96,6 +96,12 @@ type planQuery struct {
 	items   []exprFn
 	hasStar bool
 
+	// joins holds one planJoin per source when the FROM clause contains any
+	// JOIN step; nil for comma-only FROMs, which keep the crossFilter /
+	// pipeline paths.
+	joins   []planJoin
+	hasJoin bool
+
 	grouped    bool
 	hasGroupBy bool
 	groupBy    []exprFn
@@ -141,9 +147,16 @@ func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
 	// FROM: resolve base tables now; compile derived tables against the
 	// enclosing scope (they may be correlated with the outer query but not
 	// with their siblings).
+	var entries []fromEntry
 	if from.Kind == dt.KindFrom {
-		for _, ref := range from.Children {
-			src, alias := ref.Children[0], ref.Children[1]
+		var entErr error
+		entries, pq.hasJoin, entErr = fromEntries(from)
+		if entErr != nil {
+			pq.err = entErr
+			return pq
+		}
+		for _, en := range entries {
+			src, alias := en.ref.Children[0], en.ref.Children[1]
 			ps := &planSource{}
 			name := ""
 			switch src.Kind {
@@ -191,17 +204,24 @@ func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
 
 	pq.opt = !c.noPipe
 	if where.Kind == dt.KindWhere {
-		if pq.opt && len(pq.sources) > 1 {
-			// Joins: decompose the conjunction into the operator pipeline
-			// instead of one monolithic predicate. Single-source queries
-			// skip it — pushdown cannot beat evaluating the same predicate
-			// in the scan loop, and the pipeline's prepare-time analysis
-			// would only tax the serving cold path; they still get the
-			// type-tagged grouping keys and the top-K sink.
+		if pq.opt && len(pq.sources) > 1 && !pq.hasJoin {
+			// Comma joins: decompose the conjunction into the operator
+			// pipeline instead of one monolithic predicate. Single-source
+			// queries skip it — pushdown cannot beat evaluating the same
+			// predicate in the scan loop, and the pipeline's prepare-time
+			// analysis would only tax the serving cold path; they still get
+			// the type-tagged grouping keys and the top-K sink. JOIN-keyword
+			// queries also skip it: WHERE must stay monolithic above outer
+			// joins (pushing a predicate below one would resurrect the
+			// NULL-padded rows it should have filtered), so it applies
+			// post-join, per row in order — see runJoin.
 			inner.compilePipe(pq, where.Children[0])
 		} else {
 			pq.pred = inner.compile(where.Children[0])
 		}
+	}
+	if pq.hasJoin {
+		c.compileJoins(pq, entries, outer)
 	}
 	for _, item := range sel.Children {
 		if item.Children[0].Kind == dt.KindStar {
@@ -268,13 +288,17 @@ func (pq *planQuery) run(outer *rowEnv) (*Table, error) {
 		}
 	}
 
-	// 2. Join: the operator pipeline when compiled, the filtered cross
+	// 2. Join: the level-by-level join evaluator when the FROM contains JOIN
+	// steps, the operator pipeline when compiled, and the filtered cross
 	// product otherwise (no WHERE, no sources, or PrepareUnoptimized).
 	var rows []*rowEnv
 	var err error
-	if pq.pipe != nil {
+	switch {
+	case pq.hasJoin:
+		rows, err = pq.runJoin(tables, outer)
+	case pq.pipe != nil:
 		rows, err = pq.runPipe(tables, outer)
-	} else {
+	default:
 		rows, err = pq.crossFilter(tables, outer)
 	}
 	if err != nil {
@@ -498,30 +522,44 @@ func (c *compiler) compile(e *dt.Node) exprFn {
 	case dt.KindIdent:
 		return c.compileIdent(e.Label)
 	case dt.KindAnd:
+		// Kleene AND, mirroring evalExpr: FALSE short-circuits, NULL keeps
+		// evaluating (later conjuncts still surface their errors).
 		fns := c.compileAll(e.Children)
 		return func(env *rowEnv) (Value, error) {
+			sawNull := false
 			for _, fn := range fns {
 				v, err := fn(env)
 				if err != nil {
 					return Value{}, err
 				}
-				if !v.Truthy() {
+				if v.Null {
+					sawNull = true
+				} else if !v.Truthy() {
 					return BoolVal(false), nil
 				}
+			}
+			if sawNull {
+				return NullVal(), nil
 			}
 			return BoolVal(true), nil
 		}
 	case dt.KindOr:
 		fns := c.compileAll(e.Children)
 		return func(env *rowEnv) (Value, error) {
+			sawNull := false
 			for _, fn := range fns {
 				v, err := fn(env)
 				if err != nil {
 					return Value{}, err
 				}
-				if v.Truthy() {
+				if v.Null {
+					sawNull = true
+				} else if v.Truthy() {
 					return BoolVal(true), nil
 				}
+			}
+			if sawNull {
+				return NullVal(), nil
 			}
 			return BoolVal(false), nil
 		}
@@ -531,6 +569,9 @@ func (c *compiler) compile(e *dt.Node) exprFn {
 			v, err := fn(env)
 			if err != nil {
 				return Value{}, err
+			}
+			if v.Null {
+				return NullVal(), nil
 			}
 			return BoolVal(!v.Truthy()), nil
 		}
@@ -553,10 +594,16 @@ func (c *compiler) compile(e *dt.Node) exprFn {
 			if err != nil {
 				return Value{}, err
 			}
-			if v.Null || lo.Null || hi.Null {
+			if !v.Null && !lo.Null && Compare(v, lo) < 0 {
 				return BoolVal(false), nil
 			}
-			return BoolVal(Compare(v, lo) >= 0 && Compare(v, hi) <= 0), nil
+			if !v.Null && !hi.Null && Compare(v, hi) > 0 {
+				return BoolVal(false), nil
+			}
+			if v.Null || lo.Null || hi.Null {
+				return NullVal(), nil
+			}
+			return BoolVal(true), nil
 		}
 	case dt.KindIn:
 		return c.compileIn(e)
@@ -667,7 +714,7 @@ func (c *compiler) compileBinary(e *dt.Node) exprFn {
 				return Value{}, err
 			}
 			if l.Null || r.Null {
-				return BoolVal(false), nil
+				return NullVal(), nil
 			}
 			return BoolVal(test(Compare(l, r))), nil
 		}
@@ -705,7 +752,7 @@ func (c *compiler) compileBinary(e *dt.Node) exprFn {
 				return Value{}, err
 			}
 			if l.Null || r.Null {
-				return BoolVal(false), nil
+				return NullVal(), nil
 			}
 			return BoolVal(likeMatch(l.Text(), r.Text())), nil
 		}
@@ -741,14 +788,20 @@ func (c *compiler) compileIn(e *dt.Node) exprFn {
 			if err != nil {
 				return Value{}, err
 			}
-			found := false
+			var found, sawNull bool
 			for _, row := range t.Rows {
-				if len(row) > 0 && EqualVal(v, row[0]) {
+				if len(row) == 0 {
+					continue
+				}
+				if EqualVal(v, row[0]) {
 					found = true
 					break
 				}
+				if row[0].Null {
+					sawNull = true
+				}
 			}
-			return BoolVal(found != negate), nil
+			return inVerdict(negate, found, sawNull || v.Null), nil
 		}
 	}
 	elems := c.compileAll(target.Children)
@@ -757,7 +810,7 @@ func (c *compiler) compileIn(e *dt.Node) exprFn {
 		if err != nil {
 			return Value{}, err
 		}
-		found := false
+		var found, sawNull bool
 		for _, ef := range elems {
 			cv, err := ef(env)
 			if err != nil {
@@ -767,8 +820,11 @@ func (c *compiler) compileIn(e *dt.Node) exprFn {
 				found = true
 				break
 			}
+			if cv.Null {
+				sawNull = true
+			}
 		}
-		return BoolVal(found != negate), nil
+		return inVerdict(negate, found, sawNull || v.Null), nil
 	}
 }
 

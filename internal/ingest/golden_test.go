@@ -165,21 +165,25 @@ func TestExampleExportsInSync(t *testing.T) {
 	}
 }
 
-// GeneratorFromFiles on the committed penguins example — a dataset that
-// does not exist in internal/dataset — must generate a working interface.
+// GeneratorFromFiles on the committed penguins example — datasets that do
+// not exist in internal/dataset, with a LEFT JOIN across them in the log —
+// must generate a working interface.
 func TestGeneratorFromFilesPenguins(t *testing.T) {
 	gen, queries, err := pi2.GeneratorFromFiles(
-		[]string{"../../examples/data/penguins.csv"},
+		[]string{"../../examples/data/penguins.csv", "../../examples/data/islands.csv"},
 		"../../examples/data/penguins.sql",
 		"../../examples/data/penguins.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(queries) != 2 {
-		t.Fatalf("got %d queries, want 2", len(queries))
+	if len(queries) != 3 {
+		t.Fatalf("got %d queries, want 3", len(queries))
 	}
 	if _, ok := gen.DB.Table("penguins"); !ok {
 		t.Fatal("penguins table missing")
+	}
+	if _, ok := gen.DB.Table("islands"); !ok {
+		t.Fatal("islands table missing")
 	}
 	res, err := gen.Generate(queries)
 	if err != nil {

@@ -415,6 +415,30 @@ func TestValidateUnknownTable(t *testing.T) {
 	}
 }
 
+// Validate must see the table ref inside a JOIN step — a join node wraps its
+// ref one level down from a plain FROM entry.
+func TestValidateOuterJoinLog(t *testing.T) {
+	db := engine.NewDB(DefaultNow)
+	db.Add(&engine.Table{Name: "Cars", Cols: []string{"hp", "origin"}, Types: []engine.ColType{engine.TNum, engine.TStr}})
+	db.Add(&engine.Table{Name: "Makers", Cols: []string{"origin", "region"}, Types: []engine.ColType{engine.TStr, engine.TStr}})
+	src := "SELECT c.hp, m.region FROM Cars AS c LEFT JOIN Makers AS m ON c.origin = m.origin\n" +
+		"SELECT c.hp FROM Cars AS c FULL OUTER JOIN Wheels AS w ON c.hp = w.hp\n"
+	stmts, err := ParseLog(strings.NewReader(src), "log.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(stmts[:1], db, "log.sql"); err != nil {
+		t.Errorf("valid outer-join statement rejected: %v", err)
+	}
+	verr := Validate(stmts, db, "log.sql")
+	if verr == nil {
+		t.Fatal("unknown join table accepted")
+	}
+	if !strings.Contains(verr.Error(), "log.sql:2") || !strings.Contains(verr.Error(), `"Wheels"`) {
+		t.Errorf("validate error = %v, want position and bad join table name", verr)
+	}
+}
+
 func TestWriteCSVRoundTrip(t *testing.T) {
 	src := &engine.Table{
 		Name:  "t",

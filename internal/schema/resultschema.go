@@ -197,6 +197,9 @@ func queryResultSchema(q *dt.Node, cat *catalog.Catalog) *ResultSchema {
 	from := q.Children[1]
 	if from.Kind == dt.KindFrom {
 		for _, ref := range from.Children {
+			if ref.Kind == dt.KindJoin { // unwrap a join step to its table ref
+				ref = ref.Children[0]
+			}
 			src, alias := ref.Children[0], ref.Children[1]
 			if src.Kind == dt.KindIdent {
 				t := strings.ToLower(src.Label)

@@ -34,6 +34,16 @@ func seedQueries(f *testing.F) {
 		"SELECT ((((1))))",
 		"SELECT 'unterminated",
 		"SELECT a FROM t LIMIT abc",
+		"SELECT * FROM t JOIN u ON t.a = u.a",
+		"SELECT * FROM t INNER JOIN u ON t.a = u.a AND u.b > 3",
+		"SELECT t.a, u.b FROM t LEFT JOIN u ON t.a = u.a WHERE u.b <> 4",
+		"SELECT t.a FROM t LEFT OUTER JOIN u ON t.a = u.a OR t.b < u.b",
+		"select e.id, d.city from emp e right join dept d on e.dept = d.name order by e.id",
+		"SELECT * FROM a, b FULL OUTER JOIN c ON b.x = c.x LEFT JOIN d ON c.y = d.y, e",
+		"SELECT * FROM t FULL JOIN (SELECT a FROM u) sub ON t.a = sub.a LIMIT 2",
+		"SELECT * FROM t LEFT JOIN u ON 1 = 1",
+		"SELECT * FROM t JOIN u", // missing ON: must error, not panic
+		"SELECT * FROM t LEFT u ON t.a = u.a",
 	} {
 		f.Add(q)
 	}

@@ -34,6 +34,8 @@ var keywords = map[string]bool{
 	"group": true, "by": true, "having": true, "order": true, "limit": true,
 	"and": true, "or": true, "not": true, "between": true, "in": true,
 	"like": true, "as": true, "asc": true, "desc": true,
+	"join": true, "on": true, "inner": true, "left": true, "right": true,
+	"full": true, "outer": true,
 }
 
 // lex tokenizes the input. It is deliberately forgiving about whitespace and

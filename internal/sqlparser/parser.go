@@ -121,6 +121,16 @@ func (p *parser) parseQuery() (*dt.Node, error) {
 				return nil, err
 			}
 			from.Children = append(from.Children, ref)
+			for {
+				join, err := p.parseJoin()
+				if err != nil {
+					return nil, err
+				}
+				if join == nil {
+					break
+				}
+				from.Children = append(from.Children, join)
+			}
 			if !p.accept(tokSymbol, ",") {
 				break
 			}
@@ -250,6 +260,48 @@ func (p *parser) parseTableRef() (*dt.Node, error) {
 		alias = dt.Ident(p.next().text)
 	}
 	return dt.New(dt.KindTableRef, "", src, alias), nil
+}
+
+// parseJoin parses one `[INNER|LEFT|RIGHT|FULL [OUTER]] JOIN ref ON expr`
+// step, or returns (nil, nil) when the cursor is not at a join. The join
+// type is the node label; bare JOIN is canonicalized to "inner" and the
+// optional OUTER keyword is dropped, so equivalent spellings produce
+// structurally equal trees. The ON expression is AND-wrapped like WHERE and
+// HAVING bodies.
+func (p *parser) parseJoin() (*dt.Node, error) {
+	jt := ""
+	switch {
+	case p.at(tokKeyword, "join"):
+		jt = "inner"
+	case p.accept(tokKeyword, "inner"):
+		jt = "inner"
+	case p.accept(tokKeyword, "left"):
+		jt = "left"
+	case p.accept(tokKeyword, "right"):
+		jt = "right"
+	case p.accept(tokKeyword, "full"):
+		jt = "full"
+	default:
+		return nil, nil
+	}
+	if jt != "inner" || !p.at(tokKeyword, "join") {
+		p.accept(tokKeyword, "outer")
+	}
+	if _, err := p.expect(tokKeyword, "join"); err != nil {
+		return nil, err
+	}
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "on"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return dt.New(dt.KindJoin, jt, ref, andWrap(e)), nil
 }
 
 // Expression grammar: Or > And > Not > Comparison > Add > Mul > Unary > Primary.

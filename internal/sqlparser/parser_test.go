@@ -268,3 +268,80 @@ func TestLineComments(t *testing.T) {
 		t.Fatalf("parse with comments: %v", q)
 	}
 }
+
+func TestParseJoinShapes(t *testing.T) {
+	q := MustParse("SELECT * FROM a, b LEFT JOIN c ON b.x = c.x AND c.y > 2, d")
+	from := q.Children[1]
+	if from.Kind != dt.KindFrom || len(from.Children) != 4 {
+		t.Fatalf("from shape: %v", from)
+	}
+	kinds := []dt.Kind{dt.KindTableRef, dt.KindTableRef, dt.KindJoin, dt.KindTableRef}
+	for i, k := range kinds {
+		if from.Children[i].Kind != k {
+			t.Fatalf("from child %d = %v, want %v", i, from.Children[i].Kind, k)
+		}
+	}
+	join := from.Children[2]
+	if join.Label != "left" {
+		t.Fatalf("join label = %q, want left", join.Label)
+	}
+	if join.Children[0].Kind != dt.KindTableRef {
+		t.Fatalf("join ref = %v", join.Children[0])
+	}
+	// ON is AND-wrapped like WHERE and HAVING
+	if on := join.Children[1]; on.Kind != dt.KindAnd || len(on.Children) != 2 {
+		t.Fatalf("join on = %v", join.Children[1])
+	}
+}
+
+func TestParseJoinSpellingsCanonical(t *testing.T) {
+	// Bare JOIN and INNER JOIN, and the optional OUTER keyword, produce
+	// structurally equal trees.
+	pairs := [][2]string{
+		{"SELECT * FROM t JOIN u ON t.a = u.a", "SELECT * FROM t INNER JOIN u ON t.a = u.a"},
+		{"SELECT * FROM t LEFT JOIN u ON t.a = u.a", "SELECT * FROM t LEFT OUTER JOIN u ON t.a = u.a"},
+		{"SELECT * FROM t RIGHT JOIN u ON t.a = u.a", "SELECT * FROM t RIGHT OUTER JOIN u ON t.a = u.a"},
+		{"SELECT * FROM t FULL JOIN u ON t.a = u.a", "SELECT * FROM t FULL OUTER JOIN u ON t.a = u.a"},
+	}
+	for _, p := range pairs {
+		a, b := MustParse(p[0]), MustParse(p[1])
+		if !dt.Equal(a, b) {
+			t.Errorf("%q and %q parse differently:\n  %s\n  %s", p[0], p[1], a, b)
+		}
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT * FROM t JOIN u ON t.a = u.a",
+		"SELECT * FROM t INNER JOIN u ON t.a = u.a AND u.b > 3",
+		"SELECT t.a, u.b FROM t LEFT JOIN u ON t.a = u.a WHERE u.b <> 4",
+		"SELECT t.a FROM t LEFT OUTER JOIN u ON t.a = u.a OR t.b < u.b",
+		"SELECT e.id FROM emp AS e RIGHT JOIN dept AS d ON e.dept = d.name ORDER BY e.id",
+		"SELECT * FROM a, b FULL OUTER JOIN c ON b.x = c.x LEFT JOIN d ON c.y = d.y, e",
+		"SELECT * FROM t FULL JOIN (SELECT a FROM u) AS sub ON t.a = sub.a LIMIT 2",
+	} {
+		ast1 := MustParse(sql)
+		rendered := ToSQL(ast1)
+		ast2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", rendered, sql, err)
+		}
+		if !dt.Equal(ast1, ast2) {
+			t.Fatalf("join round trip changed tree:\n  sql: %s\n  rendered: %s", sql, rendered)
+		}
+	}
+}
+
+func TestParseJoinErrors(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT * FROM t JOIN u",               // missing ON
+		"SELECT * FROM t LEFT JOIN u ON",       // missing ON expression
+		"SELECT * FROM t LEFT JOIN ON t.a = 1", // missing table
+		"SELECT * FROM t OUTER JOIN u ON 1 = 1",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}

@@ -39,7 +39,13 @@ func render(b *strings.Builder, n *dt.Node) {
 		b.WriteByte('*')
 	case dt.KindFrom:
 		b.WriteString("FROM ")
-		renderList(b, n.Children, ", ")
+		renderFrom(b, n.Children)
+	case dt.KindJoin:
+		b.WriteString(strings.ToUpper(n.Label))
+		b.WriteString(" JOIN ")
+		render(b, n.Children[0])
+		b.WriteString(" ON ")
+		renderExpr(b, n.Children[1])
 	case dt.KindTableRef:
 		if n.Children[0].Kind == dt.KindQuery {
 			b.WriteByte('(')
@@ -160,6 +166,27 @@ func renderQuery(b *strings.Builder, n *dt.Node) {
 		}
 		if !first {
 			b.WriteByte(' ')
+		}
+		render(b, c)
+		first = false
+	}
+}
+
+// renderFrom renders a FROM child list: table refs are comma-separated,
+// join steps attach to the preceding ref with a space instead of a comma
+// ("FROM a, b LEFT JOIN c ON ...").
+func renderFrom(b *strings.Builder, items []*dt.Node) {
+	first := true
+	for _, c := range items {
+		if c.Kind == dt.KindNone {
+			continue
+		}
+		if !first {
+			if c.Kind == dt.KindJoin {
+				b.WriteByte(' ')
+			} else {
+				b.WriteString(", ")
+			}
 		}
 		render(b, c)
 		first = false
