@@ -107,6 +107,22 @@ func runJSON(path, baselinePath string) error {
 	}
 	report.Benches = append(report.Benches, serving...)
 
+	// Observability overhead variants: instrumented counterparts of
+	// SessionInteraction/cached and EngineJoin/hash. Measured here, right
+	// after the disabled serving benches, so the cached vs cached-metrics
+	// comparison is taken under the same machine conditions — the machine's
+	// fast/slow modes drift on a scale of minutes, more than the overhead
+	// being reported.
+	es, err := newExploreServing()
+	if err != nil {
+		return err
+	}
+	obsB, err := obsBenches(es)
+	if err != nil {
+		return err
+	}
+	report.Benches = append(report.Benches, obsB...)
+
 	multi, err := multiSessionBenches()
 	if err != nil {
 		return err
@@ -137,23 +153,7 @@ func runJSON(path, baselinePath string) error {
 // pipeline changes the algorithm. Mirrors the BenchmarkEngine* benches in
 // internal/engine so the trajectory report captures the same numbers.
 func engineBenches() ([]BenchResult, error) {
-	r := rand.New(rand.NewSource(42))
-	db := engine.NewDB("2020-12-31")
-	const dims, facts, groups = 200, 2000, 50
-	dim := &engine.Table{Name: "dim", Cols: []string{"k", "label"}, Types: []engine.ColType{engine.TNum, engine.TStr}}
-	for i := 0; i < dims; i++ {
-		dim.Rows = append(dim.Rows, []engine.Value{engine.NumVal(float64(i)), engine.StrVal(fmt.Sprintf("d%d", i))})
-	}
-	fact := &engine.Table{Name: "fact", Cols: []string{"k", "v", "grp"}, Types: []engine.ColType{engine.TNum, engine.TNum, engine.TNum}}
-	for i := 0; i < facts; i++ {
-		fact.Rows = append(fact.Rows, []engine.Value{
-			engine.NumVal(float64(r.Intn(dims))),
-			engine.NumVal(r.Float64() * 100),
-			engine.NumVal(float64(r.Intn(groups))),
-		})
-	}
-	db.Add(dim)
-	db.Add(fact)
+	db := newEngineBenchDB()
 
 	cases := []struct {
 		name      string
@@ -205,6 +205,29 @@ func engineBenches() ([]BenchResult, error) {
 		})
 	}
 	return out, nil
+}
+
+// newEngineBenchDB builds the synthetic dim/fact star schema the engine
+// micro-benches (and the observability overhead benches) run against.
+func newEngineBenchDB() *engine.DB {
+	r := rand.New(rand.NewSource(42))
+	db := engine.NewDB("2020-12-31")
+	const dims, facts, groups = 200, 2000, 50
+	dim := &engine.Table{Name: "dim", Cols: []string{"k", "label"}, Types: []engine.ColType{engine.TNum, engine.TStr}}
+	for i := 0; i < dims; i++ {
+		dim.Rows = append(dim.Rows, []engine.Value{engine.NumVal(float64(i)), engine.StrVal(fmt.Sprintf("d%d", i))})
+	}
+	fact := &engine.Table{Name: "fact", Cols: []string{"k", "v", "grp"}, Types: []engine.ColType{engine.TNum, engine.TNum, engine.TNum}}
+	for i := 0; i < facts; i++ {
+		fact.Rows = append(fact.Rows, []engine.Value{
+			engine.NumVal(float64(r.Intn(dims))),
+			engine.NumVal(r.Float64() * 100),
+			engine.NumVal(float64(r.Intn(groups))),
+		})
+	}
+	db.Add(dim)
+	db.Add(fact)
+	return db
 }
 
 // exploreServing is the shared fixture of the serving benches: the

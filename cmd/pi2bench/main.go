@@ -36,7 +36,17 @@ func main() {
 	full := flag.Bool("full", false, "use the paper's full sweep resolution (slow)")
 	jsonPath := flag.String("json", "", "run the generation + serving benches and write a JSON report to this path ('-' for stdout)")
 	baseline := flag.String("baseline", "", "previous JSON report to embed as the baseline (use with -json)")
+	overheadCheck := flag.Bool("overhead-check", false, "measure serving-metrics overhead (instrumented vs disabled) and fail if it exceeds -overhead-max")
+	overheadMax := flag.Float64("overhead-max", 1.05, "maximum allowed instrumented/disabled ratio for -overhead-check")
 	flag.Parse()
+
+	if *overheadCheck {
+		if err := runOverheadCheck(*overheadMax); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonPath != "" {
 		if err := runJSON(*jsonPath, *baseline); err != nil {

@@ -30,9 +30,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +47,7 @@ import (
 	"pi2/internal/engine"
 	"pi2/internal/iface"
 	"pi2/internal/ingest"
+	"pi2/internal/obs"
 	"pi2/internal/sqlparser"
 	"pi2/internal/transform"
 	"pi2/internal/workload"
@@ -60,6 +63,9 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	maxSessions := flag.Int("max-sessions", iface.DefaultMaxSessions, "maximum live sessions; the least recently used is evicted at the cap")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (0 disables idle expiry)")
+	metrics := flag.Bool("metrics", true, "expose Prometheus metrics at /metrics and trace each request")
+	slowThreshold := flag.Duration("slow-threshold", time.Second, "log requests slower than this to stderr as JSON lines (0 disables; needs -metrics)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for /debug/pprof (empty: pprof is not served at all)")
 	flag.Parse()
 
 	db, keys, queries, title, err := loadInputs(*logName, *dataFiles, *queriesFile, *manifest)
@@ -84,17 +90,29 @@ func main() {
 	}
 	ctx := &transform.Context{Queries: asts, Cat: cat}
 	reg := newRegistry(res.Interface, ctx, db, *maxSessions, *sessionTTL)
+	o := newObs(*metrics, *slowThreshold, os.Stderr, reg)
+	dbg, stopDebug, err := startDebugServer(*debugAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dbg != "" {
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", dbg)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("serving on %s (max %d sessions, ttl %s; counters at /stats, liveness at /healthz)\n",
 		*addr, *maxSessions, *sessionTTL)
+	if o != nil {
+		fmt.Printf("metrics at /metrics (slow-query threshold %s)\n", *slowThreshold)
+	}
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	stopSweeper := startSweeper(reg, *sessionTTL)
-	err = serve(ln, iface.NewRegistryServer(reg).Handler(), sigs, *drain, log.Printf)
+	err = serve(ln, iface.NewRegistryServer(reg).WithObs(o).Handler(), sigs, *drain, log.Printf)
 	stopSweeper()
+	stopDebug()
 	reg.Close() // drain all sessions into the final aggregate
 	if st := reg.Stats(); st.Created > 0 {
 		log.Printf("pi2serve: served %d sessions (%d evicted, %d expired); cache %+v",
@@ -113,6 +131,43 @@ func newRegistry(ifc *iface.Interface, ctx *transform.Context, db *engine.DB, ma
 	return iface.NewRegistry(func() (*iface.Session, error) {
 		return iface.NewSessionWithPlans(ifc, ctx, db, pc)
 	}, iface.RegistryOptions{MaxSessions: maxSessions, TTL: ttl, Plans: pc})
+}
+
+// newObs builds the serving observability bundle: a metrics registry
+// carrying the HTTP middleware instruments plus the registry's session and
+// cache counters, and a slow-query log writing JSON lines to slowW.
+// Returns nil (fully disabled) when -metrics is off.
+func newObs(enable bool, slowThreshold time.Duration, slowW io.Writer, reg *iface.Registry) *iface.ServerObs {
+	if !enable {
+		return nil
+	}
+	m := obs.NewRegistry()
+	iface.RegisterServingMetrics(m, reg)
+	return iface.NewServerObs(m, obs.NewSlowLog(slowW, slowThreshold))
+}
+
+// startDebugServer serves net/http/pprof on its own listener, opt-in via
+// -debug-addr. The handlers are registered on a private mux bound to a
+// separate address, so the serving listener never exposes pprof — by
+// default (empty addr) the profiler is not reachable anywhere. Returns the
+// bound address (for tests and the startup banner) and a stop function.
+func startDebugServer(addr string) (string, func(), error) {
+	if addr == "" {
+		return "", func() {}, nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
 }
 
 // startSweeper periodically retires idle sessions so an abandoned fleet

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pi2/internal/iface"
+)
+
+// stubRegistry is the cheapest registry that can serve /metrics, /stats and
+// /healthz: the session factory always fails, so no interface generation is
+// needed and page loads 500 — irrelevant for these routes.
+func stubRegistry() *iface.Registry {
+	return iface.NewRegistry(func() (*iface.Session, error) {
+		return nil, fmt.Errorf("stub: no sessions")
+	}, iface.RegistryOptions{})
+}
+
+// TestDefaultServesNoPprof pins the opt-in contract: with -debug-addr unset
+// the serving mux exposes no pprof anywhere — /debug/pprof/ falls through
+// to the catch-all page handler, and no profiler index leaks.
+func TestDefaultServesNoPprof(t *testing.T) {
+	addr, stop, err := startDebugServer("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if addr != "" {
+		t.Fatalf("startDebugServer(\"\") bound %q, want no listener", addr)
+	}
+
+	reg := stubRegistry()
+	o := newObs(true, time.Second, io.Discard, reg)
+	h := iface.NewRegistryServer(reg).WithObs(o).Handler()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/profile"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		body := rr.Body.String()
+		if strings.Contains(body, "Types of profiles available") || strings.Contains(body, "goroutine profile") {
+			t.Fatalf("serving mux leaks pprof at %s:\n%s", path, body)
+		}
+	}
+}
+
+func TestDebugServerOptIn(t *testing.T) {
+	addr, stop, err := startDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "profile") {
+		t.Fatalf("pprof index body = %q", body)
+	}
+}
+
+// TestObsWiring exercises the main-path observability constructor: metrics
+// route live, registry counters exported, slow log attached, and -metrics
+// off yielding a nil (fully disabled) bundle.
+func TestObsWiring(t *testing.T) {
+	if o := newObs(false, time.Second, io.Discard, stubRegistry()); o != nil {
+		t.Fatal("-metrics=false must disable observability entirely")
+	}
+
+	var slow bytes.Buffer
+	reg := stubRegistry()
+	o := newObs(true, time.Nanosecond, &slow, reg)
+	h := iface.NewRegistryServer(reg).WithObs(o).Handler()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", rr.Code)
+	}
+	for _, want := range []string{"pi2_http_requests_total", "pi2_sessions_live", "pi2_uptime_seconds"} {
+		if !strings.Contains(rr.Body.String(), want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// 1ns threshold: the /healthz request above must have hit the slow log.
+	if !strings.Contains(slow.String(), `"kind":"http"`) {
+		t.Fatalf("slow log empty, want a JSON line; got %q", slow.String())
+	}
+}

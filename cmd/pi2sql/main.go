@@ -4,6 +4,7 @@
 //
 //	$ pi2sql
 //	pi2> SELECT hour, count(*) FROM flights GROUP BY hour LIMIT 5
+//	pi2> EXPLAIN ANALYZE SELECT ... -- per-operator rows and timings
 //	pi2> \d            -- list tables
 //	pi2> \q            -- quit
 package main
@@ -36,14 +37,51 @@ func main() {
 				fmt.Println(" ", s)
 			}
 		default:
-			res, err := engine.ExecSQL(db, strings.TrimSuffix(line, ";"), sqlparser.Parse)
-			if err != nil {
-				fmt.Println("error:", err)
-			} else {
-				fmt.Print(res.String())
-				fmt.Printf("(%d rows)\n", len(res.Rows))
-			}
+			fmt.Print(evalLine(db, line))
 		}
 		fmt.Print("pi2> ")
 	}
+}
+
+// evalLine evaluates one REPL statement and returns the text to print:
+// either the result table or, for an `EXPLAIN ANALYZE <query>` prefix, the
+// per-operator execution profile.
+func evalLine(db *engine.DB, line string) string {
+	sql := strings.TrimSuffix(strings.TrimSpace(line), ";")
+	if rest, ok := stripExplainAnalyze(sql); ok {
+		return explainAnalyze(db, rest)
+	}
+	res, err := engine.ExecSQL(db, sql, sqlparser.Parse)
+	if err != nil {
+		return "error: " + err.Error() + "\n"
+	}
+	return res.String() + fmt.Sprintf("(%d rows)\n", len(res.Rows))
+}
+
+// stripExplainAnalyze detects a leading EXPLAIN ANALYZE (case-insensitive)
+// and returns the query after it.
+func stripExplainAnalyze(sql string) (string, bool) {
+	fields := strings.Fields(sql)
+	if len(fields) >= 3 && strings.EqualFold(fields[0], "EXPLAIN") && strings.EqualFold(fields[1], "ANALYZE") {
+		return strings.Join(fields[2:], " "), true
+	}
+	return sql, false
+}
+
+// explainAnalyze runs the query with per-operator profiling and renders the
+// EXPLAIN ANALYZE report (rows in/out and wall time per physical operator).
+func explainAnalyze(db *engine.DB, sql string) string {
+	ast, err := sqlparser.Parse(sql)
+	if err != nil {
+		return "error: " + err.Error() + "\n"
+	}
+	plan, err := engine.Prepare(db, ast)
+	if err != nil {
+		return "error: " + err.Error() + "\n"
+	}
+	tbl, prof, err := plan.ExecProfiled()
+	if err != nil {
+		return "error: " + err.Error() + "\n"
+	}
+	return prof.String() + fmt.Sprintf("(%d rows)\n", len(tbl.Rows))
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pi2/internal/dataset"
+)
+
+func TestEvalLinePlainQuery(t *testing.T) {
+	db := dataset.NewDB()
+	out := evalLine(db, "SELECT count(*) FROM galaxy;")
+	if !strings.Contains(out, "(1 rows)") {
+		t.Fatalf("output = %q", out)
+	}
+	if strings.Contains(out, "operator") {
+		t.Fatalf("plain query produced a profile:\n%s", out)
+	}
+}
+
+// TestEvalLineExplainAnalyzeHashJoin pins the acceptance criterion: EXPLAIN
+// ANALYZE over a hash-join query shows per-operator rows and timings.
+func TestEvalLineExplainAnalyzeHashJoin(t *testing.T) {
+	db := dataset.NewDB()
+	out := evalLine(db,
+		"explain analyze SELECT galaxy.objID, specObj.z FROM galaxy, specObj WHERE galaxy.objID = specObj.bestObjID")
+	for _, want := range []string{"operator", "rows in", "rows out", "scan", "hash-build", "join", "total", "(400 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "hash") {
+		t.Errorf("join did not report hash mode:\n%s", out)
+	}
+}
+
+func TestEvalLineExplainAnalyzeError(t *testing.T) {
+	db := dataset.NewDB()
+	out := evalLine(db, "EXPLAIN ANALYZE SELECT nope FROM missing")
+	if !strings.HasPrefix(out, "error:") {
+		t.Fatalf("output = %q, want error", out)
+	}
+}
+
+func TestStripExplainAnalyze(t *testing.T) {
+	if got, ok := stripExplainAnalyze("ExPlain ANALYZE SELECT 1 FROM T"); !ok || got != "SELECT 1 FROM T" {
+		t.Fatalf("got %q, %v", got, ok)
+	}
+	if _, ok := stripExplainAnalyze("EXPLAIN SELECT 1 FROM T"); ok {
+		t.Fatal("bare EXPLAIN must not trigger the profiled path")
+	}
+	if _, ok := stripExplainAnalyze("SELECT 1 FROM T"); ok {
+		t.Fatal("plain query misdetected")
+	}
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"pi2/internal/engine"
 	"pi2/internal/iface"
 	"pi2/internal/mapping"
+	"pi2/internal/obs"
 	"pi2/internal/search"
 	"pi2/internal/sqlparser"
 	"pi2/internal/transform"
@@ -42,10 +44,33 @@ type Result struct {
 
 // Generate runs PI2 on a SQL query log against the given database.
 func Generate(sqls []string, db *engine.DB, cat *catalog.Catalog, cfg Config) (*Result, error) {
+	return GenerateCtx(context.Background(), sqls, db, cat, cfg)
+}
+
+// GenerateCtx is Generate with request-scoped observability: when goctx
+// carries an obs.Trace (obs.WithTrace), the run records "gen.parse",
+// "gen.search" and "gen.map" phase spans plus the aggregate timers the
+// lower layers feed ("search.rollout", "search.reward", "map.search",
+// "map.layout", "safety.exec"). The trace is observational only — it never
+// touches an RNG or a decision — so a traced run produces an interface
+// byte-identical to an untraced run with the same seed (pinned by
+// TestGenerateTraceByteIdentical).
+func GenerateCtx(goctx context.Context, sqls []string, db *engine.DB, cat *catalog.Catalog, cfg Config) (*Result, error) {
 	if len(sqls) == 0 {
 		return nil, fmt.Errorf("core: empty query log")
 	}
+	tr := obs.FromContext(goctx)
+	var end func()
+	if tr != nil {
+		cfg.Search.Trace = tr
+		cfg.Search.MapOpts.Trace = tr
+		cfg.Mapping.Trace = tr
+		end = tr.Span("gen.parse")
+	}
 	queries, err := sqlparser.ParseAll(sqls)
+	if end != nil {
+		end()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -56,16 +81,26 @@ func Generate(sqls []string, db *engine.DB, cat *catalog.Catalog, cfg Config) (*
 	// search reuses every result the search already computed.
 	if cfg.Search.MapOpts.CheckSafety && cfg.Search.MapOpts.Exec == nil {
 		exec := mapping.NewExecCache(db)
+		exec.Trace = tr
 		cfg.Search.MapOpts.Exec = exec
 		if cfg.Mapping.Exec == nil {
 			cfg.Mapping.Exec = exec
 		}
 	}
 
+	if tr != nil {
+		end = tr.Span("gen.search")
+	}
 	t0 := time.Now()
 	sr := search.Run(ctx, db, cfg.Search)
 	searchTime := time.Since(t0)
+	if end != nil {
+		end()
+	}
 
+	if tr != nil {
+		end = tr.Span("gen.map")
+	}
 	t1 := time.Now()
 	ifc, err := mapping.Best(sr.State, ctx, db, cfg.Mapping)
 	if err != nil {
@@ -79,6 +114,9 @@ func Generate(sqls []string, db *engine.DB, cat *catalog.Catalog, cfg Config) (*
 		sr.State = fallback
 	}
 	mapTime := time.Since(t1)
+	if end != nil {
+		end()
+	}
 
 	return &Result{
 		Interface:  ifc,

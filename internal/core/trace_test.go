@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"pi2/internal/catalog"
+	"pi2/internal/dataset"
+	"pi2/internal/iface"
+	"pi2/internal/obs"
+	"pi2/internal/sqlparser"
+	"pi2/internal/transform"
+	"pi2/internal/workload"
+)
+
+// TestGenerateTraceByteIdentical pins the acceptance criterion that
+// observability never changes generation: the same seed with and without a
+// trace attached must produce byte-identical interfaces.
+func TestGenerateTraceByteIdentical(t *testing.T) {
+	log := workload.Explore()
+	cfg := fastConfig()
+
+	page := func(ctx context.Context) string {
+		db := dataset.NewDB()
+		cat := catalog.Build(db, dataset.Keys())
+		res, err := GenerateCtx(ctx, log.Queries, db, cat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries, err := sqlparser.ParseAll(log.Queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tctx := &transform.Context{Queries: queries, Cat: cat}
+		sess, err := iface.NewSession(res.Interface, tctx, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		html, err := iface.RenderHTML(sess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return html
+	}
+
+	plain := page(context.Background())
+
+	tr := obs.NewTrace("gen-test")
+	traced := page(obs.WithTrace(context.Background(), tr))
+
+	if plain != traced {
+		t.Fatal("traced generation differs from untraced generation with the same seed")
+	}
+
+	// The trace must actually have observed the run.
+	spans := map[string]bool{}
+	for _, sp := range tr.Spans() {
+		spans[sp.Name] = true
+	}
+	for _, want := range []string{"gen.parse", "gen.search", "gen.map"} {
+		if !spans[want] {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+	timers := tr.Timers()
+	for _, want := range []string{"search.reward", "map.search", "map.layout"} {
+		if timers[want].Count == 0 {
+			t.Errorf("trace missing timer %q (have %v)", want, tr.TimerNames())
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package engine
 
+import "time"
+
 // This file implements the compiled execution path for FROM clauses that
 // contain JOIN steps (INNER/LEFT/RIGHT/FULL ... ON). Join queries bypass the
 // comma-join operator pipeline (pipeline.go): the WHERE predicate stays
@@ -97,7 +99,9 @@ func (pq *planQuery) joinHash(i int, rows [][]Value, metas []frame) (*hashSide, 
 
 // runJoin executes the compiled join levels, mirroring joinRows step for
 // step, then applies the monolithic WHERE predicate per row in order.
-func (pq *planQuery) runJoin(tables []*Table, outer *rowEnv) ([]*rowEnv, error) {
+// prof (nil on unprofiled runs) collects one op per level plus hash builds
+// and the final WHERE filter.
+func (pq *planQuery) runJoin(tables []*Table, outer *rowEnv, prof *Profile) ([]*rowEnv, error) {
 	n := len(pq.sources)
 	metas := make([]frame, n)
 	nullRows := make([][]Value, n)
@@ -123,10 +127,21 @@ func (pq *planQuery) runJoin(tables []*Table, outer *rowEnv) ([]*rowEnv, error) 
 		}
 
 		if jn.on == nil { // comma entry: plain cross product step
+			var t0 time.Time
+			if prof != nil {
+				t0 = time.Now()
+			}
 			for _, env := range envs {
 				for _, row := range rows {
 					extend(env.frames, row)
 				}
+			}
+			if prof != nil {
+				op := "cross"
+				if i == 0 {
+					op = "scan"
+				}
+				prof.add(op, metas[i].alias, len(rows), len(next), time.Since(t0))
 			}
 			envs = next
 			continue
@@ -139,13 +154,24 @@ func (pq *planQuery) runJoin(tables []*Table, outer *rowEnv) ([]*rowEnv, error) 
 		}
 		var hash *hashSide
 		if jn.hash {
+			var tb time.Time
+			if prof != nil {
+				tb = time.Now()
+			}
 			h, err := pq.joinHash(i, rows, metas)
 			if err != nil {
 				return nil, err
 			}
+			if prof != nil {
+				prof.add("hash-build", metas[i].alias, len(rows), len(h.buckets), time.Since(tb))
+			}
 			hash = h
 		}
 
+		var t0 time.Time
+		if prof != nil {
+			t0 = time.Now()
+		}
 		cand := &rowEnv{frames: make([]frame, i+1), outer: outer}
 		var kb []byte
 		for _, env := range envs {
@@ -223,10 +249,21 @@ func (pq *planQuery) runJoin(tables []*Table, outer *rowEnv) ([]*rowEnv, error) 
 				}
 			}
 		}
+		if prof != nil {
+			mode := "loop"
+			if hash != nil {
+				mode = "hash"
+			}
+			prof.add("join", jn.typ+" "+metas[i].alias+" ("+mode+")", len(envs), len(next), time.Since(t0))
+		}
 		envs = next
 	}
 
 	if pq.pred != nil {
+		var t0 time.Time
+		if prof != nil {
+			t0 = time.Now()
+		}
 		var out []*rowEnv
 		for _, env := range envs {
 			v, err := pq.pred(env)
@@ -236,6 +273,9 @@ func (pq *planQuery) runJoin(tables []*Table, outer *rowEnv) ([]*rowEnv, error) 
 			if v.Truthy() {
 				out = append(out, env)
 			}
+		}
+		if prof != nil {
+			prof.add("filter", "where", len(envs), len(out), time.Since(t0))
 		}
 		envs = out
 	}

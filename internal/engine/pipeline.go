@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	dt "pi2/internal/difftree"
 )
@@ -338,7 +339,7 @@ func buildHashSide(rows [][]Value, keys []exprFn, i int, cur []frame, probe *row
 
 // runPipe executes the pipeline and returns the surviving row environments
 // in the interpreter's nested-loop enumeration order.
-func (pq *planQuery) runPipe(tables []*Table, outer *rowEnv) ([]*rowEnv, error) {
+func (pq *planQuery) runPipe(tables []*Table, outer *rowEnv, prof *Profile) ([]*rowEnv, error) {
 	n := len(pq.sources)
 	cur := make([]frame, n)
 	for i, ps := range pq.sources {
@@ -351,42 +352,62 @@ func (pq *planQuery) runPipe(tables []*Table, outer *rowEnv) ([]*rowEnv, error) 
 	filtered := make([][][]Value, n)
 	hashes := make([]*hashSide, n)
 	for i := range pq.sources {
+		var t0 time.Time
+		if prof != nil {
+			t0 = time.Now()
+		}
 		rows, err := pq.scanRows(i, tables[i], cur, probe)
 		if err != nil {
 			return nil, err
 		}
+		if prof != nil {
+			// Base-table scans cache across executions (scanState), so a
+			// warm scan legitimately reports ~0 time.
+			prof.add("scan", pq.sources[i].alias, len(tables[i].Rows), len(rows), time.Since(t0))
+		}
 		filtered[i] = rows
 		if len(pq.pipe.steps[i].build) > 0 {
+			if prof != nil {
+				t0 = time.Now()
+			}
 			h, err := pq.buildHash(i, rows, cur, probe)
 			if err != nil {
 				return nil, err
 			}
+			if prof != nil {
+				prof.add("hash-build", pq.sources[i].alias, len(rows), len(h.buckets), time.Since(t0))
+			}
 			hashes[i] = h
 		}
 	}
+
+	// joined counts tuples reaching the residual chain; residDur isolates
+	// residual evaluation from enumeration time (timed only when profiling).
+	joined := 0
+	var residDur time.Duration
+	profResid := prof != nil && len(pq.pipe.residual) > 0
 
 	var out []*rowEnv
 	var kb []byte
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == n {
-			// Kleene residual: FALSE drops the row immediately, NULL keeps
-			// evaluating (a later impure conjunct must still surface its
-			// error) and drops the row at the end.
-			sawNull := false
-			for _, rf := range pq.pipe.residual {
-				v, err := rf(probe)
+			joined++
+			if len(pq.pipe.residual) > 0 {
+				var t0 time.Time
+				if profResid {
+					t0 = time.Now()
+				}
+				pass, err := residualPass(pq.pipe.residual, probe)
+				if profResid {
+					residDur += time.Since(t0)
+				}
 				if err != nil {
 					return err
 				}
-				if v.Null {
-					sawNull = true
-				} else if !v.Truthy() {
+				if !pass {
 					return nil
 				}
-			}
-			if sawNull {
-				return nil
 			}
 			keep := make([]frame, n)
 			copy(keep, cur)
@@ -428,10 +449,54 @@ func (pq *planQuery) runPipe(tables []*Table, outer *rowEnv) ([]*rowEnv, error) 
 		}
 		return nil
 	}
+	var tj time.Time
+	if prof != nil {
+		tj = time.Now()
+	}
 	if err := rec(0); err != nil {
 		return nil, err
 	}
+	if prof != nil {
+		modes := make([]string, n)
+		for i := range pq.sources {
+			switch {
+			case hashes[i] != nil:
+				modes[i] = "hash"
+			case i == 0:
+				modes[i] = "scan"
+			default:
+				modes[i] = "loop"
+			}
+		}
+		in := 0
+		for _, f := range filtered {
+			in += len(f)
+		}
+		prof.add("join", strings.Join(modes, "+"), in, joined, time.Since(tj)-residDur)
+		if len(pq.pipe.residual) > 0 {
+			prof.add("residual", "", joined, len(out), residDur)
+		}
+	}
 	return out, nil
+}
+
+// residualPass evaluates the residual chain with Kleene semantics: FALSE
+// drops the row immediately, NULL keeps evaluating (a later impure conjunct
+// must still surface its error) and drops the row at the end.
+func residualPass(residual []exprFn, probe *rowEnv) (bool, error) {
+	sawNull := false
+	for _, rf := range residual {
+		v, err := rf(probe)
+		if err != nil {
+			return false, err
+		}
+		if v.Null {
+			sawNull = true
+		} else if !v.Truthy() {
+			return false, nil
+		}
+	}
+	return !sawNull, nil
 }
 
 // stepInto applies a level's hoisted filters to the freshly bound frame and

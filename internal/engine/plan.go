@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	dt "pi2/internal/difftree"
 )
@@ -54,7 +55,7 @@ func (p *Plan) Exec() (*Table, error) {
 	if p.Stale() {
 		return nil, fmt.Errorf("engine: plan is stale (database mutated since Prepare)")
 	}
-	return p.root.run(nil)
+	return p.root.run(nil, nil)
 }
 
 // Stale reports whether the database has mutated since the plan was
@@ -268,7 +269,12 @@ func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
 }
 
 // run executes the compiled query, mirroring execQuery step for step.
-func (pq *planQuery) run(outer *rowEnv) (*Table, error) {
+//
+// prof is nil on every normal execution; ExecProfiled passes a collector
+// and each operator then also records rows in/out and wall time. All
+// instrumentation is gated on `prof != nil`, so the unprofiled hot path
+// pays one branch per operator and takes no timestamps.
+func (pq *planQuery) run(outer *rowEnv, prof *Profile) (*Table, error) {
 	if pq.err != nil {
 		return nil, pq.err
 	}
@@ -278,9 +284,16 @@ func (pq *planQuery) run(outer *rowEnv) (*Table, error) {
 	tables := make([]*Table, len(pq.sources))
 	for i, ps := range pq.sources {
 		if ps.sub != nil {
-			t, err := ps.sub.run(outer)
+			var t0 time.Time
+			if prof != nil {
+				t0 = time.Now()
+			}
+			t, err := ps.sub.run(outer, nil)
 			if err != nil {
 				return nil, err
+			}
+			if prof != nil {
+				prof.add("derived", ps.alias, 0, len(t.Rows), time.Since(t0))
 			}
 			tables[i] = t
 		} else {
@@ -295,11 +308,25 @@ func (pq *planQuery) run(outer *rowEnv) (*Table, error) {
 	var err error
 	switch {
 	case pq.hasJoin:
-		rows, err = pq.runJoin(tables, outer)
+		rows, err = pq.runJoin(tables, outer, prof)
 	case pq.pipe != nil:
-		rows, err = pq.runPipe(tables, outer)
+		rows, err = pq.runPipe(tables, outer, prof)
 	default:
+		var t0 time.Time
+		if prof != nil {
+			t0 = time.Now()
+		}
 		rows, err = pq.crossFilter(tables, outer)
+		if prof != nil {
+			in := 0
+			if len(pq.sources) > 0 {
+				in = 1
+				for _, t := range tables {
+					in *= len(t.Rows)
+				}
+			}
+			prof.add("cross-filter", "", in, len(rows), time.Since(t0))
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -310,8 +337,19 @@ func (pq *planQuery) run(outer *rowEnv) (*Table, error) {
 	// is optimized and both ORDER BY and LIMIT are present.
 	var sink rowSink
 	pq.initSink(&sink)
+	offered := 0
+	var tProj time.Time
 	if pq.grouped {
-		for _, g := range pq.groupRows(rows) {
+		var t0 time.Time
+		if prof != nil {
+			t0 = time.Now()
+		}
+		groups := pq.groupRows(rows)
+		if prof != nil {
+			prof.add("group", "", len(rows), len(groups), time.Since(t0))
+			tProj = time.Now()
+		}
+		for _, g := range groups {
 			genv := &rowEnv{outer: outer, groupRows: g}
 			if len(g) > 0 {
 				genv.frames = g[0].frames
@@ -332,25 +370,56 @@ func (pq *planQuery) run(outer *rowEnv) (*Table, error) {
 				return nil, err
 			}
 			sink.add(row, keys)
+			offered++
+		}
+		if prof != nil {
+			prof.add("project", "", len(groups), offered, time.Since(tProj))
 		}
 	} else {
+		if prof != nil {
+			tProj = time.Now()
+		}
 		for _, env := range rows {
 			row, keys, err := pq.projectRow(env)
 			if err != nil {
 				return nil, err
 			}
 			sink.add(row, keys)
+			offered++
+		}
+		if prof != nil {
+			prof.add("project", "", len(rows), offered, time.Since(tProj))
 		}
 	}
 
 	// 4./5. DISTINCT + ORDER BY resolve in the sink.
+	var tFin time.Time
+	if prof != nil {
+		tFin = time.Now()
+	}
 	outRows := sink.finish()
+	if prof != nil {
+		d := time.Since(tFin)
+		switch {
+		case sink.top != nil:
+			prof.add("top-k", fmt.Sprintf("limit %d", pq.limit), offered, len(outRows), d)
+		case sink.distinct && len(sink.desc) > 0:
+			prof.add("distinct+sort", "", offered, len(outRows), d)
+		case sink.distinct:
+			prof.add("distinct", "", offered, len(outRows), d)
+		case len(sink.desc) > 0:
+			prof.add("sort", "", offered, len(outRows), d)
+		}
+	}
 
 	// 6. LIMIT.
 	if pq.limitErr != nil {
 		return nil, pq.limitErr
 	}
 	if pq.limit >= 0 && pq.limit < len(outRows) {
+		if prof != nil {
+			prof.add("limit", strconv.Itoa(pq.limit), len(outRows), pq.limit, 0)
+		}
 		outRows = outRows[:pq.limit]
 	}
 
@@ -612,7 +681,7 @@ func (c *compiler) compile(e *dt.Node) exprFn {
 	case dt.KindQuery:
 		sub := c.compileQuery(e, c.sc)
 		return func(env *rowEnv) (Value, error) {
-			t, err := sub.run(env)
+			t, err := sub.run(env, nil)
 			if err != nil {
 				return Value{}, err
 			}
@@ -784,7 +853,7 @@ func (c *compiler) compileIn(e *dt.Node) exprFn {
 			if err != nil {
 				return Value{}, err
 			}
-			t, err := sub.run(env)
+			t, err := sub.run(env, nil)
 			if err != nil {
 				return Value{}, err
 			}

@@ -1,0 +1,179 @@
+package iface
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"pi2/internal/obs"
+)
+
+// servedEndpoints is the fixed label set for per-endpoint serving metrics.
+// The list is closed on purpose: labels from request paths would let a
+// client mint unbounded time series.
+var servedEndpoints = []string{
+	"/", "/widget", "/interact", "/reset", "/sql", "/stats", "/healthz", "/metrics",
+}
+
+// servedPhases are the span-name prefixes (the part before the first '.')
+// aggregated into per-phase latency histograms: acquire = session lookup or
+// construction, plan = resolve+compile on a cache miss, exec = query
+// execution, render = HTML assembly, apply = widget/interaction mutation.
+var servedPhases = []string{"acquire", "plan", "exec", "render", "apply"}
+
+// ServerObs is the serving observability bundle: a metrics registry fed by
+// per-endpoint middleware, per-phase latency histograms fed from request
+// traces, and an optional slow-query log. A nil *ServerObs disables
+// everything — Server.Handler wires routes straight through and the request
+// path carries no trace.
+type ServerObs struct {
+	Metrics *obs.Registry
+	Slow    *obs.SlowLog
+
+	start     time.Time
+	inFlight  *obs.Gauge
+	slowTotal *obs.Counter
+	lat       map[string]*obs.Histogram
+	phase     map[string]*obs.Histogram
+}
+
+// NewServerObs builds the serving instruments on m (which must be non-nil)
+// and attaches slow (which may be nil: no slow log).
+func NewServerObs(m *obs.Registry, slow *obs.SlowLog) *ServerObs {
+	o := &ServerObs{
+		Metrics: m,
+		Slow:    slow,
+		start:   time.Now(),
+		lat:     make(map[string]*obs.Histogram, len(servedEndpoints)),
+		phase:   make(map[string]*obs.Histogram, len(servedPhases)),
+	}
+	o.inFlight = m.Gauge("pi2_http_in_flight", "Requests currently being served.")
+	o.slowTotal = m.Counter("pi2_http_slow_requests_total", "Requests that exceeded the slow-query threshold.")
+	m.GaugeFunc("pi2_uptime_seconds", "Seconds since the server started.", func() float64 {
+		return time.Since(o.start).Seconds()
+	})
+	for _, p := range servedEndpoints {
+		h := m.Histogram("pi2_http_request_seconds", "HTTP request latency in seconds, by endpoint.", nil, "path", p)
+		o.lat[p] = h
+		// The request count is the latency histogram's observation count,
+		// read at scrape time — one fewer atomic write (and cache line) on
+		// the per-request hot path than a separate counter.
+		m.CounterFunc("pi2_http_requests_total", "HTTP requests served, by endpoint.", func() float64 {
+			return float64(h.Count())
+		}, "path", p)
+	}
+	for _, ph := range servedPhases {
+		o.phase[ph] = m.Histogram("pi2_phase_seconds", "Request phase latency in seconds (from trace spans).", nil, "phase", ph)
+	}
+	return o
+}
+
+// wrap instruments one route: it opens a request trace (propagated via the
+// request context so session/engine layers can attach spans), counts the
+// request, observes its latency and per-phase span durations, and feeds the
+// slow log when the request exceeds the threshold. On a nil receiver it
+// returns h unchanged — the disabled server serves exactly the seed handler
+// chain.
+func (o *ServerObs) wrap(path string, h http.HandlerFunc) http.HandlerFunc {
+	if o == nil {
+		return h
+	}
+	lat := o.lat[path]
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := obs.NowMono()
+		o.inFlight.Inc()
+		tr := obs.NewTrace("")
+		w.Header().Set("X-Trace-Id", tr.ID)
+		h(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		d := obs.NowMono() - t0
+		o.inFlight.Dec()
+		lat.ObserveDuration(d)
+		for _, sp := range tr.Spans() {
+			if ph := o.phase[phaseOf(sp.Name)]; ph != nil {
+				ph.ObserveDuration(sp.Dur)
+			}
+		}
+		if o.Slow.Slow(d) {
+			o.slowTotal.Inc()
+			o.Slow.Record("http", r.Method+" "+path, d, tr)
+		}
+	}
+}
+
+// phaseOf maps a span name to its phase bucket: the prefix before the first
+// '.' ("exec.t1" -> "exec"), or the whole name when there is none.
+func phaseOf(name string) string {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// statsExt feeds the /stats JSON extension fields.
+func (o *ServerObs) statsExt() (uptimeSeconds float64, inFlight int64, requests map[string]uint64) {
+	requests = make(map[string]uint64, len(o.lat))
+	for p, h := range o.lat {
+		requests[p] = h.Count()
+	}
+	return time.Since(o.start).Seconds(), o.inFlight.Value(), requests
+}
+
+// RegisterServingMetrics exposes a Registry's session and cache counters on
+// m as func-backed metrics, read from the same atomics /stats reports — no
+// double counting, no extra bookkeeping on the serving path. Either nil is
+// a no-op.
+func RegisterServingMetrics(m *obs.Registry, reg *Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	m.GaugeFunc("pi2_sessions_live", "Sessions currently resident in the registry.", func() float64 {
+		return float64(reg.Stats().LiveSessions)
+	})
+	m.CounterFunc("pi2_sessions_created_total", "Sessions built by the factory.", func() float64 {
+		return float64(reg.Stats().Created)
+	})
+	m.CounterFunc("pi2_sessions_hits_total", "Acquires answered by a live session.", func() float64 {
+		return float64(reg.Stats().Hits)
+	})
+	m.CounterFunc("pi2_sessions_evicted_total", "Sessions evicted from the registry.", func() float64 {
+		return float64(reg.Stats().EvictedLRU)
+	}, "reason", "lru")
+	m.CounterFunc("pi2_sessions_evicted_total", "Sessions evicted from the registry.", func() float64 {
+		return float64(reg.Stats().ExpiredTTL)
+	}, "reason", "ttl")
+	m.GaugeFunc("pi2_shared_plans", "Compiled plans resident in the shared cross-session cache.", func() float64 {
+		return float64(reg.Stats().SharedPlans)
+	})
+	m.CounterFunc("pi2_plan_compiles_total", "Queries compiled by the shared plan cache.", func() float64 {
+		return float64(reg.Stats().PlanCompiles)
+	})
+	registerCacheMetrics(m, func() CacheStats { return reg.Stats().Cache })
+}
+
+// RegisterSessionMetrics is RegisterServingMetrics for single-session mode.
+func RegisterSessionMetrics(m *obs.Registry, s *Session) {
+	if m == nil || s == nil {
+		return
+	}
+	registerCacheMetrics(m, s.Stats)
+}
+
+func registerCacheMetrics(m *obs.Registry, stats func() CacheStats) {
+	hit := func(layer string, f func(CacheStats) uint64) {
+		m.CounterFunc("pi2_cache_hits_total", "Interaction-cache hits, by layer.", func() float64 {
+			return float64(f(stats()))
+		}, "layer", layer)
+	}
+	miss := func(layer string, f func(CacheStats) uint64) {
+		m.CounterFunc("pi2_cache_misses_total", "Interaction-cache misses, by layer.", func() float64 {
+			return float64(f(stats()))
+		}, "layer", layer)
+	}
+	hit("result", func(c CacheStats) uint64 { return c.ResultHits })
+	miss("result", func(c CacheStats) uint64 { return c.ResultMisses })
+	hit("plan", func(c CacheStats) uint64 { return c.PlanHits })
+	miss("plan", func(c CacheStats) uint64 { return c.PlanMisses })
+	m.CounterFunc("pi2_cache_invalidations_total", "Cache flushes triggered by DB mutation.", func() float64 {
+		return float64(stats().Invalidations)
+	})
+}

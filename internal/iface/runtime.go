@@ -8,6 +8,7 @@ import (
 
 	dt "pi2/internal/difftree"
 	"pi2/internal/engine"
+	"pi2/internal/obs"
 	"pi2/internal/sqlparser"
 	"pi2/internal/transform"
 )
@@ -220,14 +221,24 @@ func (s *Session) CurrentSQLAll() []TreeSQL {
 func (s *Session) Results() ([]*engine.Table, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.resultsLocked()
+	return s.resultsLocked(nil)
 }
 
-func (s *Session) resultsLocked() ([]*engine.Table, error) {
+// ResultsTraced is Results with a request trace attached: each tree that
+// misses the result cache records "plan.tN" and "exec.tN" spans, so a slow
+// request's log shows exactly which tree recompiled or re-executed. A nil
+// trace makes it exactly Results.
+func (s *Session) ResultsTraced(tr *obs.Trace) ([]*engine.Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resultsLocked(tr)
+}
+
+func (s *Session) resultsLocked(tr *obs.Trace) ([]*engine.Table, error) {
 	s.ensureFreshLocked()
 	out := make([]*engine.Table, len(s.bindings))
 	for ti := range s.bindings {
-		res, err := s.resultLocked(ti)
+		res, err := s.resultLocked(ti, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -242,7 +253,34 @@ func (s *Session) Result(tree int) (*engine.Table, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ensureFreshLocked()
-	return s.resultLocked(tree)
+	return s.resultLocked(tree, nil)
+}
+
+// ExplainAnalyze resolves one tree under its current binding and executes it
+// with per-operator profiling (engine.Plan.ExecProfiled). The plan comes
+// through the normal plan-cache path, but the result cache is bypassed in
+// both directions — profiling only means anything when the query actually
+// runs — and left untouched, so explaining never perturbs serving state.
+func (s *Session) ExplainAnalyze(tree int) (string, *engine.Profile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tree < 0 || tree >= len(s.bindings) {
+		return "", nil, fmt.Errorf("iface: tree %d out of range", tree)
+	}
+	s.ensureFreshLocked()
+	ast, err := dt.Resolve(s.Ifc.State.Trees[tree].Root, s.bindings[tree])
+	if err != nil {
+		return "", nil, err
+	}
+	plan, err := s.planFor(ast)
+	if err != nil {
+		return "", nil, err
+	}
+	_, prof, err := plan.ExecProfiled()
+	if err != nil {
+		return "", nil, err
+	}
+	return sqlparser.ToSQL(ast), prof, nil
 }
 
 // Cache size caps. A long-lived serving session sees an unbounded stream
@@ -256,8 +294,10 @@ const (
 )
 
 // resultLocked is the cached execution path for one tree: result cache by
-// binding hash, then plan cache by resolved-query hash, then compile.
-func (s *Session) resultLocked(tree int) (*engine.Table, error) {
+// binding hash, then plan cache by resolved-query hash, then compile. tr
+// (nil on untraced calls) receives plan/exec spans on the miss path only —
+// a result-cache hit records nothing, keeping the hot path alloc-free.
+func (s *Session) resultLocked(tree int, tr *obs.Trace) (*engine.Table, error) {
 	b := s.bindings[tree]
 	bkey := b.KeyString()
 	bh := dt.HashKey(bkey)
@@ -266,15 +306,28 @@ func (s *Session) resultLocked(tree int) (*engine.Table, error) {
 		return cr.tbl, nil
 	}
 	s.stats.resultMisses.Add(1)
+	var end func()
+	if tr != nil {
+		end = tr.Span("plan.t" + strconv.Itoa(tree))
+	}
 	ast, err := dt.Resolve(s.Ifc.State.Trees[tree].Root, b)
 	if err != nil {
 		return nil, err
 	}
 	plan, err := s.planFor(ast)
+	if end != nil {
+		end()
+	}
 	if err != nil {
 		return nil, err
 	}
+	if tr != nil {
+		end = tr.Span("exec.t" + strconv.Itoa(tree))
+	}
 	res, err := plan.Exec()
+	if end != nil {
+		end()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -516,7 +569,7 @@ func (s *Session) Click(sourceElem string, row int) error {
 	}
 	srcTree := s.Ifc.Vis[v.SourceVis].Tree
 	s.ensureFreshLocked()
-	res, err := s.resultLocked(srcTree)
+	res, err := s.resultLocked(srcTree, nil)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pi2/internal/obs"
 	"pi2/internal/widget"
 )
 
@@ -46,6 +47,7 @@ import (
 type Server struct {
 	reg    *Registry
 	single *Session
+	obs    *ServerObs // nil: no metrics, no tracing, no /metrics route
 }
 
 // NewServer wraps a single session: every request addresses it, session
@@ -55,17 +57,38 @@ func NewServer(sess *Session) *Server { return &Server{single: sess} }
 // NewRegistryServer serves per-user sessions out of a registry.
 func NewRegistryServer(reg *Registry) *Server { return &Server{reg: reg} }
 
-// Handler returns the http.Handler serving the interface.
+// WithObs attaches serving observability (request metrics, traces, slow
+// log) and enables the /metrics route. Call before Handler. Returns sv for
+// chaining; a nil o leaves the server uninstrumented.
+func (sv *Server) WithObs(o *ServerObs) *Server {
+	sv.obs = o
+	return sv
+}
+
+// Handler returns the http.Handler serving the interface. With observability
+// attached every route is wrapped in the tracing/metrics middleware and
+// /metrics is served; without it the routes are bare — no trace, no
+// timestamps, not even a nil check per request.
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", sv.handleIndex)
-	mux.HandleFunc("/widget", sv.handleWidget)
-	mux.HandleFunc("/interact", sv.handleInteract)
-	mux.HandleFunc("/reset", sv.handleReset)
-	mux.HandleFunc("/sql", sv.handleSQL)
-	mux.HandleFunc("/stats", sv.handleStats)
-	mux.HandleFunc("/healthz", sv.handleHealthz)
+	mux.HandleFunc("/", sv.obs.wrap("/", sv.handleIndex))
+	mux.HandleFunc("/widget", sv.obs.wrap("/widget", sv.handleWidget))
+	mux.HandleFunc("/interact", sv.obs.wrap("/interact", sv.handleInteract))
+	mux.HandleFunc("/reset", sv.obs.wrap("/reset", sv.handleReset))
+	mux.HandleFunc("/sql", sv.obs.wrap("/sql", sv.handleSQL))
+	mux.HandleFunc("/stats", sv.obs.wrap("/stats", sv.handleStats))
+	mux.HandleFunc("/healthz", sv.obs.wrap("/healthz", sv.handleHealthz))
+	if sv.obs != nil {
+		mux.HandleFunc("/metrics", sv.obs.wrap("/metrics", sv.handleMetrics))
+	}
 	return mux
+}
+
+// handleMetrics serves the Prometheus text exposition. Reads go through the
+// same atomics the record path writes, so a scrape never blocks serving.
+func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	sv.obs.Metrics.WritePrometheus(w)
 }
 
 // sessionCookie names the cookie carrying a browser's session key.
@@ -185,14 +208,35 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	var end func()
+	if tr != nil {
+		end = tr.Span("acquire")
+	}
 	sess, key, explicit, ok := sv.sessionFor(w, r)
+	if end != nil {
+		end()
+	}
 	if !ok {
 		return
 	}
 	if !explicit {
 		key = "" // cookie-bound: keep session keys out of forms and URLs
 	}
+	if tr != nil {
+		// Pre-execute the trees with the trace attached so plan/exec spans
+		// attribute to this request; renderPage's own Results call then hits
+		// the result cache.
+		if _, err := sess.ResultsTraced(tr); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		end = tr.Span("render")
+	}
 	page, err := sv.renderPage(sess, key)
+	if end != nil {
+		end()
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -289,11 +333,26 @@ func (sv *Server) handleManipulation(w http.ResponseWriter, r *http.Request,
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	tr := obs.FromContext(r.Context())
+	var end func()
+	if tr != nil {
+		end = tr.Span("acquire")
+	}
 	sess, key, explicit, ok := sv.sessionFor(w, r)
+	if end != nil {
+		end()
+	}
 	if !ok {
 		return
 	}
-	if err := apply(sess); err != nil {
+	if tr != nil {
+		end = tr.Span("apply")
+	}
+	err = apply(sess)
+	if end != nil {
+		end()
+	}
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -325,6 +384,11 @@ func (sv *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 // manipulations cannot tear it across trees. Read-only, so it never
 // creates a session: an unknown or absent key is a 404, and scrapes can
 // neither churn creation nor evict a live user.
+//
+// With ?explain=1 each tree is additionally re-executed with per-operator
+// profiling (EXPLAIN ANALYZE): the report shows rows in/out and wall time
+// for every physical operator the plan ran. The profiled run bypasses the
+// result cache — that is the point — but leaves serving state untouched.
 func (sv *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	sess := sv.single
 	if sess == nil {
@@ -345,6 +409,17 @@ func (sv *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		sess = s
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if ex := r.FormValue("explain"); ex != "" && ex != "0" {
+		for ti := range sess.Ifc.State.Trees {
+			sql, prof, err := sess.ExplainAnalyze(ti)
+			if err != nil {
+				fmt.Fprintf(w, "tree %d: error: %v\n\n", ti, err)
+				continue
+			}
+			fmt.Fprintf(w, "tree %d: %s\n%s\n", ti, sql, prof)
+		}
+		return
+	}
 	for ti, ts := range sess.CurrentSQLAll() {
 		if ts.Err != nil {
 			fmt.Fprintf(w, "tree %d: error: %v\n", ti, ts.Err)
@@ -359,12 +434,36 @@ func (sv *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 // mode, the single session's CacheStats otherwise. Per-session counters are
 // atomics and the registry takes only its read lock, so /stats never waits
 // on an in-flight interaction.
+//
+// With observability attached the object gains uptime_seconds, in_flight,
+// and a per-endpoint requests map. The pre-existing fields are embedded
+// first, so the byte prefix of the JSON is identical to the uninstrumented
+// encoding — pinned by TestStatsJSONByteCompatible.
 func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var v any
 	if sv.reg != nil {
 		v = sv.reg.Stats()
 	} else {
 		v = sv.single.Stats()
+	}
+	if sv.obs != nil {
+		up, inflight, reqs := sv.obs.statsExt()
+		ext := struct {
+			UptimeSeconds float64           `json:"uptime_seconds"`
+			InFlight      int64             `json:"in_flight"`
+			Requests      map[string]uint64 `json:"requests"`
+		}{up, inflight, reqs}
+		if sv.reg != nil {
+			v = struct {
+				RegistryStats
+				X any `json:"obs"`
+			}{v.(RegistryStats), ext}
+		} else {
+			v = struct {
+				CacheStats
+				X any `json:"obs"`
+			}{v.(CacheStats), ext}
+		}
 	}
 	body, err := json.Marshal(v)
 	if err != nil {

@@ -6,10 +6,12 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"time"
 
 	"pi2/internal/cost"
 	"pi2/internal/engine"
 	"pi2/internal/iface"
+	"pi2/internal/obs"
 	"pi2/internal/schema"
 	"pi2/internal/transform"
 	"pi2/internal/vis"
@@ -26,6 +28,10 @@ type Options struct {
 	// all MCTS workers and the final mapping search of a generation run;
 	// nil builds a fresh cache per call.
 	Exec *ExecCache
+	// Trace, when non-nil, accumulates "map.search" and "map.layout"
+	// aggregate timers. Observational only — it never changes what the
+	// search enumerates.
+	Trace *obs.Trace
 }
 
 // DefaultOptions mirrors the paper's configuration.
@@ -89,16 +95,26 @@ func bestFromAnalysis(sa *StateAnalysis, db *engine.DB, opts Options) (*iface.In
 	heap := &topK{k: opts.K}
 
 	// searchV: enumerate all per-tree visualization assignments.
+	var t0 time.Time
+	if opts.Trace != nil {
+		t0 = time.Now()
+	}
 	assignments := visAssignments(sa, opts.MaxVisPerTree)
 	for _, V := range assignments {
 		icands := sa.interactionCandidates(V, exec)
 		searchM(sa, V, icands, wcands, heap, visBaseCost(sa, V))
+	}
+	if opts.Trace != nil {
+		opts.Trace.AddTimer("map.search", time.Since(t0))
 	}
 	if len(heap.entries) == 0 {
 		return nil, fmt.Errorf("mapping: no valid interface mapping (choice nodes uncoverable)")
 	}
 
 	// layout optimization for the top-k, pick the overall best (§6.2.2).
+	if opts.Trace != nil {
+		t0 = time.Now()
+	}
 	var best *iface.Interface
 	for _, e := range heap.entries {
 		ifc := buildInterface(sa, e.V, e.ints, e.widgets)
@@ -106,6 +122,9 @@ func bestFromAnalysis(sa *StateAnalysis, db *engine.DB, opts Options) (*iface.In
 		if best == nil || ifc.Cost < best.Cost {
 			best = ifc
 		}
+	}
+	if opts.Trace != nil {
+		opts.Trace.AddTimer("map.layout", time.Since(t0))
 	}
 	return best, nil
 }

@@ -11,10 +11,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pi2/internal/cost"
 	dt "pi2/internal/difftree"
 	"pi2/internal/engine"
+	"pi2/internal/obs"
 	"pi2/internal/schema"
 	"pi2/internal/transform"
 	"pi2/internal/vis"
@@ -456,6 +458,10 @@ type ExecCache struct {
 	DB     *engine.DB
 	shards [execShards]execShard
 	execs  atomic.Int64
+
+	// Trace, when non-nil, accumulates a "safety.exec" aggregate timer
+	// covering actual executions only (cache hits record nothing).
+	Trace *obs.Trace
 }
 
 const execShards = 16
@@ -525,12 +531,18 @@ func (ec *ExecCache) entry(root *dt.Node, b dt.Binding) (*execEntry, error) {
 	}
 	sh.mu.Unlock()
 	e.once.Do(func() {
-		e.plan, e.err = engine.Prepare(ec.DB, ast)
-		if e.err != nil {
-			return
+		var t0 time.Time
+		if ec.Trace != nil {
+			t0 = time.Now()
 		}
-		ec.execs.Add(1)
-		e.table, e.err = e.plan.Exec()
+		e.plan, e.err = engine.Prepare(ec.DB, ast)
+		if e.err == nil {
+			ec.execs.Add(1)
+			e.table, e.err = e.plan.Exec()
+		}
+		if ec.Trace != nil {
+			ec.Trace.AddTimer("safety.exec", time.Since(t0))
+		}
 	})
 	return e, nil
 }

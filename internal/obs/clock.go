@@ -1,0 +1,16 @@
+package obs
+
+import "time"
+
+// monoEpoch anchors NowMono. Any fixed instant works; the returned values
+// are only ever subtracted from each other.
+var monoEpoch = time.Now()
+
+// NowMono returns a monotonic timestamp as the duration since an arbitrary
+// process-local epoch. Subtracting two readings yields an elapsed duration.
+//
+// It exists because the serving middleware times every request and
+// time.Now reads both the wall and the monotonic clock; time.Since on a
+// monotonic anchor reads only the latter, roughly halving the clock cost
+// per timing pair — the dominant term in the metrics overhead budget.
+func NowMono() time.Duration { return time.Since(monoEpoch) }

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that r is well-formed Prometheus text
+// exposition format (version 0.0.4): metric-name syntax, one TYPE per
+// family declared before its samples, parseable sample values, and — for
+// histograms — cumulative non-decreasing buckets with a trailing +Inf
+// bucket equal to _count. It exists so tests can assert the /metrics
+// surface stays scrapeable without importing a Prometheus client.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	types := map[string]string{} // family name -> type
+	helped := map[string]bool{}  // family name -> HELP seen
+	type histState struct {
+		lastCum   uint64
+		lastLe    float64
+		haveInf   bool
+		infCum    uint64
+		count     uint64
+		haveCnt   bool
+		anySample bool
+	}
+	hists := map[string]*histState{} // family name + "{labels-sans-le}" -> state
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE line missing type", lineNo)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = typ
+			} else {
+				if helped[name] {
+					return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+				}
+				helped[name] = true
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && types[base] == "histogram" {
+				fam, suffix = base, sfx
+				break
+			}
+		}
+		typ, ok := types[fam]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		if typ == "histogram" {
+			if suffix == "" {
+				return fmt.Errorf("line %d: histogram %q sample without _bucket/_sum/_count suffix", lineNo, fam)
+			}
+			le, rest := splitLe(labels)
+			key := fam + "{" + rest + "}"
+			st := hists[key]
+			if st == nil {
+				st = &histState{lastLe: math.Inf(-1)}
+				hists[key] = st
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				cum := uint64(value)
+				var bound float64
+				if le == "+Inf" {
+					st.haveInf = true
+					st.infCum = cum
+					bound = math.Inf(1)
+				} else {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q", lineNo, le)
+					}
+				}
+				if bound <= st.lastLe {
+					return fmt.Errorf("line %d: histogram %s buckets not ascending (le=%q)", lineNo, key, le)
+				}
+				if cum < st.lastCum {
+					return fmt.Errorf("line %d: histogram %s buckets not cumulative", lineNo, key)
+				}
+				st.lastLe, st.lastCum, st.anySample = bound, cum, true
+			case "_count":
+				st.count = uint64(value)
+				st.haveCnt = true
+				st.anySample = true
+			case "_sum":
+				st.anySample = true
+			}
+		} else if typ == "counter" && value < 0 {
+			return fmt.Errorf("line %d: counter %q has negative value", lineNo, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, st := range hists {
+		if !st.anySample {
+			continue
+		}
+		if !st.haveInf {
+			return fmt.Errorf("histogram %s missing +Inf bucket", key)
+		}
+		if !st.haveCnt {
+			return fmt.Errorf("histogram %s missing _count", key)
+		}
+		if st.infCum != st.count {
+			return fmt.Errorf("histogram %s +Inf bucket %d != _count %d", key, st.infCum, st.count)
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample splits `name{labels} value` (labels optional). Timestamps
+// are not produced by this package and are rejected.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := findLabelsEnd(rest)
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated labels in %q", line)
+		}
+		labels = rest[1:end]
+		if err := validateLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return "", "", 0, fmt.Errorf("expected exactly one value in %q", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+// findLabelsEnd returns the index of the closing brace, honoring quoted,
+// escaped label values. rest starts with '{'.
+func findLabelsEnd(rest string) int {
+	inStr := false
+	for i := 1; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '"':
+			inStr = !inStr
+		case '}':
+			if !inStr {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func validateLabels(labels string) error {
+	rest := labels
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq <= 0 {
+			return fmt.Errorf("malformed labels %q", labels)
+		}
+		key := rest[:eq]
+		if !validMetricName(key) || strings.Contains(key, ":") {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("unquoted label value in %q", labels)
+		}
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated label value in %q", labels)
+		}
+		rest = rest[i+1:]
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			if rest == "" {
+				return fmt.Errorf("trailing comma in labels %q", labels)
+			}
+		} else if rest != "" {
+			return fmt.Errorf("missing comma between labels in %q", labels)
+		}
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// splitLe extracts the le label from a label string, returning its value
+// and the remaining labels (order preserved, separators normalized).
+func splitLe(labels string) (le, rest string) {
+	parts := splitLabelPairs(labels)
+	var kept []string
+	for _, p := range parts {
+		if strings.HasPrefix(p, `le="`) {
+			le = strings.TrimSuffix(strings.TrimPrefix(p, `le="`), `"`)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return le, strings.Join(kept, ",")
+}
+
+// splitLabelPairs splits `k1="v1",k2="v2"` on commas outside quotes.
+func splitLabelPairs(labels string) []string {
+	var out []string
+	inStr := false
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '"':
+			inStr = !inStr
+		case ',':
+			if !inStr {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(labels) {
+		out = append(out, labels[start:])
+	}
+	return out
+}

@@ -1,0 +1,395 @@
+// Package obs is the observability layer: a dependency-free metrics
+// registry (Prometheus text exposition), request-scoped tracing, and a
+// structured slow-query log.
+//
+// The design contract, relied on across the serving and engine hot paths:
+//
+//   - The record path (Counter.Inc, Gauge.Add, Histogram.Observe) is
+//     lock-free — plain atomics — and allocation-free.
+//   - Everything is disabled by default: a nil *Registry returns nil metric
+//     handles, and every record method is nil-safe, so uninstrumented code
+//     pays exactly one branch per record site. Determinism-sensitive tests
+//     never see observability unless they wire it in.
+//   - Registration (startup-time, rare) takes a mutex; scraping reads the
+//     atomics without stopping writers.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is usable;
+// a nil Counter records nothing.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. A nil Gauge records nothing.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() {
+	if g == nil {
+		return
+	}
+	g.v.Add(1)
+}
+
+// Dec subtracts one.
+func (g *Gauge) Dec() {
+	if g == nil {
+		return
+	}
+	g.v.Add(-1)
+}
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket latency/size histogram. Buckets are upper
+// bounds (Prometheus `le` semantics); observations land in the first bucket
+// whose bound is >= the value, or the implicit +Inf bucket. Observe is
+// lock-free and allocation-free; a nil Histogram records nothing.
+type Histogram struct {
+	bounds  []float64 // sorted ascending, fixed at registration
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// DefBuckets is the default latency bucket layout (seconds): the serving
+// hot path lives in the 1µs–10ms range, generation in 10ms–10s.
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// Observe records one observation (in the histogram's unit, seconds for
+// latency histograms).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nb := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// series is one label set of a family: exactly one of the handles is set.
+type series struct {
+	labels string // pre-rendered `key="value",...` (no braces), may be ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	f      func() float64 // scrape-time callback (CounterFunc / GaugeFunc)
+}
+
+// family groups all series of one metric name under one HELP/TYPE pair,
+// as the exposition format requires.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds registered metrics and renders them in the Prometheus text
+// exposition format. A nil *Registry is the disabled state: constructors
+// return nil handles and WritePrometheus writes nothing.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// renderLabels turns alternating key, value pairs into `k1="v1",k2="v2"`.
+func renderLabels(labelPairs []string) string {
+	if len(labelPairs) == 0 {
+		return ""
+	}
+	if len(labelPairs)%2 != 0 {
+		panic("obs: label pairs must alternate key, value")
+	}
+	out := ""
+	for i := 0; i < len(labelPairs); i += 2 {
+		if i > 0 {
+			out += ","
+		}
+		out += labelPairs[i] + `="` + escapeLabel(labelPairs[i+1]) + `"`
+	}
+	return out
+}
+
+func escapeLabel(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// register finds or creates the family and the series for (name, labels).
+// Same (name, labels) registered twice returns the existing series, so
+// handle acquisition is idempotent. Registering one name under two metric
+// types is a programming error and panics.
+func (r *Registry) register(name, help, typ, labels string) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.byName[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, typ: typ}
+		r.byName[name] = fam
+		r.fams = append(r.fams, fam)
+	} else if fam.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, fam.typ, typ))
+	}
+	for _, s := range fam.series {
+		if s.labels == labels {
+			return s
+		}
+	}
+	s := &series{labels: labels}
+	fam.series = append(fam.series, s)
+	return s
+}
+
+// Counter registers (or finds) a counter. labelPairs alternate key, value.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, "counter", renderLabels(labelPairs))
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge registers (or finds) a gauge. Returns nil on a nil registry.
+func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, "gauge", renderLabels(labelPairs))
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram registers (or finds) a histogram with the given bucket upper
+// bounds (sorted copies are taken). Returns nil on a nil registry.
+func (r *Registry) Histogram(name, help string, buckets []float64, labelPairs ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	s := r.register(name, help, "histogram", renderLabels(labelPairs))
+	if s.h == nil {
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		s.h = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	}
+	return s.h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — how pre-existing atomic counters (session caches, registry
+// eviction counts) unify onto the metrics surface without double counting.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labelPairs ...string) {
+	if r == nil {
+		return
+	}
+	s := r.register(name, help, "counter", renderLabels(labelPairs))
+	s.f = fn
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	if r == nil {
+		return
+	}
+	s := r.register(name, help, "gauge", renderLabels(labelPairs))
+	s.f = fn
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Values are read through the same
+// atomics the record path writes, so scraping never blocks recording.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b []byte
+	for _, fam := range r.fams {
+		b = append(b, "# HELP "...)
+		b = append(b, fam.name...)
+		b = append(b, ' ')
+		b = append(b, fam.help...)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, fam.name...)
+		b = append(b, ' ')
+		b = append(b, fam.typ...)
+		b = append(b, '\n')
+		for _, s := range fam.series {
+			switch {
+			case s.f != nil:
+				b = appendSample(b, fam.name, "", s.labels, s.f())
+			case s.c != nil:
+				b = appendSample(b, fam.name, "", s.labels, float64(s.c.Value()))
+			case s.g != nil:
+				b = appendSample(b, fam.name, "", s.labels, float64(s.g.Value()))
+			case s.h != nil:
+				b = appendHistogram(b, fam.name, s.labels, s.h)
+			}
+		}
+	}
+	w.Write(b)
+}
+
+// appendSample renders `name<suffix>{labels} value\n`.
+func appendSample(b []byte, name, suffix, labels string, v float64) []byte {
+	b = append(b, name...)
+	b = append(b, suffix...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	return append(b, '\n')
+}
+
+func appendHistogram(b []byte, name, labels string, h *Histogram) []byte {
+	bucket := func(le string, cum uint64) {
+		b = append(b, name...)
+		b = append(b, "_bucket{"...)
+		if labels != "" {
+			b = append(b, labels...)
+			b = append(b, ',')
+		}
+		b = append(b, `le="`...)
+		b = append(b, le...)
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		bucket(strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	bucket("+Inf", cum)
+	b = appendSample(b, name, "_sum", labels, h.Sum())
+	b = appendSample(b, name, "_count", labels, float64(cum))
+	return b
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pi2_test_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("pi2_test_gauge", "test gauge")
+	g.Inc()
+	g.Add(10)
+	g.Dec()
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge = %d, want 10", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge after Set = %d, want -3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pi2_test_seconds", "test histogram", []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // bucket 0
+	h.Observe(0.01)  // le semantics: lands in bucket 0 (0.01 <= 0.01)
+	h.Observe(0.05)  // bucket 1
+	h.Observe(5)     // +Inf
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 5.065 {
+		t.Fatalf("sum = %g, want 5.065", got)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`pi2_test_seconds_bucket{le="0.01"} 2`,
+		`pi2_test_seconds_bucket{le="0.1"} 3`,
+		`pi2_test_seconds_bucket{le="1"} 3`,
+		`pi2_test_seconds_bucket{le="+Inf"} 4`,
+		`pi2_test_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("pi2_idem_total", "h", "path", "/")
+	b := r.Counter("pi2_idem_total", "h", "path", "/")
+	if a != b {
+		t.Fatal("same name+labels should return the same handle")
+	}
+	other := r.Counter("pi2_idem_total", "h", "path", "/sql")
+	if a == other {
+		t.Fatal("different labels should return a different series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name under two types should panic")
+		}
+	}()
+	r.Gauge("pi2_idem_total", "h")
+}
+
+func TestNilRegistryAndHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "h")
+	g := r.Gauge("x", "h")
+	h := r.Histogram("x_seconds", "h", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	// All record methods must be safe on nil handles.
+	c.Inc()
+	c.Add(3)
+	g.Inc()
+	g.Dec()
+	g.Set(7)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	r.CounterFunc("f_total", "h", func() float64 { return 1 })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if sb.Len() != 0 {
+		t.Fatal("nil registry must write nothing")
+	}
+}
+
+// TestDisabledPathAllocs pins the overhead contract: recording through nil
+// handles (the disabled state) and through live handles both allocate
+// nothing on the record path.
+func TestDisabledPathAllocs(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.001)
+	}); n != 0 {
+		t.Fatalf("disabled record path allocates %v per run, want 0", n)
+	}
+	r := NewRegistry()
+	lc := r.Counter("pi2_alloc_total", "h")
+	lg := r.Gauge("pi2_alloc_gauge", "h")
+	lh := r.Histogram("pi2_alloc_seconds", "h", nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		lc.Inc()
+		lg.Add(1)
+		lh.Observe(0.001)
+	}); n != 0 {
+		t.Fatalf("enabled record path allocates %v per run, want 0", n)
+	}
+	tr := (*Trace)(nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		end := tr.Span("x")
+		end()
+		tr.AddTimer("y", time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("nil trace span path allocates %v per run, want 0", n)
+	}
+}
+
+// TestConcurrentRecord hammers one counter and one histogram from many
+// goroutines and checks exact totals; run under -race this also proves the
+// record path is data-race free.
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pi2_conc_total", "h")
+	g := r.Gauge("pi2_conc_gauge", "h")
+	h := r.Histogram("pi2_conc_seconds", "h", []float64{0.5})
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got, want := h.Sum(), 0.25*workers*perWorker; got != want {
+		t.Fatalf("histogram sum = %g, want %g", got, want)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if err := ValidateExposition(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("exposition invalid after concurrent writes: %v", err)
+	}
+}
+
+func TestWritePrometheusWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pi2_requests_total", "requests", "path", "/").Add(7)
+	r.Counter("pi2_requests_total", "requests", "path", `/we"ird\`).Inc()
+	r.Gauge("pi2_in_flight", "in-flight").Set(2)
+	r.Histogram("pi2_latency_seconds", "latency", nil, "path", "/").ObserveDuration(3 * time.Millisecond)
+	r.GaugeFunc("pi2_uptime_seconds", "uptime", func() float64 { return 12.5 })
+	r.CounterFunc("pi2_cache_hits_total", "hits", func() float64 { return 42 })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE pi2_requests_total counter",
+		`pi2_requests_total{path="/"} 7`,
+		"# TYPE pi2_latency_seconds histogram",
+		`pi2_latency_seconds_bucket{path="/",le="+Inf"} 1`,
+		"pi2_uptime_seconds 12.5",
+		"pi2_cache_hits_total 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"pi2 bad name 1\n",
+		"no_type_line 1\n# TYPE no_type_line counter\n",                                                                 // sample before TYPE
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",                                             // +Inf != count
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n", // not cumulative
+		"# TYPE c counter\nc -1\n",
+		"# TYPE c counter\nc{open=\"x} 1\n",
+	}
+	for _, body := range bad {
+		if err := ValidateExposition(strings.NewReader(body)); err == nil {
+			t.Errorf("expected validation error for:\n%s", body)
+		}
+	}
+}

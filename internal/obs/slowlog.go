@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowLog emits one structured JSON line per operation that exceeds a
+// latency threshold. The line carries the trace ID and the trace's span
+// breakdown, so a slow interaction can be attributed to a phase (plan
+// compile, Exec, render, ...) without re-running it. A nil *SlowLog, or a
+// threshold <= 0, disables logging entirely.
+type SlowLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	w         io.Writer
+}
+
+// NewSlowLog logs operations slower than threshold to w, one JSON object
+// per line. threshold <= 0 returns a disabled (nil) log.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	if w == nil || threshold <= 0 {
+		return nil
+	}
+	return &SlowLog{threshold: threshold, w: w}
+}
+
+// Threshold returns the configured threshold (0 when disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Slow reports whether d crosses the threshold.
+func (l *SlowLog) Slow(d time.Duration) bool {
+	return l != nil && d >= l.threshold
+}
+
+type slowSpan struct {
+	Name    string  `json:"name"`
+	StartMS float64 `json:"start_ms"`
+	MS      float64 `json:"ms"`
+}
+
+type slowTimer struct {
+	Name  string  `json:"name"`
+	Count int     `json:"count"`
+	MS    float64 `json:"ms"`
+}
+
+type slowEntry struct {
+	TS     string      `json:"ts"`
+	Kind   string      `json:"kind"`
+	Detail string      `json:"detail"`
+	MS     float64     `json:"ms"`
+	Trace  string      `json:"trace,omitempty"`
+	Spans  []slowSpan  `json:"spans,omitempty"`
+	Timers []slowTimer `json:"timers,omitempty"`
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// Record logs the operation if it was slow. kind classifies the operation
+// ("http", "sql", ...), detail identifies it (endpoint path, query text).
+// tr may be nil; when present its spans and timers are embedded.
+func (l *SlowLog) Record(kind, detail string, d time.Duration, tr *Trace) {
+	if !l.Slow(d) {
+		return
+	}
+	e := slowEntry{
+		TS:     time.Now().UTC().Format(time.RFC3339Nano),
+		Kind:   kind,
+		Detail: detail,
+		MS:     ms(d),
+	}
+	if tr != nil {
+		e.Trace = tr.ID
+		for _, sp := range tr.Spans() {
+			e.Spans = append(e.Spans, slowSpan{Name: sp.Name, StartMS: ms(sp.Start), MS: ms(sp.Dur)})
+		}
+		timers := tr.Timers()
+		for _, name := range tr.TimerNames() {
+			ts := timers[name]
+			e.Timers = append(e.Timers, slowTimer{Name: name, Count: ts.Count, MS: ms(ts.Total)})
+		}
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	l.w.Write(b)
+	l.mu.Unlock()
+}

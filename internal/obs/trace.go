@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is a request-scoped collection of span timings and aggregate
+// timers. One Trace is created per HTTP request (or per generation run)
+// and propagated via context; every method is nil-safe, so code paths
+// thread a possibly-nil *Trace and pay one branch when tracing is off.
+type Trace struct {
+	ID    string
+	start time.Time
+
+	mu     sync.Mutex
+	spans  []SpanRecord
+	timers map[string]TimerStat
+}
+
+// SpanRecord is one completed span: a named interval relative to the
+// trace start.
+type SpanRecord struct {
+	Name  string
+	Start time.Duration // offset from trace start
+	Dur   time.Duration
+}
+
+// TimerStat aggregates many short intervals under one name — used for
+// phases that run thousands of times concurrently (MCTS rollouts, safety
+// checks) where individual spans would swamp the trace.
+type TimerStat struct {
+	Count int
+	Total time.Duration
+}
+
+var traceSeq atomic.Uint64
+
+// NewTrace starts a trace. An empty id gets a process-unique sequence id.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = "t" + strconv.FormatUint(traceSeq.Add(1), 16)
+	}
+	return &Trace{ID: id, start: time.Now()}
+}
+
+var noopEnd = func() {}
+
+// Span starts a named span and returns the function that ends it. On a nil
+// trace it returns a shared no-op, so call sites need no branching:
+//
+//	end := tr.Span("exec")
+//	... work ...
+//	end()
+func (t *Trace) Span(name string) func() {
+	if t == nil {
+		return noopEnd
+	}
+	s0 := time.Since(t.start)
+	return func() {
+		d := time.Since(t.start) - s0
+		t.mu.Lock()
+		t.spans = append(t.spans, SpanRecord{Name: name, Start: s0, Dur: d})
+		t.mu.Unlock()
+	}
+}
+
+// AddTimer folds one interval into the named aggregate timer. Safe for
+// concurrent use; no-op on a nil trace.
+func (t *Trace) AddTimer(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.timers == nil {
+		t.timers = make(map[string]TimerStat)
+	}
+	ts := t.timers[name]
+	ts.Count++
+	ts.Total += d
+	t.timers[name] = ts
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the completed spans in completion order.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Timers returns a copy of the aggregate timers.
+func (t *Trace) Timers() map[string]TimerStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]TimerStat, len(t.timers))
+	for k, v := range t.timers {
+		out[k] = v
+	}
+	return out
+}
+
+// TimerNames returns the timer names sorted, for deterministic rendering.
+func (t *Trace) TimerNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	names := make([]string, 0, len(t.timers))
+	for k := range t.timers {
+		names = append(names, k)
+	}
+	t.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Elapsed is the time since the trace started.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+type traceKey struct{}
+
+// WithTrace returns ctx carrying tr. A nil tr returns ctx unchanged.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("")
+	if tr.ID == "" {
+		t.Fatal("expected generated trace ID")
+	}
+	end := tr.Span("outer")
+	inner := tr.Span("inner")
+	time.Sleep(2 * time.Millisecond)
+	inner()
+	end()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Spans complete innermost first.
+	if spans[0].Name != "inner" || spans[1].Name != "outer" {
+		t.Fatalf("span order = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Dur <= 0 || spans[1].Dur < spans[0].Dur {
+		t.Fatalf("span durations inconsistent: %v, %v", spans[0].Dur, spans[1].Dur)
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	end := tr.Span("x")
+	end()
+	tr.AddTimer("y", time.Second)
+	if tr.Spans() != nil || tr.Timers() != nil || tr.TimerNames() != nil {
+		t.Fatal("nil trace must report nothing")
+	}
+	if tr.Elapsed() != 0 {
+		t.Fatal("nil trace has no elapsed time")
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	tr := NewTrace("req1")
+	ctx := WithTrace(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield nil trace")
+	}
+	if WithTrace(context.Background(), nil) != context.Background() {
+		t.Fatal("nil trace must not wrap the context")
+	}
+}
+
+func TestAddTimerConcurrent(t *testing.T) {
+	tr := NewTrace("agg")
+	var wg sync.WaitGroup
+	const workers = 4
+	const per = 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.AddTimer("rollout", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	ts := tr.Timers()["rollout"]
+	if ts.Count != workers*per {
+		t.Fatalf("timer count = %d, want %d", ts.Count, workers*per)
+	}
+	if ts.Total != workers*per*time.Microsecond {
+		t.Fatalf("timer total = %v", ts.Total)
+	}
+	if names := tr.TimerNames(); len(names) != 1 || names[0] != "rollout" {
+		t.Fatalf("timer names = %v", names)
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 10*time.Millisecond)
+	l.Record("http", "/interact", 5*time.Millisecond, nil) // under threshold
+	if buf.Len() != 0 {
+		t.Fatal("fast operation must not be logged")
+	}
+	tr := NewTrace("slow1")
+	end := tr.Span("exec")
+	end()
+	tr.AddTimer("search.rollout", 3*time.Millisecond)
+	l.Record("http", "/interact", 25*time.Millisecond, tr)
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatal("log entry must be newline-terminated")
+	}
+	var e struct {
+		TS     string  `json:"ts"`
+		Kind   string  `json:"kind"`
+		Detail string  `json:"detail"`
+		MS     float64 `json:"ms"`
+		Trace  string  `json:"trace"`
+		Spans  []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+		Timers []struct {
+			Name  string  `json:"name"`
+			Count int     `json:"count"`
+			MS    float64 `json:"ms"`
+		} `json:"timers"`
+	}
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatalf("slow log line is not valid JSON: %v\n%s", err, line)
+	}
+	if e.Kind != "http" || e.Detail != "/interact" || e.Trace != "slow1" || e.MS != 25 {
+		t.Fatalf("unexpected entry: %+v", e)
+	}
+	if len(e.Spans) != 1 || e.Spans[0].Name != "exec" {
+		t.Fatalf("spans not embedded: %+v", e.Spans)
+	}
+	if len(e.Timers) != 1 || e.Timers[0].Name != "search.rollout" || e.Timers[0].MS != 3 {
+		t.Fatalf("timers not embedded: %+v", e.Timers)
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	if NewSlowLog(nil, time.Second) != nil {
+		t.Fatal("nil writer must disable the log")
+	}
+	if NewSlowLog(&bytes.Buffer{}, 0) != nil {
+		t.Fatal("zero threshold must disable the log")
+	}
+	var l *SlowLog
+	l.Record("http", "/", time.Hour, nil) // must not panic
+	if l.Slow(time.Hour) {
+		t.Fatal("nil log is never slow")
+	}
+	if l.Threshold() != 0 {
+		t.Fatal("nil log threshold must be 0")
+	}
+}

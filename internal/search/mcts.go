@@ -9,9 +9,11 @@ package search
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"pi2/internal/engine"
 	"pi2/internal/mapping"
+	"pi2/internal/obs"
 	"pi2/internal/transform"
 )
 
@@ -39,6 +41,12 @@ type Params struct {
 	// for benchmarks); the search result is identical either way because
 	// reward estimates are a pure function of (Seed, state).
 	SharedCaches bool
+
+	// Trace, when non-nil, accumulates "search.rollout" and "search.reward"
+	// aggregate timers (obs.Trace.AddTimer is concurrency-safe, so all
+	// workers feed one trace). Purely observational: the search touches no
+	// RNG through it, so traced and untraced runs return identical results.
+	Trace *obs.Trace
 
 	MapOpts mapping.Options
 }
@@ -176,6 +184,9 @@ func (w *worker) norm(r float64) float64 {
 }
 
 func (w *worker) rewardUncached(s *transform.State, h uint64) float64 {
+	if w.p.Trace != nil {
+		defer func(t0 time.Time) { w.p.Trace.AddTimer("search.reward", time.Since(t0)) }(time.Now())
+	}
 	sa, err := mapping.Analyze(s, w.ctx)
 	if err != nil {
 		return failReward
@@ -406,7 +417,13 @@ func (w *worker) iterate() {
 		r = w.reward(simulateFrom.state)
 		w.observe(simulateFrom.state, r)
 	} else {
-		r = w.rollout(simulateFrom.state)
+		if w.p.Trace != nil {
+			t0 := time.Now()
+			r = w.rollout(simulateFrom.state)
+			w.p.Trace.AddTimer("search.rollout", time.Since(t0))
+		} else {
+			r = w.rollout(simulateFrom.state)
+		}
 		w.rolls++
 	}
 	// 4. backpropagate
