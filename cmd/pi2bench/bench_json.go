@@ -171,14 +171,30 @@ func engineBenches() ([]BenchResult, error) {
 		{"EngineTopK/fullsort", `SELECT k, v FROM fact WHERE v > 10 ORDER BY v DESC LIMIT 10`, false},
 		{"EngineDistinct", `SELECT DISTINCT grp FROM fact`, true},
 	}
+	// Access paths (PR 8): the same point predicate as a sweep and as a
+	// hash-index lookup, a sorted-index range scan, and the reversed hash
+	// join whose build side is picked by estimated cardinality. These run
+	// against their own 20k-row DB, built only after the carried cases
+	// above have been measured — keeping it live earlier would inflate
+	// their GC mark time and skew the cross-PR trajectory.
+	scanCases := []struct {
+		name      string
+		sql       string
+		optimized bool
+	}{
+		{"EngineScan/full", `SELECT v FROM scan WHERE k = 7`, false},
+		{"EngineScan/index-point", `SELECT v FROM scan WHERE k = 7`, true},
+		{"EngineScan/index-range", `SELECT v FROM scan WHERE k BETWEEN 7 AND 9`, true},
+		{"EngineJoin/build-side", `SELECT t.lbl, s.v FROM tiny AS t, scan AS s WHERE t.k = s.k AND s.v > 25`, true},
+	}
 	var out []BenchResult
-	for _, c := range cases {
-		ast, err := sqlparser.Parse(c.sql)
+	run := func(db *engine.DB, name, sql string, optimized bool) error {
+		ast, err := sqlparser.Parse(sql)
 		if err != nil {
-			return nil, fmt.Errorf("pi2bench: %s: %w", c.name, err)
+			return fmt.Errorf("pi2bench: %s: %w", name, err)
 		}
 		prep := engine.PrepareUnoptimized
-		if c.optimized {
+		if optimized {
 			prep = engine.Prepare
 		}
 		var benchErr error
@@ -197,12 +213,24 @@ func engineBenches() ([]BenchResult, error) {
 			}
 		})
 		if benchErr != nil {
-			return nil, fmt.Errorf("pi2bench: %s: %w", c.name, benchErr)
+			return fmt.Errorf("pi2bench: %s: %w", name, benchErr)
 		}
 		out = append(out, BenchResult{
-			Name: c.name, Iterations: res.N, NsPerOp: res.NsPerOp(),
+			Name: name, Iterations: res.N, NsPerOp: res.NsPerOp(),
 			AllocsPerOp: res.AllocsPerOp(), BytesPerOp: res.AllocedBytesPerOp(),
 		})
+		return nil
+	}
+	for _, c := range cases {
+		if err := run(db, c.name, c.sql, c.optimized); err != nil {
+			return nil, err
+		}
+	}
+	scanDB := newScanBenchDB()
+	for _, c := range scanCases {
+		if err := run(scanDB, c.name, c.sql, c.optimized); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -227,6 +255,33 @@ func newEngineBenchDB() *engine.DB {
 	}
 	db.Add(dim)
 	db.Add(fact)
+	return db
+}
+
+// newScanBenchDB builds the access-path fixture: `scan` is large enough
+// (20k rows, k cycling 0..199) for the cost model to prefer indexes;
+// `tiny` drives the build-side reversal bench. Mirrors benchScanDB in
+// internal/engine. Kept separate from newEngineBenchDB so its ~3 MB of
+// live rows do not sit on the heap while the carried benches run.
+func newScanBenchDB() *engine.DB {
+	r := rand.New(rand.NewSource(7))
+	db := engine.NewDB("2020-12-31")
+	const scanRows, scanKeys = 20000, 200
+	scan := &engine.Table{Name: "scan", Cols: []string{"k", "v"}, Types: []engine.ColType{engine.TNum, engine.TNum}}
+	for i := 0; i < scanRows; i++ {
+		scan.Rows = append(scan.Rows, []engine.Value{
+			engine.NumVal(float64(i % scanKeys)),
+			engine.NumVal(r.Float64() * 100),
+		})
+	}
+	db.Add(scan)
+	db.Add(&engine.Table{
+		Name: "tiny", Cols: []string{"k", "lbl"}, Types: []engine.ColType{engine.TNum, engine.TStr},
+		Rows: [][]engine.Value{
+			{engine.NumVal(3), engine.StrVal("three")},
+			{engine.NumVal(7), engine.StrVal("seven")},
+		},
+	})
 	return db
 }
 

@@ -90,7 +90,7 @@ func main() {
 	}
 	ctx := &transform.Context{Queries: asts, Cat: cat}
 	reg := newRegistry(res.Interface, ctx, db, *maxSessions, *sessionTTL)
-	o := newObs(*metrics, *slowThreshold, os.Stderr, reg)
+	o := newObs(*metrics, *slowThreshold, os.Stderr, reg, db)
 	dbg, stopDebug, err := startDebugServer(*debugAddr)
 	if err != nil {
 		log.Fatal(err)
@@ -134,16 +134,19 @@ func newRegistry(ifc *iface.Interface, ctx *transform.Context, db *engine.DB, ma
 }
 
 // newObs builds the serving observability bundle: a metrics registry
-// carrying the HTTP middleware instruments plus the registry's session and
-// cache counters, and a slow-query log writing JSON lines to slowW.
-// Returns nil (fully disabled) when -metrics is off.
-func newObs(enable bool, slowThreshold time.Duration, slowW io.Writer, reg *iface.Registry) *iface.ServerObs {
+// carrying the HTTP middleware instruments, the registry's session and
+// cache counters, and the engine's index/statistics instruments, plus a
+// slow-query log writing JSON lines to slowW. Returns nil (fully disabled)
+// when -metrics is off.
+func newObs(enable bool, slowThreshold time.Duration, slowW io.Writer, reg *iface.Registry, db *engine.DB) *iface.ServerObs {
 	if !enable {
 		return nil
 	}
 	m := obs.NewRegistry()
 	iface.RegisterServingMetrics(m, reg)
-	return iface.NewServerObs(m, obs.NewSlowLog(slowW, slowThreshold))
+	o := iface.NewServerObs(m, obs.NewSlowLog(slowW, slowThreshold))
+	o.ObserveEngine(db)
+	return o
 }
 
 // startDebugServer serves net/http/pprof on its own listener, opt-in via

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"pi2/internal/engine"
 	"pi2/internal/iface"
 )
 
@@ -36,7 +37,7 @@ func TestDefaultServesNoPprof(t *testing.T) {
 	}
 
 	reg := stubRegistry()
-	o := newObs(true, time.Second, io.Discard, reg)
+	o := newObs(true, time.Second, io.Discard, reg, engine.NewDB("2020-12-31"))
 	h := iface.NewRegistryServer(reg).WithObs(o).Handler()
 	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/profile"} {
 		rr := httptest.NewRecorder()
@@ -72,13 +73,13 @@ func TestDebugServerOptIn(t *testing.T) {
 // route live, registry counters exported, slow log attached, and -metrics
 // off yielding a nil (fully disabled) bundle.
 func TestObsWiring(t *testing.T) {
-	if o := newObs(false, time.Second, io.Discard, stubRegistry()); o != nil {
+	if o := newObs(false, time.Second, io.Discard, stubRegistry(), engine.NewDB("2020-12-31")); o != nil {
 		t.Fatal("-metrics=false must disable observability entirely")
 	}
 
 	var slow bytes.Buffer
 	reg := stubRegistry()
-	o := newObs(true, time.Nanosecond, &slow, reg)
+	o := newObs(true, time.Nanosecond, &slow, reg, engine.NewDB("2020-12-31"))
 	h := iface.NewRegistryServer(reg).WithObs(o).Handler()
 
 	rr := httptest.NewRecorder()
@@ -92,7 +93,8 @@ func TestObsWiring(t *testing.T) {
 	if rr.Code != http.StatusOK {
 		t.Fatalf("/metrics = %d", rr.Code)
 	}
-	for _, want := range []string{"pi2_http_requests_total", "pi2_sessions_live", "pi2_uptime_seconds"} {
+	for _, want := range []string{"pi2_http_requests_total", "pi2_sessions_live", "pi2_uptime_seconds",
+		"pi2_engine_index_builds_total", "pi2_engine_index_hits_total", "pi2_engine_index_build_seconds"} {
 		if !strings.Contains(rr.Body.String(), want) {
 			t.Errorf("scrape missing %q", want)
 		}

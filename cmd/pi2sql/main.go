@@ -4,6 +4,7 @@
 //
 //	$ pi2sql
 //	pi2> SELECT hour, count(*) FROM flights GROUP BY hour LIMIT 5
+//	pi2> EXPLAIN SELECT ...         -- compiled plan, no execution
 //	pi2> EXPLAIN ANALYZE SELECT ... -- per-operator rows and timings
 //	pi2> \d            -- list tables
 //	pi2> \q            -- quit
@@ -43,13 +44,17 @@ func main() {
 	}
 }
 
-// evalLine evaluates one REPL statement and returns the text to print:
-// either the result table or, for an `EXPLAIN ANALYZE <query>` prefix, the
-// per-operator execution profile.
+// evalLine evaluates one REPL statement and returns the text to print: the
+// result table, the per-operator execution profile for an `EXPLAIN ANALYZE
+// <query>` prefix, or the compiled plan (no execution) for a bare `EXPLAIN
+// <query>` prefix.
 func evalLine(db *engine.DB, line string) string {
 	sql := strings.TrimSuffix(strings.TrimSpace(line), ";")
 	if rest, ok := stripExplainAnalyze(sql); ok {
 		return explainAnalyze(db, rest)
+	}
+	if rest, ok := stripExplain(sql); ok {
+		return explainPlan(db, rest)
 	}
 	res, err := engine.ExecSQL(db, sql, sqlparser.Parse)
 	if err != nil {
@@ -66,6 +71,31 @@ func stripExplainAnalyze(sql string) (string, bool) {
 		return strings.Join(fields[2:], " "), true
 	}
 	return sql, false
+}
+
+// stripExplain detects a leading bare EXPLAIN (case-insensitive; ANALYZE is
+// handled first by stripExplainAnalyze) and returns the query after it.
+func stripExplain(sql string) (string, bool) {
+	fields := strings.Fields(sql)
+	if len(fields) >= 2 && strings.EqualFold(fields[0], "EXPLAIN") {
+		return strings.Join(fields[1:], " "), true
+	}
+	return sql, false
+}
+
+// explainPlan compiles the query and renders the plan without executing it:
+// access paths with statistics estimates, join strategy and build sides,
+// predicate placement.
+func explainPlan(db *engine.DB, sql string) string {
+	ast, err := sqlparser.Parse(sql)
+	if err != nil {
+		return "error: " + err.Error() + "\n"
+	}
+	plan, err := engine.Prepare(db, ast)
+	if err != nil {
+		return "error: " + err.Error() + "\n"
+	}
+	return plan.Explain()
 }
 
 // explainAnalyze runs the query with per-operator profiling and renders the

@@ -34,6 +34,33 @@ func TestEvalLineExplainAnalyzeHashJoin(t *testing.T) {
 	}
 }
 
+// TestEvalLineExplainPlan pins the plan-only surface: bare EXPLAIN renders
+// the compiled plan (access paths, join strategy) without executing, so no
+// row counts or timings appear.
+func TestEvalLineExplainPlan(t *testing.T) {
+	db := dataset.NewDB()
+	out := evalLine(db,
+		"EXPLAIN SELECT galaxy.objID, specObj.z FROM galaxy, specObj WHERE galaxy.objID = specObj.bestObjID")
+	for _, want := range []string{"scan", "join"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+	for _, ban := range []string{"rows in", "rows)", "total"} {
+		if strings.Contains(out, ban) {
+			t.Errorf("plan-only EXPLAIN leaked execution output %q:\n%s", ban, out)
+		}
+	}
+}
+
+func TestEvalLineExplainPlanError(t *testing.T) {
+	db := dataset.NewDB()
+	out := evalLine(db, "EXPLAIN SELECT nope FROM missing")
+	if !strings.HasPrefix(out, "error:") {
+		t.Fatalf("output = %q, want error", out)
+	}
+}
+
 func TestEvalLineExplainAnalyzeError(t *testing.T) {
 	db := dataset.NewDB()
 	out := evalLine(db, "EXPLAIN ANALYZE SELECT nope FROM missing")

@@ -7,15 +7,18 @@ import (
 	"strings"
 	"testing"
 
+	dt "pi2/internal/difftree"
 	"pi2/internal/sqlparser"
 )
 
-// FuzzExecEquivalence cross-checks the three execution paths on randomly
+// FuzzExecEquivalence cross-checks the four execution paths on randomly
 // generated queries: the interpreter (the executable specification), the
-// unoptimized plan (filtered cross product, full sort) and the optimized
-// plan (operator pipeline: pushdown, hash joins, tagged keys, top-K) must
-// return identical tables — same columns, same types, same rows in the same
-// order — or fail with the same error.
+// unoptimized plan (filtered cross product, full sort), the optimized plan
+// (operator pipeline: pushdown, hash joins, tagged keys, top-K) and the
+// forced-index plan (every semantically legal index path taken, cost model
+// bypassed, including the reversed hash-join build side) must return
+// identical tables — same columns, same types, same rows in the same order —
+// or fail with the same error.
 //
 // The generator derives everything from one seed, so every corpus entry is
 // reproducible; `go test -run Fuzz` replays the seed corpus in CI.
@@ -30,7 +33,7 @@ func FuzzExecEquivalence(f *testing.F) {
 	})
 }
 
-// checkExecEquivalence runs one SQL statement through all three paths and
+// checkExecEquivalence runs one SQL statement through all four paths and
 // compares outcomes bit for bit.
 func checkExecEquivalence(t *testing.T, db *DB, sql string) {
 	t.Helper()
@@ -40,14 +43,17 @@ func checkExecEquivalence(t *testing.T, db *DB, sql string) {
 	}
 	interp, interpErr := Exec(db, ast)
 
-	for _, opt := range []bool{false, true} {
-		name := "unoptimized plan"
-		prep := PrepareUnoptimized
-		if opt {
-			name = "pipeline plan"
-			prep = Prepare
-		}
-		plan, err := prep(db, ast)
+	modes := []struct {
+		name string
+		prep func(*DB, *dt.Node) (*Plan, error)
+	}{
+		{"unoptimized plan", PrepareUnoptimized},
+		{"pipeline plan", Prepare},
+		{"forced-index plan", prepareForceIndex},
+	}
+	for _, m := range modes {
+		name := m.name
+		plan, err := m.prep(db, ast)
 		if err != nil {
 			t.Fatalf("%s: prepare error %v for %q", name, err, sql)
 		}

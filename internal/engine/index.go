@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Per-column access structures, built lazily on first use and cached on the
+// DB keyed by its mutation generation: DB.Add bumps the generation, and the
+// next access under the new generation drops the whole cache. A live Plan
+// can never observe a stale index for the same reason it can never observe a
+// stale table pointer — Exec refuses to run once the generation moves.
+//
+// Two index kinds, both keyed to agree exactly with the sweep path:
+//
+//   - hash index: buckets of row indexes keyed by appendJoinKey, the `=`
+//     coercion encoding (the number 1 and the string '1' share a bucket,
+//     -0 lands on +0). NULL cells are not indexed — `=` never matches NULL.
+//     Bucket row lists are ascending, so an equality probe yields candidates
+//     already in scan order.
+//   - sorted index: the non-null (value, row) pairs ordered by Compare with
+//     the row index as tiebreaker. Range probes binary-search the bounds;
+//     the chooser only routes here for type-homogeneous columns, where
+//     Compare is a total order (see stats.go).
+
+type accessCache struct {
+	gen    uint64
+	tables map[*Table]*tableAccess
+}
+
+// tableAccess holds one table's lazily-built statistics and indexes. Its
+// mutex serializes builds; lookups after the first build are read-only on
+// immutable structures.
+type tableAccess struct {
+	mu     sync.Mutex
+	stats  *TableStats
+	hash   map[int]*hashSide
+	sorted map[int]*sortedIndex
+}
+
+// access returns the table's access slot under the current generation,
+// resetting the cache if the DB has mutated since it was populated.
+func (db *DB) access(t *Table) *tableAccess {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.acc == nil || db.acc.gen != db.gen {
+		db.acc = &accessCache{gen: db.gen, tables: map[*Table]*tableAccess{}}
+	}
+	ta := db.acc.tables[t]
+	if ta == nil {
+		ta = &tableAccess{}
+		db.acc.tables[t] = ta
+	}
+	return ta
+}
+
+// tableStats returns the table's statistics, computing them on first use.
+func (db *DB) tableStats(t *Table) *TableStats {
+	ta := db.access(t)
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	if ta.stats == nil {
+		t0 := time.Now()
+		ta.stats = computeStats(t)
+		db.statBuilds.Add(1)
+		db.observeBuild("stats", time.Since(t0))
+	}
+	return ta.stats
+}
+
+// hashIndexFor returns the table's hash index on column col, building it on
+// first use. The result is structurally identical to buildHashSide over the
+// table's full row list with the bare column as the only key, which is what
+// lets a join build side borrow it bit-for-bit.
+func (db *DB) hashIndexFor(t *Table, col int) *hashSide {
+	ta := db.access(t)
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	if h, ok := ta.hash[col]; ok {
+		return h
+	}
+	t0 := time.Now()
+	h := &hashSide{idx: make(map[string]int, len(t.Rows))}
+	var kb []byte
+	for ri, row := range t.Rows {
+		if col >= len(row) || row[col].Null {
+			continue
+		}
+		kb = appendJoinKey(kb[:0], row[col])
+		if bi, ok := h.idx[string(kb)]; ok {
+			h.buckets[bi] = append(h.buckets[bi], ri)
+		} else {
+			h.idx[string(kb)] = len(h.buckets)
+			h.buckets = append(h.buckets, []int{ri})
+		}
+	}
+	if ta.hash == nil {
+		ta.hash = map[int]*hashSide{}
+	}
+	ta.hash[col] = h
+	db.idxBuilds.Add(1)
+	db.observeBuild("hash", time.Since(t0))
+	return h
+}
+
+// rowsFor returns the row indexes whose column value equals v under `=`
+// coercion, ascending. v must not be NULL.
+func (h *hashSide) rowsFor(v Value) []int {
+	var tmp [40]byte
+	kb := appendJoinKey(tmp[:0], v)
+	if bi, ok := h.idx[string(kb)]; ok {
+		return h.buckets[bi]
+	}
+	return nil
+}
+
+// sortedIndex is the Compare-ordered view of one column's non-null cells.
+type sortedIndex struct {
+	vals []Value
+	rows []int
+}
+
+func (si *sortedIndex) Len() int      { return len(si.vals) }
+func (si *sortedIndex) Swap(i, j int) {
+	si.vals[i], si.vals[j] = si.vals[j], si.vals[i]
+	si.rows[i], si.rows[j] = si.rows[j], si.rows[i]
+}
+func (si *sortedIndex) Less(i, j int) bool {
+	if c := Compare(si.vals[i], si.vals[j]); c != 0 {
+		return c < 0
+	}
+	return si.rows[i] < si.rows[j]
+}
+
+// sortedIndexFor returns the table's sorted index on column col, building it
+// on first use.
+func (db *DB) sortedIndexFor(t *Table, col int) *sortedIndex {
+	ta := db.access(t)
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	if si, ok := ta.sorted[col]; ok {
+		return si
+	}
+	t0 := time.Now()
+	si := &sortedIndex{}
+	for ri, row := range t.Rows {
+		if col >= len(row) || row[col].Null {
+			continue
+		}
+		si.vals = append(si.vals, row[col])
+		si.rows = append(si.rows, ri)
+	}
+	sort.Sort(si)
+	if ta.sorted == nil {
+		ta.sorted = map[int]*sortedIndex{}
+	}
+	ta.sorted[col] = si
+	db.idxBuilds.Add(1)
+	db.observeBuild("sorted", time.Since(t0))
+	return si
+}
+
+// rangeRows returns the row indexes whose value falls inside the bounds,
+// re-sorted into ascending row order — the scan-order contract every access
+// path must keep. Binary search over Compare is only valid because the
+// chooser restricts range probes to type-homogeneous columns with bounds of
+// the column's own type.
+func (si *sortedIndex) rangeRows(lo Value, hasLo, loExcl bool, hi Value, hasHi, hiExcl bool) []int {
+	start := 0
+	if hasLo {
+		start = sort.Search(len(si.vals), func(k int) bool {
+			c := Compare(si.vals[k], lo)
+			if loExcl {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	end := len(si.vals)
+	if hasHi {
+		end = sort.Search(len(si.vals), func(k int) bool {
+			c := Compare(si.vals[k], hi)
+			if hiExcl {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	if end <= start {
+		return nil
+	}
+	out := append([]int(nil), si.rows[start:end]...)
+	sort.Ints(out)
+	return out
+}
+
+// IndexCounters is a monotonic snapshot of the DB's access-path activity,
+// surfaced through /metrics and the /stats obs object.
+type IndexCounters struct {
+	Builds      uint64 `json:"builds"`       // hash + sorted index builds
+	Hits        uint64 `json:"hits"`         // plans served by an index (scans and join builds)
+	StatsBuilds uint64 `json:"stats_builds"` // statistics computations
+}
+
+// IndexCounters reads the current counter values.
+func (db *DB) IndexCounters() IndexCounters {
+	return IndexCounters{
+		Builds:      db.idxBuilds.Load(),
+		Hits:        db.idxHits.Load(),
+		StatsBuilds: db.statBuilds.Load(),
+	}
+}
+
+// OnIndexBuild registers fn to observe every index/statistics build with its
+// kind ("hash", "sorted", "stats") and wall time. Register before serving
+// begins; fn runs synchronously on the building goroutine.
+func (db *DB) OnIndexBuild(fn func(kind string, d time.Duration)) {
+	db.mu.Lock()
+	db.buildHook = fn
+	db.mu.Unlock()
+}
+
+func (db *DB) observeBuild(kind string, d time.Duration) {
+	db.mu.Lock()
+	fn := db.buildHook
+	db.mu.Unlock()
+	if fn != nil {
+		fn(kind, d)
+	}
+}

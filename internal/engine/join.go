@@ -42,6 +42,11 @@ type planJoin struct {
 	probe []exprFn // key exprs over frames bound at earlier levels
 	build []exprFn // key exprs over this level's frame alone
 	resid []exprFn // remaining pure ON conjuncts, evaluated per bucket row
+
+	// buildCol is the base-table column index when the build key is exactly
+	// one bare column — the shape the DB's per-column hash index reproduces
+	// bit-for-bit, letting joinHash skip the build; -1 otherwise.
+	buildCol int
 }
 
 // compileJoins fills pq.joins from the FROM entries. ON conditions compile
@@ -57,6 +62,7 @@ func (c *compiler) compileJoins(pq *planQuery, entries []fromEntry, outer *scope
 	for i, en := range entries {
 		jn := &pq.joins[i]
 		jn.typ = en.typ
+		jn.buildCol = -1
 		if en.on == nil {
 			continue
 		}
@@ -69,6 +75,13 @@ func (c *compiler) compileJoins(pq *planQuery, entries []fromEntry, outer *scope
 			if probe, build, bf, ok := pc.equiSides(conj); ok && bf == i {
 				jn.probe = append(jn.probe, pc.compile(probe))
 				jn.build = append(jn.build, pc.compile(build))
+				if len(jn.build) == 1 {
+					if _, ci, ok := pc.localColumn(build.Label); ok {
+						jn.buildCol = ci
+					}
+				} else {
+					jn.buildCol = -1 // composite key: no single-column index fits
+				}
 				continue
 			}
 			jn.resid = append(jn.resid, pc.compile(conj))
@@ -90,6 +103,14 @@ func (pq *planQuery) joinHash(i int, rows [][]Value, metas []frame) (*hashSide, 
 	if pq.sources[i].sub == nil {
 		st := &pq.scans[i]
 		st.buildOnce.Do(func() {
+			if ci := pq.joins[i].buildCol; ci >= 0 {
+				// rows is exactly the base table's full row list here, so
+				// the per-column index is bit-identical to what
+				// buildHashSide would produce.
+				st.hash = pq.db.hashIndexFor(pq.sources[i].table, ci)
+				pq.db.idxHits.Add(1)
+				return
+			}
 			st.hash, st.buildErr = buildHashSide(rows, pq.joins[i].build, i, cur, benv)
 		})
 		return st.hash, st.buildErr
@@ -163,7 +184,11 @@ func (pq *planQuery) runJoin(tables []*Table, outer *rowEnv, prof *Profile) ([]*
 				return nil, err
 			}
 			if prof != nil {
-				prof.add("hash-build", metas[i].alias, len(rows), len(h.buckets), time.Since(tb))
+				path := ""
+				if jn.buildCol >= 0 && pq.sources[i].sub == nil {
+					path = "index(" + pq.sources[i].cols[jn.buildCol] + ")"
+				}
+				prof.addPath("hash-build", metas[i].alias, path, len(rows), len(h.buckets), time.Since(tb))
 			}
 			hash = h
 		}
@@ -251,10 +276,12 @@ func (pq *planQuery) runJoin(tables []*Table, outer *rowEnv, prof *Profile) ([]*
 		}
 		if prof != nil {
 			mode := "loop"
+			path := ""
 			if hash != nil {
 				mode = "hash"
+				path = "build=" + metas[i].alias
 			}
-			prof.add("join", jn.typ+" "+metas[i].alias+" ("+mode+")", len(envs), len(next), time.Since(t0))
+			prof.addPath("join", jn.typ+" "+metas[i].alias+" ("+mode+")", path, len(envs), len(next), time.Since(t0))
 		}
 		envs = next
 	}

@@ -40,9 +40,11 @@ import (
 
 // pipePlan is the compiled pipeline for one query's FROM/WHERE.
 type pipePlan struct {
-	scanPreds [][]exprFn // per source: pushed-down predicates
-	steps     []pipeStep // per source level; steps[0] never joins
-	residual  []exprFn   // remaining conjuncts, original order
+	scanPreds [][]exprFn   // per source: pushed-down predicates
+	steps     []pipeStep   // per source level; steps[0] never joins
+	residual  []exprFn     // remaining conjuncts, original order
+	access    []scanAccess // per source: chosen access path (cost.go)
+	reverse   bool         // two-source hash join builds over source 0
 }
 
 // pipeStep describes how source level i combines with the already-joined
@@ -52,6 +54,11 @@ type pipeStep struct {
 	probe   []exprFn // key exprs over frames bound at earlier levels
 	build   []exprFn // key exprs over this level's frame alone
 	filters []exprFn // hoisted pure predicates applied once this frame binds
+
+	// buildCol is the base-table column index when the build key is exactly
+	// one bare column reference (the shape whose hash table the DB's column
+	// index reproduces bit-for-bit); -1 otherwise.
+	buildCol int
 }
 
 // hashSide is a built hash table over one source's filtered rows: bucket
@@ -105,25 +112,31 @@ func flattenAnd(e *dt.Node, out []*dt.Node) []*dt.Node {
 // mirroring compileIdent's resolution order (first matching frame, first
 // matching column). ok is false for correlated and unknown names.
 func (c *compiler) localFrame(name string) (int, bool) {
+	fi, _, ok := c.localColumn(name)
+	return fi, ok
+}
+
+// localColumn is localFrame plus the resolved column index within the frame.
+func (c *compiler) localColumn(name string) (fi, ci int, ok bool) {
 	lower := strings.ToLower(name)
 	alias, col := "", lower
 	if i := strings.IndexByte(lower, '.'); i >= 0 {
 		alias, col = lower[:i], lower[i+1:]
 	}
 	if c.sc == nil {
-		return 0, false
+		return 0, 0, false
 	}
 	for fi, ps := range c.sc.sources {
 		if alias != "" && ps.alias != alias {
 			continue
 		}
-		for _, pc := range ps.cols {
+		for ci, pc := range ps.cols {
 			if pc == col {
-				return fi, true
+				return fi, ci, true
 			}
 		}
 	}
-	return 0, false
+	return 0, 0, false
 }
 
 // conjunctProps classifies an expression: whether it is provably error-free
@@ -213,6 +226,10 @@ func (c *compiler) compilePipe(pq *planQuery, where *dt.Node) {
 	pipe := &pipePlan{
 		scanPreds: make([][]exprFn, n),
 		steps:     make([]pipeStep, n),
+		access:    make([]scanAccess, n),
+	}
+	for i := range pipe.steps {
+		pipe.steps[i].buildCol = -1
 	}
 	pq.pipe = pipe
 	pq.scans = make([]scanState, n)
@@ -225,6 +242,7 @@ func (c *compiler) compilePipe(pq *planQuery, where *dt.Node) {
 			break
 		}
 	}
+	cands := make([][]scanAccess, n)
 	for _, e := range conjs {
 		props := c.conjunctProps(e)
 		if !allPure || props.frames == 0 {
@@ -236,17 +254,29 @@ func (c *compiler) compilePipe(pq *planQuery, where *dt.Node) {
 		if bits.OnesCount64(props.frames) == 1 {
 			fi := bits.TrailingZeros64(props.frames)
 			pipe.scanPreds[fi] = append(pipe.scanPreds[fi], c.compile(e))
+			if cand, ok := c.indexCandidate(pq, fi, e); ok {
+				cands[fi] = append(cands[fi], cand)
+			}
 			continue
 		}
 		if probe, build, bf, ok := c.equiSides(e); ok {
 			st := &pipe.steps[bf]
 			st.probe = append(st.probe, c.compile(probe))
 			st.build = append(st.build, c.compile(build))
+			if len(st.build) == 1 {
+				if _, ci, ok := c.localColumn(build.Label); ok {
+					st.buildCol = ci
+				}
+			} else {
+				st.buildCol = -1 // composite key: no single-column index fits
+			}
 			continue
 		}
 		hi := 63 - bits.LeadingZeros64(props.frames)
 		pipe.steps[hi].filters = append(pipe.steps[hi].filters, c.compile(e))
 	}
+	c.chooseAccess(pq, cands)
+	c.chooseBuildSide(pq)
 }
 
 // scanRows returns source i's rows filtered by its pushed-down predicates.
@@ -262,11 +292,39 @@ func (pq *planQuery) scanRows(i int, tbl *Table, cur []frame, probe *rowEnv) ([]
 	if cacheable {
 		st := &pq.scans[i]
 		st.scanOnce.Do(func() {
-			st.rows, st.scanErr = filterRows(tbl.Rows, preds, i, cur, probe)
+			st.rows, st.scanErr = pq.scanSource(i, tbl, preds, cur, probe)
 		})
 		return st.rows, st.scanErr
 	}
+	// Derived tables never get an index (nothing durable to index), so the
+	// access path is always a full sweep here.
 	return filterRows(tbl.Rows, preds, i, cur, probe)
+}
+
+// scanSource runs one base-table scan through its chosen access path. An
+// index only narrows the candidate row set — a superset of the matching
+// rows, in ascending row order — and then *every* pushed predicate,
+// including the one the index served, re-evaluates over the candidates.
+// The always-true re-check costs one comparison per candidate and buys a
+// hard invariant: an over-approximating index can never change results.
+func (pq *planQuery) scanSource(i int, tbl *Table, preds []exprFn, cur []frame, probe *rowEnv) ([][]Value, error) {
+	a := pq.pipe.access[i]
+	if a.mode == accessFull {
+		return filterRows(tbl.Rows, preds, i, cur, probe)
+	}
+	var idxRows []int
+	switch a.mode {
+	case accessEq:
+		idxRows = pq.db.hashIndexFor(tbl, a.col).rowsFor(a.eqKey)
+	case accessRange:
+		idxRows = pq.db.sortedIndexFor(tbl, a.col).rangeRows(a.lo, a.hasLo, a.loExcl, a.hi, a.hasHi, a.hiExcl)
+	}
+	pq.db.idxHits.Add(1)
+	cand := make([][]Value, len(idxRows))
+	for k, ri := range idxRows {
+		cand[k] = tbl.Rows[ri]
+	}
+	return filterRows(cand, preds, i, cur, probe)
 }
 
 func filterRows(rows [][]Value, preds []exprFn, i int, cur []frame, probe *rowEnv) ([][]Value, error) {
@@ -299,6 +357,14 @@ func (pq *planQuery) buildHash(i int, rows [][]Value, cur []frame, probe *rowEnv
 	if cacheable {
 		st := &pq.scans[i]
 		st.buildOnce.Do(func() {
+			if pq.buildReusable(i) {
+				// rows is exactly the table's full row list here (no pushed
+				// predicates, full access), so the per-column index is
+				// bit-identical to what buildHashSide would produce.
+				st.hash = pq.db.hashIndexFor(pq.sources[i].table, pq.pipe.steps[i].buildCol)
+				pq.db.idxHits.Add(1)
+				return
+			}
 			st.hash, st.buildErr = buildHashSide(rows, pq.pipe.steps[i].build, i, cur, probe)
 		})
 		return st.hash, st.buildErr
@@ -363,10 +429,12 @@ func (pq *planQuery) runPipe(tables []*Table, outer *rowEnv, prof *Profile) ([]*
 		if prof != nil {
 			// Base-table scans cache across executions (scanState), so a
 			// warm scan legitimately reports ~0 time.
-			prof.add("scan", pq.sources[i].alias, len(tables[i].Rows), len(rows), time.Since(t0))
+			prof.addPath("scan", pq.sources[i].alias, pq.pipe.access[i].path(), len(tables[i].Rows), len(rows), time.Since(t0))
 		}
 		filtered[i] = rows
-		if len(pq.pipe.steps[i].build) > 0 {
+		// A reversed two-source join builds over source 0 instead; its
+		// normal build side is skipped entirely (runPipeReversed).
+		if len(pq.pipe.steps[i].build) > 0 && !pq.pipe.reverse {
 			if prof != nil {
 				t0 = time.Now()
 			}
@@ -375,10 +443,17 @@ func (pq *planQuery) runPipe(tables []*Table, outer *rowEnv, prof *Profile) ([]*
 				return nil, err
 			}
 			if prof != nil {
-				prof.add("hash-build", pq.sources[i].alias, len(rows), len(h.buckets), time.Since(t0))
+				path := ""
+				if pq.buildReusable(i) {
+					path = "index(" + pq.sources[i].cols[pq.pipe.steps[i].buildCol] + ")"
+				}
+				prof.addPath("hash-build", pq.sources[i].alias, path, len(rows), len(h.buckets), time.Since(t0))
 			}
 			hashes[i] = h
 		}
+	}
+	if pq.pipe.reverse {
+		return pq.runPipeReversed(filtered, cur, probe, outer, prof)
 	}
 
 	// joined counts tuples reaching the residual chain; residDur isolates
@@ -458,21 +533,138 @@ func (pq *planQuery) runPipe(tables []*Table, outer *rowEnv, prof *Profile) ([]*
 	}
 	if prof != nil {
 		modes := make([]string, n)
+		var builds []string
 		for i := range pq.sources {
 			switch {
 			case hashes[i] != nil:
 				modes[i] = "hash"
+				builds = append(builds, pq.sources[i].alias)
 			case i == 0:
 				modes[i] = "scan"
 			default:
 				modes[i] = "loop"
 			}
 		}
+		path := ""
+		if len(builds) > 0 {
+			path = "build=" + strings.Join(builds, ",")
+		}
 		in := 0
 		for _, f := range filtered {
 			in += len(f)
 		}
-		prof.add("join", strings.Join(modes, "+"), in, joined, time.Since(tj)-residDur)
+		prof.addPath("join", strings.Join(modes, "+"), path, in, joined, time.Since(tj)-residDur)
+		if len(pq.pipe.residual) > 0 {
+			prof.add("residual", "", joined, len(out), residDur)
+		}
+	}
+	return out, nil
+}
+
+// runPipeReversed executes a two-source hash equi-join with the build side
+// swapped: the hash table is built over source 0's filtered rows (keyed by
+// the step's probe expressions, which read frame 0) and probed once per
+// source-1 row. The matching (row0, row1) index pairs are then merged back
+// into ascending (row0, row1) order — exactly the nested-loop enumeration
+// order — before hoisted filters and the residual chain run, so output order
+// and error short-circuit order are untouched by the swap.
+func (pq *planQuery) runPipeReversed(filtered [][][]Value, cur []frame, probe *rowEnv, outer *rowEnv, prof *Profile) ([]*rowEnv, error) {
+	st := &pq.pipe.steps[1]
+	var tb time.Time
+	if prof != nil {
+		tb = time.Now()
+	}
+	h, err := buildHashSide(filtered[0], st.probe, 0, cur, probe)
+	if err != nil {
+		return nil, err
+	}
+	if prof != nil {
+		prof.add("hash-build", pq.sources[0].alias, len(filtered[0]), len(h.buckets), time.Since(tb))
+	}
+
+	var tj time.Time
+	if prof != nil {
+		tj = time.Now()
+	}
+	type pair struct{ r0, r1 int }
+	var pairs []pair
+	var kb []byte
+	for r1, row := range filtered[1] {
+		cur[1].row = row
+		kb = kb[:0]
+		null := false
+		for _, bf := range st.build {
+			v, err := bf(probe)
+			if err != nil {
+				return nil, err
+			}
+			if v.Null {
+				null = true // NULL key matches nothing, same as the probe path
+				break
+			}
+			kb = appendJoinKey(kb, v)
+		}
+		if null {
+			continue
+		}
+		if bi, ok := h.idx[string(kb)]; ok {
+			for _, r0 := range h.buckets[bi] {
+				pairs = append(pairs, pair{r0, r1})
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].r0 != pairs[b].r0 {
+			return pairs[a].r0 < pairs[b].r0
+		}
+		return pairs[a].r1 < pairs[b].r1
+	})
+
+	joined := 0
+	var residDur time.Duration
+	profResid := prof != nil && len(pq.pipe.residual) > 0
+	var out []*rowEnv
+	for _, p := range pairs {
+		cur[0].row = filtered[0][p.r0]
+		cur[1].row = filtered[1][p.r1]
+		pass := true
+		for _, ff := range st.filters {
+			v, err := ff(probe)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			continue
+		}
+		joined++
+		if len(pq.pipe.residual) > 0 {
+			var t0 time.Time
+			if profResid {
+				t0 = time.Now()
+			}
+			rp, err := residualPass(pq.pipe.residual, probe)
+			if profResid {
+				residDur += time.Since(t0)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if !rp {
+				continue
+			}
+		}
+		keep := make([]frame, 2)
+		copy(keep, cur)
+		out = append(out, &rowEnv{frames: keep, outer: outer})
+	}
+	if prof != nil {
+		in := len(filtered[0]) + len(filtered[1])
+		prof.addPath("join", "hash (reversed)", "build="+pq.sources[0].alias, in, joined, time.Since(tj)-residDur)
 		if len(pq.pipe.residual) > 0 {
 			prof.add("residual", "", joined, len(out), residDur)
 		}

@@ -29,7 +29,7 @@ type Plan struct {
 // predicates, hash equi-joins, type-tagged grouping keys and a bounded
 // top-K heap for ORDER BY + LIMIT (see pipeline.go and ARCHITECTURE.md).
 func Prepare(db *DB, q *dt.Node) (*Plan, error) {
-	return prepare(db, q, false)
+	return prepare(db, q, modePipeline)
 }
 
 // PrepareUnoptimized compiles like Prepare but disables the operator
@@ -37,14 +37,31 @@ func Prepare(db *DB, q *dt.Node) (*Plan, error) {
 // sort, mirroring the interpreter step for step. It exists so equivalence
 // tests and benchmarks can pit the pipeline against its reference behavior.
 func PrepareUnoptimized(db *DB, q *dt.Node) (*Plan, error) {
-	return prepare(db, q, true)
+	return prepare(db, q, modeNoPipe)
 }
 
-func prepare(db *DB, q *dt.Node, noPipe bool) (*Plan, error) {
+// prepareForceIndex compiles like Prepare but makes the access-path chooser
+// take an index whenever one is semantically legal, ignoring the cost
+// thresholds. Test-only: it lets small fixture tables exercise the index
+// paths the cost model reserves for large ones.
+func prepareForceIndex(db *DB, q *dt.Node) (*Plan, error) {
+	return prepare(db, q, modeForceIndex)
+}
+
+// prepMode selects how aggressively prepare optimizes.
+type prepMode uint8
+
+const (
+	modePipeline   prepMode = iota // cost-based pipeline (Prepare)
+	modeNoPipe                     // reference behavior (PrepareUnoptimized)
+	modeForceIndex                 // pipeline with cost thresholds bypassed
+)
+
+func prepare(db *DB, q *dt.Node, mode prepMode) (*Plan, error) {
 	if q == nil || q.Kind != dt.KindQuery {
 		return nil, fmt.Errorf("engine: expected query node, got %v", q)
 	}
-	c := &compiler{db: db, noPipe: noPipe}
+	c := &compiler{db: db, noPipe: mode == modeNoPipe, force: mode == modeForceIndex}
 	return &Plan{db: db, gen: db.Generation(), root: c.compileQuery(q, nil)}, nil
 }
 
@@ -85,6 +102,10 @@ type planSource struct {
 // prepare time.
 type planQuery struct {
 	err error // deferred compile error (unknown table, bad table ref)
+
+	// db backs the run-time access-path machinery: index lookups in
+	// scanSource and hash-build reuse in buildHash/joinHash.
+	db *DB
 
 	sources []*planSource
 	pred    exprFn // nil when there is no WHERE clause
@@ -137,13 +158,14 @@ type compiler struct {
 	db     *DB
 	sc     *scope
 	noPipe bool // disable the operator pipeline (PrepareUnoptimized)
+	force  bool // bypass the chooser's cost thresholds (prepareForceIndex)
 }
 
 func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
 	sel, from, where := q.Children[0], q.Children[1], q.Children[2]
 	groupby, having, orderby, limit := q.Children[3], q.Children[4], q.Children[5], q.Children[6]
 
-	pq := &planQuery{limit: -1, distinct: sel.Label == "distinct"}
+	pq := &planQuery{db: c.db, limit: -1, distinct: sel.Label == "distinct"}
 
 	// FROM: resolve base tables now; compile derived tables against the
 	// enclosing scope (they may be correlated with the outer query but not
@@ -201,22 +223,30 @@ func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
 
 	// Expressions compile in this query's scope.
 	sc := &scope{sources: pq.sources, outer: outer}
-	inner := &compiler{db: c.db, sc: sc, noPipe: c.noPipe}
+	inner := &compiler{db: c.db, sc: sc, noPipe: c.noPipe, force: c.force}
 
 	pq.opt = !c.noPipe
 	if where.Kind == dt.KindWhere {
-		if pq.opt && len(pq.sources) > 1 && !pq.hasJoin {
-			// Comma joins: decompose the conjunction into the operator
-			// pipeline instead of one monolithic predicate. Single-source
-			// queries skip it — pushdown cannot beat evaluating the same
-			// predicate in the scan loop, and the pipeline's prepare-time
-			// analysis would only tax the serving cold path; they still get
-			// the type-tagged grouping keys and the top-K sink. JOIN-keyword
-			// queries also skip it: WHERE must stay monolithic above outer
-			// joins (pushing a predicate below one would resurrect the
-			// NULL-padded rows it should have filtered), so it applies
-			// post-join, per row in order — see runJoin.
+		if pq.opt && len(pq.sources) >= 1 && !pq.hasJoin {
+			// Comma joins and single-source queries: decompose the
+			// conjunction into the operator pipeline instead of one
+			// monolithic predicate. Single sources gain nothing from
+			// pushdown alone, but the decomposition is what lets the
+			// cost-based chooser (cost.go) route an equality or range
+			// conjunct through a per-column index instead of sweeping the
+			// table. JOIN-keyword queries skip the pipeline: WHERE must stay
+			// monolithic above outer joins (pushing a predicate below one
+			// would resurrect the NULL-padded rows it should have filtered),
+			// so it applies post-join, per row in order — see runJoin.
 			inner.compilePipe(pq, where.Children[0])
+			if len(pq.sources) == 1 && pq.pipe != nil && pq.pipe.access[0].mode == accessFull {
+				// The chooser kept the sweep, so decomposition bought
+				// nothing: fall back to the monolithic predicate, which
+				// filters in place instead of materializing per-row
+				// environments through the pipeline.
+				pq.pipe = nil
+				pq.pred = inner.compile(where.Children[0])
+			}
 		} else {
 			pq.pred = inner.compile(where.Children[0])
 		}

@@ -24,24 +24,29 @@ type Profile struct {
 type OpStat struct {
 	Op      string // "scan", "hash-build", "join", "residual", "group", "project", "top-k", ...
 	Detail  string // operator-specific: source alias, join mode, limit
+	Path    string // access path: "full-scan", "index-scan(col)", "range-scan(col)", "build=alias", "index(col)"
 	RowsIn  int
 	RowsOut int
 	Dur     time.Duration
 }
 
 func (p *Profile) add(op, detail string, in, out int, d time.Duration) {
-	p.Ops = append(p.Ops, OpStat{Op: op, Detail: detail, RowsIn: in, RowsOut: out, Dur: d})
+	p.addPath(op, detail, "", in, out, d)
+}
+
+func (p *Profile) addPath(op, detail, path string, in, out int, d time.Duration) {
+	p.Ops = append(p.Ops, OpStat{Op: op, Detail: detail, Path: path, RowsIn: in, RowsOut: out, Dur: d})
 }
 
 // String renders the report as an aligned EXPLAIN ANALYZE-style table.
 func (p *Profile) String() string {
 	var sb strings.Builder
 	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "operator\tdetail\trows in\trows out\ttime")
+	fmt.Fprintln(tw, "operator\tdetail\taccess\trows in\trows out\ttime")
 	for _, op := range p.Ops {
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\n", op.Op, op.Detail, op.RowsIn, op.RowsOut, fmtDur(op.Dur))
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%s\n", op.Op, op.Detail, op.Path, op.RowsIn, op.RowsOut, fmtDur(op.Dur))
 	}
-	fmt.Fprintf(tw, "total\t\t\t\t%s\n", fmtDur(p.Total))
+	fmt.Fprintf(tw, "total\t\t\t\t\t%s\n", fmtDur(p.Total))
 	tw.Flush()
 	return sb.String()
 }

@@ -130,21 +130,41 @@ func TestProfileTopKAndGroup(t *testing.T) {
 	}
 }
 
-func TestProfileCrossFilterAndString(t *testing.T) {
+func TestProfileSingleSourceScanAndString(t *testing.T) {
+	// T has only 5 rows, so the cost model keeps the full sweep — and a
+	// single-source sweep drops the pipeline entirely, falling back to the
+	// in-place cross-filter path.
 	prof := profiled(t, testDB(), "SELECT p FROM T WHERE a = 1")
 	ops := opsByName(prof)
 	cf, ok := ops["cross-filter"]
 	if !ok {
-		t.Fatalf("single-source query should use cross-filter: %+v", prof.Ops)
+		t.Fatalf("single-source sweep should use cross-filter: %+v", prof.Ops)
 	}
 	if cf.RowsIn != 5 || cf.RowsOut != 3 {
 		t.Fatalf("cross-filter %d->%d, want 5->3", cf.RowsIn, cf.RowsOut)
 	}
+	// The report's access column is exercised on an index-choosing query
+	// (big fixture: 200 rows, selective point predicate).
+	db := bigDB()
+	prof = profiled(t, db, "SELECT v FROM big WHERE k = 7")
+	sc, ok := opsByName(prof)["scan"]
+	if !ok || sc.Path != "index-scan(k)" {
+		t.Fatalf("scan path = %q (ok=%v), want index-scan(k)", sc.Path, ok)
+	}
 	s := prof.String()
-	for _, want := range []string{"operator", "rows in", "rows out", "cross-filter", "total"} {
+	for _, want := range []string{"operator", "access", "rows in", "rows out", "index-scan(k)", "total"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("report missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func TestProfileCrossFilterNoWhere(t *testing.T) {
+	// Without a WHERE clause there is no pipeline; the cross product path
+	// still reports its operator.
+	prof := profiled(t, testDB(), "SELECT p FROM T")
+	if _, ok := opsByName(prof)["cross-filter"]; !ok {
+		t.Fatalf("no-WHERE query should use cross-filter: %+v", prof.Ops)
 	}
 }
 

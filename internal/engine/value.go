@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ColType is the storage type of a column.
@@ -165,6 +168,17 @@ type DB struct {
 	// generation they were built at and treat any later mutation as an
 	// invalidation signal.
 	gen uint64
+
+	// Access-path state (index.go): lazily-built per-table statistics and
+	// per-column indexes, keyed by the generation they were built at, plus
+	// the build/hit counters and hook behind /metrics.
+	mu  sync.Mutex
+	acc *accessCache
+
+	idxBuilds  atomic.Uint64
+	idxHits    atomic.Uint64
+	statBuilds atomic.Uint64
+	buildHook  func(kind string, d time.Duration)
 }
 
 // NewDB returns an empty database with a fixed clock.

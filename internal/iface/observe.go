@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"pi2/internal/engine"
 	"pi2/internal/obs"
 )
 
@@ -35,6 +36,7 @@ type ServerObs struct {
 	slowTotal *obs.Counter
 	lat       map[string]*obs.Histogram
 	phase     map[string]*obs.Histogram
+	engineIdx func() engine.IndexCounters // set by ObserveEngine; nil until then
 }
 
 // NewServerObs builds the serving instruments on m (which must be non-nil)
@@ -116,6 +118,39 @@ func (o *ServerObs) statsExt() (uptimeSeconds float64, inFlight int64, requests 
 		requests[p] = h.Count()
 	}
 	return time.Since(o.start).Seconds(), o.inFlight.Value(), requests
+}
+
+// ObserveEngine exposes the engine's access-path instrumentation for db:
+// func-backed counters for index builds, index hits, and statistics builds
+// (read at scrape time from the DB's own atomics — no double counting, no
+// extra work on the query path) plus a per-kind build-latency histogram fed
+// by the engine's build hook. The counters also surface in /stats as the
+// obs object's "index" field. Either nil is a no-op.
+func (o *ServerObs) ObserveEngine(db *engine.DB) {
+	if o == nil || db == nil {
+		return
+	}
+	m := o.Metrics
+	m.CounterFunc("pi2_engine_index_builds_total", "Per-column indexes built (hash and sorted).", func() float64 {
+		return float64(db.IndexCounters().Builds)
+	})
+	m.CounterFunc("pi2_engine_index_hits_total", "Scans and join builds served from a per-column index.", func() float64 {
+		return float64(db.IndexCounters().Hits)
+	})
+	m.CounterFunc("pi2_engine_stats_builds_total", "Table-statistics computations.", func() float64 {
+		return float64(db.IndexCounters().StatsBuilds)
+	})
+	hists := make(map[string]*obs.Histogram, 3)
+	for _, kind := range []string{"hash", "sorted", "stats"} {
+		hists[kind] = m.Histogram("pi2_engine_index_build_seconds",
+			"Index and statistics build latency in seconds, by kind.", nil, "kind", kind)
+	}
+	db.OnIndexBuild(func(kind string, d time.Duration) {
+		if h := hists[kind]; h != nil {
+			h.ObserveDuration(d)
+		}
+	})
+	o.engineIdx = db.IndexCounters
 }
 
 // RegisterServingMetrics exposes a Registry's session and cache counters on

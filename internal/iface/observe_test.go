@@ -27,6 +27,7 @@ func newObsHandler(t *testing.T, slow *obs.SlowLog) (http.Handler, *ServerObs, *
 	m := obs.NewRegistry()
 	o := NewServerObs(m, slow)
 	RegisterServingMetrics(m, reg)
+	o.ObserveEngine(testDB)
 	return NewRegistryServer(reg).WithObs(o).Handler(), o, reg
 }
 
@@ -71,6 +72,10 @@ func TestMetricsEndpointScrape(t *testing.T) {
 		"pi2_sessions_created_total 1",
 		"pi2_uptime_seconds",
 		"pi2_http_in_flight",
+		"pi2_engine_index_builds_total",
+		"pi2_engine_index_hits_total",
+		"pi2_engine_stats_builds_total",
+		`pi2_engine_index_build_seconds_bucket{kind="hash",le="+Inf"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape missing %q", want)
@@ -168,6 +173,10 @@ func TestStatsObsFields(t *testing.T) {
 			UptimeSeconds float64           `json:"uptime_seconds"`
 			InFlight      int64             `json:"in_flight"`
 			Requests      map[string]uint64 `json:"requests"`
+			Index         *struct {
+				Builds uint64 `json:"builds"`
+				Hits   uint64 `json:"hits"`
+			} `json:"index"`
 		} `json:"obs"`
 	}
 	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
@@ -185,6 +194,10 @@ func TestStatsObsFields(t *testing.T) {
 	// /stats runs inside the middleware, so it counts itself as in flight.
 	if got.Obs.InFlight != 1 {
 		t.Errorf("in_flight = %d, want 1 (the /stats request itself)", got.Obs.InFlight)
+	}
+	// With the engine observed, the obs object carries the index counters.
+	if got.Obs.Index == nil {
+		t.Error("obs.index missing from /stats with ObserveEngine attached")
 	}
 }
 
@@ -235,5 +248,24 @@ func TestSQLExplainAnalyze(t *testing.T) {
 	_, plain := get(t, srv.URL+"/sql")
 	if strings.Contains(plain, "operator") {
 		t.Fatalf("plain /sql shows profile output:\n%s", plain)
+	}
+}
+
+func TestSQLExplainPlan(t *testing.T) {
+	srv, _ := newTestServer(t)
+	code, body := get(t, srv.URL+"/sql?explain=plan")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d\n%s", code, body)
+	}
+	for _, want := range []string{"tree 0:", "scan"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("plan output missing %q:\n%s", want, body)
+		}
+	}
+	// Plan-only: no per-operator execution report.
+	for _, ban := range []string{"operator", "rows in", "total"} {
+		if strings.Contains(body, ban) {
+			t.Errorf("explain=plan leaked execution output %q:\n%s", ban, body)
+		}
 	}
 }

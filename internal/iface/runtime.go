@@ -283,6 +283,29 @@ func (s *Session) ExplainAnalyze(tree int) (string, *engine.Profile, error) {
 	return sqlparser.ToSQL(ast), prof, nil
 }
 
+// ExplainPlan resolves one tree under its current binding and renders the
+// compiled plan without executing it (engine.Plan.Explain): access paths and
+// their statistics estimates, join strategy and build sides, predicate
+// placement. The plan comes through the normal plan-cache path; no result is
+// produced and no cache is touched beyond that.
+func (s *Session) ExplainPlan(tree int) (string, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tree < 0 || tree >= len(s.bindings) {
+		return "", "", fmt.Errorf("iface: tree %d out of range", tree)
+	}
+	s.ensureFreshLocked()
+	ast, err := dt.Resolve(s.Ifc.State.Trees[tree].Root, s.bindings[tree])
+	if err != nil {
+		return "", "", err
+	}
+	plan, err := s.planFor(ast)
+	if err != nil {
+		return "", "", err
+	}
+	return sqlparser.ToSQL(ast), plan.Explain(), nil
+}
+
 // Cache size caps. A long-lived serving session sees an unbounded stream
 // of binding states (every drag step of a brush is a new state), so both
 // layers are LRU-bounded: at the cap the least recently used entry is

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pi2/internal/engine"
 	"pi2/internal/obs"
 	"pi2/internal/widget"
 )
@@ -385,10 +386,13 @@ func (sv *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 // creates a session: an unknown or absent key is a 404, and scrapes can
 // neither churn creation nor evict a live user.
 //
-// With ?explain=1 each tree is additionally re-executed with per-operator
-// profiling (EXPLAIN ANALYZE): the report shows rows in/out and wall time
-// for every physical operator the plan ran. The profiled run bypasses the
-// result cache — that is the point — but leaves serving state untouched.
+// With ?explain=plan each tree's compiled plan is rendered without running
+// it (plan-only EXPLAIN): access paths with statistics estimates, join
+// strategy and build sides, predicate placement. With any other non-zero
+// ?explain value each tree is re-executed with per-operator profiling
+// (EXPLAIN ANALYZE): the report shows rows in/out and wall time for every
+// physical operator the plan ran. The profiled run bypasses the result
+// cache — that is the point — but leaves serving state untouched.
 func (sv *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	sess := sv.single
 	if sess == nil {
@@ -409,6 +413,17 @@ func (sv *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		sess = s
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if r.FormValue("explain") == "plan" {
+		for ti := range sess.Ifc.State.Trees {
+			sql, text, err := sess.ExplainPlan(ti)
+			if err != nil {
+				fmt.Fprintf(w, "tree %d: error: %v\n\n", ti, err)
+				continue
+			}
+			fmt.Fprintf(w, "tree %d: %s\n%s\n", ti, sql, text)
+		}
+		return
+	}
 	if ex := r.FormValue("explain"); ex != "" && ex != "0" {
 		for ti := range sess.Ifc.State.Trees {
 			sql, prof, err := sess.ExplainAnalyze(ti)
@@ -448,11 +463,18 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if sv.obs != nil {
 		up, inflight, reqs := sv.obs.statsExt()
+		// Index is appended after the pre-existing fields (and omitted when
+		// the engine is not observed), so the JSON prefix stays identical.
 		ext := struct {
-			UptimeSeconds float64           `json:"uptime_seconds"`
-			InFlight      int64             `json:"in_flight"`
-			Requests      map[string]uint64 `json:"requests"`
-		}{up, inflight, reqs}
+			UptimeSeconds float64               `json:"uptime_seconds"`
+			InFlight      int64                 `json:"in_flight"`
+			Requests      map[string]uint64     `json:"requests"`
+			Index         *engine.IndexCounters `json:"index,omitempty"`
+		}{up, inflight, reqs, nil}
+		if sv.obs.engineIdx != nil {
+			ic := sv.obs.engineIdx()
+			ext.Index = &ic
+		}
 		if sv.reg != nil {
 			v = struct {
 				RegistryStats
