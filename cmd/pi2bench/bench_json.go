@@ -12,6 +12,7 @@ import (
 	"pi2/internal/catalog"
 	"pi2/internal/core"
 	"pi2/internal/dataset"
+	dt "pi2/internal/difftree"
 	"pi2/internal/engine"
 	"pi2/internal/iface"
 	"pi2/internal/sqlparser"
@@ -155,47 +156,54 @@ func runJSON(path, baselinePath string) error {
 func engineBenches() ([]BenchResult, error) {
 	db := newEngineBenchDB()
 
+	type prepFunc = func(*engine.DB, *dt.Node) (*engine.Plan, error)
 	cases := []struct {
-		name      string
-		sql       string
-		optimized bool
+		name string
+		sql  string
+		prep prepFunc
 	}{
-		{"EngineJoin/hash", `SELECT f.v, d.label FROM fact AS f, dim AS d WHERE f.k = d.k AND f.v > 25`, true},
-		{"EngineJoin/crossproduct", `SELECT f.v, d.label FROM fact AS f, dim AS d WHERE f.k = d.k AND f.v > 25`, false},
+		{"EngineJoin/hash", `SELECT f.v, d.label FROM fact AS f, dim AS d WHERE f.k = d.k AND f.v > 25`, engine.Prepare},
+		{"EngineJoin/crossproduct", `SELECT f.v, d.label FROM fact AS f, dim AS d WHERE f.k = d.k AND f.v > 25`, engine.PrepareUnoptimized},
 		// The residual d.label <> 'd0' unmatches every fact with k = 0, so
 		// the outer pass emits NULL-padded rows, not just hash hits.
-		{"EngineJoin/leftouter", `SELECT f.v, d.label FROM fact AS f LEFT JOIN dim AS d ON f.k = d.k AND d.label <> 'd0' WHERE f.v > 25`, true},
-		{"EngineJoin/leftouter-nestedloop", `SELECT f.v, d.label FROM fact AS f LEFT JOIN dim AS d ON f.k = d.k AND d.label <> 'd0' WHERE f.v > 25`, false},
-		{"EngineGroupBy", `SELECT grp, count(*), sum(v), avg(v) FROM fact GROUP BY grp`, true},
-		{"EngineTopK/heap", `SELECT k, v FROM fact WHERE v > 10 ORDER BY v DESC LIMIT 10`, true},
-		{"EngineTopK/fullsort", `SELECT k, v FROM fact WHERE v > 10 ORDER BY v DESC LIMIT 10`, false},
-		{"EngineDistinct", `SELECT DISTINCT grp FROM fact`, true},
+		{"EngineJoin/leftouter", `SELECT f.v, d.label FROM fact AS f LEFT JOIN dim AS d ON f.k = d.k AND d.label <> 'd0' WHERE f.v > 25`, engine.Prepare},
+		{"EngineJoin/leftouter-nestedloop", `SELECT f.v, d.label FROM fact AS f LEFT JOIN dim AS d ON f.k = d.k AND d.label <> 'd0' WHERE f.v > 25`, engine.PrepareUnoptimized},
+		// PR 9 split: the flat pre-PR9 "EngineGroupBy" number corresponds to
+		// the "row" case (the full row pipeline, vectorization disabled);
+		// "vectorized" is what Prepare now picks for this query. The
+		// high-cardinality run groups on the ~uniform float column, so nearly
+		// every row opens a group and per-group overheads dominate.
+		{"EngineGroupBy/vectorized", `SELECT grp, count(*), sum(v), avg(v) FROM fact GROUP BY grp`, engine.Prepare},
+		{"EngineGroupBy/row", `SELECT grp, count(*), sum(v), avg(v) FROM fact GROUP BY grp`, engine.PrepareNoVec},
+		{"EngineGroupBy/high-cardinality-group", `SELECT v, count(*), sum(k) FROM fact GROUP BY v`, engine.Prepare},
+		{"EngineTopK/heap", `SELECT k, v FROM fact WHERE v > 10 ORDER BY v DESC LIMIT 10`, engine.Prepare},
+		{"EngineTopK/fullsort", `SELECT k, v FROM fact WHERE v > 10 ORDER BY v DESC LIMIT 10`, engine.PrepareUnoptimized},
+		{"EngineDistinct", `SELECT DISTINCT grp FROM fact`, engine.Prepare},
 	}
 	// Access paths (PR 8): the same point predicate as a sweep and as a
 	// hash-index lookup, a sorted-index range scan, and the reversed hash
 	// join whose build side is picked by estimated cardinality. These run
 	// against their own 20k-row DB, built only after the carried cases
 	// above have been measured — keeping it live earlier would inflate
-	// their GC mark time and skew the cross-PR trajectory.
+	// their GC mark time and skew the cross-PR trajectory. The vectorized
+	// filter (PR 9) is the low-selectivity sweep the cost model keeps off
+	// the indexes, which the columnar path runs as a batched filter.
 	scanCases := []struct {
-		name      string
-		sql       string
-		optimized bool
+		name string
+		sql  string
+		prep prepFunc
 	}{
-		{"EngineScan/full", `SELECT v FROM scan WHERE k = 7`, false},
-		{"EngineScan/index-point", `SELECT v FROM scan WHERE k = 7`, true},
-		{"EngineScan/index-range", `SELECT v FROM scan WHERE k BETWEEN 7 AND 9`, true},
-		{"EngineJoin/build-side", `SELECT t.lbl, s.v FROM tiny AS t, scan AS s WHERE t.k = s.k AND s.v > 25`, true},
+		{"EngineScan/full", `SELECT v FROM scan WHERE k = 7`, engine.PrepareUnoptimized},
+		{"EngineScan/index-point", `SELECT v FROM scan WHERE k = 7`, engine.Prepare},
+		{"EngineScan/index-range", `SELECT v FROM scan WHERE k BETWEEN 7 AND 9`, engine.Prepare},
+		{"EngineScan/vectorized-filter", `SELECT v FROM scan WHERE v > 25`, engine.Prepare},
+		{"EngineJoin/build-side", `SELECT t.lbl, s.v FROM tiny AS t, scan AS s WHERE t.k = s.k AND s.v > 25`, engine.Prepare},
 	}
 	var out []BenchResult
-	run := func(db *engine.DB, name, sql string, optimized bool) error {
+	run := func(db *engine.DB, name, sql string, prep prepFunc) error {
 		ast, err := sqlparser.Parse(sql)
 		if err != nil {
 			return fmt.Errorf("pi2bench: %s: %w", name, err)
-		}
-		prep := engine.PrepareUnoptimized
-		if optimized {
-			prep = engine.Prepare
 		}
 		var benchErr error
 		res := testing.Benchmark(func(b *testing.B) {
@@ -222,13 +230,13 @@ func engineBenches() ([]BenchResult, error) {
 		return nil
 	}
 	for _, c := range cases {
-		if err := run(db, c.name, c.sql, c.optimized); err != nil {
+		if err := run(db, c.name, c.sql, c.prep); err != nil {
 			return nil, err
 		}
 	}
 	scanDB := newScanBenchDB()
 	for _, c := range scanCases {
-		if err := run(scanDB, c.name, c.sql, c.optimized); err != nil {
+		if err := run(scanDB, c.name, c.sql, c.prep); err != nil {
 			return nil, err
 		}
 	}

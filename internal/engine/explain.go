@@ -27,6 +27,16 @@ func (pq *planQuery) explain(sb *strings.Builder, ind string) {
 			ps.sub.explain(sb, ind+"  ")
 			continue
 		}
+		if pq.vec != nil {
+			// Columnar batch execution; absence of a vectorized marker means
+			// the operator runs row-at-a-time.
+			if n := len(pq.vec.scanPreds[i]); n > 0 {
+				fmt.Fprintf(sb, "%sscan %s [vectorized-filter, %d pushed pred(s), batch %d]\n", ind, ps.alias, n, batchSize)
+			} else {
+				fmt.Fprintf(sb, "%sscan %s [vectorized, batch %d]\n", ind, ps.alias, batchSize)
+			}
+			continue
+		}
 		fmt.Fprintf(sb, "%sscan %s [%s", ind, ps.alias, pq.accessPath(i))
 		if pq.pipe != nil {
 			if a := pq.pipe.access[i]; a.mode != accessFull {
@@ -39,6 +49,20 @@ func (pq *planQuery) explain(sb *strings.Builder, ind string) {
 		sb.WriteString("]\n")
 	}
 	switch {
+	case pq.vec != nil:
+		if pq.vec.nsrc == 2 {
+			mode := "vectorized nested-loop"
+			if pq.vec.hasKey {
+				mode = "vectorized hash build=" + pq.sources[1].alias
+				if len(pq.vec.scanPreds[1]) == 0 {
+					mode += " (reuses columnar(" + pq.sources[1].cols[pq.vec.key1] + "))"
+				}
+			}
+			if len(pq.vec.cross) > 0 {
+				mode += fmt.Sprintf(" +%d cross pred(s)", len(pq.vec.cross))
+			}
+			fmt.Fprintf(sb, "%sjoin %s: %s\n", ind, pq.sources[1].alias, mode)
+		}
 	case pq.hasJoin:
 		for i := range pq.joins {
 			jn := &pq.joins[i]
@@ -83,18 +107,26 @@ func (pq *planQuery) explain(sb *strings.Builder, ind string) {
 	case pq.pred != nil:
 		fmt.Fprintf(sb, "%sfilter: WHERE (monolithic)\n", ind)
 	}
+	vecMark := ""
+	if pq.vec != nil {
+		vecMark = " (vectorized)"
+	}
 	if pq.grouped {
 		if pq.hasGroupBy {
-			fmt.Fprintf(sb, "%sgroup by: %d key(s)\n", ind, len(pq.groupBy))
+			fmt.Fprintf(sb, "%sgroup by: %d key(s)%s\n", ind, len(pq.groupBy), vecMark)
 		} else {
-			fmt.Fprintf(sb, "%sgroup: implicit (aggregates without GROUP BY)\n", ind)
+			fmt.Fprintf(sb, "%sgroup: implicit (aggregates without GROUP BY)%s\n", ind, vecMark)
 		}
 	}
 	if pq.having != nil {
 		fmt.Fprintf(sb, "%shaving\n", ind)
 	}
 	if pq.distinct {
-		fmt.Fprintf(sb, "%sdistinct\n", ind)
+		mark := ""
+		if pq.vec != nil && pq.vec.distinct {
+			mark = " (vectorized)"
+		}
+		fmt.Fprintf(sb, "%sdistinct%s\n", ind, mark)
 	}
 	if len(pq.order) > 0 {
 		line := fmt.Sprintf("%sorder by: %d key(s)", ind, len(pq.order))

@@ -11,19 +11,21 @@ import (
 	"pi2/internal/sqlparser"
 )
 
-// FuzzExecEquivalence cross-checks the four execution paths on randomly
+// FuzzExecEquivalence cross-checks the five execution paths on randomly
 // generated queries: the interpreter (the executable specification), the
 // unoptimized plan (filtered cross product, full sort), the optimized plan
-// (operator pipeline: pushdown, hash joins, tagged keys, top-K) and the
+// (operator pipeline: pushdown, hash joins, tagged keys, top-K), the
 // forced-index plan (every semantically legal index path taken, cost model
-// bypassed, including the reversed hash-join build side) must return
-// identical tables — same columns, same types, same rows in the same order —
-// or fail with the same error.
+// bypassed, including the reversed hash-join build side) and the forced-vec
+// plan (columnar batch execution with the row-count gate bypassed, so the
+// tiny fuzz tables still route through it whenever the query shape is
+// vectorizable) must return identical tables — same columns, same types,
+// same rows in the same order — or fail with the same error.
 //
 // The generator derives everything from one seed, so every corpus entry is
 // reproducible; `go test -run Fuzz` replays the seed corpus in CI.
 func FuzzExecEquivalence(f *testing.F) {
-	for seed := int64(0); seed < 64; seed++ {
+	for seed := int64(0); seed < 96; seed++ {
 		f.Add(seed)
 	}
 	db := testDB()
@@ -33,7 +35,7 @@ func FuzzExecEquivalence(f *testing.F) {
 	})
 }
 
-// checkExecEquivalence runs one SQL statement through all four paths and
+// checkExecEquivalence runs one SQL statement through all five paths and
 // compares outcomes bit for bit.
 func checkExecEquivalence(t *testing.T, db *DB, sql string) {
 	t.Helper()
@@ -50,6 +52,7 @@ func checkExecEquivalence(t *testing.T, db *DB, sql string) {
 		{"unoptimized plan", PrepareUnoptimized},
 		{"pipeline plan", Prepare},
 		{"forced-index plan", prepareForceIndex},
+		{"vectorized plan", prepareForceVec},
 	}
 	for _, m := range modes {
 		name := m.name

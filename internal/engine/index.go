@@ -37,6 +37,13 @@ type tableAccess struct {
 	stats  *TableStats
 	hash   map[int]*hashSide
 	sorted map[int]*sortedIndex
+
+	// Columnar layer (colstore.go): the table's column arrays plus cached
+	// whole-column join hashes for the vectorized path. Same lifecycle as
+	// the indexes above: built lazily, dropped wholesale on generation bump.
+	cols    *tableCols
+	numHash map[int]*numHashIndex
+	strHash map[int]*strHashIndex
 }
 
 // access returns the table's access slot under the current generation,

@@ -89,8 +89,11 @@ func TestCostModelChoosesIndexPaths(t *testing.T) {
 		{"SELECT k FROM big WHERE v < 20", "range-scan(v)"},
 		// 1/7 of the string values match: selective enough for the hash index.
 		{"SELECT v FROM big WHERE s = 's03'", "index-scan(s)"},
-		// Low selectivity: the chooser must keep the sweep.
-		{"SELECT k FROM big WHERE v > 5", "full-scan"},
+		// Low selectivity: the chooser must keep the sweep, which the
+		// vectorized path then runs as a batched columnar filter.
+		{"SELECT k FROM big WHERE v > 5", "vectorized-filter"},
+		// A non-vectorizable predicate shape keeps the row-path sweep.
+		{"SELECT k FROM big WHERE lower(s) <> 'zz'", "full-scan"},
 	}
 	for _, tc := range cases {
 		got := scanPath(t, planFor(t, db, tc.sql, Prepare))
@@ -242,6 +245,7 @@ func TestNaNColumnDisablesIndex(t *testing.T) {
 
 func TestJoinBuildReusesColumnIndex(t *testing.T) {
 	db := bigDB()
+	// The vectorized join reuses the DB-cached whole-column columnar hash.
 	plan := planFor(t, db, "SELECT big.v, tiny.lbl FROM tiny, big WHERE tiny.k = big.k", Prepare)
 	_, prof, err := plan.ExecProfiled()
 	if err != nil {
@@ -249,21 +253,40 @@ func TestJoinBuildReusesColumnIndex(t *testing.T) {
 	}
 	found := false
 	for _, op := range prof.Ops {
+		if op.Op == "hash-build" && op.Path == "columnar(k)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vectorized join build did not reuse the columnar hash: %+v", prof.Ops)
+	}
+
+	// A non-vectorizable conjunct keeps the row pipeline, whose build side
+	// reuses the per-column hash index.
+	plan = planFor(t, db, "SELECT big.v, tiny.lbl FROM tiny, big WHERE tiny.k = big.k AND lower(tiny.lbl) >= ''", Prepare)
+	_, prof, err = plan.ExecProfiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, op := range prof.Ops {
 		if op.Op == "hash-build" && op.Path == "index(k)" {
 			found = true
 		}
 	}
 	if !found {
-		t.Fatalf("join build did not reuse the column index: %+v", prof.Ops)
+		t.Fatalf("row-path join build did not reuse the column index: %+v", prof.Ops)
 	}
 }
 
 func TestReversedBuildSide(t *testing.T) {
 	// tiny (2 rows) probes big (200 rows); big carries a scan predicate so
 	// its build cannot reuse the column index, and the estimate gap makes
-	// the chooser build over tiny instead.
+	// the chooser build over tiny instead. The lower() conjunct (always
+	// true) keeps the query off the vectorized path so the row pipeline's
+	// reversed join stays exercised.
 	db := bigDB()
-	sql := "SELECT big.v, tiny.lbl FROM tiny, big WHERE tiny.k = big.k AND big.v > 50"
+	sql := "SELECT big.v, tiny.lbl FROM tiny, big WHERE tiny.k = big.k AND big.v > 50 AND lower(tiny.lbl) >= ''"
 	plan := planFor(t, db, sql, Prepare)
 	_, prof, err := plan.ExecProfiled()
 	if err != nil {
@@ -292,6 +315,11 @@ func TestExplainPlanText(t *testing.T) {
 	}
 	join := planFor(t, db, "SELECT big.v, tiny.lbl FROM tiny, big WHERE tiny.k = big.k", Prepare)
 	s = join.Explain()
+	if !strings.Contains(s, "vectorized hash build=big (reuses columnar(k))") {
+		t.Fatalf("EXPLAIN missing columnar-reuse note:\n%s", s)
+	}
+	rowJoin := planFor(t, db, "SELECT big.v, tiny.lbl FROM tiny, big WHERE tiny.k = big.k AND lower(tiny.lbl) >= ''", Prepare)
+	s = rowJoin.Explain()
 	if !strings.Contains(s, "hash build=big (reuses index(k))") {
 		t.Fatalf("EXPLAIN missing index-reuse note:\n%s", s)
 	}

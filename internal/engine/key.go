@@ -59,6 +59,21 @@ func groupKey(buf []byte, row []Value) []byte {
 	return buf
 }
 
+// joinKeyBits is appendJoinKey's equivalence relation restricted to finite
+// floats, as one uint64: -0 collapses onto +0 and everything else keys by
+// bit pattern. Sound because strconv's shortest 'g' rendering is injective
+// over finite floats — two finite non-NaN numbers have equal appendJoinKey
+// encodings iff they have equal joinKeyBits. The vectorized join keys whole
+// column slices this way instead of formatting one string per row; columns
+// containing NaN (where Compare degenerates) or strings are refused by the
+// eligibility chooser and stay on the encoded-key row path.
+func joinKeyBits(f float64) uint64 {
+	if f == 0 {
+		return 0 // +0 and -0 share bucket, matching appendJoinKey
+	}
+	return math.Float64bits(f)
+}
+
 // appendJoinKey appends the `=`-coercion encoding of v to buf: two non-NULL
 // values get the same encoding iff Compare(a, b) == 0. Numbers render as
 // their canonical text (the exact string Compare coerces to), with -0

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	dt "pi2/internal/difftree"
 	"pi2/internal/sqlparser"
 )
 
@@ -38,13 +39,18 @@ func benchDB(rows, dims int) *DB {
 
 func benchPlan(b *testing.B, db *DB, sql string, optimized bool) {
 	b.Helper()
-	ast, err := sqlparser.Parse(sql)
-	if err != nil {
-		b.Fatal(err)
-	}
 	prep := PrepareUnoptimized
 	if optimized {
 		prep = Prepare
+	}
+	benchPlanMode(b, db, sql, prep)
+}
+
+func benchPlanMode(b *testing.B, db *DB, sql string, prep func(*DB, *dt.Node) (*Plan, error)) {
+	b.Helper()
+	ast, err := sqlparser.Parse(sql)
+	if err != nil {
+		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -96,9 +102,18 @@ func BenchmarkEngineJoinCached(b *testing.B) {
 // rather than a pipeline/naive split.
 const benchGroupSQL = `SELECT grp, count(*), sum(v), avg(v) FROM fact GROUP BY grp`
 
+// BenchmarkEngineGroupBy contrasts the vectorized aggregation (columnar
+// accumulation over a u64 open-addressing group table) with the row
+// pipeline's type-tagged key encoder on the same 50-group query, plus a
+// high-cardinality run (2000 groups) where per-group overheads dominate.
+// The flat pre-PR9 "EngineGroupBy" number corresponds to the "row" case.
 func BenchmarkEngineGroupBy(b *testing.B) {
 	db := benchDB(20000, 10)
-	benchPlan(b, db, benchGroupSQL, true)
+	b.Run("vectorized", func(b *testing.B) { benchPlan(b, db, benchGroupSQL, true) })
+	b.Run("row", func(b *testing.B) { benchPlanMode(b, db, benchGroupSQL, PrepareNoVec) })
+	hdb := benchDB(20000, 2000)
+	const hiSQL = `SELECT k, count(*), sum(v) FROM fact GROUP BY k`
+	b.Run("high-cardinality-group", func(b *testing.B) { benchPlan(b, hdb, hiSQL, true) })
 }
 
 const benchTopKSQL = `SELECT k, v FROM fact WHERE v > 10 ORDER BY v DESC LIMIT 10`
@@ -152,6 +167,11 @@ func BenchmarkEngineScan(b *testing.B) {
 	b.Run("full", func(b *testing.B) { benchPlan(b, db, pointSQL, false) })
 	b.Run("index-point", func(b *testing.B) { benchPlan(b, db, pointSQL, true) })
 	b.Run("index-range", func(b *testing.B) { benchPlan(b, db, rangeSQL, true) })
+	// A low-selectivity sweep the cost model keeps off the indexes: the
+	// chooser leaves it on the full scan, which the vectorized path then
+	// runs as a batched columnar filter.
+	const sweepSQL = `SELECT v FROM scan WHERE v > 25`
+	b.Run("vectorized-filter", func(b *testing.B) { benchPlan(b, db, sweepSQL, true) })
 }
 
 // BenchmarkEngineJoinBuildSide measures the reversed hash join: the scan

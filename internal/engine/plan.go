@@ -48,6 +48,22 @@ func prepareForceIndex(db *DB, q *dt.Node) (*Plan, error) {
 	return prepare(db, q, modeForceIndex)
 }
 
+// prepareForceVec compiles like Prepare but makes the vectorized path skip
+// its row-count cost gate — never its eligibility rules, which are semantic.
+// Test-only: it lets tiny fixture tables exercise the columnar operators the
+// cost gate reserves for large ones.
+func prepareForceVec(db *DB, q *dt.Node) (*Plan, error) {
+	return prepare(db, q, modeForceVec)
+}
+
+// PrepareNoVec compiles like Prepare with the vectorized path disabled
+// entirely: the full cost-based row pipeline, nothing columnar. Benchmarks
+// (and pi2bench -json) use it as the row-at-a-time comparison point for
+// queries the chooser would otherwise vectorize.
+func PrepareNoVec(db *DB, q *dt.Node) (*Plan, error) {
+	return prepare(db, q, modeNoVec)
+}
+
 // prepMode selects how aggressively prepare optimizes.
 type prepMode uint8
 
@@ -55,13 +71,16 @@ const (
 	modePipeline   prepMode = iota // cost-based pipeline (Prepare)
 	modeNoPipe                     // reference behavior (PrepareUnoptimized)
 	modeForceIndex                 // pipeline with cost thresholds bypassed
+	modeForceVec                   // pipeline with the vectorized size gate bypassed
+	modeNoVec                      // pipeline with the vectorized path disabled
 )
 
 func prepare(db *DB, q *dt.Node, mode prepMode) (*Plan, error) {
 	if q == nil || q.Kind != dt.KindQuery {
 		return nil, fmt.Errorf("engine: expected query node, got %v", q)
 	}
-	c := &compiler{db: db, noPipe: mode == modeNoPipe, force: mode == modeForceIndex}
+	c := &compiler{db: db, noPipe: mode == modeNoPipe, force: mode == modeForceIndex,
+		vecForce: mode == modeForceVec, noVec: mode == modeNoVec}
 	return &Plan{db: db, gen: db.Generation(), root: c.compileQuery(q, nil)}, nil
 }
 
@@ -143,6 +162,11 @@ type planQuery struct {
 	pipe  *pipePlan   // nil: no WHERE clause, no sources, or opt disabled
 	scans []scanState // per-source scan/build caches (pipeline only)
 
+	// vec is the columnar batch plan when the query falls in the
+	// vectorizable class (vec.go); nil keeps the row paths above untouched.
+	vec   *vecPlan
+	vecst *vecState
+
 	cols  []string
 	types []ColType
 }
@@ -155,10 +179,12 @@ type scope struct {
 }
 
 type compiler struct {
-	db     *DB
-	sc     *scope
-	noPipe bool // disable the operator pipeline (PrepareUnoptimized)
-	force  bool // bypass the chooser's cost thresholds (prepareForceIndex)
+	db       *DB
+	sc       *scope
+	noPipe   bool // disable the operator pipeline (PrepareUnoptimized)
+	force    bool // bypass the chooser's cost thresholds (prepareForceIndex)
+	vecForce bool // bypass the vectorized size gate (prepareForceVec)
+	noVec    bool // disable the vectorized path (PrepareNoVec)
 }
 
 func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
@@ -223,7 +249,7 @@ func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
 
 	// Expressions compile in this query's scope.
 	sc := &scope{sources: pq.sources, outer: outer}
-	inner := &compiler{db: c.db, sc: sc, noPipe: c.noPipe, force: c.force}
+	inner := &compiler{db: c.db, sc: sc, noPipe: c.noPipe, force: c.force, vecForce: c.vecForce, noVec: c.noVec}
 
 	pq.opt = !c.noPipe
 	if where.Kind == dt.KindWhere {
@@ -283,6 +309,15 @@ func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
 		}
 	}
 
+	// Vectorized path (vec.go): attach a columnar batch plan when the whole
+	// query is recognizably vectorizable; otherwise pq.vec stays nil and the
+	// row paths above run untouched.
+	var whereExpr *dt.Node
+	if where.Kind == dt.KindWhere {
+		whereExpr = where.Children[0]
+	}
+	inner.compileVec(pq, sel, whereExpr, groupby, having, orderby)
+
 	// Output schema, computed once: reuse the interpreter's naming and type
 	// inference over pseudo-sources so the result header is bit-identical.
 	pseudo := make([]source, len(pq.sources))
@@ -331,95 +366,24 @@ func (pq *planQuery) run(outer *rowEnv, prof *Profile) (*Table, error) {
 		}
 	}
 
-	// 2. Join: the level-by-level join evaluator when the FROM contains JOIN
-	// steps, the operator pipeline when compiled, and the filtered cross
-	// product otherwise (no WHERE, no sources, or PrepareUnoptimized).
-	var rows []*rowEnv
-	var err error
-	switch {
-	case pq.hasJoin:
-		rows, err = pq.runJoin(tables, outer, prof)
-	case pq.pipe != nil:
-		rows, err = pq.runPipe(tables, outer, prof)
-	default:
-		var t0 time.Time
-		if prof != nil {
-			t0 = time.Now()
-		}
-		rows, err = pq.crossFilter(tables, outer)
-		if prof != nil {
-			in := 0
-			if len(pq.sources) > 0 {
-				in = 1
-				for _, t := range tables {
-					in *= len(t.Rows)
-				}
-			}
-			prof.add("cross-filter", "", in, len(rows), time.Since(t0))
-		}
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	// 3. Project rows (grouped or plain) into the sink, which applies
-	// DISTINCT + ORDER BY + LIMIT — via a bounded top-K heap when the plan
-	// is optimized and both ORDER BY and LIMIT are present.
+	// 2./3. Enumerate surviving rows and project them into the sink, which
+	// applies DISTINCT + ORDER BY + LIMIT — via a bounded top-K heap when
+	// the plan is optimized and both ORDER BY and LIMIT are present.
+	//
+	// The vectorized path (vecexec.go) fuses both steps over columnar
+	// batches and feeds the identical sink; everything below it (finish,
+	// limit, schema) is shared, so both paths produce bit-identical tables.
 	var sink rowSink
 	pq.initSink(&sink)
 	offered := 0
-	var tProj time.Time
-	if pq.grouped {
-		var t0 time.Time
-		if prof != nil {
-			t0 = time.Now()
+	if pq.vec != nil {
+		n, err := pq.runVec(outer, prof, &sink)
+		if err != nil {
+			return nil, err
 		}
-		groups := pq.groupRows(rows)
-		if prof != nil {
-			prof.add("group", "", len(rows), len(groups), time.Since(t0))
-			tProj = time.Now()
-		}
-		for _, g := range groups {
-			genv := &rowEnv{outer: outer, groupRows: g}
-			if len(g) > 0 {
-				genv.frames = g[0].frames
-			} else {
-				genv.groupRows = []*rowEnv{} // empty group: count(*)=0
-			}
-			if pq.having != nil {
-				hv, err := pq.having(genv)
-				if err != nil {
-					return nil, err
-				}
-				if !hv.Truthy() {
-					continue
-				}
-			}
-			row, keys, err := pq.projectRow(genv)
-			if err != nil {
-				return nil, err
-			}
-			sink.add(row, keys)
-			offered++
-		}
-		if prof != nil {
-			prof.add("project", "", len(groups), offered, time.Since(tProj))
-		}
-	} else {
-		if prof != nil {
-			tProj = time.Now()
-		}
-		for _, env := range rows {
-			row, keys, err := pq.projectRow(env)
-			if err != nil {
-				return nil, err
-			}
-			sink.add(row, keys)
-			offered++
-		}
-		if prof != nil {
-			prof.add("project", "", len(rows), offered, time.Since(tProj))
-		}
+		offered = n
+	} else if err := pq.runRows(tables, outer, prof, &sink, &offered); err != nil {
+		return nil, err
 	}
 
 	// 4./5. DISTINCT + ORDER BY resolve in the sink.
@@ -455,6 +419,98 @@ func (pq *planQuery) run(outer *rowEnv, prof *Profile) (*Table, error) {
 
 	// 7. Output schema was pre-computed at prepare time.
 	return &Table{Cols: pq.cols, Types: pq.types, Rows: outRows}, nil
+}
+
+// runRows is the row-at-a-time enumeration + projection half of run: the
+// level-by-level join evaluator when the FROM contains JOIN steps, the
+// operator pipeline when compiled, and the filtered cross product otherwise
+// (no WHERE, no sources, or PrepareUnoptimized), followed by grouped or
+// plain projection into the sink.
+func (pq *planQuery) runRows(tables []*Table, outer *rowEnv, prof *Profile, sink *rowSink, offeredOut *int) error {
+	var rows []*rowEnv
+	var err error
+	switch {
+	case pq.hasJoin:
+		rows, err = pq.runJoin(tables, outer, prof)
+	case pq.pipe != nil:
+		rows, err = pq.runPipe(tables, outer, prof)
+	default:
+		var t0 time.Time
+		if prof != nil {
+			t0 = time.Now()
+		}
+		rows, err = pq.crossFilter(tables, outer)
+		if prof != nil {
+			in := 0
+			if len(pq.sources) > 0 {
+				in = 1
+				for _, t := range tables {
+					in *= len(t.Rows)
+				}
+			}
+			prof.add("cross-filter", "", in, len(rows), time.Since(t0))
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	offered := 0
+	var tProj time.Time
+	if pq.grouped {
+		var t0 time.Time
+		if prof != nil {
+			t0 = time.Now()
+		}
+		groups := pq.groupRows(rows)
+		if prof != nil {
+			prof.add("group", "", len(rows), len(groups), time.Since(t0))
+			tProj = time.Now()
+		}
+		for _, g := range groups {
+			genv := &rowEnv{outer: outer, groupRows: g}
+			if len(g) > 0 {
+				genv.frames = g[0].frames
+			} else {
+				genv.groupRows = []*rowEnv{} // empty group: count(*)=0
+			}
+			if pq.having != nil {
+				hv, err := pq.having(genv)
+				if err != nil {
+					return err
+				}
+				if !hv.Truthy() {
+					continue
+				}
+			}
+			row, keys, err := pq.projectRow(genv)
+			if err != nil {
+				return err
+			}
+			sink.add(row, keys)
+			offered++
+		}
+		if prof != nil {
+			prof.add("project", "", len(groups), offered, time.Since(tProj))
+		}
+	} else {
+		if prof != nil {
+			tProj = time.Now()
+		}
+		for _, env := range rows {
+			row, keys, err := pq.projectRow(env)
+			if err != nil {
+				return err
+			}
+			sink.add(row, keys)
+			offered++
+		}
+		if prof != nil {
+			prof.add("project", "", len(rows), offered, time.Since(tProj))
+		}
+	}
+	*offeredOut = offered
+	return nil
 }
 
 // crossFilter enumerates the filtered cross product. Unlike the interpreted

@@ -24,9 +24,10 @@ type Profile struct {
 type OpStat struct {
 	Op      string // "scan", "hash-build", "join", "residual", "group", "project", "top-k", ...
 	Detail  string // operator-specific: source alias, join mode, limit
-	Path    string // access path: "full-scan", "index-scan(col)", "range-scan(col)", "build=alias", "index(col)"
+	Path    string // access path / execution mode: "full-scan", "index-scan(col)", "vectorized", "vectorized-filter", ...
 	RowsIn  int
 	RowsOut int
+	Batches int // vectorized batches processed; 0 for row-at-a-time operators
 	Dur     time.Duration
 }
 
@@ -38,15 +39,26 @@ func (p *Profile) addPath(op, detail, path string, in, out int, d time.Duration)
 	p.Ops = append(p.Ops, OpStat{Op: op, Detail: detail, Path: path, RowsIn: in, RowsOut: out, Dur: d})
 }
 
-// String renders the report as an aligned EXPLAIN ANALYZE-style table.
+// addVec records a vectorized operator with its batch count.
+func (p *Profile) addVec(op, detail, path string, in, out, batches int, d time.Duration) {
+	p.Ops = append(p.Ops, OpStat{Op: op, Detail: detail, Path: path, RowsIn: in, RowsOut: out, Batches: batches, Dur: d})
+}
+
+// String renders the report as an aligned EXPLAIN ANALYZE-style table. The
+// batches column is blank for row-at-a-time operators (and for vectorized
+// ones that reused a cached selection or hash this execution).
 func (p *Profile) String() string {
 	var sb strings.Builder
 	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "operator\tdetail\taccess\trows in\trows out\ttime")
+	fmt.Fprintln(tw, "operator\tdetail\taccess\trows in\trows out\tbatches\ttime")
 	for _, op := range p.Ops {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%s\n", op.Op, op.Detail, op.Path, op.RowsIn, op.RowsOut, fmtDur(op.Dur))
+		batches := ""
+		if op.Batches > 0 {
+			batches = fmt.Sprintf("%d", op.Batches)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%s\t%s\n", op.Op, op.Detail, op.Path, op.RowsIn, op.RowsOut, batches, fmtDur(op.Dur))
 	}
-	fmt.Fprintf(tw, "total\t\t\t\t\t%s\n", fmtDur(p.Total))
+	fmt.Fprintf(tw, "total\t\t\t\t\t\t%s\n", fmtDur(p.Total))
 	tw.Flush()
 	return sb.String()
 }

@@ -179,6 +179,63 @@ type DB struct {
 	idxHits    atomic.Uint64
 	statBuilds atomic.Uint64
 	buildHook  func(kind string, d time.Duration)
+
+	// Columnar-layer counters (colstore.go / vecexec.go): column-storage
+	// builds, processed batches, and total rows across batches. batchHook is
+	// an atomic pointer because noteBatch sits on the vectorized hot path —
+	// the disabled path is two atomic adds and one nil check, no locks.
+	colBuilds atomic.Uint64
+	batches   atomic.Uint64
+	batchRows atomic.Uint64
+	batchHook atomic.Pointer[func(rows int)]
+}
+
+// ColumnarCounters is a monotonic snapshot of the columnar layer's activity,
+// surfaced through /metrics and the /stats obs object next to IndexCounters.
+type ColumnarCounters struct {
+	ColumnBuilds uint64 `json:"column_builds"` // per-column storage + columnar hash builds
+	Batches      uint64 `json:"batches"`       // vectorized batches processed
+	BatchRows    uint64 `json:"batch_rows"`    // total rows across those batches
+}
+
+// ColumnarCounters reads the current counter values.
+func (db *DB) ColumnarCounters() ColumnarCounters {
+	return ColumnarCounters{
+		ColumnBuilds: db.colBuilds.Load(),
+		Batches:      db.batches.Load(),
+		BatchRows:    db.batchRows.Load(),
+	}
+}
+
+// OnBatch registers fn to observe every vectorized batch with its row count
+// (at most batchSize). Register before serving begins; fn runs synchronously
+// on the executing goroutine, so it must be cheap and concurrency-safe.
+func (db *DB) OnBatch(fn func(rows int)) {
+	if fn == nil {
+		db.batchHook.Store(nil)
+		return
+	}
+	db.batchHook.Store(&fn)
+}
+
+// noteBatch records one processed batch of n rows.
+func (db *DB) noteBatch(n int) {
+	db.batches.Add(1)
+	db.batchRows.Add(uint64(n))
+	if fn := db.batchHook.Load(); fn != nil {
+		(*fn)(n)
+	}
+}
+
+// noteBatches records a run of n rows processed as batchSize-row batches.
+func (db *DB) noteBatches(n int) {
+	for n > batchSize {
+		db.noteBatch(batchSize)
+		n -= batchSize
+	}
+	if n > 0 {
+		db.noteBatch(n)
+	}
 }
 
 // NewDB returns an empty database with a fixed clock.

@@ -36,7 +36,8 @@ type ServerObs struct {
 	slowTotal *obs.Counter
 	lat       map[string]*obs.Histogram
 	phase     map[string]*obs.Histogram
-	engineIdx func() engine.IndexCounters // set by ObserveEngine; nil until then
+	engineIdx func() engine.IndexCounters    // set by ObserveEngine; nil until then
+	engineCol func() engine.ColumnarCounters // set by ObserveEngine; nil until then
 }
 
 // NewServerObs builds the serving instruments on m (which must be non-nil)
@@ -151,6 +152,23 @@ func (o *ServerObs) ObserveEngine(db *engine.DB) {
 		}
 	})
 	o.engineIdx = db.IndexCounters
+
+	// Columnar-layer instruments: func-backed counters over the engine's
+	// atomics, plus a rows-per-batch histogram fed by the batch hook. The
+	// bucket edges cover the power-of-two sub-batch sizes up to the full
+	// batch — a healthy vectorized workload should pile up in the last one.
+	m.CounterFunc("pi2_engine_column_builds_total", "Columnar storage and columnar-hash builds.", func() float64 {
+		return float64(db.ColumnarCounters().ColumnBuilds)
+	})
+	m.CounterFunc("pi2_engine_batches_total", "Vectorized batches processed.", func() float64 {
+		return float64(db.ColumnarCounters().Batches)
+	})
+	batchHist := m.Histogram("pi2_engine_batch_rows",
+		"Rows per vectorized batch.", []float64{64, 256, 512, 1024})
+	db.OnBatch(func(rows int) {
+		batchHist.Observe(float64(rows))
+	})
+	o.engineCol = db.ColumnarCounters
 }
 
 // RegisterServingMetrics exposes a Registry's session and cache counters on

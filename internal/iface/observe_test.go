@@ -76,6 +76,9 @@ func TestMetricsEndpointScrape(t *testing.T) {
 		"pi2_engine_index_hits_total",
 		"pi2_engine_stats_builds_total",
 		`pi2_engine_index_build_seconds_bucket{kind="hash",le="+Inf"}`,
+		"pi2_engine_column_builds_total",
+		"pi2_engine_batches_total",
+		`pi2_engine_batch_rows_bucket{le="+Inf"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape missing %q", want)
@@ -177,6 +180,11 @@ func TestStatsObsFields(t *testing.T) {
 				Builds uint64 `json:"builds"`
 				Hits   uint64 `json:"hits"`
 			} `json:"index"`
+			Columnar *struct {
+				ColumnBuilds uint64 `json:"column_builds"`
+				Batches      uint64 `json:"batches"`
+				BatchRows    uint64 `json:"batch_rows"`
+			} `json:"columnar"`
 		} `json:"obs"`
 	}
 	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
@@ -195,9 +203,13 @@ func TestStatsObsFields(t *testing.T) {
 	if got.Obs.InFlight != 1 {
 		t.Errorf("in_flight = %d, want 1 (the /stats request itself)", got.Obs.InFlight)
 	}
-	// With the engine observed, the obs object carries the index counters.
+	// With the engine observed, the obs object carries the index counters
+	// and the columnar counters.
 	if got.Obs.Index == nil {
 		t.Error("obs.index missing from /stats with ObserveEngine attached")
+	}
+	if got.Obs.Columnar == nil {
+		t.Error("obs.columnar missing from /stats with ObserveEngine attached")
 	}
 }
 

@@ -466,14 +466,19 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// Index is appended after the pre-existing fields (and omitted when
 		// the engine is not observed), so the JSON prefix stays identical.
 		ext := struct {
-			UptimeSeconds float64               `json:"uptime_seconds"`
-			InFlight      int64                 `json:"in_flight"`
-			Requests      map[string]uint64     `json:"requests"`
-			Index         *engine.IndexCounters `json:"index,omitempty"`
-		}{up, inflight, reqs, nil}
+			UptimeSeconds float64                  `json:"uptime_seconds"`
+			InFlight      int64                    `json:"in_flight"`
+			Requests      map[string]uint64        `json:"requests"`
+			Index         *engine.IndexCounters    `json:"index,omitempty"`
+			Columnar      *engine.ColumnarCounters `json:"columnar,omitempty"`
+		}{up, inflight, reqs, nil, nil}
 		if sv.obs.engineIdx != nil {
 			ic := sv.obs.engineIdx()
 			ext.Index = &ic
+		}
+		if sv.obs.engineCol != nil {
+			cc := sv.obs.engineCol()
+			ext.Columnar = &cc
 		}
 		if sv.reg != nil {
 			v = struct {
