@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -239,6 +240,46 @@ func engineBenches() ([]BenchResult, error) {
 		if err := run(scanDB, c.name, c.sql, c.prep); err != nil {
 			return nil, err
 		}
+	}
+	// EngineAppend (PR 10): one op is a 16-row batch append — copy-on-write
+	// snapshot publish, per-table generation bump, changelog entry — plus the
+	// steady-state changelog trim a long-lived writer performs. The DB is
+	// rebuilt off the clock every 512 batches so the appended table stays
+	// bounded and the measurement does not drift with b.N.
+	{
+		const batch = 16
+		rows := make([][]engine.Value, batch)
+		for i := range rows {
+			rows[i] = []engine.Value{
+				engine.NumVal(float64(i % 200)),
+				engine.NumVal(float64(i)),
+				engine.NumVal(float64(i % 50)),
+			}
+		}
+		adb := newEngineBenchDB()
+		var benchErr error
+		ops := 0
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ops++; ops%512 == 0 {
+					b.StopTimer()
+					adb = newEngineBenchDB()
+					b.StartTimer()
+				}
+				if err := adb.Append("fact", rows); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				adb.TrimChangelog(adb.Generation())
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("pi2bench: EngineAppend: %w", benchErr)
+		}
+		out = append(out, BenchResult{
+			Name: "EngineAppend", Iterations: res.N, NsPerOp: res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(), BytesPerOp: res.AllocedBytesPerOp(),
+		})
 	}
 	return out, nil
 }
@@ -481,5 +522,110 @@ func multiSessionBenches() ([]BenchResult, error) {
 		}
 		out = append(out, br)
 	}
-	return out, nil
+	live, err := liveAppendBench(sessions)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, live), nil
+}
+
+// liveAppendBench is the PR 10 serving bench: the same K concurrent users
+// pan against a warm shared plan cache while a writer streams batch appends
+// into Cars — the table every Explore query reads — so each op pays the
+// full invalidation round trip: per-table generation bump, stale plan
+// recompile, result recompute. All-NULL rows match no predicate, so result
+// contents stay fixed while the cache machinery churns. Built on its own
+// fixture because appends mutate the DB; periodically the mutated table is
+// swapped back to pristine off the clock so growth cannot skew later ops.
+func liveAppendBench(sessions int) (BenchResult, error) {
+	es, err := newExploreServing()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	pc := iface.NewPlanCache()
+	warm, err := iface.NewSessionWithPlans(es.ifc, es.ctx, es.db, pc)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	for i := 0; i < sessions; i++ {
+		if err := es.interact(warm, i); err != nil {
+			return BenchResult{}, err
+		}
+	}
+	cars, ok := es.db.Table("Cars")
+	if !ok {
+		return BenchResult{}, fmt.Errorf("pi2bench: live-append: Explore DB has no Cars table")
+	}
+	nullRow := make([]engine.Value, len(cars.Cols))
+	for i := range nullRow {
+		nullRow[i] = engine.NullVal()
+	}
+	const batchesPerOp = 4
+	batch := [][]engine.Value{nullRow}
+	var benchErr error
+	ops := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if ops++; ops%256 == 0 {
+				b.StopTimer()
+				fresh := dataset.NewDB()
+				pristine, _ := fresh.Table("Cars")
+				es.db.Add(pristine)
+				es.db.TrimChangelog(es.db.Generation())
+				b.StartTimer()
+			}
+			b.StopTimer()
+			reg := iface.NewRegistry(func() (*iface.Session, error) {
+				return iface.NewSessionWithPlans(es.ifc, es.ctx, es.db, pc)
+			}, iface.RegistryOptions{MaxSessions: sessions, Plans: pc})
+			users := make([]*iface.Session, sessions)
+			for k := range users {
+				sess, err := reg.Acquire(fmt.Sprintf("user-%d", k))
+				if err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				users[k] = sess
+			}
+			b.StartTimer()
+			errs := make(chan error, sessions+1)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < batchesPerOp; j++ {
+					if err := es.db.Append("Cars", batch); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+			for k, sess := range users {
+				wg.Add(1)
+				go func(k int, sess *iface.Session) {
+					defer wg.Done()
+					// A reader that loses every bounded retry against the
+					// writer reports ErrStalePlan; that is the documented
+					// contract (the HTTP layer maps it to 409), not a bench
+					// failure.
+					if err := es.interact(sess, k); err != nil && !errors.Is(err, engine.ErrStalePlan) {
+						errs <- err
+					}
+				}(k, sess)
+			}
+			wg.Wait()
+			select {
+			case benchErr = <-errs:
+				b.FailNow()
+			default:
+			}
+		}
+	})
+	if benchErr != nil {
+		return BenchResult{}, fmt.Errorf("pi2bench: ServeMultiSession/live-append: %w", benchErr)
+	}
+	return BenchResult{
+		Name: "ServeMultiSession/live-append", Iterations: r.N, NsPerOp: r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+	}, nil
 }

@@ -66,9 +66,12 @@ func main() {
 	metrics := flag.Bool("metrics", true, "expose Prometheus metrics at /metrics and trace each request")
 	slowThreshold := flag.Duration("slow-threshold", time.Second, "log requests slower than this to stderr as JSON lines (0 disables; needs -metrics)")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for /debug/pprof (empty: pprof is not served at all)")
+	enableIngest := flag.Bool("ingest", false, "enable live writes: POST /ingest?table=name with an NDJSON body appends rows")
+	followFiles := flag.String("follow", "", "comma-separated subset of -data files to tail for appended records while serving")
+	followInterval := flag.Duration("follow-interval", 500*time.Millisecond, "poll interval for -follow files")
 	flag.Parse()
 
-	db, keys, queries, title, err := loadInputs(*logName, *dataFiles, *queriesFile, *manifest)
+	db, keys, queries, title, tailers, err := loadInputs(*logName, *dataFiles, *queriesFile, *manifest, ingest.SplitList(*followFiles))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pi2serve:", err)
 		os.Exit(1)
@@ -110,7 +113,14 @@ func main() {
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	stopSweeper := startSweeper(reg, *sessionTTL)
-	err = serve(ln, iface.NewRegistryServer(reg).WithObs(o).Handler(), sigs, *drain, log.Printf)
+	stopTailers := startTailers(tailers, *followInterval, log.Printf)
+	sv := iface.NewRegistryServer(reg).WithObs(o)
+	if *enableIngest {
+		sv.WithIngest(db)
+		fmt.Println("live writes enabled: POST /ingest?table=<name> with NDJSON rows")
+	}
+	err = serve(ln, sv.Handler(), sigs, *drain, log.Printf)
+	stopTailers()
 	stopSweeper()
 	stopDebug()
 	reg.Close() // drain all sessions into the final aggregate
@@ -173,6 +183,41 @@ func startDebugServer(addr string) (string, func(), error) {
 	return ln.Addr().String(), func() { srv.Close() }, nil
 }
 
+// startTailers polls each -follow file on its interval, appending complete
+// records to the live tables; the returned stop function ends all of them.
+// One goroutine per file keeps the engine's single-logical-writer-per-table
+// contract (each tailer owns exactly one table). A poll error stops that
+// tailer — the common causes (truncation, rotation, schema break) do not
+// heal by polling again — with a log line saying where it left off.
+func startTailers(tailers []*ingest.Tailer, interval time.Duration, logf func(string, ...any)) (stop func()) {
+	if len(tailers) == 0 {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	done := make(chan struct{})
+	for _, tl := range tailers {
+		tl := tl
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if _, err := tl.Poll(); err != nil {
+						logf("pi2serve: follow: %v (stopping this tailer at offset %d)", err, tl.Offset())
+						return
+					}
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	return func() { close(done) }
+}
+
 // startSweeper periodically retires idle sessions so an abandoned fleet
 // shrinks between requests; the returned stop function ends it.
 func startSweeper(reg *iface.Registry, ttl time.Duration) (stop func()) {
@@ -232,20 +277,24 @@ func serve(ln net.Listener, h http.Handler, sigs <-chan os.Signal, drain time.Du
 }
 
 // loadInputs resolves what to serve: ingested files (-data/-queries) or a
-// built-in workload (-log).
-func loadInputs(logName, dataFiles, queriesFile, manifest string) (*engine.DB, map[string][]string, []string, string, error) {
+// built-in workload (-log). Files in follow are ingested complete-records-
+// only and come back as ready tailers that resume at the consumed offset.
+func loadInputs(logName, dataFiles, queriesFile, manifest string, follow []string) (*engine.DB, map[string][]string, []string, string, []*ingest.Tailer, error) {
 	if dataFiles != "" {
 		if queriesFile == "" {
-			return nil, nil, nil, "", fmt.Errorf("-data requires -queries <log.sql>")
+			return nil, nil, nil, "", nil, fmt.Errorf("-data requires -queries <log.sql>")
 		}
-		loaded, stmts, err := ingest.LoadAll(ingest.SplitList(dataFiles), queriesFile, manifest)
+		loaded, stmts, tailers, err := ingest.LoadAllFollowing(ingest.SplitList(dataFiles), queriesFile, manifest, follow)
 		if err != nil {
-			return nil, nil, nil, "", err
+			return nil, nil, nil, "", nil, err
 		}
 		for _, rep := range loaded.Tables {
 			fmt.Println("ingested", rep)
 		}
-		return loaded.DB, loaded.Keys, ingest.SQLs(stmts), queriesFile, nil
+		return loaded.DB, loaded.Keys, ingest.SQLs(stmts), queriesFile, tailers, nil
+	}
+	if len(follow) > 0 {
+		return nil, nil, nil, "", nil, fmt.Errorf("-follow requires -data (built-in workloads have no files to tail)")
 	}
 	if logName == "list" {
 		fmt.Println("built-in logs:\n  " + strings.Join(workload.Names(), "\n  "))
@@ -256,8 +305,8 @@ func loadInputs(logName, dataFiles, queriesFile, manifest string) (*engine.DB, m
 	}
 	wl, ok := workload.ByName(logName)
 	if !ok {
-		return nil, nil, nil, "", fmt.Errorf("unknown log %q; built-in logs are %s (or serve your own data with -data/-queries)",
+		return nil, nil, nil, "", nil, fmt.Errorf("unknown log %q; built-in logs are %s (or serve your own data with -data/-queries)",
 			logName, strings.Join(workload.Names(), ", "))
 	}
-	return dataset.NewDB(), dataset.Keys(), wl.Queries, wl.Name, nil
+	return dataset.NewDB(), dataset.Keys(), wl.Queries, wl.Name, nil, nil
 }

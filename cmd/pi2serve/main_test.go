@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -141,7 +142,7 @@ func TestServeReturnsListenerError(t *testing.T) {
 // /stats, drives two independent sessions, and shuts down via a simulated
 // SIGINT — after which the registry drains and refuses new sessions.
 func TestHealthzEndToEnd(t *testing.T) {
-	db, keys, queries, _, err := loadInputs("Explore", "", "", "")
+	db, keys, queries, _, _, err := loadInputs("Explore", "", "", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,5 +199,59 @@ func TestHealthzEndToEnd(t *testing.T) {
 	}
 	if st := reg.Stats(); st.LiveSessions != 0 {
 		t.Fatalf("sessions not drained: %+v", st)
+	}
+}
+
+// TestFollowLiveTail drives the -follow wiring end to end: loadInputs
+// ingests only the complete-record prefix of a growing CSV (the torn final
+// record is excluded), and the tailer goroutine picks up appended records —
+// including the completion of the torn one — while serving.
+func TestFollowLiveTail(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "m.csv")
+	if err := os.WriteFile(data, []byte("k,v\n1,a\n2,b\n3,"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	qlog := filepath.Join(dir, "q.sql")
+	if err := os.WriteFile(qlog, []byte("SELECT k FROM m WHERE v = 'a'\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, _, _, _, tailers, err := loadInputs("", data, qlog, "", []string{data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tailers) != 1 {
+		t.Fatalf("got %d tailers, want 1", len(tailers))
+	}
+	tbl, _ := db.Table("m")
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("initial load has %d rows, want 2 (torn record must wait)", len(tbl.Rows))
+	}
+	stop := startTailers(tailers, 5*time.Millisecond, t.Logf)
+	defer stop()
+	f, err := os.OpenFile(data, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("c\n4,d\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _ := db.Table("m")
+		if len(got.Rows) == 4 {
+			if got.Rows[2][1].Str != "c" || got.Rows[3][1].Str != "d" {
+				t.Fatalf("tailed rows wrong: %v", got.Rows[2:])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tailer never ingested the appended rows (%d rows)", len(got.Rows))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c := db.AppendCounters(); c.Appends == 0 {
+		t.Fatal("append counters did not move")
 	}
 }

@@ -8,9 +8,11 @@ import (
 // Columnar storage: the per-table column arrays behind the vectorized
 // execution path (vec.go / vecexec.go). Like the hash and sorted indexes
 // (index.go), column arrays are built lazily on first use and cached on the
-// DB's generation-gated access cache — DB.Add bumps the generation and the
-// next access drops the whole cache, so a live Plan can never observe stale
-// column data for the same reason it can never observe a stale table pointer.
+// DB's snapshot-keyed access cache — a write (Add/Append) publishes a new
+// table snapshot and prunes only that table's entry, so a live Plan can
+// never observe stale column data for the same reason it can never observe
+// a stale table pointer, and a write to one table leaves every other
+// table's columnar image warm.
 //
 // Layout: one colData per column, holding parallel num/str slices plus two
 // bitmaps (NULL, is-string). A cell is reconstructed bit-identically to the
@@ -145,7 +147,7 @@ func buildTableCols(t *Table) *tableCols {
 }
 
 // columnsFor returns the table's columnar image, building it on first use.
-// Cached on the generation-gated access cache next to stats and indexes.
+// Cached on the snapshot-keyed access cache next to stats and indexes.
 func (db *DB) columnsFor(t *Table) *tableCols {
 	ta := db.access(t)
 	ta.mu.Lock()

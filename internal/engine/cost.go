@@ -40,14 +40,14 @@ const (
 
 // scanAccess is the chosen (or candidate) access path for one source.
 type scanAccess struct {
-	mode    accessMode
-	col     int    // column index in the base table
-	colName string // lowercased, for EXPLAIN and profiles
-	eqKey   Value  // accessEq probe key
-	lo, hi  Value  // accessRange bounds
+	mode           accessMode
+	col            int    // column index in the base table
+	colName        string // lowercased, for EXPLAIN and profiles
+	eqKey          Value  // accessEq probe key
+	lo, hi         Value  // accessRange bounds
 	hasLo, hasHi   bool
 	loExcl, hiExcl bool
-	estRows int // statistics estimate, for EXPLAIN and build-side choice
+	estRows        int // statistics estimate, for EXPLAIN and build-side choice
 }
 
 // path renders the access path the way EXPLAIN and Profile report it.

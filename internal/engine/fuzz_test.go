@@ -22,17 +22,61 @@ import (
 // vectorizable) must return identical tables — same columns, same types,
 // same rows in the same order — or fail with the same error.
 //
+// Each seed is checked twice: once against the freshly-loaded database and
+// once after a seed-derived batch of DB.Append calls, so the equivalence
+// contract is pinned before and after writes — the five paths must agree on
+// the appended rows exactly as they agree on the loaded ones.
+//
 // The generator derives everything from one seed, so every corpus entry is
 // reproducible; `go test -run Fuzz` replays the seed corpus in CI.
 func FuzzExecEquivalence(f *testing.F) {
 	for seed := int64(0); seed < 96; seed++ {
 		f.Add(seed)
 	}
-	db := testDB()
 	f.Fuzz(func(t *testing.T, seed int64) {
-		sql := genQuery(rand.New(rand.NewSource(seed)))
+		// A fresh DB per seed: appends below mutate tables, and seeds must
+		// stay independent and reproducible in isolation.
+		db := testDB()
+		r := rand.New(rand.NewSource(seed))
+		sql := genQuery(r)
+		checkExecEquivalence(t, db, sql)
+		genAppends(t, db, r)
 		checkExecEquivalence(t, db, sql)
 	})
+}
+
+// genAppends applies 1-3 random append batches to the generator tables. All
+// randomness flows from r, so a seed fully determines the writes.
+func genAppends(t *testing.T, db *DB, r *rand.Rand) {
+	t.Helper()
+	depts := []string{"eng", "ops", "hr"}
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		var err error
+		switch r.Intn(4) {
+		case 0:
+			rows := make([][]Value, 1+r.Intn(3))
+			for j := range rows {
+				rows[j] = []Value{NumVal(float64(r.Intn(5))), NumVal(float64(r.Intn(4))), NumVal(float64(r.Intn(4)))}
+				if r.Intn(6) == 0 {
+					rows[j][1] = NullVal()
+				}
+			}
+			err = db.Append("T", rows)
+		case 1:
+			err = db.Append("emp", [][]Value{
+				{NumVal(float64(5 + r.Intn(20))), StrVal(depts[r.Intn(len(depts))]), NumVal(float64(60 + r.Intn(80)))},
+			})
+		case 2:
+			err = db.Append("dept", [][]Value{{StrVal(depts[r.Intn(len(depts))]), StrVal("LA")}})
+		default:
+			err = db.Append("events", [][]Value{
+				{StrVal(fmt.Sprintf("2020-12-%02d", 1+r.Intn(28))), NumVal(float64(r.Intn(12)))},
+			})
+		}
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
 }
 
 // checkExecEquivalence runs one SQL statement through all five paths and
@@ -346,6 +390,24 @@ func TestExecEquivalenceSeeds(t *testing.T) {
 	}
 	for seed := int64(0); seed < n; seed++ {
 		sql := genQuery(rand.New(rand.NewSource(seed)))
+		checkExecEquivalence(t, db, sql)
+	}
+}
+
+// TestExecEquivalenceAfterAppend replays a deterministic seed range through
+// the before/after-write variant of the fuzz body, so plain `go test` also
+// covers live-append equivalence without the fuzz engine.
+func TestExecEquivalenceAfterAppend(t *testing.T) {
+	n := int64(600)
+	if testing.Short() {
+		n = 150
+	}
+	for seed := int64(0); seed < n; seed++ {
+		db := testDB()
+		r := rand.New(rand.NewSource(seed))
+		sql := genQuery(r)
+		checkExecEquivalence(t, db, sql)
+		genAppends(t, db, r)
 		checkExecEquivalence(t, db, sql)
 	}
 }

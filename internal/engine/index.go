@@ -2,15 +2,19 @@ package engine
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
 
 // Per-column access structures, built lazily on first use and cached on the
-// DB keyed by its mutation generation: DB.Add bumps the generation, and the
-// next access under the new generation drops the whole cache. A live Plan
-// can never observe a stale index for the same reason it can never observe a
-// stale table pointer — Exec refuses to run once the generation moves.
+// DB keyed by table snapshot pointer. Snapshots are immutable (Add/Append
+// publish a new *Table), so an entry can never go stale; when a write
+// replaces a table's snapshot, only that table's entry is pruned — every
+// other table's stats, indexes, and columnar image stay warm. A live Plan
+// can never observe a wrong index for the same reason it can never observe
+// a wrong table pointer — Exec refuses to run once a referenced table's
+// generation moves (Plan.Stale).
 //
 // Two index kinds, both keyed to agree exactly with the sweep path:
 //
@@ -25,7 +29,6 @@ import (
 //     Compare is a total order (see stats.go).
 
 type accessCache struct {
-	gen    uint64
 	tables map[*Table]*tableAccess
 }
 
@@ -40,24 +43,29 @@ type tableAccess struct {
 
 	// Columnar layer (colstore.go): the table's column arrays plus cached
 	// whole-column join hashes for the vectorized path. Same lifecycle as
-	// the indexes above: built lazily, dropped wholesale on generation bump.
+	// the indexes above: built lazily, pruned when the table's snapshot is
+	// replaced by a write.
 	cols    *tableCols
 	numHash map[int]*numHashIndex
 	strHash map[int]*strHashIndex
 }
 
-// access returns the table's access slot under the current generation,
-// resetting the cache if the DB has mutated since it was populated.
+// access returns the table snapshot's access slot. Slots are cached only
+// for the snapshot currently published under the table's name: a superseded
+// snapshot (a plan mid-flight across an Append, or a derived table) gets a
+// throwaway slot, so replaced tables can never pin dead index memory.
 func (db *DB) access(t *Table) *tableAccess {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.acc == nil || db.acc.gen != db.gen {
-		db.acc = &accessCache{gen: db.gen, tables: map[*Table]*tableAccess{}}
+	if db.acc == nil {
+		db.acc = &accessCache{tables: map[*Table]*tableAccess{}}
 	}
 	ta := db.acc.tables[t]
 	if ta == nil {
 		ta = &tableAccess{}
-		db.acc.tables[t] = ta
+		if db.Tables[strings.ToLower(t.Name)] == t {
+			db.acc.tables[t] = ta
+		}
 	}
 	return ta
 }
@@ -128,7 +136,7 @@ type sortedIndex struct {
 	rows []int
 }
 
-func (si *sortedIndex) Len() int      { return len(si.vals) }
+func (si *sortedIndex) Len() int { return len(si.vals) }
 func (si *sortedIndex) Swap(i, j int) {
 	si.vals[i], si.vals[j] = si.vals[j], si.vals[i]
 	si.rows[i], si.rows[j] = si.rows[j], si.rows[i]

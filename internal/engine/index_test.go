@@ -153,23 +153,35 @@ func TestIndexInvalidationOnAdd(t *testing.T) {
 		t.Fatalf("expected index build+hit before mutation: %+v", before)
 	}
 
-	// Mutating the DB stales the plan and drops the whole access cache.
+	// Adding an unrelated table leaves the plan fresh and its index warm.
 	db.Add(&Table{Name: "other", Cols: []string{"x"}, Types: []ColType{TNum}})
-	if _, err := plan.Exec(); err == nil {
-		t.Fatal("stale plan executed after DB.Add")
+	if _, err := plan.Exec(); err != nil {
+		t.Fatalf("plan staled by unrelated DB.Add: %v", err)
+	}
+	if c := db.IndexCounters(); c.Builds != before.Builds {
+		t.Fatalf("unrelated Add rebuilt indexes: before %+v, after %+v", before, c)
 	}
 
-	// A fresh plan under the new generation rebuilds the index from scratch.
+	// Mutating the table the plan reads stales it and drops that table's
+	// access-cache entry.
+	if err := db.Append("big", [][]Value{{NumVal(7), NumVal(500), StrVal("s99")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Exec(); err == nil {
+		t.Fatal("stale plan executed after Append to its table")
+	}
+
+	// A fresh plan over the new snapshot rebuilds the index from scratch.
 	plan2 := planFor(t, db, "SELECT v FROM big WHERE k = 7", Prepare)
 	if _, err := plan2.Exec(); err != nil {
 		t.Fatal(err)
 	}
 	after := db.IndexCounters()
 	if after.Builds <= before.Builds {
-		t.Fatalf("index not rebuilt after DB.Add: before %+v, after %+v", before, after)
+		t.Fatalf("index not rebuilt after Append: before %+v, after %+v", before, after)
 	}
 	if after.StatsBuilds <= before.StatsBuilds {
-		t.Fatalf("stats not recomputed after DB.Add: before %+v, after %+v", before, after)
+		t.Fatalf("stats not recomputed after Append: before %+v, after %+v", before, after)
 	}
 }
 
@@ -199,14 +211,14 @@ func TestIndexKeySemantics(t *testing.T) {
 		},
 	})
 	for _, sql := range []string{
-		"SELECT m FROM q WHERE n = 0",           // -0 must hash with +0
-		"SELECT m FROM q WHERE n = '1'",         // str literal on num column coerces
-		"SELECT m FROM q WHERE s = '1'",         // num-looking string key
-		"SELECT m FROM q WHERE s = 1",           // num literal on str column coerces
-		"SELECT m FROM q WHERE n >= 0",          // range over a column with NULLs
+		"SELECT m FROM q WHERE n = 0",   // -0 must hash with +0
+		"SELECT m FROM q WHERE n = '1'", // str literal on num column coerces
+		"SELECT m FROM q WHERE s = '1'", // num-looking string key
+		"SELECT m FROM q WHERE s = 1",   // num literal on str column coerces
+		"SELECT m FROM q WHERE n >= 0",  // range over a column with NULLs
 		"SELECT m FROM q WHERE n BETWEEN -1 AND 1",
-		"SELECT x FROM mixed WHERE x = 1",       // eq on a mixed-type column is legal
-		"SELECT x FROM mixed WHERE x < 5",       // range on mixed types must stay a sweep
+		"SELECT x FROM mixed WHERE x = 1", // eq on a mixed-type column is legal
+		"SELECT x FROM mixed WHERE x < 5", // range on mixed types must stay a sweep
 		"SELECT x FROM mixed WHERE x BETWEEN 1 AND 10",
 		"SELECT a.m, b.x FROM q AS a, mixed AS b WHERE a.n = b.x",
 	} {

@@ -66,7 +66,7 @@ func (c *compiler) compileJoins(pq *planQuery, entries []fromEntry, outer *scope
 		if en.on == nil {
 			continue
 		}
-		pc := &compiler{db: c.db, sc: &scope{sources: pq.sources[:i+1], outer: outer}, noPipe: c.noPipe}
+		pc := &compiler{db: c.db, sc: &scope{sources: pq.sources[:i+1], outer: outer}, deps: c.deps, noPipe: c.noPipe}
 		jn.on = pc.compile(en.on)
 		if c.noPipe || !pc.conjunctProps(en.on).pure {
 			continue

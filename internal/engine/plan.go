@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	dt "pi2/internal/difftree"
@@ -15,14 +17,48 @@ import (
 // and the output schema (column names and types) is computed up front.
 // Executing a Plan re-walks no AST and re-lowercases no strings.
 //
-// A Plan is bound to the DB generation it was prepared at; Exec refuses to
-// run once the DB has mutated (see DB.Generation). Plans are safe for
-// concurrent Exec calls as long as the underlying tables are not mutated.
+// A Plan records the generation of every table it resolved; Exec refuses to
+// run once any of *those* tables has mutated (ErrStalePlan) — writes to
+// unrelated tables leave the plan valid. Plans whose query referenced an
+// unknown name additionally depend on the table-set fingerprint, so
+// registering the missing table invalidates the memoized error. Plans are
+// safe for concurrent Exec calls; table snapshots are immutable.
 type Plan struct {
 	db   *DB
-	gen  uint64
 	root *planQuery
+
+	deps    []planDep // tables read, with the generation each resolved at
+	setSnap uint64    // table-set fingerprint at prepare (see setDep)
+	setDep  bool      // a name failed to resolve: stale once the set changes
 }
+
+// planDep is one resolved table dependency. ctr points at the table's live
+// generation counter so Stale can poll it without taking db.mu.
+type planDep struct {
+	name string
+	gen  uint64
+	ctr  *atomic.Uint64
+}
+
+// depTracker accumulates the table dependencies of one compilation. Shared
+// by every (sub)compiler of a prepare call.
+type depTracker struct {
+	deps    []planDep
+	missing bool
+}
+
+func (d *depTracker) add(name string, ctr *atomic.Uint64, gen uint64) {
+	for _, pd := range d.deps {
+		if pd.ctr == ctr {
+			return
+		}
+	}
+	d.deps = append(d.deps, planDep{name: name, gen: gen, ctr: ctr})
+}
+
+// ErrStalePlan is returned by Exec/ExecProfiled when a table the plan reads
+// has mutated since Prepare. Callers should re-Prepare and retry.
+var ErrStalePlan = errors.New("engine: plan is stale (database mutated since Prepare)")
 
 // Prepare compiles a concrete query AST (no choice nodes) into a Plan. The
 // plan executes through the relational operator pipeline: pushed-down scan
@@ -79,9 +115,15 @@ func prepare(db *DB, q *dt.Node, mode prepMode) (*Plan, error) {
 	if q == nil || q.Kind != dt.KindQuery {
 		return nil, fmt.Errorf("engine: expected query node, got %v", q)
 	}
-	c := &compiler{db: db, noPipe: mode == modeNoPipe, force: mode == modeForceIndex,
+	// The set fingerprint is snapshotted before any name resolution: if Add
+	// registers a table mid-compile, the fingerprint has already moved and
+	// the plan reports stale rather than memoizing a torn view.
+	setSnap := db.TableSetGeneration()
+	deps := &depTracker{}
+	c := &compiler{db: db, deps: deps, noPipe: mode == modeNoPipe, force: mode == modeForceIndex,
 		vecForce: mode == modeForceVec, noVec: mode == modeNoVec}
-	return &Plan{db: db, gen: db.Generation(), root: c.compileQuery(q, nil)}, nil
+	root := c.compileQuery(q, nil)
+	return &Plan{db: db, root: root, deps: deps.deps, setSnap: setSnap, setDep: deps.missing}, nil
 }
 
 // Exec runs the compiled plan and returns the result table. The returned
@@ -89,14 +131,37 @@ func prepare(db *DB, q *dt.Node, mode prepMode) (*Plan, error) {
 // results as immutable.
 func (p *Plan) Exec() (*Table, error) {
 	if p.Stale() {
-		return nil, fmt.Errorf("engine: plan is stale (database mutated since Prepare)")
+		return nil, ErrStalePlan
 	}
 	return p.root.run(nil, nil)
 }
 
-// Stale reports whether the database has mutated since the plan was
-// prepared, which would make its resolved table pointers unreliable.
-func (p *Plan) Stale() bool { return p.gen != p.db.Generation() }
+// Stale reports whether any table the plan reads has mutated since the plan
+// was prepared, which would make its resolved snapshots out of date. Writes
+// to tables the plan does not read never stale it. Lock-free: one atomic
+// load per dependency.
+func (p *Plan) Stale() bool {
+	if p.setDep && p.db.TableSetGeneration() != p.setSnap {
+		return true
+	}
+	for i := range p.deps {
+		if p.deps[i].ctr.Load() != p.deps[i].gen {
+			return true
+		}
+	}
+	return false
+}
+
+// Deps returns the tables the plan reads with the generation each resolved
+// at — the dependency set result caches attach to memoized tables so a
+// write invalidates only the results that actually read the written table.
+func (p *Plan) Deps() []TableDep {
+	out := make([]TableDep, len(p.deps))
+	for i, d := range p.deps {
+		out[i] = TableDep{Name: d.name, Gen: d.gen}
+	}
+	return out
+}
 
 // Cols returns the output column names, known without executing.
 func (p *Plan) Cols() []string { return p.root.cols }
@@ -181,10 +246,11 @@ type scope struct {
 type compiler struct {
 	db       *DB
 	sc       *scope
-	noPipe   bool // disable the operator pipeline (PrepareUnoptimized)
-	force    bool // bypass the chooser's cost thresholds (prepareForceIndex)
-	vecForce bool // bypass the vectorized size gate (prepareForceVec)
-	noVec    bool // disable the vectorized path (PrepareNoVec)
+	deps     *depTracker // table dependencies of the whole prepare; may be nil
+	noPipe   bool        // disable the operator pipeline (PrepareUnoptimized)
+	force    bool        // bypass the chooser's cost thresholds (prepareForceIndex)
+	vecForce bool        // bypass the vectorized size gate (prepareForceVec)
+	noVec    bool        // disable the vectorized path (PrepareNoVec)
 }
 
 func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
@@ -210,12 +276,17 @@ func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
 			name := ""
 			switch src.Kind {
 			case dt.KindIdent:
-				t, ok := c.db.Table(src.Label)
+				t, ctr, gen, ok := c.db.tableRef(src.Label)
 				if !ok {
 					if pq.err == nil {
 						pq.err = fmt.Errorf("engine: unknown table %q", src.Label)
 					}
+					if c.deps != nil {
+						c.deps.missing = true
+					}
 					t = &Table{}
+				} else if c.deps != nil {
+					c.deps.add(strings.ToLower(src.Label), ctr, gen)
 				}
 				ps.table = t
 				ps.meta = t
@@ -249,7 +320,7 @@ func (c *compiler) compileQuery(q *dt.Node, outer *scope) *planQuery {
 
 	// Expressions compile in this query's scope.
 	sc := &scope{sources: pq.sources, outer: outer}
-	inner := &compiler{db: c.db, sc: sc, noPipe: c.noPipe, force: c.force, vecForce: c.vecForce, noVec: c.noVec}
+	inner := &compiler{db: c.db, sc: sc, deps: c.deps, noPipe: c.noPipe, force: c.force, vecForce: c.vecForce, noVec: c.noVec}
 
 	pq.opt = !c.noPipe
 	if where.Kind == dt.KindWhere {

@@ -82,7 +82,7 @@ func fmtDur(d time.Duration) string {
 // profile hooks observe, they never change what executes.
 func (p *Plan) ExecProfiled() (*Table, *Profile, error) {
 	if p.Stale() {
-		return nil, nil, fmt.Errorf("engine: plan is stale (database mutated since Prepare)")
+		return nil, nil, ErrStalePlan
 	}
 	prof := &Profile{}
 	t0 := time.Now()

@@ -8,6 +8,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -160,19 +161,48 @@ func (t *Table) String() string {
 // DB is a collection of tables plus the fixed "current date" used by
 // today(); a fixed clock keeps query results (and therefore interface
 // generation) deterministic.
+//
+// Mutation model: tables are immutable snapshots. Add and Append publish a
+// new *Table under db.mu and bump that table's generation counter; readers
+// holding a previously-published *Table keep a consistent snapshot for as
+// long as they like. Per-table generations (TableGen) let caches invalidate
+// only what a write actually touched; the global generation (Generation)
+// still moves on every mutation for coarse-grained consumers, and the
+// table-set fingerprint (TableSetGeneration) moves only when the set of
+// table names changes. See live.go for the append path and the changelog.
 type DB struct {
 	Tables map[string]*Table
 	Now    string // ISO date used by today()
 
-	// gen counts mutations. Prepared plans and memoized results record the
-	// generation they were built at and treat any later mutation as an
-	// invalidation signal.
-	gen uint64
+	// gen counts all mutations (Add and Append). Coarse consumers (the
+	// mapping layer's per-search exec cache) key on it; fine-grained
+	// staleness goes through the per-table counters in gens.
+	gen atomic.Uint64
+
+	// setGen counts table-set changes only (Add). Plans that referenced a
+	// name that failed to resolve depend on it: registering the missing
+	// table later must invalidate the memoized "unknown table" plan.
+	setGen atomic.Uint64
+
+	// mu guards the Tables map, the gens/seqs/inval maps, the changelog,
+	// and the access cache. Mutations hold it for the whole publish; reads
+	// (Table, tableRef, access) hold it only for the lookup. Per-table
+	// generation *values* are atomics so Plan.Stale can poll them lock-free.
+	mu   sync.Mutex
+	gens map[string]*atomic.Uint64 // per-table generation, keyed by lowercased name
+
+	// Changelog state (live.go): ordered append batches with per-table
+	// sequence numbers, plus the append counters behind /metrics.
+	clog       []ChangeBatch
+	seqs       map[string]uint64
+	inval      map[string]uint64 // per-table invalidations (snapshot replaced)
+	appends    atomic.Uint64
+	appendRows atomic.Uint64
 
 	// Access-path state (index.go): lazily-built per-table statistics and
-	// per-column indexes, keyed by the generation they were built at, plus
-	// the build/hit counters and hook behind /metrics.
-	mu  sync.Mutex
+	// per-column indexes, keyed by table snapshot pointer and pruned when a
+	// snapshot is replaced, plus the build/hit counters and hook behind
+	// /metrics.
 	acc *accessCache
 
 	idxBuilds  atomic.Uint64
@@ -243,19 +273,151 @@ func NewDB(now string) *DB {
 	return &DB{Tables: map[string]*Table{}, Now: now}
 }
 
-// Add registers a table under its lowercased name and bumps the mutation
-// generation, invalidating outstanding plans and cached results.
-func (db *DB) Add(t *Table) {
-	db.gen++
-	db.Tables[strings.ToLower(t.Name)] = t
+// initLocked lazily creates the mutation-tracking maps, so zero-constructed
+// DBs (tests build them with struct literals) work like NewDB ones.
+func (db *DB) initLocked() {
+	if db.gens == nil {
+		db.gens = map[string]*atomic.Uint64{}
+	}
+	if db.seqs == nil {
+		db.seqs = map[string]uint64{}
+	}
+	if db.inval == nil {
+		db.inval = map[string]uint64{}
+	}
 }
 
-// Generation returns the mutation counter. It changes whenever the set of
-// tables changes, so callers can cheaply detect staleness.
-func (db *DB) Generation() uint64 { return db.gen }
+// bumpLocked records a mutation of the table published under key: the
+// per-table and global generations move, and if the write replaced an
+// existing snapshot, its access-cache entry (stats, indexes, columnar image)
+// is dropped — entries for every other table stay warm.
+func (db *DB) bumpLocked(key string, old *Table) {
+	db.initLocked()
+	ctr := db.gens[key]
+	if ctr == nil {
+		ctr = new(atomic.Uint64)
+		db.gens[key] = ctr
+	}
+	ctr.Add(1)
+	db.gen.Add(1)
+	if old != nil {
+		db.inval[key]++
+		if db.acc != nil {
+			delete(db.acc.tables, old)
+		}
+	}
+}
 
-// Table looks a table up by case-insensitive name.
+// Add registers a table under its lowercased name, bumping its per-table
+// generation, the global mutation counter, and the table-set fingerprint.
+// Plans and cached results that read the (replaced) name become stale;
+// everything else stays valid.
+func (db *DB) Add(t *Table) {
+	key := strings.ToLower(t.Name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	old := db.Tables[key]
+	db.Tables[key] = t
+	db.bumpLocked(key, old)
+	db.setGen.Add(1)
+}
+
+// Generation returns the global mutation counter. It changes on every Add
+// and Append, so callers can cheaply detect "anything changed"; per-table
+// staleness goes through TableGen / Plan.Stale.
+func (db *DB) Generation() uint64 { return db.gen.Load() }
+
+// TableSetGeneration returns the table-set fingerprint: it changes only when
+// Add registers or replaces a name, never on Append.
+func (db *DB) TableSetGeneration() uint64 { return db.setGen.Load() }
+
+// TableGen returns the named table's generation counter (0 if the name has
+// never been mutated through Add/Append).
+func (db *DB) TableGen(name string) uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ctr := db.gens[strings.ToLower(name)]; ctr != nil {
+		return ctr.Load()
+	}
+	return 0
+}
+
+// Table looks a table up by case-insensitive name. The returned *Table is an
+// immutable snapshot: a later Append publishes a new pointer rather than
+// mutating this one, so callers may read it without further locking.
 func (db *DB) Table(name string) (*Table, bool) {
-	t, ok := db.Tables[strings.ToLower(name)]
+	key := strings.ToLower(name)
+	db.mu.Lock()
+	t, ok := db.Tables[key]
+	db.mu.Unlock()
 	return t, ok
+}
+
+// tableRef resolves a name to its current snapshot together with the
+// generation it was read at and the live counter behind it — one atomic
+// (snapshot, generation) pair, which is what lets Plan.Stale answer "has
+// this exact snapshot been superseded" without locks.
+func (db *DB) tableRef(name string) (t *Table, ctr *atomic.Uint64, gen uint64, ok bool) {
+	key := strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok = db.Tables[key]
+	if !ok {
+		return nil, nil, 0, false
+	}
+	db.initLocked()
+	ctr = db.gens[key]
+	if ctr == nil { // table written into the map directly, not via Add
+		ctr = new(atomic.Uint64)
+		db.gens[key] = ctr
+	}
+	return t, ctr, ctr.Load(), true
+}
+
+// TableDep names one table a plan (or memoized result) depends on, with the
+// generation the dependency was resolved at. Names are lowercased.
+type TableDep struct {
+	Name string
+	Gen  uint64
+}
+
+// Fresh reports whether every dependency still matches its table's current
+// generation — the fine-grained staleness check behind result caches: a
+// write to one table leaves results over other tables fresh.
+func (db *DB) Fresh(deps []TableDep) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, d := range deps {
+		ctr := db.gens[d.Name]
+		if ctr == nil {
+			if d.Gen != 0 {
+				return false
+			}
+			continue
+		}
+		if ctr.Load() != d.Gen {
+			return false
+		}
+	}
+	return true
+}
+
+// TableNames returns the lowercased names of all registered tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	names := make([]string, 0, len(db.Tables))
+	for name := range db.Tables {
+		names = append(names, name)
+	}
+	db.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// InvalidationCount returns how many times the named table's snapshot (and
+// with it the table's cached stats/indexes/columnar image) was replaced.
+func (db *DB) InvalidationCount(name string) uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.inval[strings.ToLower(name)]
 }

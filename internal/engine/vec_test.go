@@ -208,9 +208,22 @@ func TestVecGenerationInvalidation(t *testing.T) {
 		t.Fatalf("warm exec rebuilt columns: %d -> %d", c0.ColumnBuilds, c.ColumnBuilds)
 	}
 
-	// Mutate: the old plan must refuse to run, and a fresh plan rebuilds.
+	// Adding an unrelated table is not a mutation of anything this plan
+	// reads: it stays fresh and keeps its cached columns.
 	db.Add(&Table{Name: "zz", Cols: []string{"q"}, Types: []ColType{TNum},
 		Rows: [][]Value{{NumVal(1)}}})
+	if _, err := plan.Exec(); err != nil {
+		t.Fatalf("plan staled by unrelated table: %v", err)
+	}
+	if c := db.ColumnarCounters(); c.ColumnBuilds != c0.ColumnBuilds {
+		t.Fatalf("unrelated Add rebuilt columns: %d -> %d", c0.ColumnBuilds, c.ColumnBuilds)
+	}
+
+	// Mutate the table the plan reads: the old plan must refuse to run, and
+	// a fresh plan rebuilds.
+	if err := db.Append("v", [][]Value{{NumVal(99), NumVal(1), StrVal("zed"), NumVal(2)}}); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := plan.Exec(); err == nil || !strings.Contains(err.Error(), "stale") {
 		t.Fatalf("stale plan executed, err = %v", err)
 	}

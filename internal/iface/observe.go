@@ -13,7 +13,7 @@ import (
 // The list is closed on purpose: labels from request paths would let a
 // client mint unbounded time series.
 var servedEndpoints = []string{
-	"/", "/widget", "/interact", "/reset", "/sql", "/stats", "/healthz", "/metrics",
+	"/", "/widget", "/interact", "/reset", "/sql", "/ingest", "/stats", "/healthz", "/metrics",
 }
 
 // servedPhases are the span-name prefixes (the part before the first '.')
@@ -38,6 +38,7 @@ type ServerObs struct {
 	phase     map[string]*obs.Histogram
 	engineIdx func() engine.IndexCounters    // set by ObserveEngine; nil until then
 	engineCol func() engine.ColumnarCounters // set by ObserveEngine; nil until then
+	engineApp func() engine.AppendCounters   // set by ObserveEngine; nil until then
 }
 
 // NewServerObs builds the serving instruments on m (which must be non-nil)
@@ -169,6 +170,28 @@ func (o *ServerObs) ObserveEngine(db *engine.DB) {
 		batchHist.Observe(float64(rows))
 	})
 	o.engineCol = db.ColumnarCounters
+
+	// Live-table instruments: append traffic, changelog retention, and
+	// per-table invalidation counters. The table label set is closed at
+	// registration time (mirrors servedEndpoints: labels minted from runtime
+	// state would be unbounded) — tables added after startup are still
+	// counted in the aggregate append counters, just not per-label.
+	m.CounterFunc("pi2_engine_appends_total", "Append batches committed to live tables.", func() float64 {
+		return float64(db.AppendCounters().Appends)
+	})
+	m.CounterFunc("pi2_engine_append_rows_total", "Rows appended to live tables.", func() float64 {
+		return float64(db.AppendCounters().Rows)
+	})
+	m.GaugeFunc("pi2_engine_changelog_depth", "Change batches currently retained in the in-memory changelog.", func() float64 {
+		return float64(db.ChangelogDepth())
+	})
+	for _, name := range db.TableNames() {
+		name := name
+		m.CounterFunc("pi2_engine_table_invalidations_total", "Cache invalidations caused by writes, by table.", func() float64 {
+			return float64(db.InvalidationCount(name))
+		}, "table", name)
+	}
+	o.engineApp = db.AppendCounters
 }
 
 // RegisterServingMetrics exposes a Registry's session and cache counters on

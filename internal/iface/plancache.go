@@ -11,14 +11,15 @@ import (
 // PlanCache is a compiled-plan cache shared read-only across sessions.
 //
 // A compiled engine.Plan depends only on the resolved query AST and the
-// database snapshot it was prepared against — it is binding-independent
+// table snapshots it was prepared against — it is binding-independent
 // (distinct binding states that resolve to the same SQL share one plan) and
 // session-independent (no per-user state leaks into compilation). So one
 // registry-wide cache can serve every session: entries are keyed by
-// difftree.Hash(ast) ⊕ DB generation, which makes entries from a mutated
-// database unreachable rather than requiring a flush (they age out of the
-// LRU under capacity pressure). Per-binding *result* tables, by contrast,
-// stay session-private — see Session.
+// difftree.Hash(ast) alone and validated per use against the referenced
+// tables' generations (engine.Plan.Stale) — a write to one table replaces
+// only the entries whose plans actually read it; every other plan stays
+// resident and hot. Per-binding *result* tables, by contrast, stay
+// session-private — see Session.
 //
 // Compilation is single-flighted exactly like the search layer's
 // rewardCache: the per-entry sync.Once runs Prepare at most once across all
@@ -41,13 +42,12 @@ type planShard struct {
 	lru *lruCache[uint64, *planEntry]
 }
 
-// planEntry single-flights one (resolved AST, DB generation) compilation.
-// ast and gen guard against 64-bit key collisions; they are set before the
-// entry is published and never written again.
+// planEntry single-flights one resolved-AST compilation. ast guards against
+// 64-bit key collisions; it is set before the entry is published and never
+// written again. plan/err are written once inside once.Do.
 type planEntry struct {
 	once sync.Once
 	ast  *dt.Node
-	gen  uint64
 	plan *engine.Plan
 	err  error
 }
@@ -61,37 +61,49 @@ func NewPlanCache() *PlanCache {
 	return pc
 }
 
-// planKey folds the DB generation into the AST hash so a mutated database
-// sees only fresh entries. The multiply spreads small generation deltas
-// across all 64 bits (fibonacci hashing); collisions are still guarded by
-// the entry's ast/gen fields.
-func planKey(qh, gen uint64) uint64 {
-	return qh ^ (gen+1)*0x9e3779b97f4a7c15
-}
+// planStaleRetries bounds how many times Get replaces a stale entry and
+// recompiles before giving up and returning the (possibly still stale) plan
+// — under a sustained writer the caller's Exec surfaces ErrStalePlan and
+// the request layer decides what to do.
+const planStaleRetries = 3
 
-// Get returns the compiled plan for ast against db's current generation,
-// compiling at most once across all sessions. hit reports whether the entry
-// already existed (the caller may have waited for another session's
-// in-flight compilation, but no compilation ran on its behalf).
+// Get returns the compiled plan for ast, compiling at most once across all
+// sessions. Resident plans are validated against the generations of the
+// tables they read (engine.Plan.Stale); a stale entry is replaced in place
+// and recompiled, which touches only the written table's plans — unrelated
+// entries stay hot. hit reports whether a still-fresh entry already existed
+// (the caller may have waited for another session's in-flight compilation,
+// but no compilation ran on its behalf).
 func (pc *PlanCache) Get(db *engine.DB, ast *dt.Node) (plan *engine.Plan, hit bool, err error) {
-	gen := db.Generation()
-	key := planKey(dt.Hash(ast), gen)
+	key := dt.Hash(ast)
 	sh := &pc.shards[key%planShards]
-	sh.mu.Lock()
-	e, ok := sh.lru.get(key)
-	if ok && (e.gen != gen || !dt.Equal(e.ast, ast)) {
-		ok = false // 64-bit collision: replace rather than serve a stranger's plan
+	for attempt := 0; ; attempt++ {
+		sh.mu.Lock()
+		e, ok := sh.lru.get(key)
+		if ok && !dt.Equal(e.ast, ast) {
+			ok = false // 64-bit collision: replace rather than serve a stranger's plan
+		}
+		if !ok {
+			e = &planEntry{ast: ast}
+			sh.lru.put(key, e)
+		}
+		sh.mu.Unlock()
+		e.once.Do(func() {
+			pc.compiles.Add(1)
+			e.plan, e.err = engine.Prepare(db, ast)
+		})
+		if e.err == nil && e.plan.Stale() && attempt < planStaleRetries {
+			// Replace the stale entry (only if it is still the resident one —
+			// another session may have already swapped it) and recompile.
+			sh.mu.Lock()
+			if cur, live := sh.lru.get(key); live && cur == e {
+				sh.lru.put(key, &planEntry{ast: ast})
+			}
+			sh.mu.Unlock()
+			continue
+		}
+		return e.plan, ok && attempt == 0, e.err
 	}
-	if !ok {
-		e = &planEntry{ast: ast, gen: gen}
-		sh.lru.put(key, e)
-	}
-	sh.mu.Unlock()
-	e.once.Do(func() {
-		pc.compiles.Add(1)
-		e.plan, e.err = engine.Prepare(db, ast)
-	})
-	return e.plan, ok, e.err
 }
 
 // Len reports the number of resident plans across all shards.

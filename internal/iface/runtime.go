@@ -1,6 +1,7 @@
 package iface
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -22,7 +23,7 @@ type CacheStats struct {
 	ResultMisses  uint64
 	PlanHits      uint64
 	PlanMisses    uint64
-	Invalidations uint64 // cache flushes triggered by DB mutation
+	Invalidations uint64 // cached results discarded because a table they read mutated
 }
 
 // Add accumulates o into c — how the registry folds per-session counters
@@ -59,16 +60,21 @@ func (c *sessionStats) snapshot() CacheStats {
 }
 
 // cachedResult memoizes one tree's result table for a binding state. The
-// canonical key string guards against 64-bit hash collisions.
+// canonical key string guards against 64-bit hash collisions. gen and deps
+// make the entry self-validating: it is served only while every table the
+// producing plan read is still at the generation it was read at (with the
+// global generation as a lock-free fast path), so a write invalidates only
+// the results that actually touched the written table.
 type cachedResult struct {
-	key string
-	tbl *engine.Table
+	key  string
+	tbl  *engine.Table
+	gen  uint64            // global DB generation when execution started
+	deps []engine.TableDep // tables the result read, with their generations
 }
 
 // cachedPlan memoizes a compiled plan for a resolved query. The AST guards
-// against hash collisions. (ensureFreshLocked flushes the whole cache on
-// any DB mutation, so cached plans are never stale in practice; the
-// Stale() re-check at the use site is defense-in-depth only.)
+// against hash collisions; the Stale() check at the use site validates the
+// plan against the generations of the tables it reads.
 type cachedPlan struct {
 	ast  *dt.Node
 	plan *engine.Plan
@@ -85,8 +91,10 @@ type cachedPlan struct {
 // resolve to the same SQL share one compiled plan) and result tables are
 // memoized per tree per binding state (so repeated widget events — a slider
 // dragged back and forth, a filter toggled — skip parse, plan, and
-// execution entirely). Both layers flush when the database mutates,
-// detected via engine.DB.Generation. All exported methods lock a
+// execution entirely). Both layers validate per entry against the
+// generations of the tables each entry actually read (engine.TableDep), so
+// a live write invalidates only the plans and results over the written
+// table; everything else stays warm. All exported methods lock a
 // per-session mutex, so one Session can serve concurrent HTTP requests.
 //
 // Under a Registry, many sessions run side by side: each keeps its own
@@ -101,7 +109,6 @@ type Session struct {
 	mu       sync.Mutex
 	bindings []dt.Binding // per tree
 
-	gen     uint64                            // DB generation the caches were built at
 	shared  *PlanCache                        // cross-session plan cache; nil -> private plans
 	plans   *lruCache[uint64, cachedPlan]     // private: resolved-AST hash -> compiled plan
 	results []*lruCache[uint64, cachedResult] // per tree: binding hash -> result
@@ -110,6 +117,11 @@ type Session struct {
 	// counters of an evicted session (a few dozen bytes) while the session
 	// itself — bindings, caches, memoized tables — is garbage collected.
 	stats *sessionStats
+
+	// execHook, when set, runs between plan resolution and execution on
+	// every attempt of the cached-execution and explain paths. Test-only: it
+	// lets the mutated-mid-request window be exercised deterministically.
+	execHook func()
 }
 
 // NewSession initializes the runtime with each tree bound to its first
@@ -145,8 +157,8 @@ func (s *Session) Stats() CacheStats { return s.stats.snapshot() }
 // ResetCache drops this session's memoized plans and result tables
 // (counters are kept). The next interaction takes the full
 // parse/plan/execute path. A shared PlanCache is not flushed — it belongs
-// to every session, and its entries are keyed by DB generation so they can
-// never serve stale plans.
+// to every session, and its entries are validated per use against the
+// generations of the tables they read, so they can never serve stale plans.
 func (s *Session) ResetCache() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -154,20 +166,10 @@ func (s *Session) ResetCache() {
 }
 
 func (s *Session) resetCacheLocked() {
-	s.gen = s.DB.Generation()
 	s.plans = newLRU[uint64, cachedPlan](maxCachedPlans)
 	s.results = make([]*lruCache[uint64, cachedResult], len(s.bindings))
 	for i := range s.results {
 		s.results[i] = newLRU[uint64, cachedResult](maxCachedResultsPerTree)
-	}
-}
-
-// ensureFreshLocked flushes the caches when the database has mutated since
-// they were populated.
-func (s *Session) ensureFreshLocked() {
-	if s.DB.Generation() != s.gen {
-		s.resetCacheLocked()
-		s.stats.invalidations.Add(1)
 	}
 }
 
@@ -235,7 +237,6 @@ func (s *Session) ResultsTraced(tr *obs.Trace) ([]*engine.Table, error) {
 }
 
 func (s *Session) resultsLocked(tr *obs.Trace) ([]*engine.Table, error) {
-	s.ensureFreshLocked()
 	out := make([]*engine.Table, len(s.bindings))
 	for ti := range s.bindings {
 		res, err := s.resultLocked(ti, tr)
@@ -252,7 +253,6 @@ func (s *Session) resultsLocked(tr *obs.Trace) ([]*engine.Table, error) {
 func (s *Session) Result(tree int) (*engine.Table, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.ensureFreshLocked()
 	return s.resultLocked(tree, nil)
 }
 
@@ -261,26 +261,36 @@ func (s *Session) Result(tree int) (*engine.Table, error) {
 // through the normal plan-cache path, but the result cache is bypassed in
 // both directions — profiling only means anything when the query actually
 // runs — and left untouched, so explaining never perturbs serving state.
+// If the DB mutates between plan resolution and the profiled execution, the
+// plan is re-resolved and retried; a sustained writer eventually surfaces
+// engine.ErrStalePlan, which the HTTP layer maps to a client error, not a
+// 500.
 func (s *Session) ExplainAnalyze(tree int) (string, *engine.Profile, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if tree < 0 || tree >= len(s.bindings) {
 		return "", nil, fmt.Errorf("iface: tree %d out of range", tree)
 	}
-	s.ensureFreshLocked()
 	ast, err := dt.Resolve(s.Ifc.State.Trees[tree].Root, s.bindings[tree])
 	if err != nil {
 		return "", nil, err
 	}
-	plan, err := s.planFor(ast)
-	if err != nil {
-		return "", nil, err
+	for attempt := 0; ; attempt++ {
+		plan, err := s.planFor(ast)
+		if err != nil {
+			return "", nil, err
+		}
+		if s.execHook != nil {
+			s.execHook()
+		}
+		_, prof, err := plan.ExecProfiled()
+		if err == nil {
+			return sqlparser.ToSQL(ast), prof, nil
+		}
+		if !errors.Is(err, engine.ErrStalePlan) || attempt >= execStaleRetries {
+			return "", nil, err
+		}
 	}
-	_, prof, err := plan.ExecProfiled()
-	if err != nil {
-		return "", nil, err
-	}
-	return sqlparser.ToSQL(ast), prof, nil
 }
 
 // ExplainPlan resolves one tree under its current binding and renders the
@@ -294,7 +304,6 @@ func (s *Session) ExplainPlan(tree int) (string, string, error) {
 	if tree < 0 || tree >= len(s.bindings) {
 		return "", "", fmt.Errorf("iface: tree %d out of range", tree)
 	}
-	s.ensureFreshLocked()
 	ast, err := dt.Resolve(s.Ifc.State.Trees[tree].Root, s.bindings[tree])
 	if err != nil {
 		return "", "", err
@@ -316,17 +325,31 @@ const (
 	maxCachedPlans          = 256
 )
 
+// execStaleRetries bounds how many times the execution paths re-resolve a
+// plan that went stale between resolution and execution (a live writer hit
+// the window). Past the bound the engine.ErrStalePlan surfaces to the
+// caller, which maps it to a retryable client error at the HTTP layer.
+const execStaleRetries = 3
+
 // resultLocked is the cached execution path for one tree: result cache by
-// binding hash, then plan cache by resolved-query hash, then compile. tr
-// (nil on untraced calls) receives plan/exec spans on the miss path only —
-// a result-cache hit records nothing, keeping the hot path alloc-free.
+// binding hash, then plan cache by resolved-query hash, then compile. A
+// cached result is served only while the tables it read are unchanged
+// (fast path: the global generation hasn't moved at all; slow path: the
+// per-table dependency check), so a write to one table evicts only the
+// results over that table. tr (nil on untraced calls) receives plan/exec
+// spans on the miss path only — a result-cache hit records nothing, keeping
+// the hot path alloc-free.
 func (s *Session) resultLocked(tree int, tr *obs.Trace) (*engine.Table, error) {
 	b := s.bindings[tree]
 	bkey := b.KeyString()
 	bh := dt.HashKey(bkey)
 	if cr, ok := s.results[tree].get(bh); ok && cr.key == bkey {
-		s.stats.resultHits.Add(1)
-		return cr.tbl, nil
+		if cr.gen == s.DB.Generation() || s.DB.Fresh(cr.deps) {
+			s.stats.resultHits.Add(1)
+			return cr.tbl, nil
+		}
+		// A table this result read has mutated: discard and re-execute.
+		s.stats.invalidations.Add(1)
 	}
 	s.stats.resultMisses.Add(1)
 	var end func()
@@ -337,24 +360,40 @@ func (s *Session) resultLocked(tree int, tr *obs.Trace) (*engine.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := s.planFor(ast)
-	if end != nil {
-		end()
+	var res *engine.Table
+	var plan *engine.Plan
+	// gen is snapshotted before execution so the cached entry's fast path
+	// can never claim freshness across a write that landed mid-execution.
+	gen := s.DB.Generation()
+	for attempt := 0; ; attempt++ {
+		plan, err = s.planFor(ast)
+		if end != nil {
+			end()
+			end = nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if tr != nil {
+			end = tr.Span("exec.t" + strconv.Itoa(tree))
+		}
+		if s.execHook != nil {
+			s.execHook()
+		}
+		gen = s.DB.Generation()
+		res, err = plan.Exec()
+		if end != nil {
+			end()
+			end = nil
+		}
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, engine.ErrStalePlan) || attempt >= execStaleRetries {
+			return nil, err
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	if tr != nil {
-		end = tr.Span("exec.t" + strconv.Itoa(tree))
-	}
-	res, err := plan.Exec()
-	if end != nil {
-		end()
-	}
-	if err != nil {
-		return nil, err
-	}
-	s.results[tree].put(bh, cachedResult{key: bkey, tbl: res})
+	s.results[tree].put(bh, cachedResult{key: bkey, tbl: res, gen: gen, deps: plan.Deps()})
 	return res, nil
 }
 
@@ -591,7 +630,6 @@ func (s *Session) Click(sourceElem string, row int) error {
 		return err
 	}
 	srcTree := s.Ifc.Vis[v.SourceVis].Tree
-	s.ensureFreshLocked()
 	res, err := s.resultLocked(srcTree, nil)
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"pi2/internal/engine"
+	"pi2/internal/ingest"
 	"pi2/internal/obs"
 	"pi2/internal/widget"
 )
@@ -49,6 +50,7 @@ type Server struct {
 	reg    *Registry
 	single *Session
 	obs    *ServerObs // nil: no metrics, no tracing, no /metrics route
+	ingest *engine.DB // nil: no /ingest route
 }
 
 // NewServer wraps a single session: every request addresses it, session
@@ -66,6 +68,25 @@ func (sv *Server) WithObs(o *ServerObs) *Server {
 	return sv
 }
 
+// WithIngest enables the write path: POST /ingest appends NDJSON rows to
+// db's live tables. Call before Handler with the same DB the sessions
+// serve. Returns sv for chaining; a nil db leaves the server read-only.
+func (sv *Server) WithIngest(db *engine.DB) *Server {
+	sv.ingest = db
+	return sv
+}
+
+// errStatus maps a request-time execution error to its HTTP status. A stale
+// plan is not a server fault: a live writer moved a table between plan
+// resolution and execution faster than the bounded retries could catch up,
+// and the client should simply retry — 409 Conflict, not 500.
+func errStatus(err error) int {
+	if errors.Is(err, engine.ErrStalePlan) {
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
 // Handler returns the http.Handler serving the interface. With observability
 // attached every route is wrapped in the tracing/metrics middleware and
 // /metrics is served; without it the routes are bare — no trace, no
@@ -77,6 +98,9 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("/interact", sv.obs.wrap("/interact", sv.handleInteract))
 	mux.HandleFunc("/reset", sv.obs.wrap("/reset", sv.handleReset))
 	mux.HandleFunc("/sql", sv.obs.wrap("/sql", sv.handleSQL))
+	if sv.ingest != nil {
+		mux.HandleFunc("/ingest", sv.obs.wrap("/ingest", sv.handleIngest))
+	}
 	mux.HandleFunc("/stats", sv.obs.wrap("/stats", sv.handleStats))
 	mux.HandleFunc("/healthz", sv.obs.wrap("/healthz", sv.handleHealthz))
 	if sv.obs != nil {
@@ -229,7 +253,7 @@ func (sv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		// attribute to this request; renderPage's own Results call then hits
 		// the result cache.
 		if _, err := sess.ResultsTraced(tr); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			http.Error(w, err.Error(), errStatus(err))
 			return
 		}
 		end = tr.Span("render")
@@ -239,7 +263,7 @@ func (sv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		end()
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		http.Error(w, err.Error(), errStatus(err))
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -414,25 +438,17 @@ func (sv *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if r.FormValue("explain") == "plan" {
-		for ti := range sess.Ifc.State.Trees {
-			sql, text, err := sess.ExplainPlan(ti)
-			if err != nil {
-				fmt.Fprintf(w, "tree %d: error: %v\n\n", ti, err)
-				continue
-			}
-			fmt.Fprintf(w, "tree %d: %s\n%s\n", ti, sql, text)
-		}
+		sv.explainAll(w, sess, func(ti int) (string, string, error) { return sess.ExplainPlan(ti) })
 		return
 	}
 	if ex := r.FormValue("explain"); ex != "" && ex != "0" {
-		for ti := range sess.Ifc.State.Trees {
+		sv.explainAll(w, sess, func(ti int) (string, string, error) {
 			sql, prof, err := sess.ExplainAnalyze(ti)
 			if err != nil {
-				fmt.Fprintf(w, "tree %d: error: %v\n\n", ti, err)
-				continue
+				return "", "", err
 			}
-			fmt.Fprintf(w, "tree %d: %s\n%s\n", ti, sql, prof)
-		}
+			return sql, fmt.Sprint(prof), nil
+		})
 		return
 	}
 	for ti, ts := range sess.CurrentSQLAll() {
@@ -442,6 +458,78 @@ func (sv *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, "tree %d: %s\n", ti, ts.SQL)
 	}
+}
+
+// explainAll runs one explain variant over every tree, buffering the report
+// so the status line can still reflect a stale-plan loss: if a live writer
+// outpaced the bounded re-prepare retries on any tree, the whole report is
+// a 409 (retry and it will almost certainly win) rather than a 500 — the
+// server did nothing wrong. Other per-tree errors keep the seed behavior:
+// inline in a 200 body, since partial explain output is still useful.
+func (sv *Server) explainAll(w http.ResponseWriter, sess *Session, explain func(int) (string, string, error)) {
+	var buf strings.Builder
+	stale := false
+	for ti := range sess.Ifc.State.Trees {
+		sql, text, err := explain(ti)
+		if err != nil {
+			stale = stale || errors.Is(err, engine.ErrStalePlan)
+			fmt.Fprintf(&buf, "tree %d: error: %v\n\n", ti, err)
+			continue
+		}
+		fmt.Fprintf(&buf, "tree %d: %s\n%s\n", ti, sql, text)
+	}
+	if stale {
+		w.WriteHeader(http.StatusConflict)
+	}
+	fmt.Fprint(w, buf.String())
+}
+
+// maxIngestBytes bounds one /ingest request body (32 MiB). Live appends are
+// meant to be incremental; bulk loads belong in the offline ingest CLI.
+const maxIngestBytes = 32 << 20
+
+// handleIngest is the write path: POST /ingest?table=name with an NDJSON
+// body (one flat object per line, keys addressing the table's columns)
+// appends the decoded rows to the live table and reports the new global
+// generation. Decoding is all-or-nothing — a bad line rejects the whole
+// batch with a 400 before anything is written — so a client never has to
+// guess how much of a failed batch landed. Sessions notice the write via
+// per-table generations: only plans and cached results that read the
+// written table re-execute; everything else stays hot.
+func (sv *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	// The table name rides in the query string on purpose: FormValue would
+	// swallow the body as form data.
+	name := r.URL.Query().Get("table")
+	if name == "" {
+		http.Error(w, "missing table parameter", http.StatusBadRequest)
+		return
+	}
+	tbl, ok := sv.ingest.Table(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no such table %q", name), http.StatusNotFound)
+		return
+	}
+	rows, err := ingest.DecodeRows(http.MaxBytesReader(w, r.Body, maxIngestBytes), tbl)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := sv.ingest.Append(tbl.Name, rows); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	body, _ := json.Marshal(struct {
+		Table      string `json:"table"`
+		Rows       int    `json:"rows"`
+		Generation uint64 `json:"generation"`
+	}{tbl.Name, len(rows), sv.ingest.Generation()})
+	w.Write(append(body, '\n'))
 }
 
 // handleStats reports the serving counters as JSON: the registry aggregate
@@ -471,7 +559,8 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Requests      map[string]uint64        `json:"requests"`
 			Index         *engine.IndexCounters    `json:"index,omitempty"`
 			Columnar      *engine.ColumnarCounters `json:"columnar,omitempty"`
-		}{up, inflight, reqs, nil, nil}
+			Append        *engine.AppendCounters   `json:"append,omitempty"`
+		}{up, inflight, reqs, nil, nil, nil}
 		if sv.obs.engineIdx != nil {
 			ic := sv.obs.engineIdx()
 			ext.Index = &ic
@@ -479,6 +568,10 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if sv.obs.engineCol != nil {
 			cc := sv.obs.engineCol()
 			ext.Columnar = &cc
+		}
+		if sv.obs.engineApp != nil {
+			ac := sv.obs.engineApp()
+			ext.Append = &ac
 		}
 		if sv.reg != nil {
 			v = struct {

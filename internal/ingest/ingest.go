@@ -100,35 +100,73 @@ type Result struct {
 // Load materializes every data file into one database. The manifest (may be
 // nil) contributes table names, keys, type overrides and the clock.
 func Load(paths []string, m *Manifest) (*Result, error) {
+	res, _, err := LoadFollowing(paths, m, nil)
+	return res, err
+}
+
+// LoadFollowing is Load for a live deployment: paths listed in follow are
+// loaded via LoadFollow — only their complete-record prefix is ingested, so
+// a producer mid-write cannot poison the initial load — and a ready Tailer
+// is returned for each (in follow order), resuming at the exact byte offset
+// the load consumed. Every follow path must also appear in paths.
+func LoadFollowing(paths []string, m *Manifest, follow []string) (*Result, []*Tailer, error) {
+	followSet := map[string]bool{}
+	for _, p := range follow {
+		ok := false
+		for _, q := range paths {
+			if q == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, nil, fmt.Errorf("ingest: follow file %s is not among the data files", p)
+		}
+		followSet[p] = true
+	}
 	now := DefaultNow
 	if m != nil && m.Now != "" {
 		now = m.Now
 	}
 	res := &Result{DB: engine.NewDB(now), Keys: map[string][]string{}}
+	tailerFor := map[string]*Tailer{}
 	matched := map[*TableManifest]bool{}
 	for _, path := range paths {
 		tm := m.forFile(path)
 		matched[tm] = true
-		tbl, rep, err := LoadTable(path, tm)
-		if err != nil {
-			return nil, err
+		var tbl *engine.Table
+		var rep *TableReport
+		var err error
+		if followSet[path] {
+			var off int64
+			tbl, rep, off, err = LoadFollow(path, tm)
+			if err != nil {
+				return nil, nil, err
+			}
+			format, _ := DetectFormat(path)
+			tailerFor[path] = NewTailer(res.DB, tbl.Name, path, format, off)
+		} else {
+			tbl, rep, err = LoadTable(path, tm)
+			if err != nil {
+				return nil, nil, err
+			}
 		}
 		if _, dup := res.DB.Table(tbl.Name); dup {
-			return nil, fmt.Errorf("ingest: %s: duplicate table name %q", path, tbl.Name)
+			return nil, nil, fmt.Errorf("ingest: %s: duplicate table name %q", path, tbl.Name)
 		}
 		res.DB.Add(tbl)
 		res.Tables = append(res.Tables, rep)
 		if tm != nil && len(tm.Keys) > 0 {
 			for _, k := range tm.Keys {
 				if tbl.ColIndex(k) < 0 {
-					return nil, fmt.Errorf("ingest: %s: manifest key column %q not in table %q", path, k, tbl.Name)
+					return nil, nil, fmt.Errorf("ingest: %s: manifest key column %q not in table %q", path, k, tbl.Name)
 				}
 			}
 			res.Keys[tbl.Name] = append([]string(nil), tm.Keys...)
 		}
 	}
 	if len(res.Tables) == 0 {
-		return nil, fmt.Errorf("ingest: no data files given")
+		return nil, nil, fmt.Errorf("ingest: no data files given")
 	}
 	// a manifest entry matching no data file is almost certainly a typo;
 	// silently dropping its keys and type overrides would corrupt the
@@ -137,29 +175,49 @@ func Load(paths []string, m *Manifest) (*Result, error) {
 	if m != nil {
 		for i := range m.Tables {
 			if !matched[&m.Tables[i]] {
-				return nil, fmt.Errorf("ingest: manifest entry %q matches none of the data files", m.Tables[i].File)
+				return nil, nil, fmt.Errorf("ingest: manifest entry %q matches none of the data files", m.Tables[i].File)
 			}
 		}
 	}
-	return res, nil
+	tailers := make([]*Tailer, len(follow))
+	for i, p := range follow {
+		tailers[i] = tailerFor[p]
+	}
+	return res, tailers, nil
 }
 
 // LoadAll is the one-call facade behind pi2.GeneratorFromFiles and the
 // CLIs: ingest the data files (with optional manifest), parse the query
 // log, and validate every statement against the ingested tables.
 func LoadAll(dataPaths []string, queryLogPath, manifestPath string) (*Result, []Statement, error) {
-	res, err := LoadFiles(dataPaths, manifestPath)
+	res, stmts, _, err := LoadAllFollowing(dataPaths, queryLogPath, manifestPath, nil)
+	return res, stmts, err
+}
+
+// LoadAllFollowing is LoadAll with a follow set: the listed data files are
+// ingested complete-records-only and returned as ready Tailers for live
+// serving (see LoadFollowing).
+func LoadAllFollowing(dataPaths []string, queryLogPath, manifestPath string, follow []string) (*Result, []Statement, []*Tailer, error) {
+	var m *Manifest
+	if manifestPath != "" {
+		var err error
+		m, err = ReadManifest(manifestPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	res, tailers, err := LoadFollowing(dataPaths, m, follow)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	stmts, err := ReadLog(queryLogPath)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := Validate(stmts, res.DB, queryLogPath); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return res, stmts, nil
+	return res, stmts, tailers, nil
 }
 
 // SplitList splits a comma-separated CLI path list, dropping empty

@@ -1,0 +1,293 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"pi2/internal/engine"
+)
+
+// This file is the live half of ingestion: instead of materializing a file
+// once, a Tailer follows it as an external writer appends records, feeding
+// each complete record into engine.DB.Append. The invariant throughout is
+// that a partial final record is never ingested: the consumed offset only
+// ever advances past a record boundary (a newline outside any CSV quoted
+// field), so a torn write — half a line flushed by the producer — stays in
+// the file until its terminator arrives, and a restart can resume from the
+// exact offset without re-reading or double-ingesting anything.
+
+// completeLen reports how many leading bytes of data form whole records:
+// everything up to and including the last record-terminating newline. For
+// NDJSON every newline terminates a record; for CSV/TSV a newline inside an
+// RFC 4180 quoted field is payload, so the scan tracks quote parity (the ""
+// escape toggles twice, landing back inside the quote, which is exactly
+// right). data must start at a record boundary.
+func completeLen(data []byte, format Format) int {
+	if format == FormatNDJSON {
+		return bytes.LastIndexByte(data, '\n') + 1
+	}
+	inQuotes := false
+	last := 0
+	for i := 0; i < len(data); i++ {
+		switch data[i] {
+		case '"':
+			inQuotes = !inQuotes
+		case '\n':
+			if !inQuotes {
+				last = i + 1
+			}
+		}
+	}
+	return last
+}
+
+// isGzip reports whether data leads with the gzip magic bytes. Compressed
+// files cannot be tailed — a byte offset into the compressed stream is
+// meaningless for resume — so the follow paths refuse them up front rather
+// than ingesting garbage.
+func isGzip(data []byte) bool {
+	return len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b
+}
+
+// fieldValue converts one raw CSV/TSV field to a typed engine value for an
+// existing column. Empty fields are NULL (matching readSeparated); a num
+// column rejects anything classify would not call numeric, so NaN, Inf and
+// underscore literals cannot sneak into a live table that batch ingestion
+// would have refused.
+func fieldValue(field string, typ engine.ColType, col string) (engine.Value, error) {
+	if field == "" {
+		return engine.NullVal(), nil
+	}
+	if typ == engine.TNum {
+		if classify(field) == ColStr {
+			return engine.Value{}, fmt.Errorf("column %q: %q is not numeric", col, field)
+		}
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return engine.Value{}, fmt.Errorf("column %q: %q is not numeric", col, field)
+		}
+		return engine.NumVal(f), nil
+	}
+	return engine.StrVal(field), nil
+}
+
+// decodeCSVRows parses whole CSV/TSV records (no header) against an existing
+// table's schema. Every record must have exactly one field per column.
+func decodeCSVRows(chunk []byte, comma rune, t *engine.Table) ([][]engine.Value, error) {
+	cr := csv.NewReader(bytes.NewReader(chunk))
+	cr.Comma = comma
+	cr.FieldsPerRecord = len(t.Cols)
+	var rows [][]engine.Value
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		row := make([]engine.Value, len(rec))
+		for i, field := range rec {
+			v, err := fieldValue(field, t.Types[i], t.Cols[i])
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+}
+
+// DecodeRows parses newline-delimited JSON objects against an existing
+// table's schema: keys address columns case-insensitively, keys missing
+// from a line become NULL, unknown keys are an error (a live writer using a
+// wrong field name should hear about it, not silently widen nothing), and
+// values must fit the column's type — numbers and booleans for num columns,
+// any scalar's text for str columns. This is the decoder behind both the
+// /ingest endpoint and NDJSON tailing, where the schema is fixed by the
+// already-served table rather than inferred from the payload.
+func DecodeRows(r io.Reader, t *engine.Table) ([][]engine.Value, error) {
+	colIdx := map[string]int{}
+	for i, c := range t.Cols {
+		colIdx[strings.ToLower(c)] = i
+	}
+	var rows [][]engine.Value
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		data := bytes.TrimSpace(sc.Bytes())
+		if len(data) == 0 {
+			continue
+		}
+		row := make([]engine.Value, len(t.Cols))
+		for i := range row {
+			row[i] = engine.NullVal()
+		}
+		var cellErr error
+		if err := decodeObject(data, func(key string, c cell) {
+			if cellErr != nil {
+				return
+			}
+			idx, ok := colIdx[strings.ToLower(key)]
+			if !ok {
+				cellErr = fmt.Errorf("unknown column %q (table %q has: %s)",
+					key, t.Name, strings.Join(t.Cols, ", "))
+				return
+			}
+			if c.null {
+				return
+			}
+			if t.Types[idx] == engine.TNum {
+				if c.kind == ColStr {
+					cellErr = fmt.Errorf("column %q: %q is not numeric", t.Cols[idx], c.text)
+					return
+				}
+				f, err := strconv.ParseFloat(c.text, 64)
+				if err != nil {
+					cellErr = fmt.Errorf("column %q: %q is not numeric", t.Cols[idx], c.text)
+					return
+				}
+				row[idx] = engine.NumVal(f)
+				return
+			}
+			row[idx] = engine.StrVal(c.text)
+		}); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if cellErr != nil {
+			return nil, fmt.Errorf("line %d: %w", line, cellErr)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// LoadFollow ingests the complete-record prefix of a growing data file and
+// reports the byte offset where tailing should resume. Unlike LoadTable it
+// tolerates a torn final record — the producer may be mid-write — by simply
+// leaving it for the first Poll. Gzip files are refused (no resumable
+// offsets into a compressed stream).
+func LoadFollow(path string, tm *TableManifest) (*engine.Table, *TableReport, int64, error) {
+	format, ok := DetectFormat(path)
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("ingest: %s: unrecognized extension (want .csv, .tsv, .json/.ndjson/.jsonl)", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("ingest: %w", err)
+	}
+	if isGzip(data) {
+		return nil, nil, 0, fmt.Errorf("ingest: %s: gzip files cannot be tailed (no resumable offset)", path)
+	}
+	n := completeLen(data, format)
+	if n == 0 {
+		return nil, nil, 0, fmt.Errorf("ingest: %s: no complete records yet (want a newline-terminated header)", path)
+	}
+	name := TableStem(path)
+	if tm != nil && tm.Name != "" {
+		name = tm.Name
+	}
+	if name == "" {
+		return nil, nil, 0, fmt.Errorf("ingest: %s: cannot derive a table name; declare one in the manifest", path)
+	}
+	tbl, rep, err := ReadTable(bytes.NewReader(data[:n]), name, format, tm)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("ingest: %s: %w", path, err)
+	}
+	rep.File = path
+	return tbl, rep, int64(n), nil
+}
+
+// Tailer incrementally ingests one growing file into one live table. It is
+// a single-goroutine poller — call Poll from one goroutine at a time — and
+// composes with the engine's single-logical-writer contract: run one Tailer
+// per table, or serialize tailers with other writers externally.
+type Tailer struct {
+	db     *engine.DB
+	table  string
+	path   string
+	format Format
+	pos    int64
+}
+
+// NewTailer follows path into the named table starting at offset (typically
+// the offset LoadFollow returned, or a persisted Offset from a previous
+// run). The table must already exist in db with the schema the file's
+// records conform to.
+func NewTailer(db *engine.DB, table, path string, format Format, offset int64) *Tailer {
+	return &Tailer{db: db, table: table, path: path, format: format, pos: offset}
+}
+
+// Offset reports the byte offset of the first unconsumed byte — always a
+// record boundary, so persisting it across restarts resumes exactly.
+func (tl *Tailer) Offset() int64 { return tl.pos }
+
+// Poll ingests every record appended since the last call, returning how
+// many rows it wrote. A partial final record is left in place for the next
+// poll; a file that shrank below the consumed offset is an error (the
+// producer truncated or rotated it — resuming would ingest garbage).
+func (tl *Tailer) Poll() (int, error) {
+	f, err := os.Open(tl.path)
+	if err != nil {
+		return 0, fmt.Errorf("ingest: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("ingest: %w", err)
+	}
+	if fi.Size() < tl.pos {
+		return 0, fmt.Errorf("ingest: %s: file shrank below consumed offset %d (truncated or rotated?)", tl.path, tl.pos)
+	}
+	if fi.Size() == tl.pos {
+		return 0, nil
+	}
+	if _, err := f.Seek(tl.pos, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("ingest: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, fmt.Errorf("ingest: %w", err)
+	}
+	if tl.pos == 0 && isGzip(data) {
+		return 0, fmt.Errorf("ingest: %s: gzip files cannot be tailed (no resumable offset)", tl.path)
+	}
+	n := completeLen(data, tl.format)
+	if n == 0 {
+		return 0, nil // only a torn record so far; wait for its terminator
+	}
+	tbl, ok := tl.db.Table(tl.table)
+	if !ok {
+		return 0, fmt.Errorf("ingest: table %q no longer in database", tl.table)
+	}
+	var rows [][]engine.Value
+	switch tl.format {
+	case FormatCSV:
+		rows, err = decodeCSVRows(data[:n], ',', tbl)
+	case FormatTSV:
+		rows, err = decodeCSVRows(data[:n], '\t', tbl)
+	default:
+		rows, err = DecodeRows(bytes.NewReader(data[:n]), tbl)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("ingest: %s: %w", tl.path, err)
+	}
+	if len(rows) > 0 {
+		if err := tl.db.Append(tl.table, rows); err != nil {
+			return 0, err
+		}
+	}
+	tl.pos += int64(n)
+	return len(rows), nil
+}

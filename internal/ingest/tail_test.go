@@ -1,0 +1,269 @@
+package ingest_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pi2/internal/engine"
+	"pi2/internal/ingest"
+)
+
+func writeFile(t *testing.T, path, data string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func appendFile(t *testing.T, path, data string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadFollowTornTail: the initial load consumes only complete records;
+// a torn final record is left for the tailer, and arrives once terminated.
+func TestLoadFollowTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.csv")
+	writeFile(t, path, "k,v\n1,a\n2,b\n3,")
+	tbl, rep, off, err := ingest.LoadFollow(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 || rep.Rows != 2 {
+		t.Fatalf("initial load got %d rows, want 2 (torn record must not ingest)", len(tbl.Rows))
+	}
+	if off != int64(len("k,v\n1,a\n2,b\n")) {
+		t.Fatalf("offset = %d, want %d", off, len("k,v\n1,a\n2,b\n"))
+	}
+	db := engine.NewDB("2020-12-31")
+	db.Add(tbl)
+	tl := ingest.NewTailer(db, tbl.Name, path, ingest.FormatCSV, off)
+	// Nothing new: the torn record is still torn.
+	if n, err := tl.Poll(); err != nil || n != 0 {
+		t.Fatalf("poll on torn tail: n=%d err=%v, want 0,nil", n, err)
+	}
+	// Terminate the torn record and add one more.
+	appendFile(t, path, "c\n4,d\n")
+	n, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("poll ingested %d rows, want 2", n)
+	}
+	got, _ := db.Table(tbl.Name)
+	if len(got.Rows) != 4 {
+		t.Fatalf("table has %d rows, want 4", len(got.Rows))
+	}
+	if got.Rows[2][1].Str != "c" || got.Rows[3][1].Str != "d" {
+		t.Fatalf("appended rows wrong: %v", got.Rows[2:])
+	}
+	if tl.Offset() != int64(len("k,v\n1,a\n2,b\n3,c\n4,d\n")) {
+		t.Fatalf("offset after poll = %d", tl.Offset())
+	}
+}
+
+// TestTailQuotedNewline: a newline inside an RFC 4180 quoted field is
+// payload, not a record boundary — the splitter must not hand half a quoted
+// record to the parser.
+func TestTailQuotedNewline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.csv")
+	writeFile(t, path, "k,v\n1,a\n")
+	tbl, _, off, err := ingest.LoadFollow(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDB("2020-12-31")
+	db.Add(tbl)
+	tl := ingest.NewTailer(db, tbl.Name, path, ingest.FormatCSV, off)
+	// A quoted field containing a newline, torn right after that newline.
+	appendFile(t, path, "2,\"x\ny")
+	if n, err := tl.Poll(); err != nil || n != 0 {
+		t.Fatalf("poll mid-quote: n=%d err=%v, want 0,nil", n, err)
+	}
+	appendFile(t, path, "z\"\n")
+	n, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("poll ingested %d rows, want 1", n)
+	}
+	got, _ := db.Table(tbl.Name)
+	if got.Rows[1][1].Str != "x\nyz" {
+		t.Fatalf("quoted field = %q, want %q", got.Rows[1][1].Str, "x\nyz")
+	}
+}
+
+// TestTailNDJSON: ndjson tailing decodes against the served schema —
+// missing keys are NULL, unknown keys and type mismatches are errors that
+// leave the table untouched.
+func TestTailNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e.ndjson")
+	writeFile(t, path, `{"day":"mon","n":1}`+"\n")
+	tbl, _, off, err := ingest.LoadFollow(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDB("2020-12-31")
+	db.Add(tbl)
+	tl := ingest.NewTailer(db, tbl.Name, path, ingest.FormatNDJSON, off)
+	appendFile(t, path, `{"n":2}`+"\n"+`{"day":"tue","n":3}`+"\n")
+	if n, err := tl.Poll(); err != nil || n != 2 {
+		t.Fatalf("poll: n=%d err=%v, want 2,nil", n, err)
+	}
+	got, _ := db.Table(tbl.Name)
+	if !got.Rows[1][0].Null {
+		t.Fatalf("missing key should be NULL, got %v", got.Rows[1][0])
+	}
+	appendFile(t, path, `{"bogus":1}`+"\n")
+	if _, err := tl.Poll(); err == nil || !strings.Contains(err.Error(), "unknown column") {
+		t.Fatalf("unknown key: err=%v, want unknown column error", err)
+	}
+	if got, _ := db.Table(tbl.Name); len(got.Rows) != 3 {
+		t.Fatalf("failed poll mutated the table: %d rows", len(got.Rows))
+	}
+}
+
+// TestTailRefusals: gzip inputs and files that shrink beneath the consumed
+// offset are hard errors, not silent corruption.
+func TestTailRefusals(t *testing.T) {
+	dir := t.TempDir()
+	gz := filepath.Join(dir, "g.csv.gz")
+	if err := os.WriteFile(gz, gzipped("k,v\n1,a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ingest.LoadFollow(gz, nil); err == nil || !strings.Contains(err.Error(), "gzip") {
+		t.Fatalf("LoadFollow(gzip): err=%v, want gzip refusal", err)
+	}
+
+	path := filepath.Join(dir, "s.csv")
+	writeFile(t, path, "k,v\n1,a\n2,b\n")
+	tbl, _, off, err := ingest.LoadFollow(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDB("2020-12-31")
+	db.Add(tbl)
+	tl := ingest.NewTailer(db, tbl.Name, path, ingest.FormatCSV, off)
+	writeFile(t, path, "k,v\n") // truncate below the consumed offset
+	if _, err := tl.Poll(); err == nil || !strings.Contains(err.Error(), "shrank") {
+		t.Fatalf("poll after truncation: err=%v, want shrank error", err)
+	}
+}
+
+// TestDecodeRowsSchema pins the /ingest decoding contract directly.
+func TestDecodeRowsSchema(t *testing.T) {
+	tbl := &engine.Table{
+		Name:  "m",
+		Cols:  []string{"K", "V"},
+		Types: []engine.ColType{engine.TNum, engine.TStr},
+	}
+	rows, err := ingest.DecodeRows(strings.NewReader(
+		`{"k":1,"v":"a"}`+"\n"+`{"K":2}`+"\n"+`{"v":null,"k":true}`+"\n"), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0][0].Num != 1 || rows[0][1].Str != "a" {
+		t.Fatalf("row 0 = %v", rows[0])
+	}
+	if !rows[1][1].Null {
+		t.Fatalf("missing key not NULL: %v", rows[1])
+	}
+	if rows[2][0].Num != 1 || !rows[2][1].Null {
+		t.Fatalf("row 2 = %v (bool should coerce to 1, explicit null stays NULL)", rows[2])
+	}
+	if _, err := ingest.DecodeRows(strings.NewReader(`{"k":"NaN"}`+"\n"), tbl); err == nil {
+		t.Fatal("non-numeric value for num column accepted")
+	}
+	if _, err := ingest.DecodeRows(strings.NewReader(`{"zz":1}`+"\n"), tbl); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := ingest.DecodeRows(strings.NewReader(`{"k":{"a":1}}`+"\n"), tbl); err == nil {
+		t.Fatal("nested value accepted")
+	}
+}
+
+// FuzzTail cross-checks incremental tailing against one-shot ingestion: for
+// any payload and any cut point, load-then-tail must end with exactly the
+// rows a single ReadTable over the consumed prefix produces — torn lines,
+// quoted newlines, gzip and mid-record EOF included. Inputs either of the
+// paths rejects are fine (refusal is a valid answer); divergence or a panic
+// is not.
+func FuzzTail(f *testing.F) {
+	f.Add([]byte("k,v\n1,a\n2,b\n3,c\n"), 8)
+	f.Add([]byte("k,v\n1,a\n2,b\n3,"), 6)                 // mid-record EOF
+	f.Add([]byte("k,v\n1,\"a\n2\",b\n"), 7)               // quoted newline, cut inside
+	f.Add([]byte("k,v\n1,a\n"), 0)                        // everything tailed
+	f.Add(gzipped("k,v\n1,a\n"), 4)                       // gzip refusal
+	f.Add([]byte("k,v\n1,a\nx,b\n"), 8)                   // type break: str after num inference
+	f.Add([]byte("k,v\n\"say \"\"hi\"\"\",2\n1,3\n"), 10) // escaped quotes
+	f.Add([]byte("k\n1\n2\n3\n4\n"), 3)                   // single column
+	f.Fuzz(func(t *testing.T, data []byte, cut int) {
+		if len(data) == 0 {
+			return
+		}
+		cut = ((cut % len(data)) + len(data)) % len(data)
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f.csv")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tbl, _, off, err := ingest.LoadFollow(path, nil)
+		if err != nil {
+			return // rejected initial prefix: fine
+		}
+		db := engine.NewDB("2020-12-31")
+		db.Add(tbl)
+		tl := ingest.NewTailer(db, tbl.Name, path, ingest.FormatCSV, off)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tl.Poll(); err != nil {
+			return // appended records broke the schema: refusal is fine
+		}
+		// Oracle: one-shot ingestion of exactly the consumed prefix. The
+		// incremental path pins types from the initial prefix, so the oracle
+		// may legally differ in *types* (later records can widen inference);
+		// compare only when the schemas agree.
+		oracle, _, err := ingest.ReadTable(bytes.NewReader(data[:tl.Offset()]), tbl.Name, ingest.FormatCSV, nil)
+		if err != nil {
+			t.Fatalf("tailer consumed a prefix one-shot ingestion rejects: %v", err)
+		}
+		got, _ := db.Table(tbl.Name)
+		if len(oracle.Types) != len(got.Types) {
+			t.Fatalf("column count diverged: %d vs %d", len(got.Types), len(oracle.Types))
+		}
+		for i := range oracle.Types {
+			if oracle.Types[i] != got.Types[i] {
+				return // inference widened post-cut; values are incomparable
+			}
+		}
+		if len(oracle.Rows) != len(got.Rows) {
+			t.Fatalf("row count diverged: tailed %d, one-shot %d", len(got.Rows), len(oracle.Rows))
+		}
+		for ri := range oracle.Rows {
+			for ci := range oracle.Rows[ri] {
+				a, b := got.Rows[ri][ci], oracle.Rows[ri][ci]
+				if a.Null != b.Null || a.IsStr != b.IsStr || a.Num != b.Num || a.Str != b.Str {
+					t.Fatalf("row %d col %d diverged: tailed %v, one-shot %v", ri, ci, a, b)
+				}
+			}
+		}
+	})
+}
